@@ -1,0 +1,98 @@
+// Ablation (paper sec. 5 extension): the thrash governor. Under a
+// large-WSS run the paper observes that the best strategy is to disable
+// migration entirely; the governor detects the balanced promotion/demotion
+// signature and throttles promotions automatically, moving NOMAD toward
+// the no-migration optimum while leaving fitting workloads untouched.
+#include <iostream>
+#include <memory>
+
+#include "bench/bench_common.h"
+
+using namespace nomad;
+
+namespace {
+
+struct VariantResult {
+  double overall_gbps;
+  double stable_gbps;
+  uint64_t promotions;
+  uint64_t throttles;
+};
+
+VariantResult RunNomad(bool governed, double wss_gb, double wss_fast_gb) {
+  const Scale scale{64};
+  const PlatformSpec platform = MakePlatform(PlatformId::kA, scale);
+  NomadPolicy::Config pcfg;
+  pcfg.enable_governor = governed;
+  auto policy = std::make_unique<NomadPolicy>(pcfg);
+  Sim sim(platform, std::move(policy), PolicyKind::kNomad, scale.Pages(27.0) + 16);
+
+  MicroLayout layout;
+  layout.rss_pages = scale.Pages(27.0);
+  layout.wss_pages = scale.Pages(wss_gb);
+  layout.wss_fast_pages = scale.Pages(wss_fast_gb);
+  layout.kernel_pages = scale.Pages(3.5);
+  ScrambledZipfian zipf(layout.wss_pages, 0.99, 42);
+  const Vpn wss_start = SetupMicroLayout(sim, layout, zipf);
+
+  std::vector<std::unique_ptr<MicroWorkload>> apps;
+  for (int t = 0; t < 2; t++) {
+    MicroWorkload::Config wcfg;
+    wcfg.base.total_ops = 1000000;
+    wcfg.base.seed = 3042 + t;
+    wcfg.wss_start = wss_start;
+    wcfg.wss_pages = layout.wss_pages;
+    apps.push_back(std::make_unique<MicroWorkload>(&sim.ms(), &sim.as(), &zipf, wcfg));
+    sim.AddWorkload(apps.back().get());
+  }
+  sim.Run();
+  const PhaseReport r = Analyze(sim);
+  return {r.overall_gbps, r.stable_gbps, Promotions(sim.ms().counters()),
+          sim.ms().counters().Get("governor.throttle")};
+}
+
+VariantResult RunNoMigration(double wss_gb, double wss_fast_gb) {
+  MicroRunConfig cfg;
+  cfg.policy = PolicyKind::kNoMigration;
+  cfg.rss_gb = 27.0;
+  cfg.wss_gb = wss_gb;
+  cfg.wss_fast_gb = wss_fast_gb;
+  cfg.total_ops = 1000000;
+  const MicroRunResult r = RunMicroBench(cfg);
+  return {r.report.overall_gbps, r.report.stable_gbps, 0, 0};
+}
+
+}  // namespace
+
+int main() {
+  PrintHeader("Ablation", "thrash governor (sec. 5 future work): throttle promotions "
+              "when promotion ~ demotion", PlatformId::kA, 64);
+
+  struct Case {
+    const char* label;
+    double wss_gb;
+    double wss_fast_gb;
+  };
+  const Case cases[] = {
+      {"medium WSS (fits-ish)", 13.5, 2.5},
+      {"large WSS (thrashes)", 27.0, 16.0},
+  };
+
+  TablePrinter t({"case", "variant", "overall GB/s", "stable GB/s", "promotions",
+                  "throttles"});
+  for (const Case& c : cases) {
+    const VariantResult plain = RunNomad(false, c.wss_gb, c.wss_fast_gb);
+    const VariantResult governed = RunNomad(true, c.wss_gb, c.wss_fast_gb);
+    const VariantResult nomig = RunNoMigration(c.wss_gb, c.wss_fast_gb);
+    t.AddRow({c.label, "nomad", Fmt(plain.overall_gbps), Fmt(plain.stable_gbps),
+              FmtCount(plain.promotions), "0"});
+    t.AddRow({"", "nomad + governor", Fmt(governed.overall_gbps), Fmt(governed.stable_gbps),
+              FmtCount(governed.promotions), FmtCount(governed.throttles)});
+    t.AddRow({"", "no-migration", Fmt(nomig.overall_gbps), Fmt(nomig.stable_gbps), "0", "-"});
+  }
+  t.Print(std::cout);
+  std::cout << "\nExpected shape: on the thrashing case the governor throttles and\n"
+               "closes most of the gap to the no-migration optimum; on the fitting\n"
+               "case it stays out of the way (few or no throttle events).\n";
+  return 0;
+}

@@ -1,0 +1,232 @@
+#include "bench/bench_common.h"
+
+#include <iostream>
+
+namespace nomad {
+
+MicroRunResult RunMicroBench(const MicroRunConfig& config) {
+  const Scale scale{config.scale_denom};
+  const PlatformSpec platform =
+      MakePlatform(config.platform, scale, config.fast_gb, config.slow_gb);
+
+  Sim sim(platform, config.policy, scale.Pages(config.rss_gb) + 16);
+
+  MicroLayout layout;
+  layout.rss_pages = scale.Pages(config.rss_gb);
+  layout.wss_pages = scale.Pages(config.wss_gb);
+  layout.wss_fast_pages = scale.Pages(config.wss_fast_gb);
+  layout.kernel_pages = scale.Pages(config.kernel_gb);
+  layout.placement = config.placement;
+  layout.seed = config.seed;
+  ScrambledZipfian zipf(layout.wss_pages, 0.99, config.seed);
+  const Vpn wss_start = SetupMicroLayout(sim, layout, zipf);
+
+  std::vector<std::unique_ptr<MicroWorkload>> apps;
+  for (int t = 0; t < config.threads; t++) {
+    MicroWorkload::Config wcfg;
+    wcfg.base.total_ops = config.total_ops / config.threads;
+    wcfg.base.seed = config.seed + 1000 + t;
+    wcfg.wss_start = wss_start;
+    wcfg.wss_pages = layout.wss_pages;
+    wcfg.write_fraction = config.write_fraction;
+    apps.push_back(std::make_unique<MicroWorkload>(&sim.ms(), &sim.as(), &zipf, wcfg));
+    sim.AddWorkload(apps.back().get());
+  }
+
+  MicroRunResult result;
+  sim.RunUntilOps(config.total_ops / 2);
+  result.first_half = sim.ms().counters();
+  sim.Run();
+
+  result.report = Analyze(sim);
+  result.counters = sim.ms().counters();
+  result.fast_used = sim.ms().pool().UsedFrames(Tier::kFast);
+  result.slow_used = sim.ms().pool().UsedFrames(Tier::kSlow);
+  if (NomadPolicy* nomad = sim.nomad()) {
+    result.shadow_pages = nomad->shadows().count();
+    result.tpm_commits = nomad->tpm_stats().commits;
+    result.tpm_aborts = nomad->tpm_stats().aborts;
+  }
+  return result;
+}
+
+uint64_t Promotions(const CounterSet& c) {
+  return c.Get("migrate.sync_promote") + c.Get("nomad.tpm_commit");
+}
+
+uint64_t Demotions(const CounterSet& c) {
+  return c.Get("migrate.sync_demote") + c.Get("nomad.demote_remap");
+}
+
+MicroRunConfig SmallWssConfig(PlatformId platform, PolicyKind policy) {
+  MicroRunConfig c;
+  c.platform = platform;
+  c.policy = policy;
+  c.rss_gb = 20.0;
+  c.wss_gb = 10.0;
+  c.wss_fast_gb = 6.0;
+  c.total_ops = 4000000;  // the small WSS fully converges; give it time
+  return c;
+}
+
+MicroRunConfig MediumWssConfig(PlatformId platform, PolicyKind policy) {
+  MicroRunConfig c;
+  c.platform = platform;
+  c.policy = policy;
+  c.rss_gb = 27.0;
+  c.wss_gb = 13.5;
+  c.wss_fast_gb = 2.5;
+  c.total_ops = 2400000;
+  return c;
+}
+
+MicroRunConfig LargeWssConfig(PlatformId platform, PolicyKind policy) {
+  MicroRunConfig c;
+  c.platform = platform;
+  c.policy = policy;
+  c.rss_gb = 27.0;
+  c.wss_gb = 27.0;
+  c.wss_fast_gb = 16.0;
+  c.total_ops = 1600000;  // never stabilizes; the phases look alike anyway
+  return c;
+}
+
+std::vector<PolicyKind> PoliciesFor(PlatformId platform, bool include_no_migration) {
+  std::vector<PolicyKind> kinds;
+  if (include_no_migration) {
+    kinds.push_back(PolicyKind::kNoMigration);
+  }
+  kinds.push_back(PolicyKind::kTpp);
+  const PlatformSpec p = MakePlatform(platform);
+  if (p.pebs_supported) {
+    kinds.push_back(PolicyKind::kMemtisDefault);
+    kinds.push_back(PolicyKind::kMemtisQuickCool);
+  }
+  kinds.push_back(PolicyKind::kNomad);
+  return kinds;
+}
+
+namespace {
+
+AppRunResult FinishAppRun(Sim& sim) {
+  AppRunResult result;
+  const PhaseReport report = Analyze(sim);
+  result.ops_per_sec = report.ops_per_sec;
+  result.runtime_ms = CyclesToSeconds(report.total_cycles, sim.platform().ghz) * 1e3;
+  result.promotions = Promotions(sim.ms().counters());
+  result.demotions = Demotions(sim.ms().counters());
+  if (NomadPolicy* nomad = sim.nomad()) {
+    result.tpm_commits = nomad->tpm_stats().commits;
+    result.tpm_aborts = nomad->tpm_stats().aborts;
+  }
+  return result;
+}
+
+}  // namespace
+
+AppRunResult RunYcsbBench(const YcsbRunConfig& config) {
+  const Scale scale{config.scale_denom};
+  const PlatformSpec platform =
+      MakePlatform(config.platform, scale, 16.0, config.slow_gb);
+
+  KvStore::Config kcfg;
+  kcfg.record_count = config.record_count;
+  kcfg.record_size = config.record_size;
+  KvStore store(kcfg);
+  const Vpn end = store.Layout(0);
+
+  Sim sim(platform, config.policy, end + 16);
+  sim.ms().ReserveFastFrames(scale.Pages(config.kernel_gb));
+  // Pre-load the dataset with the default placement (fast-first).
+  MapRange(sim.ms(), sim.as(), 0, end, Tier::kFast);
+  if (config.demote_first) {
+    DemoteAll(sim.ms(), sim.as());
+  }
+
+  YcsbWorkload::Config wcfg;
+  wcfg.base.total_ops = config.total_ops;
+  wcfg.base.seed = config.seed;
+  // One database op per engine step: an op's ~35 line accesses already
+  // span a TPM copy window, so stores can interleave with (and abort)
+  // transactions at realistic granularity.
+  wcfg.base.batch = 1;
+  YcsbWorkload app(&sim.ms(), &sim.as(), &store, wcfg);
+  sim.AddWorkload(&app);
+  sim.Run();
+  return FinishAppRun(sim);
+}
+
+AppRunResult RunPageRankBench(const PageRankRunConfig& config) {
+  const Scale scale{config.scale_denom};
+  const PlatformSpec platform =
+      MakePlatform(config.platform, scale, 16.0, config.slow_gb);
+
+  PageRankWorkload::Config wcfg;
+  wcfg.vertices = config.vertices;
+  wcfg.iterations = config.iterations;
+  wcfg.neighbor_sample = config.neighbor_sample;
+  wcfg.base.seed = config.seed;
+  const Vpn end = PageRankWorkload::Layout(&wcfg, 0);
+
+  Sim sim(platform, config.policy, end + 16);
+  sim.ms().ReserveFastFrames(scale.Pages(config.kernel_gb));
+  // Standard placement: the graph spreads over fast then slow memory.
+  MapRange(sim.ms(), sim.as(), 0, end, Tier::kFast);
+
+  PageRankWorkload app(&sim.ms(), &sim.as(), wcfg);
+  sim.AddWorkload(&app);
+  sim.Run();
+  return FinishAppRun(sim);
+}
+
+AppRunResult RunLiblinearBench(const LiblinearRunConfig& config) {
+  const Scale scale{config.scale_denom};
+  const PlatformSpec platform =
+      MakePlatform(config.platform, scale, 16.0, config.slow_gb);
+
+  // Worker threads share the model and split the samples (multicore
+  // liblinear, as the paper runs it).
+  std::vector<LiblinearWorkload::Config> wcfgs(config.threads);
+  Vpn end = 0;
+  for (int t = 0; t < config.threads; t++) {
+    LiblinearWorkload::Config& wcfg = wcfgs[t];
+    wcfg.samples = config.samples;
+    wcfg.row_lines = config.row_lines;
+    wcfg.sample_lines = config.sample_lines;
+    wcfg.model_pages = config.model_pages;
+    wcfg.features_per_sample = config.features_per_sample;
+    wcfg.epochs = config.epochs;
+    wcfg.base.seed = config.seed + t;
+    wcfg.base.batch = 1;  // one sample per step: weight stores interleave
+                          // with in-flight transactional copies
+    wcfg.thread_index = t;
+    wcfg.num_threads = config.threads;
+    end = LiblinearWorkload::Layout(&wcfg, 0);
+  }
+
+  Sim sim(platform, config.policy, end + 16);
+  sim.ms().ReserveFastFrames(scale.Pages(config.kernel_gb));
+  MapRange(sim.ms(), sim.as(), 0, end, Tier::kFast);
+  // The paper demotes all Liblinear pages to the slow tier before running.
+  DemoteAll(sim.ms(), sim.as());
+
+  std::vector<std::unique_ptr<LiblinearWorkload>> apps;
+  for (int t = 0; t < config.threads; t++) {
+    apps.push_back(std::make_unique<LiblinearWorkload>(&sim.ms(), &sim.as(), wcfgs[t]));
+    sim.AddWorkload(apps.back().get());
+  }
+  sim.Run();
+  return FinishAppRun(sim);
+}
+
+void PrintHeader(const std::string& id, const std::string& what, PlatformId platform,
+                 uint64_t scale_denom) {
+  std::cout << "==================================================================\n"
+            << id << ": " << what << "\n"
+            << "platform " << PlatformName(platform) << " ("
+            << MakePlatform(platform).cpu << "), sizes scaled 1/" << scale_denom
+            << " (GB figures are paper-equivalent)\n"
+            << "==================================================================\n";
+}
+
+}  // namespace nomad

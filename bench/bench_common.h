@@ -1,0 +1,140 @@
+// Shared infrastructure for the figure/table reproduction binaries.
+//
+// Every bench builds a Sim from a MicroRunConfig (or an app-specific
+// config), runs it, and prints the same rows/series the paper reports.
+// Phase counters are snapshotted at mid-run so Table 2-style
+// in-progress/steady splits are available everywhere.
+#ifndef BENCH_BENCH_COMMON_H_
+#define BENCH_BENCH_COMMON_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/harness/experiment.h"
+#include "src/harness/table.h"
+#include "src/workload/liblinear.h"
+#include "src/workload/micro.h"
+#include "src/workload/pagerank.h"
+#include "src/workload/ycsb.h"
+
+namespace nomad {
+
+// One micro-benchmark run (the Zipfian workload of sec. 4.1).
+struct MicroRunConfig {
+  PlatformId platform = PlatformId::kA;
+  uint64_t scale_denom = 64;
+  PolicyKind policy = PolicyKind::kNomad;
+  double rss_gb = 27.0;
+  double wss_gb = 13.5;
+  double wss_fast_gb = 2.5;
+  double kernel_gb = 3.5;
+  double fast_gb = 16.0;
+  double slow_gb = 16.0;
+  Placement placement = Placement::kRandom;
+  double write_fraction = 0.0;
+  uint64_t total_ops = 1200000;
+  int threads = 2;
+  uint64_t seed = 42;
+};
+
+struct MicroRunResult {
+  PhaseReport report;
+  CounterSet counters;    // cumulative at the end
+  CounterSet first_half;  // snapshot at the midpoint ("in progress" phase)
+  uint64_t shadow_pages = 0;
+  uint64_t tpm_commits = 0;
+  uint64_t tpm_aborts = 0;
+  uint64_t fast_used = 0;
+  uint64_t slow_used = 0;
+};
+
+// Runs the micro-benchmark and gathers phase reports + counters.
+MicroRunResult RunMicroBench(const MicroRunConfig& config);
+
+// Second-half value of a counter (steady phase).
+inline uint64_t SteadyCount(const MicroRunResult& r, const std::string& name) {
+  return r.counters.Get(name) - r.first_half.Get(name);
+}
+
+// Total promotions/demotions a policy performed (summing the policy's own
+// counter names).
+uint64_t Promotions(const CounterSet& c);
+uint64_t Demotions(const CounterSet& c);
+
+// The paper's three provisioning scenarios (Figure 6) at 16 GB fast memory.
+MicroRunConfig SmallWssConfig(PlatformId platform, PolicyKind policy);
+MicroRunConfig MediumWssConfig(PlatformId platform, PolicyKind policy);
+MicroRunConfig LargeWssConfig(PlatformId platform, PolicyKind policy);
+
+// Policies evaluated on a platform (Memtis excluded where unsupported).
+std::vector<PolicyKind> PoliciesFor(PlatformId platform, bool include_no_migration = false);
+
+// Prints the standard bench header.
+void PrintHeader(const std::string& id, const std::string& what, PlatformId platform,
+                 uint64_t scale_denom);
+
+// ---------- application benchmarks (sec. 4.2) ----------
+
+struct AppRunResult {
+  double ops_per_sec = 0;   // application-level throughput
+  double runtime_ms = 0;    // simulated milliseconds
+  uint64_t tpm_commits = 0;
+  uint64_t tpm_aborts = 0;
+  uint64_t promotions = 0;
+  uint64_t demotions = 0;
+};
+
+// Redis + YCSB-A (Figures 11 and 14). `demote_first` runs the paper's
+// "customized tool" that pushes the whole dataset to the slow tier.
+struct YcsbRunConfig {
+  PlatformId platform = PlatformId::kA;
+  PolicyKind policy = PolicyKind::kNomad;
+  uint64_t scale_denom = 64;
+  uint64_t record_count = 93750;  // scaled; ~6M paper records
+  uint64_t record_size = 2048;    // 1 KB values + Redis overhead
+  uint64_t total_ops = 80000;
+  bool demote_first = true;
+  double slow_gb = 16.0;
+  double kernel_gb = 3.5;
+  uint64_t seed = 42;
+};
+AppRunResult RunYcsbBench(const YcsbRunConfig& config);
+
+// PageRank on a synthetic uniform graph (Figures 12 and 15).
+struct PageRankRunConfig {
+  PlatformId platform = PlatformId::kA;
+  PolicyKind policy = PolicyKind::kNomad;
+  uint64_t scale_denom = 64;
+  uint64_t vertices = 1 << 20;  // scaled; 2^26 paper vertices
+  uint64_t iterations = 1;
+  uint64_t neighbor_sample = 3;
+  double slow_gb = 16.0;
+  double kernel_gb = 3.5;
+  uint64_t seed = 42;
+};
+AppRunResult RunPageRankBench(const PageRankRunConfig& config);
+
+// Liblinear-style regression (Figures 13 and 16). The dataset starts on
+// the slow tier (the paper demotes it before each run).
+struct LiblinearRunConfig {
+  PlatformId platform = PlatformId::kA;
+  PolicyKind policy = PolicyKind::kNomad;
+  uint64_t scale_denom = 64;
+  uint64_t samples = 81920;    // scaled; row stride 2 KB -> 10 GB paper data
+  uint64_t row_lines = 32;
+  uint64_t sample_lines = 8;   // column lines gathered per weight line
+  uint64_t model_pages = 1024;
+  uint64_t features_per_sample = 6;
+  uint64_t epochs = 4;
+  int threads = 4;             // multicore liblinear (shared model)
+  double slow_gb = 16.0;
+  double kernel_gb = 3.5;
+  uint64_t seed = 42;
+};
+AppRunResult RunLiblinearBench(const LiblinearRunConfig& config);
+
+}  // namespace nomad
+
+#endif  // BENCH_BENCH_COMMON_H_

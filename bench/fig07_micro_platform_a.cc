@@ -1,0 +1,8 @@
+// Figure 7: micro-benchmark comparison on platform A (Sapphire Rapids +
+// FPGA CXL memory).
+#include "bench/micro_grid.h"
+
+int main() {
+  nomad::RunMicroGrid(nomad::PlatformId::kA, "Figure 7");
+  return 0;
+}

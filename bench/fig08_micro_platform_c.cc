@@ -1,0 +1,8 @@
+// Figure 8: micro-benchmark comparison on platform C (Cascade Lake +
+// Optane persistent memory; full PEBS visibility for Memtis).
+#include "bench/micro_grid.h"
+
+int main() {
+  nomad::RunMicroGrid(nomad::PlatformId::kC, "Figure 8");
+  return 0;
+}

@@ -1,0 +1,8 @@
+// Figure 9: micro-benchmark comparison on platform D (AMD Genoa + Micron
+// CXL). Memtis is excluded: no IBS sampling backend (paper sec. 4).
+#include "bench/micro_grid.h"
+
+int main() {
+  nomad::RunMicroGrid(nomad::PlatformId::kD, "Figure 9");
+  return 0;
+}

@@ -1,0 +1,55 @@
+// Shared driver for Figures 7, 8 and 9: the small/medium/large-WSS
+// micro-benchmark grid (read and write variants, transient and stable
+// phases) on one platform.
+#ifndef BENCH_MICRO_GRID_H_
+#define BENCH_MICRO_GRID_H_
+
+#include <iostream>
+
+#include "bench/bench_common.h"
+
+namespace nomad {
+
+inline void RunMicroGrid(PlatformId platform, const char* figure) {
+  PrintHeader(figure,
+              "micro-benchmark bandwidth, small/medium/large WSS, "
+              "transient (migration in progress) and stable phases",
+              platform, 64);
+
+  struct Row {
+    const char* wss;
+    MicroRunConfig (*make)(PlatformId, PolicyKind);
+  };
+  const Row rows[] = {
+      {"small (10GB)", SmallWssConfig},
+      {"medium (13.5GB)", MediumWssConfig},
+      {"large (27GB)", LargeWssConfig},
+  };
+
+  for (bool writes : {false, true}) {
+    std::cout << "\n--- " << (writes ? "WRITE" : "READ") << " benchmark (GB/s) ---\n";
+    TablePrinter t({"WSS", "policy", "in progress", "stable"});
+    for (const Row& row : rows) {
+      for (PolicyKind policy : PoliciesFor(platform)) {
+        MicroRunConfig cfg = row.make(platform, policy);
+        cfg.write_fraction = writes ? 1.0 : 0.0;
+        const MicroRunResult r = RunMicroBench(cfg);
+        t.AddRow({row.wss, PolicyKindName(policy), Fmt(r.report.transient_gbps),
+                  Fmt(r.report.stable_gbps)});
+      }
+    }
+    t.Print(std::cout);
+  }
+
+  std::cout << "\nExpected shape (paper sec. 4.1):\n"
+               "- small WSS: NOMAD ~ Memtis while migrating; NOMAD ~ TPP and >> Memtis\n"
+               "  once stable (Memtis under-migrates),\n"
+               "- medium WSS: Memtis wins the transient (no faults); NOMAD beats TPP\n"
+               "  everywhere and beats Memtis on stable reads,\n"
+               "- large WSS: severe thrashing, Memtis's restraint wins overall, but\n"
+               "  NOMAD still consistently beats TPP.\n";
+}
+
+}  // namespace nomad
+
+#endif  // BENCH_MICRO_GRID_H_

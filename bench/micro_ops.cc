@@ -1,0 +1,110 @@
+// Google-benchmark micro-operations: host-side costs of the simulator's
+// hottest primitives. These are regression canaries for simulator
+// performance, not paper results.
+#include <benchmark/benchmark.h>
+
+#include "src/mem/device.h"
+#include "src/mm/cache.h"
+#include "src/mm/memory_system.h"
+#include "src/mm/tlb.h"
+#include "src/nomad/radix_tree.h"
+#include "src/sim/rng.h"
+#include "src/workload/zipfian.h"
+
+namespace nomad {
+namespace {
+
+void BM_RngNext(benchmark::State& state) {
+  Rng rng(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rng.Next());
+  }
+}
+BENCHMARK(BM_RngNext);
+
+void BM_ZipfianDraw(benchmark::State& state) {
+  ScrambledZipfian zipf(static_cast<uint64_t>(state.range(0)), 0.99, 7);
+  Rng rng(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(zipf.Draw(rng));
+  }
+}
+BENCHMARK(BM_ZipfianDraw)->Arg(1 << 12)->Arg(1 << 16)->Arg(1 << 20);
+
+void BM_TlbLookupHit(benchmark::State& state) {
+  Tlb tlb(64);
+  tlb.Fill(5, 500, true, false);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tlb.Lookup(5));
+  }
+}
+BENCHMARK(BM_TlbLookupHit);
+
+void BM_LlcAccess(benchmark::State& state) {
+  LastLevelCache llc(1 << 20);
+  Rng rng(3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(llc.Access(rng.Below(1 << 24) * 64));
+  }
+}
+BENCHMARK(BM_LlcAccess);
+
+void BM_DeviceAccess(benchmark::State& state) {
+  TierSpec spec;
+  spec.read_latency = 316;
+  spec.read_bw_single = 5.7;
+  spec.read_bw_peak = 15.0;
+  DeviceChannel channel(spec.read_latency, spec.read_bw_single, spec.read_bw_peak);
+  Cycles now = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(channel.Access(now, 64));
+    now += 300;
+  }
+}
+BENCHMARK(BM_DeviceAccess);
+
+void BM_RadixTreeInsertErase(benchmark::State& state) {
+  RadixTree<uint64_t> tree;
+  Rng rng(9);
+  for (auto _ : state) {
+    const uint64_t key = rng.Below(1 << 20);
+    tree.Insert(key, key);
+    tree.Erase(key);
+  }
+}
+BENCHMARK(BM_RadixTreeInsertErase);
+
+void BM_RadixTreeFind(benchmark::State& state) {
+  RadixTree<uint64_t> tree;
+  for (uint64_t k = 0; k < 65536; k++) {
+    tree.Insert(k, k);
+  }
+  Rng rng(9);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tree.Find(rng.Below(65536)));
+  }
+}
+BENCHMARK(BM_RadixTreeFind);
+
+void BM_SimulatedAccess(benchmark::State& state) {
+  PlatformSpec p = MakePlatform(PlatformId::kA);
+  p.tiers[0].capacity_bytes = 65536 * kPageSize;
+  p.tiers[1].capacity_bytes = 65536 * kPageSize;
+  Engine engine;
+  MemorySystem ms(p, &engine);
+  ms.RegisterCpu(0);
+  AddressSpace as(65536);
+  for (Vpn v = 0; v < 32768; v++) {
+    ms.MapNewPage(as, v);
+  }
+  Rng rng(5);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ms.Access(0, as, rng.Below(32768), rng.Below(64) * 64, false));
+  }
+}
+BENCHMARK(BM_SimulatedAccess);
+
+}  // namespace
+}  // namespace nomad
+
+BENCHMARK_MAIN();

@@ -1,0 +1,46 @@
+// Table 3: shadow-memory footprint vs RSS on platform B (30.7 GB of
+// tiered memory). As the application's RSS approaches total capacity,
+// NOMAD must reclaim shadow pages to avoid OOM; the shadow footprint
+// shrinks accordingly.
+#include <iostream>
+
+#include "bench/bench_common.h"
+#include "src/workload/seq_scan.h"
+
+using namespace nomad;
+
+int main() {
+  PrintHeader("Table 3", "shadow memory size as RSS approaches capacity", PlatformId::kB, 64);
+
+  TablePrinter t({"RSS (GB)", "shadow size (GB)", "shadow pages", "OOM events"});
+  for (double rss_gb : {23.0, 25.0, 27.0, 29.0}) {
+    const Scale scale{64};
+    // 16 GB DRAM + 14.7 GB CXL = 30.7 GB total, as in the paper.
+    const PlatformSpec platform = MakePlatform(PlatformId::kB, scale, 16.0, 14.7);
+    const uint64_t rss_pages = scale.Pages(rss_gb);
+    Sim sim(platform, PolicyKind::kNomad, rss_pages + 16);
+    sim.ms().ReserveFastFrames(scale.Pages(1.0));
+    MapRange(sim.ms(), sim.as(), 0, rss_pages, Tier::kFast);
+
+    SeqScanWorkload::Config cfg;
+    cfg.region_start = 0;
+    cfg.region_pages = rss_pages;
+    cfg.base.total_ops = rss_pages * 4 * 6;  // six full sweeps: shadow creation
+                                             // saturates, so reclamation pressure
+                                             // (not run length) sets the footprint
+    SeqScanWorkload app(&sim.ms(), &sim.as(), cfg);
+    sim.AddWorkload(&app);
+    sim.Run();
+
+    const uint64_t shadow_pages = sim.nomad()->shadows().count();
+    const double shadow_gb =
+        scale.ToPaperGb(shadow_pages * kPageSize);
+    t.AddRow({Fmt(rss_gb, 0), Fmt(shadow_gb, 2), std::to_string(shadow_pages),
+              std::to_string(sim.ms().counters().Get("oom") + sim.ms().pool().oom_count())});
+  }
+  t.Print(std::cout);
+  std::cout << "\nExpected shape: shadow footprint shrinks monotonically as RSS grows\n"
+               "(paper: 3.93 GB at 23 GB RSS down to 0.58 GB at 29 GB RSS), and no OOM\n"
+               "ever occurs because reclamation keeps pace.\n";
+  return 0;
+}

@@ -1,0 +1,56 @@
+// Example: a Redis-like key-value store on tiered memory.
+//
+// Builds the KV store substrate (hash index + record heap), pre-loads a
+// dataset whose RSS exceeds fast memory, pushes it all to the capacity
+// tier (the paper's "demote-all" tool), then serves YCSB workload A under
+// three tiering policies and reports throughput plus migration behaviour.
+//
+//   $ ./redis_tiering
+#include <iostream>
+
+#include "src/harness/experiment.h"
+#include "src/harness/table.h"
+#include "src/workload/kvstore.h"
+#include "src/workload/ycsb.h"
+
+using namespace nomad;
+
+int main() {
+  const Scale scale{64};
+  std::cout << "Redis-like store + YCSB-A on tiered memory (platform C, PM capacity tier)\n"
+            << "dataset ~13 GB paper-equivalent, demoted to the slow tier before serving\n\n";
+
+  TablePrinter table({"policy", "K ops/s", "promotions", "demotions", "p99 latency (cyc)"});
+  for (PolicyKind kind : {PolicyKind::kNoMigration, PolicyKind::kTpp, PolicyKind::kNomad}) {
+    const PlatformSpec platform = MakePlatform(PlatformId::kC, scale);
+
+    KvStore::Config kcfg;
+    kcfg.record_count = 93750;  // ~6M records at paper scale
+    kcfg.record_size = 2048;    // 1 KB value + object overhead
+    KvStore store(kcfg);
+    const Vpn end = store.Layout(0);
+
+    Sim sim(platform, kind, end + 16);
+    sim.ms().ReserveFastFrames(scale.Pages(3.5));
+    MapRange(sim.ms(), sim.as(), 0, end, Tier::kFast);
+    DemoteAll(sim.ms(), sim.as());
+
+    YcsbWorkload::Config wcfg;
+    wcfg.base.total_ops = 50000;
+    YcsbWorkload app(&sim.ms(), &sim.as(), &store, wcfg);
+    sim.AddWorkload(&app);
+    sim.Run();
+
+    const PhaseReport r = Analyze(sim);
+    const CounterSet& c = sim.ms().counters();
+    table.AddRow({std::string(PolicyKindName(kind)), Fmt(r.ops_per_sec / 1e3, 1),
+                  FmtCount(c.Get("migrate.sync_promote") + c.Get("nomad.tpm_commit")),
+                  FmtCount(c.Get("migrate.sync_demote") + c.Get("nomad.demote_remap")),
+                  Fmt(r.p99_latency_cycles, 0)});
+  }
+  table.Print(std::cout);
+  std::cout << "\nYCSB's key popularity is too flat for migration to pay off fully\n"
+               "(the paper's finding) - but NOMAD's asynchronous migration keeps its\n"
+               "tail latency far below TPP's, whose promotions block the serving thread.\n";
+  return 0;
+}

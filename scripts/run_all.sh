@@ -1,0 +1,12 @@
+#!/bin/sh
+# Build, test and regenerate every paper table/figure.
+set -e
+cd "$(dirname "$0")/.."
+cmake -B build -G Ninja
+cmake --build build
+ctest --test-dir build 2>&1 | tee test_output.txt
+for b in build/bench/*; do
+  [ -x "$b" ] && [ ! -d "$b" ] && case "$b" in *.a) continue;; esac || continue
+  echo "##### $(basename "$b")"
+  if [ "$(basename "$b")" = micro_ops ]; then "$b" --benchmark_min_time=0.2; else "$b"; fi
+done 2>&1 | tee bench_output.txt

@@ -1,0 +1,258 @@
+#include "src/harness/experiment.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace nomad {
+
+const char* PolicyKindName(PolicyKind kind) {
+  switch (kind) {
+    case PolicyKind::kNoMigration:
+      return "no-migration";
+    case PolicyKind::kTpp:
+      return "tpp";
+    case PolicyKind::kMemtisDefault:
+      return "memtis-default";
+    case PolicyKind::kMemtisQuickCool:
+      return "memtis-quickcool";
+    case PolicyKind::kNomad:
+      return "nomad";
+  }
+  return "?";
+}
+
+std::unique_ptr<TieringPolicy> MakePolicy(PolicyKind kind) {
+  switch (kind) {
+    case PolicyKind::kNoMigration:
+      return std::make_unique<NoMigrationPolicy>();
+    case PolicyKind::kTpp:
+      return std::make_unique<TppPolicy>();
+    case PolicyKind::kMemtisDefault:
+      return std::make_unique<MemtisPolicy>(MemtisPolicy::DefaultVariant());
+    case PolicyKind::kMemtisQuickCool:
+      return std::make_unique<MemtisPolicy>(MemtisPolicy::QuickCoolVariant());
+    case PolicyKind::kNomad:
+      return std::make_unique<NomadPolicy>();
+  }
+  return nullptr;
+}
+
+bool PolicySupported(PolicyKind kind, const PlatformSpec& platform) {
+  if (kind == PolicyKind::kMemtisDefault || kind == PolicyKind::kMemtisQuickCool) {
+    return platform.pebs_supported;
+  }
+  return true;
+}
+
+Sim::Sim(const PlatformSpec& platform, PolicyKind kind, uint64_t as_pages)
+    : Sim(platform, MakePolicy(kind), kind, as_pages) {}
+
+Sim::Sim(const PlatformSpec& platform, std::unique_ptr<TieringPolicy> policy, PolicyKind kind,
+         uint64_t as_pages)
+    : platform_(platform),
+      kind_(kind),
+      ms_(platform, &engine_),
+      as_(as_pages),
+      policy_(std::move(policy)) {
+  policy_->Install(ms_, engine_);
+}
+
+void Sim::AddWorkload(WorkloadActor* w) {
+  const ActorId id = engine_.AddActor(w);
+  w->set_actor_id(id);
+  ms_.RegisterCpu(id);
+  workloads_.push_back(w);
+}
+
+Cycles Sim::Run(Cycles hard_cap) {
+  return engine_.RunUntil([this, hard_cap] {
+    if (engine_.now() > hard_cap) {
+      return true;
+    }
+    for (const WorkloadActor* w : workloads_) {
+      if (!w->done()) {
+        return false;
+      }
+    }
+    return true;
+  });
+}
+
+Cycles Sim::RunUntilOps(uint64_t ops) {
+  return engine_.RunUntil([this, ops] {
+    uint64_t done = 0;
+    for (const WorkloadActor* w : workloads_) {
+      done += w->ops_done();
+    }
+    return done >= ops;
+  });
+}
+
+uint64_t MapRange(MemorySystem& ms, AddressSpace& as, Vpn start, uint64_t n, Tier tier) {
+  uint64_t on_tier = 0;
+  for (uint64_t i = 0; i < n; i++) {
+    const Pfn pfn = ms.MapNewPage(as, start + i, tier);
+    if (pfn != kInvalidPfn && ms.pool().TierOf(pfn) == tier) {
+      on_tier++;
+    }
+  }
+  return on_tier;
+}
+
+bool MovePageSilent(MemorySystem& ms, AddressSpace& as, Vpn vpn, Tier tier) {
+  Pte* pte = ms.PteOf(as, vpn);
+  if (pte == nullptr || !pte->present) {
+    return false;
+  }
+  const Pfn old_pfn = pte->pfn;
+  PageFrame& old_frame = ms.pool().frame(old_pfn);
+  if (old_frame.tier == tier || old_frame.migrating || old_frame.shadowed) {
+    return false;
+  }
+  const Pfn new_pfn = ms.pool().AllocOn(tier);
+  if (new_pfn == kInvalidPfn) {
+    return false;
+  }
+  PageFrame& new_frame = ms.pool().frame(new_pfn);
+  new_frame.owner = &as;
+  new_frame.vpn = vpn;
+  new_frame.referenced = old_frame.referenced;
+  new_frame.active = old_frame.active;
+  ms.lru(old_frame.tier).Remove(old_pfn);
+  if (new_frame.active) {
+    ms.lru(tier).AddActive(new_pfn);
+  } else {
+    ms.lru(tier).AddInactive(new_pfn);
+  }
+  pte->pfn = new_pfn;
+  for (ActorId cpu : as.cpus()) {
+    ms.tlb(cpu).Invalidate(vpn);
+  }
+  ms.llc().InvalidatePage(old_pfn);
+  ms.pool().Free(old_pfn);
+  return true;
+}
+
+uint64_t DemoteAll(MemorySystem& ms, AddressSpace& as) {
+  uint64_t moved = 0;
+  for (Vpn vpn = 0; vpn < as.num_pages(); vpn++) {
+    const Pte* pte = ms.PteOf(as, vpn);
+    if (pte != nullptr && pte->present && ms.pool().TierOf(pte->pfn) == Tier::kFast) {
+      if (MovePageSilent(ms, as, vpn, Tier::kSlow)) {
+        moved++;
+      }
+    }
+  }
+  return moved;
+}
+
+Vpn SetupMicroLayout(Sim& sim, const MicroLayout& layout, const ScrambledZipfian& zipf) {
+  MemorySystem& ms = sim.ms();
+  AddressSpace& as = sim.as();
+  assert(layout.wss_pages <= layout.rss_pages);
+  assert(zipf.n() == layout.wss_pages);
+
+  ms.ReserveFastFrames(layout.kernel_pages);
+
+  // Cold half of the RSS fills fast memory first (the pre-allocated 10 GB /
+  // 13.5 GB / 16 GB of sec. 4.1).
+  const uint64_t cold_pages = layout.rss_pages - layout.wss_pages;
+  MapRange(ms, as, 0, cold_pages, Tier::kFast);
+
+  // WSS placement order: hotness rank order (Frequency-opt) or shuffled.
+  const Vpn wss_start = cold_pages;
+  std::vector<Vpn> order(layout.wss_pages);
+  if (layout.placement == Placement::kFrequencyOpt) {
+    for (uint64_t r = 0; r < layout.wss_pages; r++) {
+      order[r] = wss_start + zipf.ItemOfRank(r);
+    }
+  } else {
+    for (uint64_t i = 0; i < layout.wss_pages; i++) {
+      order[i] = wss_start + i;
+    }
+    // Salt the seed: the Zipfian scramble uses the same shuffle algorithm,
+    // and an identical seed would make "random" placement reproduce the
+    // hotness permutation exactly (i.e. silently become Frequency-opt).
+    Rng rng(layout.seed ^ 0x9E3779B97F4A7C15ull);
+    for (uint64_t i = layout.wss_pages; i > 1; i--) {
+      std::swap(order[i - 1], order[rng.Below(i)]);
+    }
+  }
+  for (uint64_t i = 0; i < layout.wss_pages; i++) {
+    const Tier tier = i < layout.wss_fast_pages ? Tier::kFast : Tier::kSlow;
+    Pfn pfn = ms.pool().AllocOn(tier);
+    if (pfn == kInvalidPfn) {
+      pfn = ms.pool().AllocOn(OtherTier(tier));
+    }
+    if (pfn == kInvalidPfn) {
+      break;  // genuinely out of memory; the workload will demand-fault
+    }
+    PageFrame& f = ms.pool().frame(pfn);
+    f.owner = &as;
+    f.vpn = order[i];
+    Pte& pte = as.table().Ensure(order[i]);
+    pte = Pte{};
+    pte.pfn = pfn;
+    pte.present = true;
+    pte.writable = true;
+    ms.lru(f.tier).AddInactive(pfn);
+  }
+  return wss_start;
+}
+
+PhaseReport Analyze(const Sim& sim) {
+  PhaseReport r;
+  const double ghz = sim.platform().ghz;
+  const auto& workloads = sim.workloads();
+  if (workloads.empty()) {
+    return r;
+  }
+
+  // Merge the per-actor windowed series (same window size by construction).
+  const Cycles window = workloads[0]->bandwidth().window_cycles();
+  size_t max_windows = 0;
+  for (const WorkloadActor* w : workloads) {
+    max_windows = std::max(max_windows, w->bandwidth().NumWindows());
+  }
+  std::vector<uint64_t> merged(max_windows, 0);
+  LatencyHistogram lat;
+  Cycles end_time = 0;
+  for (const WorkloadActor* w : workloads) {
+    const auto& wins = w->bandwidth().windows();
+    for (size_t i = 0; i < wins.size(); i++) {
+      merged[i] += wins[i];
+    }
+    lat.Merge(w->latency());
+    r.total_ops += w->ops_done();
+    end_time = std::max(end_time, w->finish_time());
+  }
+
+  auto mean_gbps = [&](size_t first, size_t last) {
+    last = std::min(last, merged.size());
+    if (first >= last) {
+      return 0.0;
+    }
+    uint64_t bytes = 0;
+    for (size_t i = first; i < last; i++) {
+      bytes += merged[i];
+    }
+    const double bpc = static_cast<double>(bytes) / static_cast<double>((last - first) * window);
+    return bpc * ghz;  // bytes/cycle * GHz = GB/s
+  };
+
+  const size_t n = merged.size();
+  // Transient = the first quarter of the run (skipping the cold-start
+  // window); stable = the last quarter. With the paper's setups the bulk
+  // migration happens well inside the first quarter.
+  r.transient_gbps = mean_gbps(1, std::max<size_t>(2, n / 4));
+  r.stable_gbps = mean_gbps(n - std::max<size_t>(1, n / 4), n);
+  r.overall_gbps = mean_gbps(0, n);
+  r.mean_latency_cycles = lat.Mean();
+  r.p99_latency_cycles = static_cast<double>(lat.Quantile(0.99));
+  r.total_cycles = end_time;
+  const double seconds = CyclesToSeconds(end_time == 0 ? 1 : end_time, ghz);
+  r.ops_per_sec = static_cast<double>(r.total_ops) / seconds;
+  return r;
+}
+
+}  // namespace nomad

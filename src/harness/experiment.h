@@ -1,0 +1,127 @@
+// Experiment harness: wires a platform, a policy, an address space and
+// workload actors into one runnable simulation, provides the paper's
+// initial-placement setups, and reduces measurements into the phase
+// numbers the figures report ("migration in progress" vs "stable").
+#ifndef SRC_HARNESS_EXPERIMENT_H_
+#define SRC_HARNESS_EXPERIMENT_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/mm/memory_system.h"
+#include "src/nomad/nomad_policy.h"
+#include "src/policy/memtis.h"
+#include "src/policy/policy.h"
+#include "src/policy/tpp.h"
+#include "src/workload/workload.h"
+#include "src/workload/zipfian.h"
+
+namespace nomad {
+
+enum class PolicyKind {
+  kNoMigration,
+  kTpp,
+  kMemtisDefault,
+  kMemtisQuickCool,
+  kNomad,
+};
+
+const char* PolicyKindName(PolicyKind kind);
+std::unique_ptr<TieringPolicy> MakePolicy(PolicyKind kind);
+
+// True when the policy can run on the platform (Memtis needs PEBS/IBS).
+bool PolicySupported(PolicyKind kind, const PlatformSpec& platform);
+
+// A fully wired simulation instance.
+class Sim {
+ public:
+  Sim(const PlatformSpec& platform, PolicyKind kind, uint64_t as_pages);
+  // Custom-policy variant (ablation benches build hand-configured
+  // NomadPolicy instances). `kind` is only used for reporting.
+  Sim(const PlatformSpec& platform, std::unique_ptr<TieringPolicy> policy, PolicyKind kind,
+      uint64_t as_pages);
+
+  Engine& engine() { return engine_; }
+  MemorySystem& ms() { return ms_; }
+  AddressSpace& as() { return as_; }
+  TieringPolicy& policy() { return *policy_; }
+  const PlatformSpec& platform() const { return platform_; }
+  PolicyKind kind() const { return kind_; }
+
+  // NOMAD-specific view (nullptr for other policies).
+  NomadPolicy* nomad() { return dynamic_cast<NomadPolicy*>(policy_.get()); }
+
+  // Registers a workload actor as a simulated CPU and schedules it.
+  void AddWorkload(WorkloadActor* w);
+
+  // Runs until every registered workload finished (bounded by hard_cap
+  // virtual cycles as a safety net). Returns final virtual time.
+  Cycles Run(Cycles hard_cap = Cycles{1} << 42);
+
+  // Runs until the workloads have jointly completed `ops` operations.
+  // Callable repeatedly with growing targets (phase snapshots).
+  Cycles RunUntilOps(uint64_t ops);
+
+  const std::vector<WorkloadActor*>& workloads() const { return workloads_; }
+
+ private:
+  PlatformSpec platform_;
+  PolicyKind kind_;
+  Engine engine_;
+  MemorySystem ms_;
+  AddressSpace as_;
+  std::unique_ptr<TieringPolicy> policy_;
+  std::vector<WorkloadActor*> workloads_;
+};
+
+// ---------- placement helpers ----------
+
+// Maps [start, start+n) to frames on the exact tier; falls back to the
+// other tier when full. Returns pages that landed on the requested tier.
+uint64_t MapRange(MemorySystem& ms, AddressSpace& as, Vpn start, uint64_t n, Tier tier);
+
+// Silently (no counters/cycles) moves a mapped page to `tier` - the
+// "customized tool to demote all memory pages" used before the Redis and
+// Liblinear runs (sec. 4.2).
+bool MovePageSilent(MemorySystem& ms, AddressSpace& as, Vpn vpn, Tier tier);
+uint64_t DemoteAll(MemorySystem& ms, AddressSpace& as);
+
+enum class Placement { kFrequencyOpt, kRandom };
+
+// The micro-benchmark's initial layout (sec. 4.1): `kernel_pages` reserved,
+// the cold half of the RSS filling fast memory first, then the WSS split
+// with `wss_fast_pages` on fast and the rest on slow, ordered by hotness
+// (Frequency-opt) or randomly.
+struct MicroLayout {
+  uint64_t rss_pages = 0;
+  uint64_t wss_pages = 0;
+  uint64_t wss_fast_pages = 0;
+  Placement placement = Placement::kFrequencyOpt;
+  uint64_t kernel_pages = 0;
+  uint64_t seed = 7;
+};
+
+// Returns the first VPN of the WSS region.
+Vpn SetupMicroLayout(Sim& sim, const MicroLayout& layout, const ScrambledZipfian& zipf);
+
+// ---------- measurement ----------
+
+struct PhaseReport {
+  double transient_gbps = 0;  // "migration in progress"
+  double stable_gbps = 0;     // "migration stable"
+  double overall_gbps = 0;
+  double mean_latency_cycles = 0;
+  double p99_latency_cycles = 0;
+  uint64_t total_ops = 0;
+  Cycles total_cycles = 0;
+  double ops_per_sec = 0;  // app-level ops / simulated second
+};
+
+// Aggregates the workloads' series: transient = first quarter of the run's
+// windows (after the first), stable = last quarter.
+PhaseReport Analyze(const Sim& sim);
+
+}  // namespace nomad
+
+#endif  // SRC_HARNESS_EXPERIMENT_H_

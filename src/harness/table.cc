@@ -1,0 +1,57 @@
+#include "src/harness/table.h"
+
+#include <algorithm>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+namespace nomad {
+
+void TablePrinter::Print(std::ostream& out) const {
+  std::vector<size_t> widths(headers_.size(), 0);
+  for (size_t c = 0; c < headers_.size(); c++) {
+    widths[c] = headers_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size() && c < widths.size(); c++) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  auto print_row = [&](const std::vector<std::string>& cells) {
+    for (size_t c = 0; c < widths.size(); c++) {
+      const std::string& cell = c < cells.size() ? cells[c] : std::string();
+      out << (c == 0 ? "" : "  ") << std::left << std::setw(static_cast<int>(widths[c])) << cell;
+    }
+    out << "\n";
+  };
+  print_row(headers_);
+  size_t total = 0;
+  for (size_t w : widths) {
+    total += w;
+  }
+  total += 2 * (widths.empty() ? 0 : widths.size() - 1);
+  out << std::string(total, '-') << "\n";
+  for (const auto& row : rows_) {
+    print_row(row);
+  }
+}
+
+std::string Fmt(double v, int prec) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(prec) << v;
+  return os.str();
+}
+
+std::string FmtCount(uint64_t v) {
+  std::ostringstream os;
+  if (v >= 1000000) {
+    os << std::fixed << std::setprecision(1) << static_cast<double>(v) / 1e6 << "M";
+  } else if (v >= 10000) {
+    os << std::fixed << std::setprecision(1) << static_cast<double>(v) / 1e3 << "K";
+  } else {
+    os << v;
+  }
+  return os.str();
+}
+
+}  // namespace nomad

@@ -1,0 +1,33 @@
+// Plain-text table rendering for bench binaries: every figure/table
+// reproduction prints the same rows/series the paper reports.
+#ifndef SRC_HARNESS_TABLE_H_
+#define SRC_HARNESS_TABLE_H_
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace nomad {
+
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> headers) : headers_(std::move(headers)) {}
+
+  void AddRow(std::vector<std::string> cells) { rows_.push_back(std::move(cells)); }
+
+  // Renders with column alignment and a header rule.
+  void Print(std::ostream& out) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+// Formats a double with `prec` decimals.
+std::string Fmt(double v, int prec = 2);
+// Formats counts compactly: 1234 -> "1.2K", 2500000 -> "2.5M".
+std::string FmtCount(uint64_t v);
+
+}  // namespace nomad
+
+#endif  // SRC_HARNESS_TABLE_H_

@@ -1,0 +1,66 @@
+// Bandwidth-queued memory device model.
+//
+// Each tier is served by one MemoryDevice that charges every request its
+// unloaded latency plus a bandwidth-dependent service time. Contention is
+// modelled with a rolling next-free-time per direction: a request arriving
+// while the channel is busy queues behind it. Single-thread bandwidth caps
+// the service rate seen by an isolated requester; peak bandwidth caps the
+// aggregate across concurrent requesters, matching how Table 1 separates
+// "Single Thread / Peak performance".
+#ifndef SRC_MEM_DEVICE_H_
+#define SRC_MEM_DEVICE_H_
+
+#include <cstdint>
+
+#include "src/mem/tier.h"
+#include "src/sim/clock.h"
+
+namespace nomad {
+
+// One direction (read or write) of a device channel.
+class DeviceChannel {
+ public:
+  DeviceChannel() = default;
+  DeviceChannel(Cycles latency, double bw_single, double bw_peak)
+      : latency_(latency), bw_single_(bw_single), bw_peak_(bw_peak) {}
+
+  // Issues a transfer of `bytes` at time `now` and returns its completion
+  // latency (queueing + device latency + serialization).
+  Cycles Access(Cycles now, uint64_t bytes);
+
+  // Total bytes moved through this channel.
+  uint64_t bytes_total() const { return bytes_total_; }
+
+  Cycles latency() const { return latency_; }
+  double bw_peak() const { return bw_peak_; }
+
+ private:
+  Cycles latency_ = 300;
+  double bw_single_ = 0.01;
+  double bw_peak_ = 0.02;
+  Cycles next_free_ = 0;
+  uint64_t bytes_total_ = 0;
+};
+
+// A complete tier device: a read channel and a write channel.
+class MemoryDevice {
+ public:
+  MemoryDevice() = default;
+  explicit MemoryDevice(const TierSpec& spec)
+      : read_(spec.read_latency, spec.read_bw_single, spec.read_bw_peak),
+        write_(spec.write_latency, spec.write_bw_single, spec.write_bw_peak) {}
+
+  Cycles Read(Cycles now, uint64_t bytes) { return read_.Access(now, bytes); }
+  Cycles Write(Cycles now, uint64_t bytes) { return write_.Access(now, bytes); }
+
+  const DeviceChannel& read_channel() const { return read_; }
+  const DeviceChannel& write_channel() const { return write_; }
+
+ private:
+  DeviceChannel read_;
+  DeviceChannel write_;
+};
+
+}  // namespace nomad
+
+#endif  // SRC_MEM_DEVICE_H_

@@ -1,0 +1,104 @@
+#include "src/mem/platform.h"
+
+namespace nomad {
+
+namespace {
+
+// Converts GB/s at the platform clock into bytes per cycle.
+double GbpsToBytesPerCycle(double gbps, double ghz) { return gbps / ghz; }
+
+// Fills one tier from Table 1 numbers: latencies in cycles, bandwidths in
+// GB/s (single-thread and peak).
+TierSpec MakeTier(double ghz, Cycles read_lat, Cycles write_lat, double r_single, double r_peak,
+                  double w_single, double w_peak, uint64_t capacity_bytes) {
+  TierSpec t;
+  t.read_latency = read_lat;
+  t.write_latency = write_lat;
+  t.read_bw_single = GbpsToBytesPerCycle(r_single, ghz);
+  t.read_bw_peak = GbpsToBytesPerCycle(r_peak, ghz);
+  t.write_bw_single = GbpsToBytesPerCycle(w_single, ghz);
+  t.write_bw_peak = GbpsToBytesPerCycle(w_peak, ghz);
+  t.capacity_bytes = capacity_bytes;
+  return t;
+}
+
+}  // namespace
+
+const char* PlatformName(PlatformId id) {
+  switch (id) {
+    case PlatformId::kA:
+      return "A";
+    case PlatformId::kB:
+      return "B";
+    case PlatformId::kC:
+      return "C";
+    case PlatformId::kD:
+      return "D";
+  }
+  return "?";
+}
+
+PlatformSpec MakePlatform(PlatformId id, const Scale& scale, double fast_gb, double slow_gb) {
+  PlatformSpec p;
+  p.id = id;
+  p.name = PlatformName(id);
+  p.scale = scale;
+  const uint64_t fast_cap = scale.Bytes(fast_gb);
+  const uint64_t slow_cap = scale.Bytes(slow_gb);
+
+  switch (id) {
+    case PlatformId::kA:
+      // COTS Sapphire Rapids + Agilex-7 FPGA CXL memory.
+      p.cpu = "4th Gen Xeon Gold 2.1GHz";
+      p.slow_device = "Agilex 7 FPGA CXL, 16 GB DDR4";
+      p.ghz = 2.1;
+      p.cores = 32;
+      p.llc_bytes = scale.Bytes(60.0 / 1024.0);  // 60 MB SPR LLC
+      p.tiers[0] = MakeTier(p.ghz, 316, 300, 12.0, 31.45, 20.8, 28.5, fast_cap);
+      p.tiers[1] = MakeTier(p.ghz, 854, 820, 4.5, 21.7, 20.7, 21.3, slow_cap);
+      p.pebs_supported = true;
+      p.pebs_sees_slow_reads = false;  // CXL misses are uncore events on SPR.
+      break;
+    case PlatformId::kB:
+      // Engineering-sample Sapphire Rapids + the same FPGA CXL device.
+      p.cpu = "4th Gen Xeon Platinum 3.5GHz (engineering sample)";
+      p.slow_device = "Agilex 7 FPGA CXL, 16 GB DDR4";
+      p.ghz = 3.5;
+      p.cores = 32;
+      p.llc_bytes = scale.Bytes(60.0 / 1024.0);
+      p.tiers[0] = MakeTier(p.ghz, 226, 215, 12.0, 31.2, 22.3, 23.67, fast_cap);
+      p.tiers[1] = MakeTier(p.ghz, 737, 710, 4.45, 22.3, 22.3, 22.4, slow_cap);
+      p.pebs_supported = true;
+      p.pebs_sees_slow_reads = false;
+      break;
+    case PlatformId::kC:
+      // Cascade Lake + Optane PM 100. PM writes commit to the on-DIMM buffer
+      // faster than reads complete (80 ns vs 170 ns per the paper), hence the
+      // lower write latency; write bandwidth is the bottleneck instead.
+      p.cpu = "2nd Gen Xeon Gold 3.9GHz";
+      p.slow_device = "Optane PM 100, 256 GB DDR-T x6";
+      p.ghz = 3.9;
+      p.cores = 32;
+      p.llc_bytes = scale.Bytes(27.5 / 1024.0);  // 27.5 MB CLX LLC
+      p.tiers[0] = MakeTier(p.ghz, 249, 240, 12.57, 116.0, 8.67, 85.0, fast_cap);
+      p.tiers[1] = MakeTier(p.ghz, 1077, 540, 4.0, 40.1, 8.1, 13.6, slow_cap);
+      p.pebs_supported = true;
+      p.pebs_sees_slow_reads = true;  // PM misses are core PEBS events.
+      break;
+    case PlatformId::kD:
+      // AMD Genoa + Micron ASIC CXL modules: the smallest fast/slow gap.
+      p.cpu = "AMD Genoa 9634 3.7GHz";
+      p.slow_device = "Micron CXL memory, 256 GB x4";
+      p.ghz = 3.7;
+      p.cores = 84;
+      p.llc_bytes = scale.Bytes(384.0 / 1024.0);  // 384 MB Genoa L3
+      p.tiers[0] = MakeTier(p.ghz, 391, 370, 37.8, 270.0, 89.8, 272.0, fast_cap);
+      p.tiers[1] = MakeTier(p.ghz, 712, 680, 20.25, 83.2, 57.7, 84.3, slow_cap);
+      p.pebs_supported = false;  // Memtis has no IBS backend (paper sec. 4).
+      p.pebs_sees_slow_reads = false;
+      break;
+  }
+  return p;
+}
+
+}  // namespace nomad

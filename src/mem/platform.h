@@ -1,0 +1,90 @@
+// Simulated testbed platforms (Table 1 of the paper).
+//
+// The paper evaluates four machines: two Intel Sapphire Rapids boxes with an
+// Agilex-7 FPGA CXL device (A, B), a Cascade Lake box with Optane persistent
+// memory (C), and an AMD Genoa box with Micron CXL modules (D). We reproduce
+// each as a PlatformSpec: core clock, LLC size, per-tier latency/bandwidth,
+// and what the PEBS-like sampler can observe there (Memtis cannot see CXL
+// read misses on A/B because they are uncore events, and has no IBS backend
+// on D).
+//
+// Sizes are scaled: simulating 16 GB of 4 KB pages as metadata is possible
+// but slow, so Scale::denom shrinks every paper size (default 64x) while
+// keeping the ratios - thrashing behaviour depends on WSS vs fast-tier page
+// counts, which scaling preserves.
+#ifndef SRC_MEM_PLATFORM_H_
+#define SRC_MEM_PLATFORM_H_
+
+#include <cstdint>
+#include <string>
+
+#include "src/mem/tier.h"
+#include "src/sim/clock.h"
+
+namespace nomad {
+
+inline constexpr uint64_t kPageSize = 4096;
+inline constexpr uint64_t kCacheLineSize = 64;
+
+// Conversion between paper sizes (GB on the real testbeds) and simulated
+// sizes. denom = 64 turns 16 GB into 256 MB (65,536 pages).
+struct Scale {
+  uint64_t denom = 64;
+
+  uint64_t Bytes(double paper_gb) const {
+    return static_cast<uint64_t>(paper_gb * static_cast<double>(uint64_t{1} << 30)) / denom;
+  }
+  uint64_t Pages(double paper_gb) const { return Bytes(paper_gb) / kPageSize; }
+  double ToPaperGb(uint64_t bytes) const {
+    return static_cast<double>(bytes) * static_cast<double>(denom) /
+           static_cast<double>(uint64_t{1} << 30);
+  }
+};
+
+// Fixed software costs of the simulated kernel, in cycles. These are
+// calibrated to the rough magnitudes reported for Linux (a minor fault costs
+// on the order of a microsecond; an IPI-based TLB shootdown costs a few
+// thousand cycles plus per-target work).
+struct KernelCosts {
+  Cycles page_fault = 2000;         // trap + handler entry/exit of a minor fault
+  Cycles page_walk = 50;            // TLB-miss walk (page-walk caches hit)
+  Cycles tlb_shootdown_base = 1500; // initiator-side fixed cost of a shootdown
+  Cycles tlb_shootdown_per_cpu = 1000;  // initiator-side cost per target CPU
+  Cycles ipi_remote_penalty = 700;  // interruption charged to each target CPU
+  Cycles llc_hit = 50;              // LLC hit latency
+  Cycles pte_update = 100;          // locked PTE read-modify-write
+  Cycles lru_op = 60;               // LRU list manipulation per page
+  Cycles migrate_fixed = 3000;      // bookkeeping of one migrate_pages() call
+  Cycles daemon_wakeup = 2000;      // kernel-thread wakeup/schedule latency
+  Cycles kvstore_op = 400;          // CPU work per KV-store operation (YCSB)
+};
+
+enum class PlatformId { kA, kB, kC, kD };
+
+// A complete simulated testbed.
+struct PlatformSpec {
+  PlatformId id = PlatformId::kA;
+  std::string name;
+  std::string cpu;
+  std::string slow_device;
+  double ghz = 2.1;                // core clock, for cycle<->second conversion
+  int cores = 32;                  // cores available on the enabled socket
+  uint64_t llc_bytes = 0;          // scaled LLC capacity
+  TierSpec tiers[kNumTiers];       // [0]=fast DRAM, [1]=CXL or PM
+  bool pebs_supported = true;      // false on platform D (no IBS backend)
+  bool pebs_sees_slow_reads = true;  // false on A/B: CXL LLC misses are uncore
+  KernelCosts costs;
+  Scale scale;
+};
+
+// Builds the spec of one of the paper's testbeds. fast_gb/slow_gb are paper
+// sizes (before scaling); the micro-benchmarks use 16/16, the large-RSS
+// application runs raise slow_gb on platforms C and D.
+PlatformSpec MakePlatform(PlatformId id, const Scale& scale = Scale{}, double fast_gb = 16.0,
+                          double slow_gb = 16.0);
+
+const char* PlatformName(PlatformId id);
+
+}  // namespace nomad
+
+#endif  // SRC_MEM_PLATFORM_H_

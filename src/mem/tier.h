@@ -1,0 +1,43 @@
+// Memory tier identity and performance characteristics.
+//
+// The simulator models the two-level hierarchy of the paper (Figure 6): a
+// performance tier (local DRAM, NUMA node 0) and a capacity tier (CXL memory
+// or persistent memory, a CPUless NUMA node 1). TierSpec carries the
+// measured device characteristics of Table 1.
+#ifndef SRC_MEM_TIER_H_
+#define SRC_MEM_TIER_H_
+
+#include <cstdint>
+
+#include "src/sim/clock.h"
+
+namespace nomad {
+
+// NUMA node id of a tier. Matches the paper's convention: node 0 has CPUs
+// and fast DRAM, node 1 is the CPUless capacity node.
+enum class Tier : uint8_t {
+  kFast = 0,  // performance tier (local DRAM)
+  kSlow = 1,  // capacity tier (CXL memory or PM)
+};
+
+inline constexpr int kNumTiers = 2;
+
+inline int TierIndex(Tier t) { return static_cast<int>(t); }
+inline Tier OtherTier(Tier t) { return t == Tier::kFast ? Tier::kSlow : Tier::kFast; }
+inline const char* TierName(Tier t) { return t == Tier::kFast ? "fast" : "slow"; }
+
+// Device characteristics of one tier, in simulated-CPU cycles and
+// bytes-per-cycle (Table 1 of the paper).
+struct TierSpec {
+  Cycles read_latency = 300;        // unloaded read latency per cache line
+  Cycles write_latency = 300;       // unloaded write latency per cache line
+  double read_bw_single = 0.01;     // single-thread read bandwidth, bytes/cycle
+  double read_bw_peak = 0.02;       // peak read bandwidth, bytes/cycle
+  double write_bw_single = 0.01;    // single-thread write bandwidth, bytes/cycle
+  double write_bw_peak = 0.02;      // peak write bandwidth, bytes/cycle
+  uint64_t capacity_bytes = 0;      // scaled capacity managed by the allocator
+};
+
+}  // namespace nomad
+
+#endif  // SRC_MEM_TIER_H_

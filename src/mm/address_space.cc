@@ -1,0 +1,15 @@
+#include "src/mm/address_space.h"
+
+namespace nomad {
+
+void AddressSpace::NoteCpu(ActorId cpu) {
+  if (cpu >= cpu_seen_.size()) {
+    cpu_seen_.resize(cpu + 1, false);
+  }
+  if (!cpu_seen_[cpu]) {
+    cpu_seen_[cpu] = true;
+    cpus_.push_back(cpu);
+  }
+}
+
+}  // namespace nomad

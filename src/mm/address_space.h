@@ -1,0 +1,44 @@
+// A process address space: page table plus the mm_cpumask equivalent.
+//
+// The simulator gives each experiment one (occasionally two) address
+// spaces. The cpumask records which simulated CPUs ever loaded translations
+// from this space, which is the set a TLB shootdown must IPI - exactly the
+// cost NOMAD's two-shootdown transaction pays (sec. 3.3).
+#ifndef SRC_MM_ADDRESS_SPACE_H_
+#define SRC_MM_ADDRESS_SPACE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/mm/page_table.h"
+#include "src/sim/engine.h"
+
+namespace nomad {
+
+class AddressSpace {
+ public:
+  // num_pages bounds the valid VPN range [0, num_pages).
+  explicit AddressSpace(uint64_t num_pages) : num_pages_(num_pages) {}
+  AddressSpace(const AddressSpace&) = delete;
+  AddressSpace& operator=(const AddressSpace&) = delete;
+
+  PageTable& table() { return table_; }
+  const PageTable& table() const { return table_; }
+  uint64_t num_pages() const { return num_pages_; }
+
+  // Records that `cpu` holds (or held) translations of this space.
+  void NoteCpu(ActorId cpu);
+
+  // CPUs a shootdown must target.
+  const std::vector<ActorId>& cpus() const { return cpus_; }
+
+ private:
+  PageTable table_;
+  uint64_t num_pages_;
+  std::vector<ActorId> cpus_;
+  std::vector<bool> cpu_seen_;
+};
+
+}  // namespace nomad
+
+#endif  // SRC_MM_ADDRESS_SPACE_H_

@@ -1,0 +1,51 @@
+#include "src/mm/cache.h"
+
+#include <algorithm>
+
+namespace nomad {
+
+LastLevelCache::LastLevelCache(uint64_t capacity_bytes) {
+  uint64_t lines = capacity_bytes / kCacheLineSize;
+  num_sets_ = std::max<uint64_t>(1, lines / kWays);
+  entries_.resize(num_sets_ * kWays);
+}
+
+bool LastLevelCache::Access(uint64_t paddr) {
+  const uint64_t line = paddr / kCacheLineSize;
+  const size_t base = SetOf(line);
+  tick_++;
+  size_t victim = base;
+  for (size_t w = 0; w < kWays; w++) {
+    Entry& e = entries_[base + w];
+    if (e.tag == line) {
+      e.last_use = tick_;
+      hits_++;
+      return true;
+    }
+    if (e.tag == kInvalidTag) {
+      victim = base + w;
+    } else if (entries_[victim].tag != kInvalidTag && e.last_use < entries_[victim].last_use) {
+      victim = base + w;
+    }
+  }
+  misses_++;
+  Entry& e = entries_[victim];
+  e.tag = line;
+  e.last_use = tick_;
+  return false;
+}
+
+void LastLevelCache::InvalidatePage(Pfn pfn) {
+  const uint64_t first_line = pfn * (kPageSize / kCacheLineSize);
+  for (uint64_t i = 0; i < kPageSize / kCacheLineSize; i++) {
+    const uint64_t line = first_line + i;
+    const size_t base = SetOf(line);
+    for (size_t w = 0; w < kWays; w++) {
+      if (entries_[base + w].tag == line) {
+        entries_[base + w].tag = kInvalidTag;
+      }
+    }
+  }
+}
+
+}  // namespace nomad

@@ -1,0 +1,59 @@
+// Last-level cache model.
+//
+// A physically indexed, set-associative LLC. It exists for two reasons:
+//  1. latency: hot lines are served at LLC-hit cost instead of device cost,
+//  2. PEBS visibility (Fig. 10): accesses that hit in the LLC produce no
+//     LLC-miss samples, so a sampling-based tracker (Memtis) never sees the
+//     hottest pages - the core limitation sec. 4.1 demonstrates with the
+//     pointer-chasing benchmark.
+//
+// Tags are physical line addresses, so a migrated page's lines become stale;
+// migration code calls InvalidatePage() on the old frame.
+#ifndef SRC_MM_CACHE_H_
+#define SRC_MM_CACHE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/mem/platform.h"
+#include "src/mm/page.h"
+
+namespace nomad {
+
+class LastLevelCache {
+ public:
+  // capacity_bytes is rounded down to a whole number of 16-way sets.
+  explicit LastLevelCache(uint64_t capacity_bytes);
+
+  // Looks up the line containing physical byte address `paddr`; inserts it
+  // on miss. Returns true on hit.
+  bool Access(uint64_t paddr);
+
+  // Drops every line belonging to the frame (used on migration/free).
+  void InvalidatePage(Pfn pfn);
+
+  uint64_t hits() const { return hits_; }
+  uint64_t misses() const { return misses_; }
+  uint64_t capacity_lines() const { return entries_.size(); }
+
+ private:
+  static constexpr uint64_t kWays = 16;
+  static constexpr uint64_t kInvalidTag = ~uint64_t{0};
+
+  struct Entry {
+    uint64_t tag = kInvalidTag;  // line address (paddr / 64)
+    uint64_t last_use = 0;
+  };
+
+  size_t SetOf(uint64_t line) const { return static_cast<size_t>((line % num_sets_) * kWays); }
+
+  std::vector<Entry> entries_;
+  uint64_t num_sets_ = 1;
+  uint64_t tick_ = 0;
+  uint64_t hits_ = 0;
+  uint64_t misses_ = 0;
+};
+
+}  // namespace nomad
+
+#endif  // SRC_MM_CACHE_H_

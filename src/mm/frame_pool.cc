@@ -1,0 +1,76 @@
+#include "src/mm/frame_pool.h"
+
+#include <cassert>
+
+namespace nomad {
+
+FramePool::FramePool(const PlatformSpec& platform) {
+  n_fast_ = platform.tiers[0].capacity_bytes / kPageSize;
+  const uint64_t n_slow = platform.tiers[1].capacity_bytes / kPageSize;
+  frames_.resize(n_fast_ + n_slow);
+  free_[0].reserve(n_fast_);
+  free_[1].reserve(n_slow);
+  // Push in reverse so that allocation order is ascending PFN, which makes
+  // tests and placement deterministic and easy to reason about.
+  for (Pfn p = n_fast_; p-- > 0;) {
+    frames_[p].tier = Tier::kFast;
+    free_[0].push_back(p);
+  }
+  for (Pfn p = n_fast_ + n_slow; p-- > n_fast_;) {
+    frames_[p].tier = Tier::kSlow;
+    free_[1].push_back(p);
+  }
+  // Linux-like defaults: low watermark at ~1/128 of the node, high at 3x low.
+  for (int t = 0; t < kNumTiers; t++) {
+    uint64_t total = t == 0 ? n_fast_ : n_slow;
+    low_wm_[t] = total / 128;
+    high_wm_[t] = low_wm_[t] * 3;
+  }
+}
+
+void FramePool::SetWatermarks(Tier tier, uint64_t low, uint64_t high) {
+  low_wm_[TierIndex(tier)] = low;
+  high_wm_[TierIndex(tier)] = high;
+}
+
+Pfn FramePool::AllocOn(Tier tier) {
+  auto& list = free_[TierIndex(tier)];
+  if (list.empty()) {
+    if (alloc_failure_hook_ && alloc_failure_hook_(tier) && !list.empty()) {
+      // The hook reclaimed something; fall through to allocate it.
+    } else {
+      return kInvalidPfn;
+    }
+  }
+  Pfn pfn = list.back();
+  list.pop_back();
+  PageFrame& f = frames_[pfn];
+  assert(!f.in_use);
+  f.in_use = true;
+  return pfn;
+}
+
+Pfn FramePool::Alloc(Tier preferred) {
+  Pfn pfn = AllocOn(preferred);
+  if (pfn != kInvalidPfn) {
+    return pfn;
+  }
+  spill_count_++;
+  pfn = AllocOn(OtherTier(preferred));
+  if (pfn == kInvalidPfn) {
+    oom_count_++;
+  }
+  return pfn;
+}
+
+void FramePool::Free(Pfn pfn) {
+  PageFrame& f = frames_[pfn];
+  assert(f.in_use);
+  assert(f.lru == LruList::kNone);  // caller must delist first
+  f.in_use = false;
+  f.generation++;
+  f.ResetState();
+  free_[TierIndex(f.tier)].push_back(pfn);
+}
+
+}  // namespace nomad

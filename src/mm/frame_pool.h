@@ -1,0 +1,85 @@
+// Physical frame allocator with per-node watermarks.
+//
+// Mirrors the slice of the buddy allocator the paper's mechanisms interact
+// with: per-NUMA-node free lists, low/high watermarks that wake kswapd, and
+// an allocation-failure path that NOMAD hooks to reclaim shadow pages
+// (sec. 3.2, "Reclaiming shadow pages"). Frames are single 4 KB pages; the
+// paper does not exercise compound pages.
+#ifndef SRC_MM_FRAME_POOL_H_
+#define SRC_MM_FRAME_POOL_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "src/mem/platform.h"
+#include "src/mem/tier.h"
+#include "src/mm/page.h"
+
+namespace nomad {
+
+// Allocator over both tiers' frames. PFNs are global: tier 0 occupies
+// [0, n_fast), tier 1 occupies [n_fast, n_fast + n_slow).
+class FramePool {
+ public:
+  // Called when an allocation on a node finds no free frame; gives policies
+  // (NOMAD) a chance to free shadow pages. Returns true if it freed >= 1
+  // frame on the node.
+  using AllocFailureHook = std::function<bool(Tier)>;
+
+  explicit FramePool(const PlatformSpec& platform);
+
+  // Allocates a frame on the exact node, or kInvalidPfn.
+  Pfn AllocOn(Tier tier);
+
+  // Standard placement policy (sec. 3, "NOMAD does not impact the initial
+  // memory allocation"): try fast first, fall back to slow. Returns
+  // kInvalidPfn only when both nodes are exhausted even after the failure
+  // hook ran (an OOM condition, which the caller counts).
+  Pfn Alloc(Tier preferred = Tier::kFast);
+
+  void Free(Pfn pfn);
+
+  PageFrame& frame(Pfn pfn) { return frames_[pfn]; }
+  const PageFrame& frame(Pfn pfn) const { return frames_[pfn]; }
+
+  Tier TierOf(Pfn pfn) const { return pfn < n_fast_ ? Tier::kFast : Tier::kSlow; }
+
+  uint64_t FreeFrames(Tier tier) const { return free_[TierIndex(tier)].size(); }
+  uint64_t TotalFrames(Tier tier) const {
+    return tier == Tier::kFast ? n_fast_ : frames_.size() - n_fast_;
+  }
+  uint64_t UsedFrames(Tier tier) const { return TotalFrames(tier) - FreeFrames(tier); }
+
+  // Watermarks, in frames. kswapd reclaims when free < low until free >= high.
+  uint64_t LowWatermark(Tier tier) const { return low_wm_[TierIndex(tier)]; }
+  uint64_t HighWatermark(Tier tier) const { return high_wm_[TierIndex(tier)]; }
+  void SetWatermarks(Tier tier, uint64_t low, uint64_t high);
+  bool BelowLowWatermark(Tier tier) const {
+    return FreeFrames(tier) < LowWatermark(tier);
+  }
+  bool BelowHighWatermark(Tier tier) const {
+    return FreeFrames(tier) < HighWatermark(tier);
+  }
+
+  void set_alloc_failure_hook(AllocFailureHook hook) { alloc_failure_hook_ = std::move(hook); }
+
+  // Number of allocations that found the preferred node empty and spilled.
+  uint64_t spill_count() const { return spill_count_; }
+  // Number of allocations that failed outright (OOM).
+  uint64_t oom_count() const { return oom_count_; }
+
+ private:
+  std::vector<PageFrame> frames_;
+  std::vector<Pfn> free_[kNumTiers];  // LIFO free lists
+  uint64_t n_fast_ = 0;
+  uint64_t low_wm_[kNumTiers] = {0, 0};
+  uint64_t high_wm_[kNumTiers] = {0, 0};
+  AllocFailureHook alloc_failure_hook_;
+  uint64_t spill_count_ = 0;
+  uint64_t oom_count_ = 0;
+};
+
+}  // namespace nomad
+
+#endif  // SRC_MM_FRAME_POOL_H_

@@ -1,0 +1,127 @@
+#include "src/mm/lru.h"
+
+#include <cassert>
+
+namespace nomad {
+
+void LruLists::PushHead(List* list, LruList which, Pfn pfn) {
+  PageFrame& f = pool_->frame(pfn);
+  assert(f.lru == LruList::kNone);
+  f.lru = which;
+  f.lru_prev = kInvalidPfn;
+  f.lru_next = list->head;
+  if (list->head != kInvalidPfn) {
+    pool_->frame(list->head).lru_prev = pfn;
+  }
+  list->head = pfn;
+  if (list->tail == kInvalidPfn) {
+    list->tail = pfn;
+  }
+  list->size++;
+}
+
+void LruLists::Unlink(List* list, Pfn pfn) {
+  PageFrame& f = pool_->frame(pfn);
+  if (f.lru_prev != kInvalidPfn) {
+    pool_->frame(f.lru_prev).lru_next = f.lru_next;
+  } else {
+    list->head = f.lru_next;
+  }
+  if (f.lru_next != kInvalidPfn) {
+    pool_->frame(f.lru_next).lru_prev = f.lru_prev;
+  } else {
+    list->tail = f.lru_prev;
+  }
+  f.lru = LruList::kNone;
+  f.lru_prev = kInvalidPfn;
+  f.lru_next = kInvalidPfn;
+  assert(list->size > 0);
+  list->size--;
+}
+
+void LruLists::AddInactive(Pfn pfn) {
+  PageFrame& f = pool_->frame(pfn);
+  f.active = false;
+  PushHead(&ListFor(LruList::kInactive), LruList::kInactive, pfn);
+}
+
+void LruLists::AddActive(Pfn pfn) {
+  PageFrame& f = pool_->frame(pfn);
+  f.active = true;
+  PushHead(&ListFor(LruList::kActive), LruList::kActive, pfn);
+}
+
+void LruLists::MarkAccessed(Pfn pfn) {
+  PageFrame& f = pool_->frame(pfn);
+  if (f.lru == LruList::kNone) {
+    return;  // isolated (migrating or being freed); nothing to record
+  }
+  if (f.lru == LruList::kActive) {
+    f.referenced = true;
+    return;
+  }
+  // Inactive list.
+  if (!f.referenced) {
+    f.referenced = true;
+    return;
+  }
+  // Second touch: request activation through the pagevec. Duplicate
+  // requests consume slots, as in Linux's per-CPU pagevecs.
+  pagevec_.push_back(pfn);
+  if (pagevec_.size() >= kPagevecSize) {
+    DrainPagevec();
+  }
+}
+
+size_t LruLists::DrainPagevec() {
+  size_t activated = 0;
+  for (Pfn pfn : pagevec_) {
+    PageFrame& f = pool_->frame(pfn);
+    if (f.lru != LruList::kInactive) {
+      continue;  // duplicate request, already activated, or isolated
+    }
+    Unlink(&ListFor(LruList::kInactive), pfn);
+    f.active = true;
+    f.referenced = false;
+    PushHead(&ListFor(LruList::kActive), LruList::kActive, pfn);
+    activated++;
+  }
+  pagevec_.clear();
+  return activated;
+}
+
+void LruLists::RotateInactive(Pfn pfn) {
+  PageFrame& f = pool_->frame(pfn);
+  assert(f.lru == LruList::kInactive);
+  Unlink(&ListFor(LruList::kInactive), pfn);
+  PushHead(&ListFor(LruList::kInactive), LruList::kInactive, pfn);
+  (void)f;
+}
+
+void LruLists::Deactivate(Pfn pfn) {
+  PageFrame& f = pool_->frame(pfn);
+  assert(f.lru == LruList::kActive);
+  Unlink(&ListFor(LruList::kActive), pfn);
+  f.active = false;
+  f.referenced = false;
+  PushHead(&ListFor(LruList::kInactive), LruList::kInactive, pfn);
+}
+
+void LruLists::ActivateNow(Pfn pfn) {
+  PageFrame& f = pool_->frame(pfn);
+  assert(f.lru == LruList::kInactive);
+  Unlink(&ListFor(LruList::kInactive), pfn);
+  f.active = true;
+  f.referenced = false;
+  PushHead(&ListFor(LruList::kActive), LruList::kActive, pfn);
+}
+
+void LruLists::Remove(Pfn pfn) {
+  PageFrame& f = pool_->frame(pfn);
+  if (f.lru == LruList::kNone) {
+    return;
+  }
+  Unlink(&ListFor(f.lru), pfn);
+}
+
+}  // namespace nomad

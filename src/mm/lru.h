@@ -1,0 +1,95 @@
+// Per-node active/inactive LRU lists with pagevec batching.
+//
+// Reproduces the slice of Linux page reclaim the paper leans on (sec. 2.2
+// and 3.1):
+//  - two lists per node; new pages enter the inactive list,
+//  - mark_page_accessed() protocol over PG_referenced / PG_active:
+//    first touch sets referenced, a second touch requests activation,
+//  - activation requests are *batched* in a 15-slot pagevec and only take
+//    effect when the pagevec drains. Until then the page is not on the
+//    active list - which is exactly why TPP can take up to 15 minor faults
+//    to promote one page, and what NOMAD's PCQ bypasses.
+#ifndef SRC_MM_LRU_H_
+#define SRC_MM_LRU_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "src/mm/frame_pool.h"
+#include "src/mm/page.h"
+
+namespace nomad {
+
+inline constexpr size_t kPagevecSize = 15;
+
+class LruLists {
+ public:
+  explicit LruLists(FramePool* pool) : pool_(pool) {}
+  LruLists(const LruLists&) = delete;
+  LruLists& operator=(const LruLists&) = delete;
+
+  // Places a newly allocated/mapped page at the head of the inactive list.
+  void AddInactive(Pfn pfn);
+
+  // Places a page directly on the active list (used when a promoted page
+  // arrives hot on the fast node).
+  void AddActive(Pfn pfn);
+
+  // Linux mark_page_accessed(): advances the page's temperature. Activation
+  // (inactive -> active) is *requested* through the pagevec and deferred
+  // until the pagevec fills (kPagevecSize entries) or DrainPagevec() is
+  // called explicitly. Duplicate requests for the same page are possible,
+  // as in Linux, and consume pagevec slots.
+  void MarkAccessed(Pfn pfn);
+
+  // Flushes pending activation requests. Returns pages actually activated.
+  size_t DrainPagevec();
+
+  size_t pagevec_fill() const { return pagevec_.size(); }
+
+  // Reclaim-side operations.
+  Pfn InactiveTail() const { return lists_[0].tail; }
+  Pfn ActiveTail() const { return lists_[1].tail; }
+
+  // Gives an inactive page a second chance: move to inactive head.
+  void RotateInactive(Pfn pfn);
+
+  // Moves an active-list page to the inactive list head, clearing PG_active
+  // (shrink_active_list behaviour).
+  void Deactivate(Pfn pfn);
+
+  // Moves an inactive page with both flags set to the active list now
+  // (reclaim-time promotion, bypassing the pagevec).
+  void ActivateNow(Pfn pfn);
+
+  // Detaches the page from whichever list holds it (isolation for
+  // migration or freeing). No-op when not listed.
+  void Remove(Pfn pfn);
+
+  size_t inactive_size() const { return lists_[0].size; }
+  size_t active_size() const { return lists_[1].size; }
+
+  // True when the inactive list is short relative to active (Linux's
+  // inactive_is_low heuristic), meaning reclaim should refill it.
+  bool InactiveIsLow() const { return lists_[0].size * 2 < lists_[1].size; }
+
+ private:
+  struct List {
+    Pfn head = kInvalidPfn;
+    Pfn tail = kInvalidPfn;
+    size_t size = 0;
+  };
+
+  List& ListFor(LruList which) { return lists_[which == LruList::kInactive ? 0 : 1]; }
+
+  void PushHead(List* list, LruList which, Pfn pfn);
+  void Unlink(List* list, Pfn pfn);
+
+  FramePool* pool_;
+  List lists_[2];  // [0]=inactive, [1]=active
+  std::vector<Pfn> pagevec_;
+};
+
+}  // namespace nomad
+
+#endif  // SRC_MM_LRU_H_

@@ -1,0 +1,253 @@
+#include "src/mm/memory_system.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace nomad {
+
+MemorySystem::MemorySystem(const PlatformSpec& platform, Engine* engine)
+    : platform_(platform),
+      engine_(engine),
+      pool_(platform),
+      llc_(platform.llc_bytes) {
+  for (int t = 0; t < kNumTiers; t++) {
+    lru_[t] = std::make_unique<LruLists>(&pool_);
+    devices_[t] = MemoryDevice(platform.tiers[t]);
+  }
+}
+
+void MemorySystem::RegisterCpu(ActorId id) {
+  // Real TLBs hold ~1.5K 4 KB entries against 16 GB of DRAM; scale the
+  // entry count with the platform scale so reach ratios are preserved.
+  size_t entries = std::max<uint64_t>(16, 1536 / platform_.scale.denom);
+  tlbs_.emplace(id, std::make_unique<Tlb>(entries));
+}
+
+Pfn MemorySystem::MapNewPage(AddressSpace& as, Vpn vpn, Tier preferred, bool writable) {
+  Pfn pfn = pool_.Alloc(preferred);
+  if (pfn == kInvalidPfn) {
+    counters_.Add("oom", 1);
+    return kInvalidPfn;
+  }
+  PageFrame& f = pool_.frame(pfn);
+  f.owner = &as;
+  f.vpn = vpn;
+  Pte& pte = as.table().Ensure(vpn);
+  pte = Pte{};
+  pte.pfn = pfn;
+  pte.present = true;
+  pte.writable = writable;
+  lru(f.tier).AddInactive(pfn);
+  if (kswapd_waker_ && pool_.BelowLowWatermark(f.tier)) {
+    kswapd_waker_(f.tier);
+  }
+  return pfn;
+}
+
+void MemorySystem::UnmapAndFree(AddressSpace& as, Vpn vpn) {
+  Pte* pte = as.table().Lookup(vpn);
+  if (!pte || !pte->present) {
+    return;
+  }
+  Pfn pfn = pte->pfn;
+  for (auto& [cpu, tlb] : tlbs_) {
+    tlb->Invalidate(vpn);
+  }
+  llc_.InvalidatePage(pfn);
+  lru(pool_.TierOf(pfn)).Remove(pfn);
+  pool_.Free(pfn);
+  *pte = Pte{};
+}
+
+void MemorySystem::ReserveFastFrames(uint64_t frames) {
+  for (uint64_t i = 0; i < frames; i++) {
+    Pfn pfn = pool_.AllocOn(Tier::kFast);
+    if (pfn == kInvalidPfn) {
+      break;
+    }
+    reserved_.push_back(pfn);
+  }
+}
+
+Cycles MemorySystem::TlbShootdown(AddressSpace& as, Vpn vpn) {
+  const ActorId self = engine_ ? engine_->current() : ~ActorId{0};
+  uint64_t remote_targets = 0;
+  for (ActorId cpu : as.cpus()) {
+    auto it = tlbs_.find(cpu);
+    if (it != tlbs_.end()) {
+      it->second->Invalidate(vpn);
+    }
+    if (cpu != self) {
+      remote_targets++;
+      if (engine_) {
+        engine_->Penalize(cpu, platform_.costs.ipi_remote_penalty);
+      }
+    }
+  }
+  counters_.Add("tlb.shootdown", 1);
+  counters_.Add("tlb.shootdown_ipis", remote_targets);
+  return platform_.costs.tlb_shootdown_base +
+         platform_.costs.tlb_shootdown_per_cpu * remote_targets;
+}
+
+Cycles MemorySystem::CopyPageCost(Tier from, Tier to) {
+  const Cycles now = Now();
+  Cycles r = device(from).Read(now, kPageSize);
+  Cycles w = device(to).Write(now, kPageSize);
+  // The copy loop pipelines reads and writes; the slower side dominates.
+  return std::max(r, w);
+}
+
+void MemorySystem::BeginMigrationWindow(AddressSpace& as, Vpn vpn, Cycles end) {
+  const Cycles now = Now();
+  // Prune expired windows so the map stays tiny even across millions of
+  // migrations.
+  while (window_fifo_head_ < window_fifo_.size() &&
+         window_fifo_[window_fifo_head_].first <= now) {
+    const auto& [e, key] = window_fifo_[window_fifo_head_];
+    auto it = migration_windows_.find(key);
+    if (it != migration_windows_.end() && it->second <= now) {
+      migration_windows_.erase(it);
+    }
+    window_fifo_head_++;
+  }
+  if (window_fifo_head_ > 4096 && window_fifo_head_ * 2 > window_fifo_.size()) {
+    window_fifo_.erase(window_fifo_.begin(),
+                       window_fifo_.begin() + static_cast<long>(window_fifo_head_));
+    window_fifo_head_ = 0;
+  }
+  migration_windows_[{&as, vpn}] = end;
+  window_fifo_.emplace_back(end, WindowKey{&as, vpn});
+}
+
+Cycles MemorySystem::DemandFault(ActorId /*cpu*/, AddressSpace& as, Vpn vpn) {
+  counters_.Add("fault.demand", 1);
+  MapNewPage(as, vpn, Tier::kFast, /*writable=*/true);
+  return platform_.costs.pte_update;
+}
+
+Cycles MemorySystem::Access(ActorId cpu, AddressSpace& as, Vpn vpn, uint64_t offset,
+                            bool is_write, unsigned mlp, AccessInfo* info) {
+  as.NoteCpu(cpu);
+  Tlb& tlb = *tlbs_.at(cpu);
+  const KernelCosts& costs = platform_.costs;
+  Cycles total = 0;
+  bool tlb_hit = false;
+  bool took_fault = false;
+  Pfn pfn = kInvalidPfn;
+
+  Tlb::Entry* entry = tlb.Lookup(vpn);
+  if (entry && (!is_write || entry->writable)) {
+    tlb_hit = true;
+    pfn = entry->pfn;
+    if (is_write && !entry->dirty) {
+      // Microcode A/D assist: set the PTE dirty bit on first store through
+      // a clean cached translation.
+      Pte* pte = as.table().Lookup(vpn);
+      assert(pte != nullptr);
+      pte->dirty = true;
+      pte->accessed = true;
+      entry->dirty = true;
+      total += costs.pte_update;
+    }
+  } else {
+    // TLB miss (or a store through a read-only cached entry): walk.
+    total += costs.page_walk;
+    // A migration in flight on this page blocks the walk until it ends;
+    // the unmap's shootdown guarantees concurrent users take this path.
+    if (!migration_windows_.empty()) {
+      auto it = migration_windows_.find({&as, vpn});
+      if (it != migration_windows_.end()) {
+        const Cycles now = Now() + total;
+        if (it->second > now) {
+          total += it->second - now;
+          total += costs.page_fault;  // discovered via a fault on the locked page
+          counters_.Add("fault.migration_block", 1);
+          took_fault = true;
+        }
+        migration_windows_.erase(it);
+      }
+    }
+    Pte* pte = as.table().Lookup(vpn);
+    int guard = 0;
+    while (true) {
+      if (guard++ > 6) {
+        // A fault handler failed to make progress; force-map to keep the
+        // simulation alive and count the anomaly.
+        counters_.Add("fault.unresolved", 1);
+        if (!pte || !pte->present) {
+          DemandFault(cpu, as, vpn);
+          pte = as.table().Lookup(vpn);
+        }
+        pte->prot_none = false;
+        pte->writable = true;
+        break;
+      }
+      if (!pte || !pte->present) {
+        took_fault = true;
+        total += costs.page_fault;
+        total += DemandFault(cpu, as, vpn);
+        pte = as.table().Lookup(vpn);
+        continue;
+      }
+      if (pte->prot_none) {
+        took_fault = true;
+        total += costs.page_fault;
+        counters_.Add("fault.hint", 1);
+        if (hint_fault_) {
+          total += hint_fault_(cpu, as, vpn);
+        } else {
+          pte->prot_none = false;
+        }
+        pte = as.table().Lookup(vpn);
+        continue;
+      }
+      if (is_write && !pte->writable) {
+        took_fault = true;
+        total += costs.page_fault;
+        counters_.Add("fault.write_protect", 1);
+        if (write_fault_) {
+          total += write_fault_(cpu, as, vpn);
+        } else {
+          pte->writable = true;
+        }
+        continue;
+      }
+      break;
+    }
+    pte->accessed = true;
+    if (is_write) {
+      pte->dirty = true;
+    }
+    pfn = pte->pfn;
+    entry = &tlb.Fill(vpn, pfn, pte->writable, pte->dirty);
+  }
+
+  // Physical access: LLC, then the tier device on a miss.
+  const Tier tier = pool_.TierOf(pfn);
+  const uint64_t paddr = pfn * kPageSize + (offset % kPageSize);
+  const bool llc_hit = llc_.Access(paddr);
+  if (llc_hit) {
+    total += costs.llc_hit;
+  } else {
+    const Cycles now = Now() + total;
+    Cycles dev = is_write ? device(tier).Write(now, kCacheLineSize)
+                          : device(tier).Read(now, kCacheLineSize);
+    total += std::max<Cycles>(1, dev / std::max(1u, mlp));
+  }
+  user_bytes_ += kCacheLineSize;
+
+  for (const AccessObserver& obs : observers_) {
+    obs(cpu, as, vpn, offset % kPageSize, is_write, !llc_hit, !tlb_hit, tier);
+  }
+  if (info) {
+    info->latency = total;
+    info->tier = tier;
+    info->llc_hit = llc_hit;
+    info->tlb_hit = tlb_hit;
+    info->took_fault = took_fault;
+  }
+  return total;
+}
+
+}  // namespace nomad

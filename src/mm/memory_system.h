@@ -1,0 +1,162 @@
+// MemorySystem: the simulated machine's MMU + kernel MM glue.
+//
+// This facade wires frames, page tables, TLBs, the LLC and the tier devices
+// together and exposes:
+//  - Access(): execute one user load/store, walking TLB -> PTE -> LLC ->
+//    device, taking faults through policy-installed handlers, maintaining
+//    hardware A/D bits, and returning the access's simulated latency,
+//  - kernel primitives used by migration code: TLB shootdowns, page-copy
+//    cost charging, map/unmap helpers, migration-window blocking,
+//  - hooks: hint-fault handler (TPP promotion / NOMAD PCQ entry),
+//    write-protect fault handler (NOMAD shadow fault), access observers
+//    (PEBS sampling), kswapd wakeups and allocation-failure reclaim.
+//
+// Tiering policies (src/policy, src/nomad) are built exclusively on this
+// interface; none of them reach around it, which keeps the comparison
+// between TPP, Memtis and NOMAD apples-to-apples.
+#ifndef SRC_MM_MEMORY_SYSTEM_H_
+#define SRC_MM_MEMORY_SYSTEM_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "src/mem/device.h"
+#include "src/mem/platform.h"
+#include "src/mm/address_space.h"
+#include "src/mm/cache.h"
+#include "src/mm/frame_pool.h"
+#include "src/mm/lru.h"
+#include "src/mm/tlb.h"
+#include "src/sim/engine.h"
+#include "src/sim/stats.h"
+
+namespace nomad {
+
+// Outcome details of one Access(), for observers and tests.
+struct AccessInfo {
+  Cycles latency = 0;
+  Tier tier = Tier::kFast;
+  bool llc_hit = false;
+  bool tlb_hit = false;
+  bool took_fault = false;
+};
+
+class MemorySystem {
+ public:
+  // Handles a hint (prot_none) fault. Must leave the PTE accessible (clear
+  // prot_none or remap) before returning; returns cycles spent on top of
+  // the fixed fault cost. This is where TPP promotes synchronously and
+  // where NOMAD feeds its PCQ.
+  using HintFaultHandler = std::function<Cycles(ActorId cpu, AddressSpace& as, Vpn vpn)>;
+
+  // Handles a store hitting a non-writable PTE. Must make the PTE writable;
+  // returns extra cycles. NOMAD's shadow page fault lives here.
+  using WriteFaultHandler = std::function<Cycles(ActorId cpu, AddressSpace& as, Vpn vpn)>;
+
+  // Observes every completed access (PEBS-style samplers subscribe).
+  // tlb_miss matters because on CXL platforms PEBS only sees slow-tier
+  // loads through dTLB-miss events.
+  using AccessObserver =
+      std::function<void(ActorId cpu, AddressSpace& as, Vpn vpn, uint64_t offset, bool is_write,
+                         bool llc_miss, bool tlb_miss, Tier tier)>;
+
+  MemorySystem(const PlatformSpec& platform, Engine* engine);
+
+  // --- component access -----------------------------------------------
+  const PlatformSpec& platform() const { return platform_; }
+  Engine* engine() { return engine_; }
+  FramePool& pool() { return pool_; }
+  LruLists& lru(Tier t) { return *lru_[TierIndex(t)]; }
+  MemoryDevice& device(Tier t) { return devices_[TierIndex(t)]; }
+  LastLevelCache& llc() { return llc_; }
+  CounterSet& counters() { return counters_; }
+  Cycles Now() const { return engine_ ? engine_->now() : 0; }
+
+  // Creates the TLB for a simulated CPU; id is the engine ActorId.
+  void RegisterCpu(ActorId id);
+  Tlb& tlb(ActorId id) { return *tlbs_.at(id); }
+
+  // --- setup-time mapping (no cycle charging) ---------------------------
+  // Allocates a frame (preferred tier, standard fallback) and maps vpn to
+  // it; the new page enters its node's inactive LRU list. Returns the PFN,
+  // or kInvalidPfn on OOM.
+  Pfn MapNewPage(AddressSpace& as, Vpn vpn, Tier preferred = Tier::kFast, bool writable = true);
+
+  // Unmaps and frees the frame backing vpn (teardown / explicit demote
+  // tooling). No-op when unmapped.
+  void UnmapAndFree(AddressSpace& as, Vpn vpn);
+
+  // Grabs frames off the fast node to emulate pre-existing consumers (the
+  // 10 GB pre-fill in Fig. 1's setup, the ~3-4 GB the OS occupies).
+  void ReserveFastFrames(uint64_t frames);
+
+  // --- the data path ----------------------------------------------------
+  // One user access to byte `offset` of page `vpn`. `mlp` approximates
+  // memory-level parallelism: the device-latency component is divided by
+  // it (pointer chasing passes 1, streaming workloads more).
+  Cycles Access(ActorId cpu, AddressSpace& as, Vpn vpn, uint64_t offset, bool is_write,
+                unsigned mlp = 4, AccessInfo* info = nullptr);
+
+  // --- kernel primitives (used by migrate.cc, nomad/tpm.cc, kswapd) -----
+  // Direct PTE access (the "kernel" manipulates entries it owns).
+  Pte* PteOf(AddressSpace& as, Vpn vpn) { return as.table().Lookup(vpn); }
+
+  // Invalidates vpn on every CPU in as's cpumask and charges the initiator;
+  // remote CPUs get an IPI service penalty via the engine. Returns the
+  // initiator-side cost.
+  Cycles TlbShootdown(AddressSpace& as, Vpn vpn);
+
+  // Charges a 4 KB page copy from `from` to `to` against both devices and
+  // returns its duration.
+  Cycles CopyPageCost(Tier from, Tier to);
+
+  // Marks a migration window on (as,vpn) ending at `end`. State changes in
+  // the simulator are atomic within an actor step, so a concurrent accessor
+  // cannot observe the page half-migrated; instead, its TLB-miss walk finds
+  // the window and blocks until `end`. This is what puts TPP's synchronous
+  // migration on the critical path of *every* thread touching the page.
+  void BeginMigrationWindow(AddressSpace& as, Vpn vpn, Cycles end);
+
+  // --- hooks -------------------------------------------------------------
+  void set_hint_fault_handler(HintFaultHandler h) { hint_fault_ = std::move(h); }
+  void set_write_fault_handler(WriteFaultHandler h) { write_fault_ = std::move(h); }
+  void add_access_observer(AccessObserver o) { observers_.push_back(std::move(o)); }
+  void set_kswapd_waker(std::function<void(Tier)> w) { kswapd_waker_ = std::move(w); }
+
+  // Counts of useful user bytes moved, for bandwidth accounting.
+  uint64_t user_bytes() const { return user_bytes_; }
+
+ private:
+  // Demand-zero fault: first touch of an unmapped page.
+  Cycles DemandFault(ActorId cpu, AddressSpace& as, Vpn vpn);
+
+  PlatformSpec platform_;
+  Engine* engine_;
+  FramePool pool_;
+  std::unique_ptr<LruLists> lru_[kNumTiers];
+  MemoryDevice devices_[kNumTiers];
+  LastLevelCache llc_;
+  std::map<ActorId, std::unique_ptr<Tlb>> tlbs_;
+  CounterSet counters_;
+
+  HintFaultHandler hint_fault_;
+  WriteFaultHandler write_fault_;
+  std::vector<AccessObserver> observers_;
+  std::function<void(Tier)> kswapd_waker_;
+
+  // (as pointer, vpn) -> window end time, plus a FIFO for expiry pruning.
+  using WindowKey = std::pair<const AddressSpace*, Vpn>;
+  std::map<WindowKey, Cycles> migration_windows_;
+  std::vector<std::pair<Cycles, WindowKey>> window_fifo_;
+  size_t window_fifo_head_ = 0;
+
+  std::vector<Pfn> reserved_;
+  uint64_t user_bytes_ = 0;
+};
+
+}  // namespace nomad
+
+#endif  // SRC_MM_MEMORY_SYSTEM_H_

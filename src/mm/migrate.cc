@@ -1,0 +1,97 @@
+#include "src/mm/migrate.h"
+
+namespace nomad {
+
+MigrateResult MigratePageSync(MemorySystem& ms, AddressSpace& as, Vpn vpn, Tier dst) {
+  MigrateResult r;
+  const KernelCosts& costs = ms.platform().costs;
+  Pte* pte = ms.PteOf(as, vpn);
+  if (!pte || !pte->present) {
+    return r;
+  }
+  const Pfn old_pfn = pte->pfn;
+  PageFrame& old_frame = ms.pool().frame(old_pfn);
+  if (old_frame.tier == dst) {
+    return r;  // already there
+  }
+
+  r.cycles += costs.migrate_fixed;
+
+  // Allocate the destination frame first; bail before touching the mapping
+  // if the node is full (the common failure under memory pressure).
+  const Pfn new_pfn = ms.pool().AllocOn(dst);
+  if (new_pfn == kInvalidPfn) {
+    ms.counters().Add("migrate.sync_fail_nomem", 1);
+    return r;
+  }
+
+  // Isolate from the LRU, unmap, and shoot down stale translations.
+  ms.lru(old_frame.tier).Remove(old_pfn);
+  const bool was_writable = pte->writable || pte->shadow_rw;
+  const bool was_dirty = pte->dirty;
+  const bool was_prot_none = pte->prot_none;
+  pte->present = false;
+  r.cycles += costs.pte_update;
+  r.cycles += ms.TlbShootdown(as, vpn);
+
+  // Copy the page; the page is unreachable for this whole window.
+  r.cycles += ms.CopyPageCost(old_frame.tier, dst);
+
+  // Remap to the new frame, preserving permissions and dirty state.
+  PageFrame& new_frame = ms.pool().frame(new_pfn);
+  new_frame.owner = &as;
+  new_frame.vpn = vpn;
+  new_frame.referenced = old_frame.referenced;
+  new_frame.active = old_frame.active;
+  new_frame.extra_mappers = old_frame.extra_mappers;
+  new_frame.promoted = dst == Tier::kFast;
+  pte->pfn = new_pfn;
+  pte->present = true;
+  pte->writable = was_writable;
+  pte->shadow_rw = false;
+  pte->dirty = was_dirty;
+  pte->prot_none = false;
+  pte->accessed = false;
+  r.cycles += costs.pte_update;
+  (void)was_prot_none;
+
+  if (new_frame.active) {
+    ms.lru(dst).AddActive(new_pfn);
+  } else {
+    ms.lru(dst).AddInactive(new_pfn);
+  }
+
+  // The old frame's cache lines are stale physical addresses now.
+  ms.llc().InvalidatePage(old_pfn);
+  ms.pool().Free(old_pfn);
+
+  // Concurrent accessors stall until the copy completes.
+  ms.BeginMigrationWindow(as, vpn, ms.Now() + r.cycles);
+
+  ms.counters().Add(dst == Tier::kFast ? "migrate.sync_promote" : "migrate.sync_demote", 1);
+  r.success = true;
+  return r;
+}
+
+MigrateResult MigratePageWithRetry(MemorySystem& ms, AddressSpace& as, Vpn vpn, Tier dst,
+                                   int max_attempts) {
+  MigrateResult total;
+  for (int attempt = 0; attempt < max_attempts; attempt++) {
+    MigrateResult r = MigratePageSync(ms, as, vpn, dst);
+    total.cycles += r.cycles;
+    if (r.success) {
+      total.success = true;
+      return total;
+    }
+    Pte* pte = ms.PteOf(as, vpn);
+    if (!pte || !pte->present) {
+      break;  // page vanished; retrying cannot help
+    }
+    if (attempt + 1 < max_attempts) {
+      ms.counters().Add("migrate.sync_retry", 1);
+    }
+  }
+  return total;
+}
+
+}  // namespace nomad

@@ -1,0 +1,36 @@
+// Linux-style synchronous page migration.
+//
+// The 3-step unmap-copy-remap procedure of sec. 2.2: lock & unmap the PTE,
+// shoot down TLBs, copy the page across tiers, remap. The page is
+// inaccessible for the whole copy, which is what NOMAD's transactional
+// migration avoids. TPP's promotion, kswapd's demotion and NOMAD's
+// multi-mapped fallback all call this.
+#ifndef SRC_MM_MIGRATE_H_
+#define SRC_MM_MIGRATE_H_
+
+#include "src/mm/memory_system.h"
+
+namespace nomad {
+
+struct MigrateResult {
+  bool success = false;
+  Cycles cycles = 0;  // charged to the calling actor
+};
+
+// Synchronously migrates the page at (as, vpn) to tier `dst`. Fails when
+// the destination node has no free frame or the page is unmapped. On
+// success the old frame is freed (exclusive tiering) and the page keeps its
+// LRU temperature on the destination node. A migration window covering the
+// copy is registered so concurrent accessors stall.
+MigrateResult MigratePageSync(MemorySystem& ms, AddressSpace& as, Vpn vpn, Tier dst);
+
+// migrate_pages()-like wrapper: retries a failing migration up to
+// `max_attempts` (Linux uses 10), accumulating the wasted cycles. TPP's
+// promotion path uses this, which is one reason failed promotions are so
+// expensive on the critical path.
+MigrateResult MigratePageWithRetry(MemorySystem& ms, AddressSpace& as, Vpn vpn, Tier dst,
+                                   int max_attempts = 10);
+
+}  // namespace nomad
+
+#endif  // SRC_MM_MIGRATE_H_

@@ -1,0 +1,92 @@
+// Page frame metadata: the simulator's `struct page`.
+//
+// Frames carry no 4 KB payload - only the state the paper's mechanisms
+// read and write: LRU membership and temperature flags (PG_referenced /
+// PG_active), the shadow flag NOMAD adds (sec. 3.2), reverse-map info for
+// unmapping during migration, and intrusive LRU links.
+#ifndef SRC_MM_PAGE_H_
+#define SRC_MM_PAGE_H_
+
+#include <cstdint>
+
+#include "src/mem/tier.h"
+
+namespace nomad {
+
+// Physical frame number, global across both tiers.
+using Pfn = uint64_t;
+inline constexpr Pfn kInvalidPfn = ~Pfn{0};
+
+// Virtual page number within an address space.
+using Vpn = uint64_t;
+inline constexpr Vpn kInvalidVpn = ~Vpn{0};
+
+class AddressSpace;
+
+// Which LRU list a frame currently sits on.
+enum class LruList : uint8_t { kNone = 0, kInactive = 1, kActive = 2 };
+
+// Per-frame metadata (struct page equivalent).
+struct PageFrame {
+  // --- identity / allocation ---
+  Tier tier = Tier::kFast;
+  bool in_use = false;
+  // Bumped on every free; queues that park PFNs (PCQ, pending queue,
+  // shadow-reclaim FIFO) snapshot it to detect stale entries after reuse.
+  uint32_t generation = 0;
+
+  // --- reverse map: who maps this frame ---
+  // The simulator supports one mapping per frame (NOMAD falls back to
+  // synchronous migration for multi-mapped pages, sec. 3.3; we model the
+  // multi-mapped case by flagging frames, see `extra_mappers`).
+  AddressSpace* owner = nullptr;
+  Vpn vpn = kInvalidVpn;
+  // Simulated additional mappings (from other page tables). When nonzero,
+  // the page counts as multi-mapped.
+  uint32_t extra_mappers = 0;
+
+  // --- temperature flags (Linux PG_referenced / PG_active) ---
+  bool referenced = false;
+  bool active = false;
+
+  // --- NOMAD state ---
+  bool promoted = false;     // landed on the fast tier by promotion (sticky
+                             // until freed; feeds the thrash governor)
+  bool shadowed = false;     // a shadow copy exists on the slow tier
+  bool is_shadow = false;    // this frame *is* a shadow copy (unmapped)
+  bool in_pcq = false;       // sits in the promotion candidate queue
+  bool pcq_primed = false;   // PCQ entry examined once; next A-bit hit = hot
+  bool in_pending = false;   // sits in the migration pending queue
+  bool migrating = false;    // a TPM transaction is in flight on this frame
+
+  // --- LRU bookkeeping ---
+  LruList lru = LruList::kNone;
+  Pfn lru_prev = kInvalidPfn;  // intrusive links, kInvalidPfn = list end
+  Pfn lru_next = kInvalidPfn;
+
+  bool mapped() const { return owner != nullptr; }
+  bool multi_mapped() const { return extra_mappers > 0; }
+
+  // Resets everything except identity, for frame free/realloc.
+  void ResetState() {
+    owner = nullptr;
+    vpn = kInvalidVpn;
+    extra_mappers = 0;
+    referenced = false;
+    active = false;
+    promoted = false;
+    shadowed = false;
+    is_shadow = false;
+    in_pcq = false;
+    pcq_primed = false;
+    in_pending = false;
+    migrating = false;
+    lru = LruList::kNone;
+    lru_prev = kInvalidPfn;
+    lru_next = kInvalidPfn;
+  }
+};
+
+}  // namespace nomad
+
+#endif  // SRC_MM_PAGE_H_

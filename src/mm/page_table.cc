@@ -1,0 +1,33 @@
+#include "src/mm/page_table.h"
+
+namespace nomad {
+
+Pte* PageTable::Lookup(Vpn vpn) {
+  const size_t dir_idx = static_cast<size_t>(vpn / kEntriesPerLeaf);
+  if (dir_idx >= dir_.size() || !dir_[dir_idx]) {
+    return nullptr;
+  }
+  return &dir_[dir_idx]->entries[vpn % kEntriesPerLeaf];
+}
+
+const Pte* PageTable::Lookup(Vpn vpn) const {
+  const size_t dir_idx = static_cast<size_t>(vpn / kEntriesPerLeaf);
+  if (dir_idx >= dir_.size() || !dir_[dir_idx]) {
+    return nullptr;
+  }
+  return &dir_[dir_idx]->entries[vpn % kEntriesPerLeaf];
+}
+
+Pte& PageTable::Ensure(Vpn vpn) {
+  const size_t dir_idx = static_cast<size_t>(vpn / kEntriesPerLeaf);
+  if (dir_idx >= dir_.size()) {
+    dir_.resize(dir_idx + 1);
+  }
+  if (!dir_[dir_idx]) {
+    dir_[dir_idx] = std::make_unique<Leaf>();
+    num_leaves_++;
+  }
+  return dir_[dir_idx]->entries[vpn % kEntriesPerLeaf];
+}
+
+}  // namespace nomad

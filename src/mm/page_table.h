@@ -1,0 +1,46 @@
+// Two-level page table.
+//
+// A directory of 512-entry leaf tables (2 MB reach each), allocated lazily.
+// This keeps memory proportional to the mapped range while giving the same
+// semantics as the 4-level x86 table the kernel walks; the constant walk
+// cost lives in KernelCosts::page_walk.
+#ifndef SRC_MM_PAGE_TABLE_H_
+#define SRC_MM_PAGE_TABLE_H_
+
+#include <memory>
+#include <vector>
+
+#include "src/mm/pte.h"
+
+namespace nomad {
+
+class PageTable {
+ public:
+  static constexpr uint64_t kEntriesPerLeaf = 512;
+
+  PageTable() = default;
+  PageTable(const PageTable&) = delete;
+  PageTable& operator=(const PageTable&) = delete;
+
+  // Returns the PTE for vpn, or nullptr when no leaf table exists yet.
+  Pte* Lookup(Vpn vpn);
+  const Pte* Lookup(Vpn vpn) const;
+
+  // Returns the PTE for vpn, materializing the leaf table if needed.
+  Pte& Ensure(Vpn vpn);
+
+  // Number of materialized leaf tables (for footprint accounting).
+  size_t NumLeaves() const { return num_leaves_; }
+
+ private:
+  struct Leaf {
+    Pte entries[kEntriesPerLeaf];
+  };
+
+  std::vector<std::unique_ptr<Leaf>> dir_;
+  size_t num_leaves_ = 0;
+};
+
+}  // namespace nomad
+
+#endif  // SRC_MM_PAGE_TABLE_H_

@@ -1,0 +1,33 @@
+// Page table entry layout.
+//
+// Models exactly the bits the paper's mechanisms manipulate:
+//  - present / writable: ordinary permission bits,
+//  - accessed / dirty: hardware-maintained A/D bits. TPM's transaction
+//    validity test is "was the dirty bit set during the copy" (Fig. 3),
+//  - prot_none: the NUMA-hint protection TPP arms on slow-tier pages so the
+//    next touch traps (sec. 2.2),
+//  - shadow_rw: the unused software bit NOMAD repurposes to remember the
+//    original write permission of a read-only-protected master page
+//    (Fig. 5, "shadow r/w").
+#ifndef SRC_MM_PTE_H_
+#define SRC_MM_PTE_H_
+
+#include "src/mm/page.h"
+
+namespace nomad {
+
+struct Pte {
+  Pfn pfn = kInvalidPfn;
+  bool present = false;
+  bool writable = false;
+  bool accessed = false;  // set by "hardware" on access
+  bool dirty = false;     // set by "hardware" on write
+  bool prot_none = false; // hint-fault arming: any access traps
+  bool shadow_rw = false; // NOMAD: saved write permission of a master page
+
+  bool MappedAndReachable() const { return present && !prot_none; }
+};
+
+}  // namespace nomad
+
+#endif  // SRC_MM_PTE_H_

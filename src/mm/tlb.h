@@ -1,0 +1,67 @@
+// Per-CPU TLB model.
+//
+// TPM's transaction (Fig. 3) depends on precise TLB semantics: after the
+// dirty bit is cleared, stale TLB entries marked dirty+writable would let
+// stores bypass the PTE dirty-bit update, so TPM issues a shootdown "to
+// ensure that subsequent writes to the page can be recorded on the PTE".
+// The model reproduces this: a cached entry with dirty=1 absorbs writes
+// without touching the PTE; only a walk (TLB miss) or a write through a
+// clean entry updates the PTE.
+//
+// Structure: set-associative, 4-way, LRU within a set.
+#ifndef SRC_MM_TLB_H_
+#define SRC_MM_TLB_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "src/mm/pte.h"
+
+namespace nomad {
+
+class Tlb {
+ public:
+  struct Entry {
+    Vpn vpn = kInvalidVpn;
+    Pfn pfn = kInvalidPfn;
+    bool valid = false;
+    bool writable = false;
+    bool dirty = false;   // the cached D bit: writes through a dirty entry
+                          // do not update the PTE
+    uint64_t last_use = 0;
+  };
+
+  // num_entries is rounded up to a multiple of kWays.
+  explicit Tlb(size_t num_entries);
+
+  // Returns the cached translation or nullptr on miss.
+  Entry* Lookup(Vpn vpn);
+
+  // Installs a translation after a walk, evicting the set's LRU victim.
+  Entry& Fill(Vpn vpn, Pfn pfn, bool writable, bool dirty);
+
+  // Single-page invalidation (one INVLPG / one shootdown target page).
+  void Invalidate(Vpn vpn);
+
+  void InvalidateAll();
+
+  uint64_t hits() const { return hits_; }
+  uint64_t misses() const { return misses_; }
+  size_t num_entries() const { return entries_.size(); }
+
+ private:
+  static constexpr size_t kWays = 4;
+
+  size_t SetOf(Vpn vpn) const { return (vpn % num_sets_) * kWays; }
+
+  std::vector<Entry> entries_;
+  size_t num_sets_ = 1;
+  uint64_t tick_ = 0;
+  uint64_t hits_ = 0;
+  uint64_t misses_ = 0;
+};
+
+}  // namespace nomad
+
+#endif  // SRC_MM_TLB_H_

@@ -1,0 +1,179 @@
+#include "src/nomad/kpromote.h"
+
+#include "src/mm/migrate.h"
+
+namespace nomad {
+
+Cycles KpromoteActor::Step(Engine& engine) {
+  if (txn_) {
+    return Commit(engine);
+  }
+  return BeginNext(engine);
+}
+
+Cycles KpromoteActor::BeginNext(Engine& engine) {
+  const KernelCosts& costs = ms_->platform().costs;
+  Cycles spent = 0;
+  if (enabled_ && !enabled_()) {
+    engine.SleepUntil(engine.now() + config_.idle_poll);
+    return 0;
+  }
+  // Examine a PCQ batch at most once per idle_poll interval. kpromote is
+  // the only examiner, so the candidate-expiry window is set by this
+  // actor's pace, not by how often the application faults.
+  if (engine.now() >= last_scan_ + config_.idle_poll) {
+    last_scan_ = engine.now();
+    auto [moved, scan_cost] = queues_->ScanPcq(config_.pcq_scan_batch);
+    (void)moved;
+    spent += scan_cost;
+  }
+  Pfn pfn = queues_->PopPending();
+  if (pfn == kInvalidPfn) {
+    engine.SleepUntil(engine.now() + std::max<Cycles>(spent, 1) + config_.idle_poll);
+    return spent;
+  }
+
+  PageFrame& f = ms_->pool().frame(pfn);
+  AddressSpace& as = *f.owner;
+  const Vpn vpn = f.vpn;
+  Pte* pte = ms_->PteOf(as, vpn);
+  if (pte == nullptr || !pte->present || pte->pfn != pfn) {
+    f.in_pending = false;
+    return spent + costs.lru_op;
+  }
+
+  // Multi-mapped pages would need simultaneous shootdowns per mapping;
+  // NOMAD deactivates TPM for them and uses the default synchronous path
+  // (sec. 3.3). The ablation switch forces this path for every page.
+  if (f.multi_mapped() || !config_.transactional) {
+    f.in_pending = false;
+    MigrateResult r = MigratePageWithRetry(*ms_, as, vpn, Tier::kFast);
+    stats_.sync_fallbacks++;
+    ms_->counters().Add("nomad.sync_fallback", 1);
+    return spent + r.cycles;
+  }
+
+  // Reserve the destination before starting; promotion needs headroom,
+  // which kswapd maintains by demoting in the background.
+  FramePool& pool = ms_->pool();
+  if (pool.FreeFrames(Tier::kFast) <= pool.LowWatermark(Tier::kFast)) {
+    stats_.nomem_waits++;
+    ms_->counters().Add("nomad.promote_wait_nomem", 1);
+    if (kswapd_fast_id_ != ~ActorId{0}) {
+      engine.Wake(kswapd_fast_id_, engine.now() + costs.daemon_wakeup);
+    }
+    queues_->RequeuePending(pfn);
+    engine.SleepUntil(engine.now() + std::max<Cycles>(spent, 1) + config_.idle_poll);
+    return spent;
+  }
+  const Pfn new_pfn = pool.AllocOn(Tier::kFast);
+  if (new_pfn == kInvalidPfn) {
+    stats_.nomem_waits++;
+    queues_->RequeuePending(pfn);
+    engine.SleepUntil(engine.now() + std::max<Cycles>(spent, 1) + config_.idle_poll);
+    return spent;
+  }
+
+  // --- TPM steps 1-3: clear dirty, shoot down, copy while mapped. ---
+  pte->dirty = false;
+  spent += costs.pte_update;
+  spent += ms_->TlbShootdown(as, vpn);
+  spent += ms_->CopyPageCost(Tier::kSlow, Tier::kFast);
+
+  f.migrating = true;
+  txn_ = Txn{&as, vpn, pfn, f.generation, new_pfn, pte->writable || pte->shadow_rw};
+  // Returning the copy duration keeps this actor busy for the whole copy;
+  // application actors interleave and may dirty the page meanwhile.
+  return spent;
+}
+
+void KpromoteActor::AbortCleanup(bool requeue) {
+  Txn& t = *txn_;
+  ms_->pool().Free(t.new_pfn);
+  PageFrame& f = ms_->pool().frame(t.old_pfn);
+  if (f.generation == t.old_gen) {
+    f.migrating = false;
+    if (requeue) {
+      queues_->RequeuePending(t.old_pfn);
+    } else {
+      f.in_pending = false;
+    }
+  }
+  txn_.reset();
+}
+
+Cycles KpromoteActor::Commit(Engine& /*engine*/) {
+  const KernelCosts& costs = ms_->platform().costs;
+  Txn t = *txn_;
+  Cycles spent = 0;
+
+  PageFrame& old_frame = ms_->pool().frame(t.old_pfn);
+  if (old_frame.generation != t.old_gen || !old_frame.mapped()) {
+    // The page vanished during the copy (unmapped by the workload).
+    AbortCleanup(/*requeue=*/false);
+    return costs.pte_update;
+  }
+  Pte* pte = ms_->PteOf(*t.as, t.vpn);
+  if (pte == nullptr || !pte->present || pte->pfn != t.old_pfn) {
+    AbortCleanup(/*requeue=*/false);
+    return costs.pte_update;
+  }
+
+  // --- TPM steps 4-6: atomic get_and_clear, shootdown #2, dirty check. ---
+  spent += costs.pte_update;
+  spent += ms_->TlbShootdown(*t.as, t.vpn);
+
+  if (pte->dirty) {
+    // Step 8: the page was written during the copy; the transaction is
+    // invalid. Restore the original PTE (nothing else changed) and retry
+    // later.
+    stats_.aborts++;
+    ms_->counters().Add("nomad.tpm_abort", 1);
+    AbortCleanup(/*requeue=*/true);
+    return spent + costs.pte_update;
+  }
+
+  // --- Step 7: commit. Remap to the fast copy; the old frame becomes the
+  // shadow. The master is mapped read-only with the real permission saved
+  // in shadow_rw, so the first store takes a shadow page fault.
+  PageFrame& new_frame = ms_->pool().frame(t.new_pfn);
+  new_frame.owner = t.as;
+  new_frame.vpn = t.vpn;
+  new_frame.referenced = true;
+  new_frame.active = true;
+  new_frame.promoted = true;
+
+  pte->pfn = t.new_pfn;
+  pte->present = true;
+  pte->writable = false;
+  pte->shadow_rw = t.was_writable;
+  pte->dirty = false;
+  pte->accessed = true;
+  spent += costs.pte_update;
+
+  ms_->lru(Tier::kSlow).Remove(t.old_pfn);
+  old_frame.owner = nullptr;
+  old_frame.in_pending = false;
+  old_frame.in_pcq = false;
+  old_frame.migrating = false;
+  ms_->lru(Tier::kFast).AddActive(t.new_pfn);
+  if (config_.shadowing) {
+    shadows_->AddShadow(t.new_pfn, t.old_pfn);
+  } else {
+    // Ablation: exclusive tiering - drop the source copy instead.
+    pte->writable = t.was_writable;
+    pte->shadow_rw = false;
+    ms_->pool().Free(t.old_pfn);
+  }
+  ms_->llc().InvalidatePage(t.old_pfn);
+
+  // The page is unreachable only for this short remap step.
+  ms_->BeginMigrationWindow(*t.as, t.vpn, ms_->Now() + spent);
+
+  stats_.commits++;
+  ms_->counters().Add("nomad.tpm_commit", 1);
+  txn_.reset();
+  return spent;
+}
+
+}  // namespace nomad

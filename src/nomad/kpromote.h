@@ -1,0 +1,98 @@
+// kpromote: the background thread that runs transactional page migrations.
+//
+// Implements the TPM protocol of Fig. 3 as a two-phase state machine over
+// engine steps:
+//
+//  Begin (one step, duration = the page copy); the page stays mapped and
+//  accessible throughout:
+//    1. clear the PTE dirty bit
+//    2. TLB shootdown #1
+//    3. copy slow -> fast
+//
+//  Commit (next step, a few microseconds):
+//    4. atomic get_and_clear of the PTE  (page briefly inaccessible)
+//    5. TLB shootdown #2
+//    6. dirty check
+//    7. clean  -> remap to the fast copy; old frame becomes the shadow
+//    8. dirty  -> abort: restore the PTE, free the copy, retry later
+//
+// Because application actors interleave with the copy step, a store during
+// the copy sets the PTE dirty bit and aborts the transaction - exactly the
+// paper's abort condition. Multi-mapped pages fall back to synchronous
+// migration (sec. 3.3).
+#ifndef SRC_NOMAD_KPROMOTE_H_
+#define SRC_NOMAD_KPROMOTE_H_
+
+#include <functional>
+#include <optional>
+
+#include "src/mm/memory_system.h"
+#include "src/nomad/pcq.h"
+#include "src/nomad/shadow.h"
+
+namespace nomad {
+
+class KpromoteActor : public Actor {
+ public:
+  struct Config {
+    Cycles idle_poll = 25000;     // re-check period when the queues are empty
+    size_t pcq_scan_batch = 64;   // PCQ entries examined per pass
+    // Ablation switches (benches only; both true = full NOMAD):
+    bool transactional = true;    // false: kpromote migrates synchronously
+    bool shadowing = true;        // false: exclusive tiering (free the old frame)
+  };
+
+  struct Stats {
+    uint64_t commits = 0;
+    uint64_t aborts = 0;
+    uint64_t sync_fallbacks = 0;  // multi-mapped pages
+    uint64_t nomem_waits = 0;
+  };
+
+  KpromoteActor(MemorySystem* ms, PromotionQueues* queues, ShadowManager* shadows)
+      : KpromoteActor(ms, queues, shadows, Config{}) {}
+  KpromoteActor(MemorySystem* ms, PromotionQueues* queues, ShadowManager* shadows,
+                const Config& config)
+      : ms_(ms), queues_(queues), shadows_(shadows), config_(config) {}
+
+  void set_actor_id(ActorId id) { actor_id_ = id; }
+  ActorId actor_id() const { return actor_id_; }
+  void set_kswapd_fast_id(ActorId id) { kswapd_fast_id_ = id; }
+  // Optional promotion gate (thrash governor): when it returns false, no
+  // new transactions start; an in-flight one still commits or aborts.
+  void set_enabled_fn(std::function<bool()> fn) { enabled_ = std::move(fn); }
+
+  Cycles Step(Engine& engine) override;
+  std::string name() const override { return "kpromote"; }
+
+  const Stats& stats() const { return stats_; }
+
+ private:
+  struct Txn {
+    AddressSpace* as = nullptr;
+    Vpn vpn = kInvalidVpn;
+    Pfn old_pfn = kInvalidPfn;
+    uint32_t old_gen = 0;
+    Pfn new_pfn = kInvalidPfn;
+    bool was_writable = false;
+  };
+
+  Cycles BeginNext(Engine& engine);
+  Cycles Commit(Engine& engine);
+  void AbortCleanup(bool requeue);
+
+  MemorySystem* ms_;
+  PromotionQueues* queues_;
+  ShadowManager* shadows_;
+  Config config_;
+  ActorId actor_id_ = 0;
+  ActorId kswapd_fast_id_ = ~ActorId{0};
+  std::optional<Txn> txn_;
+  Stats stats_;
+  Cycles last_scan_ = 0;
+  std::function<bool()> enabled_;
+};
+
+}  // namespace nomad
+
+#endif  // SRC_NOMAD_KPROMOTE_H_

@@ -1,0 +1,125 @@
+#include "src/nomad/pcq.h"
+
+#include <algorithm>
+
+namespace nomad {
+
+bool PromotionQueues::ValidCandidate(Pfn pfn, uint32_t gen) const {
+  const PageFrame& f = ms_->pool().frame(pfn);
+  return f.generation == gen && f.in_use && f.mapped() && f.tier == Tier::kSlow &&
+         !f.migrating;
+}
+
+void PromotionQueues::EnqueueCandidate(Pfn pfn) {
+  PageFrame& f = ms_->pool().frame(pfn);
+  if (f.in_pcq || f.in_pending || f.migrating) {
+    return;
+  }
+  if (pcq_.size() >= config_.pcq_capacity) {
+    // Overflow: forget the oldest candidate.
+    auto [old, gen] = pcq_.front();
+    pcq_.pop_front();
+    PageFrame& of = ms_->pool().frame(old);
+    if (of.generation == gen) {
+      of.in_pcq = false;
+      of.pcq_primed = false;
+    }
+    ms_->counters().Add("nomad.pcq_overflow", 1);
+  }
+  f.in_pcq = true;
+  f.pcq_primed = false;
+  pcq_.emplace_back(pfn, f.generation);
+}
+
+std::pair<size_t, Cycles> PromotionQueues::ScanPcq(size_t limit) {
+  const KernelCosts& costs = ms_->platform().costs;
+  size_t moved = 0;
+  Cycles spent = 0;
+  bool cleared_any_abit = false;
+  // Snapshot the queue length: entries primed and re-queued by this call
+  // must not be re-examined until the application had time to touch them.
+  const size_t examine = std::min(limit, pcq_.size());
+  for (size_t i = 0; i < examine && !pcq_.empty(); i++) {
+    auto [pfn, gen] = pcq_.front();
+    pcq_.pop_front();
+    spent += costs.lru_op;
+    if (!ValidCandidate(pfn, gen)) {
+      continue;  // dropped: page freed, promoted or mid-transaction
+    }
+    PageFrame& f = ms_->pool().frame(pfn);
+    Pte* pte = ms_->PteOf(*f.owner, f.vpn);
+    if (pte == nullptr || !pte->present) {
+      f.in_pcq = false;
+      f.pcq_primed = false;
+      continue;
+    }
+    const bool hot = f.pcq_primed && pte->accessed && (f.referenced || f.active);
+    if (hot) {
+      f.in_pcq = false;
+      f.pcq_primed = false;
+      f.in_pending = true;
+      pending_.emplace_back(pfn, f.generation);
+      moved++;
+      continue;
+    }
+    if (f.pcq_primed) {
+      // Primed but untouched for a whole queue cycle: decay the candidacy
+      // (two-hand-clock aging). The page stays in the PCQ - and crucially
+      // stays unprotected, so it never faults again - but must now be
+      // touched in two *consecutive* exam windows to qualify. Without this
+      // decay, pages touched once per epoch (streaming data) eventually
+      // collect two touches across arbitrary gaps and get promoted, which
+      // floods the pending queue with pages that are not actually hot.
+      f.pcq_primed = false;
+      ms_->counters().Add("nomad.pcq_decay", 1);
+      pcq_.emplace_back(pfn, f.generation);
+      continue;
+    }
+    if (!pte->accessed) {
+      // Untouched and unprimed: just keep cycling. No PTE work needed.
+      pcq_.emplace_back(pfn, f.generation);
+      continue;
+    }
+    // Touched since the last exam: clear the A-bit and prime, so the page
+    // is promoted only if it is touched *again* within the next exam
+    // window - i.e. in two consecutive windows, like Linux's two-handed
+    // clock. Clearing A needs the stale translations gone.
+    pte->accessed = false;
+    spent += costs.pte_update;
+    for (ActorId cpu : f.owner->cpus()) {
+      ms_->tlb(cpu).Invalidate(f.vpn);
+    }
+    if (!cleared_any_abit) {
+      spent += costs.tlb_shootdown_base;  // one batched flush per scan round
+      cleared_any_abit = true;
+    }
+    f.pcq_primed = true;
+    pcq_.emplace_back(pfn, f.generation);
+  }
+  return {moved, spent};
+}
+
+Pfn PromotionQueues::PopPending() {
+  while (!pending_.empty()) {
+    auto [pfn, gen] = pending_.front();
+    pending_.pop_front();
+    PageFrame& f = ms_->pool().frame(pfn);
+    if (f.generation != gen || !f.in_pending) {
+      continue;
+    }
+    if (!f.in_use || !f.mapped() || f.tier != Tier::kSlow || f.migrating) {
+      f.in_pending = false;
+      continue;
+    }
+    return pfn;
+  }
+  return kInvalidPfn;
+}
+
+void PromotionQueues::RequeuePending(Pfn pfn) {
+  PageFrame& f = ms_->pool().frame(pfn);
+  f.in_pending = true;
+  pending_.emplace_back(pfn, f.generation);
+}
+
+}  // namespace nomad

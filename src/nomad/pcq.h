@@ -1,0 +1,67 @@
+// Promotion candidate queue + migration pending queue (Fig. 4).
+//
+// TPM interfaces with Linux's memory tracing through two queues:
+//  - PCQ holds pages that took one hint fault but are not yet proven hot.
+//    On each later fault (and when kpromote idles) the front of the PCQ is
+//    scanned; a candidate whose accessed bit was set *again* after being
+//    examined once ("primed") is hot and moves on,
+//  - the migration pending queue feeds kpromote's transactional
+//    migrations.
+// Because candidacy needs one fault and hotness is read from A-bits, a
+// successful migration costs exactly one minor fault - versus up to 15 for
+// TPP's pagevec-gated activation.
+#ifndef SRC_NOMAD_PCQ_H_
+#define SRC_NOMAD_PCQ_H_
+
+#include <cstddef>
+#include <deque>
+#include <utility>
+
+#include "src/mm/memory_system.h"
+
+namespace nomad {
+
+class PromotionQueues {
+ public:
+  struct Config {
+    // Large enough to hold every slow-tier page of a scaled working set:
+    // a page nominated once stays a candidate without ever faulting again,
+    // which is how NOMAD gets by with one fault per migrated page.
+    size_t pcq_capacity = 131072;
+    size_t scan_per_fault = 8;  // (unused by the default policy; see kpromote)
+  };
+
+  explicit PromotionQueues(MemorySystem* ms) : PromotionQueues(ms, Config{}) {}
+  PromotionQueues(MemorySystem* ms, const Config& config) : ms_(ms), config_(config) {}
+
+  // Adds a freshly faulted slow-tier page to the PCQ. No-op when the page
+  // is already queued, pending or migrating.
+  void EnqueueCandidate(Pfn pfn);
+
+  // Examines up to `limit` PCQ entries, moving hot ones to the pending
+  // queue. Returns (pages moved, cycles spent).
+  std::pair<size_t, Cycles> ScanPcq(size_t limit);
+
+  // Pops the next valid pending page, or kInvalidPfn when drained. The
+  // page's in_pending flag stays set; the migrator clears it on completion.
+  Pfn PopPending();
+
+  // Requeues an aborted transaction's page for a later retry.
+  void RequeuePending(Pfn pfn);
+
+  size_t pcq_size() const { return pcq_.size(); }
+  size_t pending_size() const { return pending_.size(); }
+  const Config& config() const { return config_; }
+
+ private:
+  bool ValidCandidate(Pfn pfn, uint32_t gen) const;
+
+  MemorySystem* ms_;
+  Config config_;
+  std::deque<std::pair<Pfn, uint32_t>> pcq_;
+  std::deque<std::pair<Pfn, uint32_t>> pending_;
+};
+
+}  // namespace nomad
+
+#endif  // SRC_NOMAD_PCQ_H_

@@ -1,0 +1,184 @@
+// XArray-equivalent radix tree.
+//
+// NOMAD indexes shadow pages with an XArray, "a radix-tree like,
+// cache-efficient data structure that acts as a key-value store, mapping
+// from the physical address of a fast tier page to the physical address of
+// its shadow copy" (sec. 3.2). This is that structure: a radix tree over
+// 64-bit keys with 64-way (6-bit) fanout and dynamic height, growing and
+// shrinking with the key range in use.
+#ifndef SRC_NOMAD_RADIX_TREE_H_
+#define SRC_NOMAD_RADIX_TREE_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <utility>
+
+namespace nomad {
+
+template <typename T>
+class RadixTree {
+ public:
+  static constexpr int kBitsPerLevel = 6;
+  static constexpr uint64_t kFanout = uint64_t{1} << kBitsPerLevel;
+  static constexpr uint64_t kSlotMask = kFanout - 1;
+
+  RadixTree() = default;
+  RadixTree(const RadixTree&) = delete;
+  RadixTree& operator=(const RadixTree&) = delete;
+  RadixTree(RadixTree&&) = default;
+  RadixTree& operator=(RadixTree&&) = default;
+
+  // Inserts or overwrites. Returns true when the key was new.
+  bool Insert(uint64_t key, T value) {
+    GrowToFit(key);
+    Node* node = root_.get();
+    for (int level = height_; level > 0; level--) {
+      const uint64_t slot = SlotAt(key, level);
+      if (!node->children[slot]) {
+        node->children[slot] = std::make_unique<Node>();
+        node->population++;
+      }
+      node = node->children[slot].get();
+    }
+    const uint64_t slot = SlotAt(key, 0);
+    const bool fresh = !node->present[slot];
+    if (fresh) {
+      node->present[slot] = true;
+      node->population++;
+      size_++;
+    }
+    node->values[slot] = std::move(value);
+    return fresh;
+  }
+
+  // Returns a pointer to the stored value, or nullptr.
+  T* Find(uint64_t key) {
+    if (!root_ || key > MaxKey()) {
+      return nullptr;
+    }
+    Node* node = root_.get();
+    for (int level = height_; level > 0; level--) {
+      node = node->children[SlotAt(key, level)].get();
+      if (node == nullptr) {
+        return nullptr;
+      }
+    }
+    const uint64_t slot = SlotAt(key, 0);
+    return node->present[slot] ? &node->values[slot] : nullptr;
+  }
+
+  const T* Find(uint64_t key) const { return const_cast<RadixTree*>(this)->Find(key); }
+
+  // Removes a key; prunes now-empty interior nodes. Returns true if found.
+  bool Erase(uint64_t key) {
+    if (!root_ || key > MaxKey()) {
+      return false;
+    }
+    const bool erased = EraseRecursive(root_.get(), key, height_);
+    if (erased) {
+      size_--;
+      if (root_->population == 0) {
+        root_.reset();
+        height_ = 0;
+      }
+    }
+    return erased;
+  }
+
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  int height() const { return height_; }
+
+  // Visits every (key, value) pair in ascending key order.
+  void ForEach(const std::function<void(uint64_t, const T&)>& fn) const {
+    if (root_) {
+      ForEachRecursive(root_.get(), 0, height_, fn);
+    }
+  }
+
+ private:
+  struct Node {
+    std::unique_ptr<Node> children[kFanout];
+    T values[kFanout] = {};
+    bool present[kFanout] = {};
+    uint32_t population = 0;  // child nodes (interior) or present slots (leaf)
+  };
+
+  static uint64_t SlotAt(uint64_t key, int level) {
+    return (key >> (level * kBitsPerLevel)) & kSlotMask;
+  }
+
+  uint64_t MaxKey() const {
+    const int bits = (height_ + 1) * kBitsPerLevel;
+    return bits >= 64 ? ~uint64_t{0} : (uint64_t{1} << bits) - 1;
+  }
+
+  void GrowToFit(uint64_t key) {
+    if (!root_) {
+      root_ = std::make_unique<Node>();
+      height_ = 0;
+    }
+    while (key > MaxKey()) {
+      if (root_->population == 0) {
+        // An empty node is level-agnostic: just deepen in place instead of
+        // wrapping (wrapping would create a phantom empty leaf that breaks
+        // population-based pruning).
+        height_++;
+        continue;
+      }
+      auto new_root = std::make_unique<Node>();
+      new_root->children[0] = std::move(root_);
+      new_root->population = 1;
+      root_ = std::move(new_root);
+      height_++;
+    }
+  }
+
+  bool EraseRecursive(Node* node, uint64_t key, int level) {
+    const uint64_t slot = SlotAt(key, level);
+    if (level == 0) {
+      if (!node->present[slot]) {
+        return false;
+      }
+      node->present[slot] = false;
+      node->values[slot] = T{};
+      node->population--;
+      return true;
+    }
+    Node* child = node->children[slot].get();
+    if (child == nullptr || !EraseRecursive(child, key, level - 1)) {
+      return false;
+    }
+    if (child->population == 0) {
+      node->children[slot].reset();
+      node->population--;
+    }
+    return true;
+  }
+
+  void ForEachRecursive(const Node* node, uint64_t prefix, int level,
+                        const std::function<void(uint64_t, const T&)>& fn) const {
+    if (level == 0) {
+      for (uint64_t s = 0; s < kFanout; s++) {
+        if (node->present[s]) {
+          fn((prefix << kBitsPerLevel) | s, node->values[s]);
+        }
+      }
+      return;
+    }
+    for (uint64_t s = 0; s < kFanout; s++) {
+      if (node->children[s]) {
+        ForEachRecursive(node->children[s].get(), (prefix << kBitsPerLevel) | s, level - 1, fn);
+      }
+    }
+  }
+
+  std::unique_ptr<Node> root_;
+  int height_ = 0;  // levels below the root
+  size_t size_ = 0;
+};
+
+}  // namespace nomad
+
+#endif  // SRC_NOMAD_RADIX_TREE_H_

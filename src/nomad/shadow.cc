@@ -1,0 +1,97 @@
+#include "src/nomad/shadow.h"
+
+#include <cassert>
+
+namespace nomad {
+
+void ShadowManager::AddShadow(Pfn master, Pfn shadow) {
+  PageFrame& m = ms_->pool().frame(master);
+  PageFrame& s = ms_->pool().frame(shadow);
+  assert(!m.shadowed && s.in_use);
+  m.shadowed = true;
+  s.is_shadow = true;
+  index_.Insert(master, shadow);
+  reclaim_fifo_.emplace_back(master, m.generation);
+}
+
+Pfn ShadowManager::ShadowOf(Pfn master) const {
+  const Pfn* s = index_.Find(master);
+  return s == nullptr ? kInvalidPfn : *s;
+}
+
+Pfn ShadowManager::DetachShadow(Pfn master) {
+  const Pfn* found = index_.Find(master);
+  if (found == nullptr) {
+    return kInvalidPfn;
+  }
+  const Pfn shadow = *found;
+  index_.Erase(master);
+  PageFrame& m = ms_->pool().frame(master);
+  PageFrame& s = ms_->pool().frame(shadow);
+  m.shadowed = false;
+  s.is_shadow = false;
+  return shadow;
+}
+
+bool ShadowManager::DiscardShadow(Pfn master) {
+  const Pfn shadow = DetachShadow(master);
+  if (shadow == kInvalidPfn) {
+    return false;
+  }
+  ms_->pool().Free(shadow);
+  ms_->counters().Add("nomad.shadow_discard", 1);
+  return true;
+}
+
+uint64_t ShadowManager::ReclaimShadows(uint64_t target, Cycles* cost) {
+  const KernelCosts& costs = ms_->platform().costs;
+  uint64_t freed = 0;
+  // Newest-first: a fresh shadow belongs to a just-promoted (hot) master
+  // that will stay in fast memory for a long time, so its shadow is the
+  // least likely to enable a remap-demotion soon. Old shadows, whose
+  // masters are nearing the inactive tail, are the valuable ones.
+  while (freed < target && !reclaim_fifo_.empty()) {
+    const auto [master, gen] = reclaim_fifo_.back();
+    reclaim_fifo_.pop_back();
+    *cost += costs.lru_op;
+    PageFrame& m = ms_->pool().frame(master);
+    if (m.generation != gen || !m.shadowed) {
+      continue;  // master was freed or the shadow already discarded
+    }
+    if (DiscardShadow(master)) {
+      freed++;
+      *cost += costs.pte_update;
+      ms_->counters().Add("nomad.shadow_reclaimed", 1);
+    }
+  }
+  return freed;
+}
+
+Pfn ShadowManager::OldestRemappableMaster(uint64_t limit,
+                                          const std::function<bool(Pfn)>& demotable) {
+  // Prune stale entries off the front so repeated calls stay cheap.
+  while (!reclaim_fifo_.empty()) {
+    const auto [master, gen] = reclaim_fifo_.front();
+    const PageFrame& m = ms_->pool().frame(master);
+    if (m.generation == gen && m.shadowed) {
+      break;
+    }
+    reclaim_fifo_.pop_front();
+  }
+  uint64_t probed = 0;
+  for (const auto& [master, gen] : reclaim_fifo_) {
+    if (probed++ >= limit) {
+      break;
+    }
+    const PageFrame& m = ms_->pool().frame(master);
+    if (m.generation != gen || !m.shadowed) {
+      continue;
+    }
+    if (demotable(master)) {
+      return master;
+    }
+  }
+  return kInvalidPfn;
+}
+
+}  // namespace nomad

@@ -1,0 +1,64 @@
+// Page shadowing (sec. 3.2): the non-exclusive half of NOMAD.
+//
+// When a transactional promotion commits, the original slow-tier frame is
+// kept as a *shadow copy* of the new fast-tier master. The manager owns:
+//  - the XArray index master-PFN -> shadow-PFN,
+//  - discard on divergence: a write to the master (caught by the shadow
+//    page fault, since masters are mapped read-only) frees the shadow,
+//  - reclamation: a FIFO of shadows freed under memory pressure, wired
+//    into kswapd's pre-reclaim hook and the allocation-failure path
+//    ("targeting 10 times the number of requested pages").
+#ifndef SRC_NOMAD_SHADOW_H_
+#define SRC_NOMAD_SHADOW_H_
+
+#include <deque>
+#include <functional>
+#include <utility>
+
+#include "src/mm/memory_system.h"
+#include "src/nomad/radix_tree.h"
+
+namespace nomad {
+
+class ShadowManager {
+ public:
+  explicit ShadowManager(MemorySystem* ms) : ms_(ms) {}
+
+  // Records `shadow` (an unmapped slow-tier frame) as the shadow of
+  // `master` (the mapped fast-tier frame). Called at TPM commit.
+  void AddShadow(Pfn master, Pfn shadow);
+
+  // PFN of master's shadow, or kInvalidPfn.
+  Pfn ShadowOf(Pfn master) const;
+
+  // Frees master's shadow if one exists (master was dirtied or demoted by
+  // copy). Returns true when a shadow was discarded.
+  bool DiscardShadow(Pfn master);
+
+  // Detaches the shadow from `master` *without* freeing it - used by
+  // remap-only demotion, where the shadow becomes the mapped page again.
+  Pfn DetachShadow(Pfn master);
+
+  // Frees up to `target` shadow pages, newest first (see the .cc for why);
+  // adds the reclaim cost to *cost. Returns pages actually freed.
+  uint64_t ReclaimShadows(uint64_t target, Cycles* cost);
+
+  // Master PFN of the oldest live shadow that satisfies `demotable`,
+  // probing up to `limit` FIFO entries. Lets kswapd pair demotion demand
+  // with remappable pages: demoting such a master is a PTE rewrite, not a
+  // copy. Returns kInvalidPfn when none qualifies.
+  Pfn OldestRemappableMaster(uint64_t limit, const std::function<bool(Pfn)>& demotable);
+
+  uint64_t count() const { return index_.size(); }
+  uint64_t bytes() const { return index_.size() * kPageSize; }
+
+ private:
+  MemorySystem* ms_;
+  RadixTree<Pfn> index_;
+  // (master pfn, master generation): stale entries are skipped on pop.
+  std::deque<std::pair<Pfn, uint32_t>> reclaim_fifo_;
+};
+
+}  // namespace nomad
+
+#endif  // SRC_NOMAD_SHADOW_H_

@@ -1,0 +1,79 @@
+#include "src/policy/memtis.h"
+
+#include "src/mm/migrate.h"
+
+namespace nomad {
+
+void MemtisPolicy::Install(MemorySystem& ms, Engine& engine) {
+  ms_ = &ms;
+  if (!ms.platform().pebs_supported) {
+    // Platform D: Memtis cannot run (no IBS backend). Install nothing; the
+    // harness excludes it there, matching the paper.
+    return;
+  }
+  sampler_ = std::make_unique<PebsSampler>(&ms, config_.pebs);
+  sampler_->Attach();
+
+  migrator_ = std::make_unique<Migrator>(this);
+  engine.AddActor(migrator_.get());
+
+  Kswapd::Config kcfg;
+  kcfg.tier = Tier::kFast;
+  kswapd_ = std::make_unique<Kswapd>(&ms, kcfg);
+  const ActorId kswapd_id = engine.AddActor(kswapd_.get());
+  kswapd_->set_actor_id(kswapd_id);
+  ms.set_kswapd_waker([this, &engine, &ms](Tier tier) {
+    if (tier == Tier::kFast) {
+      engine.Wake(kswapd_->actor_id(), engine.now() + ms.platform().costs.daemon_wakeup);
+    }
+  });
+}
+
+Cycles MemtisPolicy::Migrator::Step(Engine& engine) {
+  Cycles spent = policy_->RunMigrationRound();
+  engine.SleepUntil(engine.now() + std::max<Cycles>(spent, 1) +
+                    policy_->config_.migrate_interval);
+  return spent;
+}
+
+Cycles MemtisPolicy::RunMigrationRound() {
+  MemorySystem& ms = *ms_;
+  PebsSampler& pebs = *sampler_;
+  AddressSpace* as = pebs.space();
+  if (as == nullptr) {
+    return ms.platform().costs.daemon_wakeup;  // nothing sampled yet
+  }
+  Cycles spent = ms.platform().costs.daemon_wakeup;
+  FramePool& pool = ms.pool();
+
+  const uint64_t fast_budget = pool.TotalFrames(Tier::kFast);
+  const uint64_t threshold = pebs.HotThreshold(fast_budget);
+
+  // Demote first when the fast node is tight, to make room for promotions.
+  if (pool.BelowLowWatermark(Tier::kFast)) {
+    for (Vpn vpn : pebs.ColdPagesOn(Tier::kFast, threshold, config_.demote_batch)) {
+      if (!pool.BelowLowWatermark(Tier::kFast)) {
+        break;
+      }
+      MigrateResult r = MigratePageSync(ms, *as, vpn, Tier::kSlow);
+      spent += r.cycles;
+      if (r.success) {
+        ms.counters().Add("memtis.demote", 1);
+      }
+    }
+  }
+
+  // Promote the hottest sampled pages still resident on the slow tier.
+  for (Vpn vpn : pebs.HotPagesOn(Tier::kSlow, threshold, config_.promote_batch)) {
+    if (pool.FreeFrames(Tier::kFast) <= pool.LowWatermark(Tier::kFast)) {
+      ms.counters().Add("memtis.promote_skipped_nomem", 1);
+      break;
+    }
+    MigrateResult r = MigratePageSync(ms, *as, vpn, Tier::kFast);
+    spent += r.cycles;
+    ms.counters().Add(r.success ? "memtis.promote" : "memtis.promote_fail", 1);
+  }
+  return spent;
+}
+
+}  // namespace nomad

@@ -1,0 +1,37 @@
+// Tiering policy interface.
+//
+// A policy wires its fault handlers, observers and background actors into a
+// MemorySystem + Engine pair. All policies - the paper's TPP and Memtis
+// baselines, the no-migration baseline, and NOMAD itself - are built purely
+// on MemorySystem's public primitives, so their costs are directly
+// comparable.
+#ifndef SRC_POLICY_POLICY_H_
+#define SRC_POLICY_POLICY_H_
+
+#include <string>
+
+#include "src/mm/memory_system.h"
+
+namespace nomad {
+
+class TieringPolicy {
+ public:
+  virtual ~TieringPolicy() = default;
+
+  virtual std::string name() const = 0;
+
+  // Registers handlers and actors. Called once, before the workload runs.
+  virtual void Install(MemorySystem& ms, Engine& engine) = 0;
+};
+
+// The paper's "no migration" baseline: pages stay where first placed and
+// slow-tier data is accessed in place.
+class NoMigrationPolicy : public TieringPolicy {
+ public:
+  std::string name() const override { return "no-migration"; }
+  void Install(MemorySystem& /*ms*/, Engine& /*engine*/) override {}
+};
+
+}  // namespace nomad
+
+#endif  // SRC_POLICY_POLICY_H_

@@ -1,0 +1,74 @@
+#include "src/policy/tpp.h"
+
+#include "src/mm/migrate.h"
+
+namespace nomad {
+
+void TppPolicy::Install(MemorySystem& ms, Engine& engine) {
+  ms_ = &ms;
+
+  config_.kswapd.tier = Tier::kFast;
+  kswapd_ = std::make_unique<Kswapd>(&ms, config_.kswapd);
+  const ActorId kswapd_id = engine.AddActor(kswapd_.get());
+  kswapd_->set_actor_id(kswapd_id);
+
+  scanner_ = std::make_unique<HintFaultScanner>(&ms, config_.scanner);
+  engine.AddActor(scanner_.get());
+
+  ms.set_kswapd_waker([this, &ms, &engine](Tier tier) {
+    if (tier == Tier::kFast) {
+      engine.Wake(kswapd_->actor_id(), engine.now() + ms.platform().costs.daemon_wakeup);
+    }
+  });
+
+  ms.set_hint_fault_handler([this](ActorId cpu, AddressSpace& as, Vpn vpn) {
+    return OnHintFault(cpu, as, vpn);
+  });
+}
+
+Cycles TppPolicy::OnHintFault(ActorId /*cpu*/, AddressSpace& as, Vpn vpn) {
+  MemorySystem& ms = *ms_;
+  const KernelCosts& costs = ms.platform().costs;
+  Pte* pte = ms.PteOf(as, vpn);
+  Cycles cost = costs.pte_update;
+  pte->prot_none = false;  // restore access so the faulting load can retire
+
+  const Pfn pfn = pte->pfn;
+  PageFrame& f = ms.pool().frame(pfn);
+  if (f.tier == Tier::kFast) {
+    return cost;  // raced with another promotion; nothing to do
+  }
+
+  // NUMA-hint fault path: record the touch. Activation goes through the
+  // batched pagevec, so the page typically needs several faults before TPP
+  // considers it hot.
+  ms.lru(Tier::kSlow).MarkAccessed(pfn);
+  cost += costs.lru_op;
+
+  if (!f.active) {
+    ms.counters().Add("tpp.fault_not_active", 1);
+    return cost;
+  }
+
+  // Promotion requires headroom on the fast node; TPP decouples allocation
+  // from reclaim by waking kswapd rather than reclaiming inline.
+  FramePool& pool = ms.pool();
+  if (pool.FreeFrames(Tier::kFast) <= pool.LowWatermark(Tier::kFast)) {
+    ms.counters().Add("tpp.promote_skipped_nomem", 1);
+    if (ms.engine()) {
+      ms.engine()->Wake(kswapd_->actor_id(), ms.Now() + costs.daemon_wakeup);
+    }
+    return cost;
+  }
+
+  // Synchronous promotion on the faulting thread's critical path.
+  MigrateResult r = MigratePageWithRetry(ms, as, vpn, Tier::kFast, config_.migrate_max_attempts);
+  cost += r.cycles;
+  ms.counters().Add(r.success ? "tpp.promote" : "tpp.promote_fail", 1);
+  // Cycle attribution for the Figure 2 breakdown: promotion work executes
+  // on the application core.
+  ms.counters().Add("tpp.promote_cycles", r.cycles);
+  return cost;
+}
+
+}  // namespace nomad

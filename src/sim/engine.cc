@@ -1,0 +1,90 @@
+#include "src/sim/engine.h"
+
+#include <algorithm>
+
+namespace nomad {
+
+ActorId Engine::AddActor(Actor* actor, Cycles start) {
+  actors_.push_back(actor);
+  entries_.push_back(Entry{start, false});
+  return actors_.size() - 1;
+}
+
+void Engine::SleepUntil(Cycles when) {
+  Entry& e = entries_[current_];
+  e.next_time = when;
+  e.slept = true;
+}
+
+void Engine::Wake(ActorId id, Cycles when) {
+  if (id >= entries_.size()) {
+    return;  // not an engine-scheduled entity (e.g. a bare test CPU)
+  }
+  Entry& e = entries_[id];
+  if (e.next_time > when) {
+    e.next_time = when;
+  }
+}
+
+void Engine::Penalize(ActorId id, Cycles cycles) {
+  if (id >= entries_.size()) {
+    return;  // not an engine-scheduled entity (e.g. a bare test CPU)
+  }
+  Entry& e = entries_[id];
+  if (e.next_time == kNever) {
+    return;  // Sleeping forever; the IPI cost is irrelevant to it.
+  }
+  e.next_time += cycles;
+}
+
+bool Engine::PickNext(ActorId* out) const {
+  Cycles best = kNever;
+  ActorId best_id = 0;
+  bool found = false;
+  for (ActorId id = 0; id < actors_.size(); id++) {
+    if (actors_[id]->done() || entries_[id].next_time == kNever) {
+      continue;
+    }
+    if (!found || entries_[id].next_time < best) {
+      best = entries_[id].next_time;
+      best_id = id;
+      found = true;
+    }
+  }
+  if (found) {
+    *out = best_id;
+  }
+  return found;
+}
+
+void Engine::StepOne(ActorId id) {
+  Entry& e = entries_[id];
+  now_ = std::max(now_, e.next_time);
+  current_ = id;
+  e.slept = false;
+  Cycles used = actors_[id]->Step(*this);
+  if (!e.slept) {
+    e.next_time = now_ + std::max<Cycles>(used, 1);
+  }
+}
+
+Cycles Engine::Run(Cycles until) {
+  ActorId id;
+  while (PickNext(&id)) {
+    if (entries_[id].next_time > until) {
+      break;
+    }
+    StepOne(id);
+  }
+  return now_;
+}
+
+Cycles Engine::RunUntil(const std::function<bool()>& stop) {
+  ActorId id;
+  while (!stop() && PickNext(&id)) {
+    StepOne(id);
+  }
+  return now_;
+}
+
+}  // namespace nomad

@@ -1,0 +1,66 @@
+// Deterministic pseudo-random number generation for simulations.
+//
+// The simulator must be bit-reproducible across runs, so every stochastic
+// component (workload generators, sampling, placement shuffles) draws from an
+// explicitly seeded Rng instance instead of global state. The generator is
+// xoshiro256**, seeded through SplitMix64, which is both fast and of high
+// statistical quality for this use.
+#ifndef SRC_SIM_RNG_H_
+#define SRC_SIM_RNG_H_
+
+#include <cstdint>
+
+namespace nomad {
+
+// Deterministic 64-bit PRNG (xoshiro256**).
+class Rng {
+ public:
+  // Seeds the generator. Two Rng instances with the same seed produce the
+  // same sequence on every platform.
+  explicit Rng(uint64_t seed = 0x9E3779B97F4A7C15ull) {
+    // SplitMix64 expansion of the seed into the four state words.
+    uint64_t x = seed;
+    for (auto& word : state_) {
+      x += 0x9E3779B97F4A7C15ull;
+      uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+      z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+      word = z ^ (z >> 31);
+    }
+  }
+
+  // Next raw 64-bit value.
+  uint64_t Next() {
+    const uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+    const uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = Rotl(state_[3], 45);
+    return result;
+  }
+
+  // Uniform integer in [0, bound). bound must be > 0. Uses Lemire's
+  // multiply-shift reduction; the modulo bias is negligible for the bounds
+  // used in this project (simulation page counts << 2^64).
+  uint64_t Below(uint64_t bound) {
+    return static_cast<uint64_t>((static_cast<unsigned __int128>(Next()) * bound) >> 64);
+  }
+
+  // Uniform double in [0, 1).
+  double NextDouble() { return static_cast<double>(Next() >> 11) * 0x1.0p-53; }
+
+  // Bernoulli trial with probability p.
+  bool Chance(double p) { return NextDouble() < p; }
+
+ private:
+  static uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+  uint64_t state_[4];
+};
+
+}  // namespace nomad
+
+#endif  // SRC_SIM_RNG_H_

@@ -1,0 +1,99 @@
+#include "src/sim/stats.h"
+
+#include <algorithm>
+#include <bit>
+#include <sstream>
+
+namespace nomad {
+
+std::string CounterSet::ToString() const {
+  std::ostringstream out;
+  for (const auto& [name, value] : counters_) {
+    out << name << "=" << value << "\n";
+  }
+  return out.str();
+}
+
+namespace {
+int BucketFor(Cycles latency) {
+  if (latency == 0) {
+    return 0;
+  }
+  int b = 64 - std::countl_zero(static_cast<uint64_t>(latency));
+  return std::min(b, LatencyHistogram::kBuckets - 1);
+}
+}  // namespace
+
+void LatencyHistogram::Record(Cycles latency) {
+  buckets_[BucketFor(latency)]++;
+  count_++;
+  sum_ += latency;
+  max_ = std::max(max_, latency);
+}
+
+Cycles LatencyHistogram::Quantile(double q) const {
+  if (count_ == 0) {
+    return 0;
+  }
+  q = std::clamp(q, 0.0, 1.0);
+  uint64_t target = static_cast<uint64_t>(q * static_cast<double>(count_ - 1));
+  uint64_t seen = 0;
+  for (int b = 0; b < kBuckets; b++) {
+    if (seen + buckets_[b] > target) {
+      // Interpolate inside bucket b, whose range is [2^(b-1), 2^b).
+      Cycles lo = b == 0 ? 0 : (Cycles{1} << (b - 1));
+      Cycles hi = Cycles{1} << b;
+      double frac = buckets_[b] == 0
+                        ? 0.0
+                        : static_cast<double>(target - seen) / static_cast<double>(buckets_[b]);
+      return lo + static_cast<Cycles>(frac * static_cast<double>(hi - lo));
+    }
+    seen += buckets_[b];
+  }
+  return max_;
+}
+
+void LatencyHistogram::Reset() {
+  std::fill(std::begin(buckets_), std::end(buckets_), 0);
+  count_ = 0;
+  sum_ = 0;
+  max_ = 0;
+}
+
+void LatencyHistogram::Merge(const LatencyHistogram& other) {
+  for (int b = 0; b < kBuckets; b++) {
+    buckets_[b] += other.buckets_[b];
+  }
+  count_ += other.count_;
+  sum_ += other.sum_;
+  max_ = std::max(max_, other.max_);
+}
+
+void WindowedSeries::Record(Cycles now, uint64_t bytes) {
+  size_t idx = static_cast<size_t>(now / window_);
+  if (idx >= windows_.size()) {
+    windows_.resize(idx + 1, 0);
+  }
+  windows_[idx] += bytes;
+}
+
+double WindowedSeries::BandwidthAt(size_t i) const {
+  if (i >= windows_.size()) {
+    return 0.0;
+  }
+  return static_cast<double>(windows_[i]) / static_cast<double>(window_);
+}
+
+double WindowedSeries::MeanBandwidth(size_t first, size_t last) const {
+  last = std::min(last, windows_.size());
+  if (first >= last) {
+    return 0.0;
+  }
+  uint64_t total = 0;
+  for (size_t i = first; i < last; i++) {
+    total += windows_[i];
+  }
+  return static_cast<double>(total) / static_cast<double>((last - first) * window_);
+}
+
+}  // namespace nomad

@@ -1,0 +1,107 @@
+// Measurement primitives used by the experiment harness.
+//
+// Three kinds of instruments cover everything the paper reports:
+//  - Counter / CounterSet: named monotonically increasing event counts
+//    (promotions, demotions, aborted transactions, page faults, ...),
+//  - LatencyHistogram: log-bucketed distribution of per-access latency
+//    (Figure 10 reports average cache-line access latency),
+//  - WindowedSeries: bytes-per-window bandwidth trace over virtual time,
+//    used to split runs into "migration in progress" and "stable" phases
+//    (Figures 1, 7, 8, 9).
+#ifndef SRC_SIM_STATS_H_
+#define SRC_SIM_STATS_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/sim/clock.h"
+
+namespace nomad {
+
+// A named set of monotonically increasing counters keyed by string.
+// Lookup is by map; hot paths should cache a Counter reference.
+class CounterSet {
+ public:
+  // Returns a stable reference to the named counter, creating it at zero.
+  uint64_t& At(const std::string& name) { return counters_[name]; }
+
+  // Value of the counter, or 0 when it was never touched.
+  uint64_t Get(const std::string& name) const {
+    auto it = counters_.find(name);
+    return it == counters_.end() ? 0 : it->second;
+  }
+
+  void Add(const std::string& name, uint64_t delta) { counters_[name] += delta; }
+
+  void Reset() { counters_.clear(); }
+
+  const std::map<std::string, uint64_t>& All() const { return counters_; }
+
+  // Renders "name=value" lines, sorted by name.
+  std::string ToString() const;
+
+ private:
+  std::map<std::string, uint64_t> counters_;
+};
+
+// Log2-bucketed histogram of latencies in cycles. Records exact sums so the
+// mean is precise; buckets give the shape for percentile estimates.
+class LatencyHistogram {
+ public:
+  static constexpr int kBuckets = 40;
+
+  void Record(Cycles latency);
+
+  uint64_t count() const { return count_; }
+  double Mean() const {
+    return count_ == 0 ? 0.0 : static_cast<double>(sum_) / static_cast<double>(count_);
+  }
+  Cycles Max() const { return max_; }
+
+  // Approximate value at quantile q in [0,1], assuming uniform distribution
+  // within a bucket.
+  Cycles Quantile(double q) const;
+
+  void Reset();
+
+  // Merges another histogram into this one.
+  void Merge(const LatencyHistogram& other);
+
+ private:
+  uint64_t buckets_[kBuckets] = {};
+  uint64_t count_ = 0;
+  uint64_t sum_ = 0;
+  Cycles max_ = 0;
+};
+
+// Accumulates bytes transferred against virtual time and exposes per-window
+// bandwidth. Window boundaries are fixed multiples of window_cycles.
+class WindowedSeries {
+ public:
+  explicit WindowedSeries(Cycles window_cycles) : window_(window_cycles == 0 ? 1 : window_cycles) {}
+
+  // Records `bytes` of useful traffic at virtual time `now`.
+  void Record(Cycles now, uint64_t bytes);
+
+  // Number of complete or partial windows observed so far.
+  size_t NumWindows() const { return windows_.size(); }
+
+  // Bandwidth of window i in bytes/cycle.
+  double BandwidthAt(size_t i) const;
+
+  // Mean bandwidth over windows [first, last) in bytes/cycle.
+  double MeanBandwidth(size_t first, size_t last) const;
+
+  Cycles window_cycles() const { return window_; }
+  const std::vector<uint64_t>& windows() const { return windows_; }
+
+ private:
+  Cycles window_;
+  std::vector<uint64_t> windows_;
+};
+
+}  // namespace nomad
+
+#endif  // SRC_SIM_STATS_H_

@@ -1,0 +1,60 @@
+#include "src/trace/hint_fault_scanner.h"
+
+namespace nomad {
+
+Pfn HintFaultScanner::FirstSlowPfn() const { return ms_->pool().TotalFrames(Tier::kFast); }
+
+Pfn HintFaultScanner::EndSlowPfn() const {
+  return FirstSlowPfn() + ms_->pool().TotalFrames(Tier::kSlow);
+}
+
+Cycles HintFaultScanner::Step(Engine& engine) {
+  if (enabled_ && !enabled_()) {
+    engine.SleepUntil(engine.now() + config_.round_interval);
+    return 0;
+  }
+  FramePool& pool = ms_->pool();
+  const Pfn end = EndSlowPfn();
+  Cycles spent = 0;
+  uint64_t examined = 0;
+  uint64_t armed_this_round = 0;
+  bool any_shootdown = false;
+
+  while (examined < config_.pages_per_round) {
+    if (cursor_ >= end) {
+      cursor_ = FirstSlowPfn();
+      break;  // round finished; rest between sweeps
+    }
+    const Pfn pfn = cursor_++;
+    examined++;
+    PageFrame& f = pool.frame(pfn);
+    if (!f.in_use || !f.mapped() || f.is_shadow || f.migrating || f.in_pcq || f.in_pending) {
+      continue;
+    }
+    Pte* pte = ms_->PteOf(*f.owner, f.vpn);
+    if (pte == nullptr || !pte->present || pte->prot_none) {
+      continue;
+    }
+    pte->prot_none = true;
+    pages_armed_++;
+    armed_this_round++;
+    spent += config_.cost_per_page;
+    if (!any_shootdown) {
+      // Arming downgrades permissions, so stale TLB entries must go. Linux
+      // batches these flushes; we charge one shootdown per armed batch.
+      spent += ms_->TlbShootdown(*f.owner, f.vpn);
+      any_shootdown = true;
+    } else {
+      for (ActorId cpu : f.owner->cpus()) {
+        ms_->tlb(cpu).Invalidate(f.vpn);
+      }
+    }
+  }
+
+  if (cursor_ == FirstSlowPfn()) {
+    engine.SleepUntil(engine.now() + config_.round_interval);
+  }
+  return spent;
+}
+
+}  // namespace nomad

@@ -1,0 +1,157 @@
+#include "src/trace/pebs.h"
+
+#include <algorithm>
+
+namespace nomad {
+
+void PebsSampler::Attach() {
+  if (!ms_->platform().pebs_supported) {
+    return;
+  }
+  ms_->add_access_observer(
+      [this](ActorId /*cpu*/, AddressSpace& as, Vpn vpn, uint64_t /*offset*/, bool is_write,
+             bool llc_miss, bool tlb_miss, Tier tier) {
+        OnAccess(as, vpn, is_write, llc_miss, tlb_miss, tier);
+      });
+}
+
+void PebsSampler::OnAccess(AddressSpace& as, Vpn vpn, bool is_write, bool llc_miss, bool tlb_miss,
+                           Tier tier) {
+  // Eligibility: stores retire as sampleable events everywhere; dTLB
+  // misses are sampleable everywhere; loads are otherwise only visible as
+  // LLC-miss events, and only if the platform's PMU sees misses to that
+  // tier (on CXL platforms A/B they are uncore events, sec. 4).
+  bool primary;
+  if (is_write) {
+    primary = true;
+  } else if (!llc_miss) {
+    primary = false;  // cache hits generate no miss event
+  } else {
+    primary = tier == Tier::kFast || ms_->platform().pebs_sees_slow_reads;
+  }
+  if (primary) {
+    if (++event_tick_ % config_.sample_period != 0) {
+      return;
+    }
+  } else if (tlb_miss) {
+    // dTLB-miss sampling: a sparser auxiliary stream (this is all Memtis
+    // has for CXL reads on platforms A/B).
+    if (++tlb_event_tick_ % (config_.sample_period * kTlbPeriodFactor) != 0) {
+      return;
+    }
+  } else {
+    return;  // invisible to the PMU
+  }
+  space_ = &as;
+  counts_[vpn]++;
+  total_samples_++;
+  if (++samples_since_cooling_ >= config_.cooling_period) {
+    Cool();
+  }
+}
+
+void PebsSampler::Cool() {
+  samples_since_cooling_ = 0;
+  coolings_++;
+  for (auto it = counts_.begin(); it != counts_.end();) {
+    it->second /= 2;
+    if (it->second == 0) {
+      it = counts_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+uint64_t PebsSampler::CountOf(Vpn vpn) const {
+  auto it = counts_.find(vpn);
+  return it == counts_.end() ? 0 : it->second;
+}
+
+uint64_t PebsSampler::HotThreshold(uint64_t budget_pages) const {
+  if (counts_.empty()) {
+    return 1;
+  }
+  // Build a log2 histogram of counts, then walk from the hot end until the
+  // page budget is exhausted (Memtis's histogram-based split).
+  uint64_t hist[64] = {};
+  for (const auto& [vpn, c] : counts_) {
+    int b = 0;
+    uint64_t v = c;
+    while (v > 1) {
+      v >>= 1;
+      b++;
+    }
+    hist[std::min(b, 63)]++;
+  }
+  uint64_t cum = 0;
+  for (int b = 63; b >= 0; b--) {
+    cum += hist[b];
+    if (cum > budget_pages) {
+      return uint64_t{1} << (b + 1);
+    }
+  }
+  return 1;
+}
+
+std::vector<Vpn> PebsSampler::HotPagesOn(Tier tier, uint64_t threshold, size_t max_n) const {
+  std::vector<std::pair<uint64_t, Vpn>> hot;
+  if (space_ == nullptr) {
+    return {};
+  }
+  for (const auto& [vpn, c] : counts_) {
+    if (c < threshold) {
+      continue;
+    }
+    const Pte* pte = space_->table().Lookup(vpn);
+    if (pte == nullptr || !pte->present) {
+      continue;
+    }
+    if (ms_->pool().TierOf(pte->pfn) != tier) {
+      continue;
+    }
+    hot.emplace_back(c, vpn);
+  }
+  std::sort(hot.begin(), hot.end(), std::greater<>());
+  if (hot.size() > max_n) {
+    hot.resize(max_n);
+  }
+  std::vector<Vpn> out;
+  out.reserve(hot.size());
+  for (const auto& [c, vpn] : hot) {
+    out.push_back(vpn);
+  }
+  return out;
+}
+
+std::vector<Vpn> PebsSampler::ColdPagesOn(Tier tier, uint64_t threshold, size_t max_n) const {
+  std::vector<std::pair<uint64_t, Vpn>> cold;
+  if (space_ == nullptr) {
+    return {};
+  }
+  for (const auto& [vpn, c] : counts_) {
+    if (c >= threshold) {
+      continue;
+    }
+    const Pte* pte = space_->table().Lookup(vpn);
+    if (pte == nullptr || !pte->present) {
+      continue;
+    }
+    if (ms_->pool().TierOf(pte->pfn) != tier) {
+      continue;
+    }
+    cold.emplace_back(c, vpn);
+  }
+  std::sort(cold.begin(), cold.end());
+  if (cold.size() > max_n) {
+    cold.resize(max_n);
+  }
+  std::vector<Vpn> out;
+  out.reserve(cold.size());
+  for (const auto& [c, vpn] : cold) {
+    out.push_back(vpn);
+  }
+  return out;
+}
+
+}  // namespace nomad

@@ -1,0 +1,85 @@
+// PEBS-like hardware access sampling (the Memtis substrate).
+//
+// Models Intel Processor Event-Based Sampling as Memtis uses it (sec. 2.2,
+// 4): every Nth *eligible* hardware event yields a (vpn, count) sample that
+// feeds a per-page frequency histogram. Two realities of the hardware are
+// reproduced because the paper's Figure 10 result depends on them:
+//  - eligibility: retired stores are always sampleable; load samples come
+//    from LLC misses, and on CXL platforms (A/B) misses to the slow tier
+//    are *uncore* events PEBS cannot see (platform.pebs_sees_slow_reads),
+//  - LLC-hit blindness: accesses served by the cache produce no miss event,
+//    so the hottest, cache-resident pages go uncounted.
+//
+// Cooling halves all counts after `cooling_period` samples, matching
+// Memtis-Default (2000k) and Memtis-QuickCool (2k).
+#ifndef SRC_TRACE_PEBS_H_
+#define SRC_TRACE_PEBS_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "src/mm/memory_system.h"
+
+namespace nomad {
+
+class PebsSampler {
+ public:
+  struct Config {
+    // Record 1 of every N eligible events. Real Memtis tunes the period so
+    // sampling overhead stays under ~3%; at that rate the histogram is
+    // sparse and slow to react, which is the tradeoff sec. 4.1 dissects.
+    uint64_t sample_period = 199;
+    uint64_t cooling_period = 2000000;  // samples between halvings (Memtis-Default)
+  };
+
+  PebsSampler(MemorySystem* ms, const Config& config) : ms_(ms), config_(config) {}
+
+  // Subscribes to the memory system's access stream. No-op when the
+  // platform does not support PEBS/IBS at all (platform D).
+  void Attach();
+
+  uint64_t total_samples() const { return total_samples_; }
+  uint64_t coolings() const { return coolings_; }
+
+  // Current sampled access count of a page (0 when never sampled).
+  uint64_t CountOf(Vpn vpn) const;
+
+  // Histogram-based hot threshold: the smallest count c such that pages
+  // with count >= c number at most `budget_pages`. Returns 1 when the
+  // histogram is empty (everything sampled counts as warm).
+  uint64_t HotThreshold(uint64_t budget_pages) const;
+
+  // Pages currently resident on `tier` with count >= threshold, hottest
+  // first, up to max_n. Used by the Memtis migrator for promotion.
+  std::vector<Vpn> HotPagesOn(Tier tier, uint64_t threshold, size_t max_n) const;
+
+  // Pages resident on `tier` with count < threshold, coldest first, up to
+  // max_n. Sampled-page info only: pages never sampled are invisible, as
+  // with real PEBS. Used for demotion victim selection.
+  std::vector<Vpn> ColdPagesOn(Tier tier, uint64_t threshold, size_t max_n) const;
+
+  const std::unordered_map<Vpn, uint64_t>& counts() const { return counts_; }
+  AddressSpace* space() const { return space_; }
+
+ private:
+  void OnAccess(AddressSpace& as, Vpn vpn, bool is_write, bool llc_miss, bool tlb_miss, Tier tier);
+  void Cool();
+
+  // dTLB-miss events sample this much less often than primary events.
+  static constexpr uint64_t kTlbPeriodFactor = 64;
+
+  MemorySystem* ms_;
+  Config config_;
+  AddressSpace* space_ = nullptr;  // single traced space (set by first sample)
+  std::unordered_map<Vpn, uint64_t> counts_;
+  uint64_t event_tick_ = 0;
+  uint64_t tlb_event_tick_ = 0;
+  uint64_t total_samples_ = 0;
+  uint64_t samples_since_cooling_ = 0;
+  uint64_t coolings_ = 0;
+};
+
+}  // namespace nomad
+
+#endif  // SRC_TRACE_PEBS_H_

@@ -1,0 +1,141 @@
+// Liblinear-style L1-regularized logistic regression (Fig. 13, 16).
+//
+// The paper runs *multicore* liblinear: worker threads stream disjoint
+// slices of a large, cold data matrix while all of them read and update a
+// shared weight vector. Two access modes are provided:
+//
+//  - kParallelSgd (default, matches the paper's setup): one op = one
+//    training sample: stream a few lines of the sample's feature row, then
+//    gather + update the weights of its non-zero features. Feature ids
+//    are power-law skewed (frequent features dominate sparse datasets), so
+//    a small set of weight pages is written continuously by every thread.
+//    Those pages are exactly the ones worth promoting - and the racing
+//    stores are what aborts TPM transactions (Table 4: success:aborted as
+//    low as 1:1.9 on this workload).
+//
+//  - kCoordinateDescent: one op = one weight line: gather the feature
+//    column (scattered data reads), then read-modify-write the weight
+//    line; the outer iteration sweeps the model sequentially.
+#ifndef SRC_WORKLOAD_LIBLINEAR_H_
+#define SRC_WORKLOAD_LIBLINEAR_H_
+
+#include <algorithm>
+
+#include "src/workload/workload.h"
+
+namespace nomad {
+
+class LiblinearWorkload : public WorkloadActor {
+ public:
+  enum class Mode { kParallelSgd, kCoordinateDescent };
+
+  struct Config {
+    BaseConfig base;               // total_ops overridden by Layout()
+    Mode mode = Mode::kParallelSgd;
+    uint64_t samples = 100000;     // data rows
+    uint64_t row_lines = 8;        // data-row stride in cache lines
+    uint64_t sample_lines = 8;     // lines streamed/gathered per op
+    uint64_t model_pages = 256;    // weight-vector footprint
+    uint64_t features_per_sample = 6;  // weight gathers+updates per sample
+    uint64_t epochs = 2;
+    Vpn region_start = 0;          // set by Layout()
+    // Thread slicing: this worker processes samples with
+    // sample % num_threads == thread_index (kParallelSgd only).
+    int thread_index = 0;
+    int num_threads = 1;
+  };
+
+  // Region layout: [model][data]. Returns one past the last VPN and sets
+  // base.total_ops for this worker's share.
+  static Vpn Layout(Config* config, Vpn base) {
+    config->region_start = base;
+    if (config->mode == Mode::kParallelSgd) {
+      config->base.total_ops =
+          config->samples / config->num_threads * config->epochs;
+    } else {
+      config->base.total_ops = ModelLines(*config) * config->epochs;
+    }
+    return base + config->model_pages + DataPages(*config);
+  }
+
+  LiblinearWorkload(MemorySystem* ms, AddressSpace* as, const Config& config)
+      : WorkloadActor(ms, as, config.base), config_(config) {}
+
+  std::string name() const override { return "liblinear"; }
+
+  static uint64_t ModelLines(const Config& c) {
+    return c.model_pages * (kPageSize / kCacheLineSize);
+  }
+  static uint64_t DataPages(const Config& c) {
+    return (c.samples * c.row_lines * kCacheLineSize + kPageSize - 1) / kPageSize;
+  }
+
+ protected:
+  Cycles RunOp(uint64_t op_index) override {
+    return config_.mode == Mode::kParallelSgd ? SgdOp(op_index) : CdOp(op_index);
+  }
+
+ private:
+  // Power-law feature selection: frequent features first.
+  uint64_t SkewedFeature(uint64_t sample, uint64_t i) const {
+    const uint64_t num_features = config_.model_pages * kPageSize / 8;
+    const double u = static_cast<double>(Hash(sample, i) >> 11) * 0x1.0p-53;
+    return static_cast<uint64_t>(u * u * u * static_cast<double>(num_features));
+  }
+
+  Cycles SgdOp(uint64_t op_index) {
+    const uint64_t per_thread = config_.samples / config_.num_threads;
+    const uint64_t sample =
+        (op_index % per_thread) * config_.num_threads + config_.thread_index;
+    const Vpn model = config_.region_start;
+    const Vpn data = config_.region_start + config_.model_pages;
+
+    Cycles c = 0;
+    // Stream the sample's feature row (disjoint per thread).
+    const uint64_t row_byte = sample * config_.row_lines * kCacheLineSize;
+    for (uint64_t l = 0; l < config_.sample_lines; l++) {
+      const uint64_t b = row_byte + l * kCacheLineSize;
+      c += TouchLine(data + b / kPageSize, b % kPageSize, false);
+    }
+    // Gather and update the shared weights of the sample's features.
+    for (uint64_t i = 0; i < config_.features_per_sample; i++) {
+      const uint64_t b = SkewedFeature(sample, i) * 8;
+      c += TouchLine(model + b / kPageSize, b % kPageSize, false);
+      c += TouchLine(model + b / kPageSize, b % kPageSize, true);
+    }
+    return c;
+  }
+
+  Cycles CdOp(uint64_t op_index) {
+    const uint64_t line = op_index % ModelLines(config_);
+    const Vpn model = config_.region_start;
+    const Vpn data = config_.region_start + config_.model_pages;
+    const uint64_t data_lines = DataPages(config_) * (kPageSize / kCacheLineSize);
+
+    Cycles c = 0;
+    // Gather this feature's sample column across the data matrix.
+    for (uint64_t i = 0; i < config_.sample_lines; i++) {
+      const uint64_t b = (Hash(line, i) % data_lines) * kCacheLineSize;
+      c += TouchLine(data + b / kPageSize, b % kPageSize, false);
+    }
+    // Read-modify-write the weight line.
+    const uint64_t b = line * kCacheLineSize;
+    c += TouchLine(model + b / kPageSize, b % kPageSize, false);
+    c += TouchLine(model + b / kPageSize, b % kPageSize, true);
+    return c;
+  }
+
+  static uint64_t Hash(uint64_t x, uint64_t salt) {
+    x += (salt + 1) * 0xD6E8FEB86659FD93ull;
+    x ^= x >> 32;
+    x *= 0xD6E8FEB86659FD93ull;
+    x ^= x >> 32;
+    return x;
+  }
+
+  Config config_;
+};
+
+}  // namespace nomad
+
+#endif  // SRC_WORKLOAD_LIBLINEAR_H_

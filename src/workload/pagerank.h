@@ -1,0 +1,96 @@
+// PageRank over a synthetic uniform-random graph (Fig. 12, 15).
+//
+// Mirrors the GAPBS setup the paper uses: a uniform graph of V vertices
+// with average degree 20. The memory layout is a CSR edge array plus two
+// rank arrays; one RunOp processes one vertex:
+//  - stream the vertex's edge-list lines (sequential, edge region),
+//  - gather neighbor ranks (random reads across the rank region - the
+//    tier-sensitive part),
+//  - write the vertex's next rank (sequential).
+// Neighbor ids are generated on the fly from a hash, so the simulator does
+// not materialize the 20V-edge graph; `neighbor_sample` bounds the gathers
+// per vertex to keep run times sane while preserving the pattern.
+#ifndef SRC_WORKLOAD_PAGERANK_H_
+#define SRC_WORKLOAD_PAGERANK_H_
+
+#include "src/workload/workload.h"
+
+namespace nomad {
+
+class PageRankWorkload : public WorkloadActor {
+ public:
+  struct Config {
+    BaseConfig base;               // total_ops is overridden from iterations
+    uint64_t vertices = 1 << 20;
+    uint64_t degree = 20;
+    uint64_t neighbor_sample = 4;  // gathers simulated per vertex
+    uint64_t iterations = 2;
+    Vpn region_start = 0;          // set by Layout()
+  };
+
+  // Region layout: [ranks_cur][ranks_next][edges]. Returns one past the
+  // last VPN; total footprint matches the paper's RSS at scale.
+  static Vpn Layout(Config* config, Vpn base) {
+    config->region_start = base;
+    config->base.total_ops = config->vertices * config->iterations;
+    return base + RankPages(*config) * 2 + EdgePages(*config);
+  }
+
+  PageRankWorkload(MemorySystem* ms, AddressSpace* as, const Config& config)
+      : WorkloadActor(ms, as, config.base), config_(config) {}
+
+  std::string name() const override { return "pagerank"; }
+
+  static uint64_t RankPages(const Config& c) {
+    return (c.vertices * 8 + kPageSize - 1) / kPageSize;
+  }
+  static uint64_t EdgePages(const Config& c) {
+    return (c.vertices * c.degree * 8 + kPageSize - 1) / kPageSize;
+  }
+
+ protected:
+  Cycles RunOp(uint64_t op_index) override {
+    const uint64_t u = op_index % config_.vertices;
+    const uint64_t iter = op_index / config_.vertices;
+    const Vpn ranks_cur = config_.region_start + (iter % 2 == 0 ? 0 : RankPages(config_));
+    const Vpn ranks_next = config_.region_start + (iter % 2 == 0 ? RankPages(config_) : 0);
+    const Vpn edges = config_.region_start + 2 * RankPages(config_);
+
+    Cycles c = 0;
+    // Stream this vertex's slice of the CSR edge array.
+    const uint64_t edge_byte = u * config_.degree * 8;
+    const uint64_t edge_lines = (config_.degree * 8 + kCacheLineSize - 1) / kCacheLineSize;
+    for (uint64_t l = 0; l < edge_lines; l++) {
+      const uint64_t b = edge_byte + l * kCacheLineSize;
+      c += TouchLine(edges + b / kPageSize, b % kPageSize, false);
+    }
+    // Gather sampled neighbors' ranks (uniform-random graph: any vertex).
+    for (uint64_t i = 0; i < config_.neighbor_sample; i++) {
+      const uint64_t v = Hash(u * config_.degree + i * (config_.degree / config_.neighbor_sample),
+                              iter) %
+                         config_.vertices;
+      const uint64_t b = v * 8;
+      c += TouchLine(ranks_cur + b / kPageSize, b % kPageSize, false);
+    }
+    // Scatter the new rank.
+    const uint64_t b = u * 8;
+    c += TouchLine(ranks_next + b / kPageSize, b % kPageSize, true);
+    return c;
+  }
+
+ private:
+  static uint64_t Hash(uint64_t x, uint64_t salt) {
+    x += salt * 0x9E3779B97F4A7C15ull;
+    x ^= x >> 30;
+    x *= 0xBF58476D1CE4E5B9ull;
+    x ^= x >> 27;
+    x *= 0x94D049BB133111EBull;
+    return x ^ (x >> 31);
+  }
+
+  Config config_;
+};
+
+}  // namespace nomad
+
+#endif  // SRC_WORKLOAD_PAGERANK_H_

@@ -1,0 +1,62 @@
+// Block pointer-chasing workload (Fig. 10).
+//
+// The paper's benchmark crafted to *favor* PEBS tracking: fixed-size 1 GB
+// blocks, random cache-line accesses within a block (so every access misses
+// the LLC and is PEBS-visible), Zipfian selection across blocks. Dependent
+// loads - each access's address comes from the previous one - so MLP is 1
+// and the metric is average cache-line access latency.
+#ifndef SRC_WORKLOAD_POINTER_CHASE_H_
+#define SRC_WORKLOAD_POINTER_CHASE_H_
+
+#include <memory>
+
+#include "src/workload/workload.h"
+#include "src/workload/zipfian.h"
+
+namespace nomad {
+
+class PointerChaseWorkload : public WorkloadActor {
+ public:
+  struct Config {
+    BaseConfig base;
+    Vpn region_start = 0;
+    uint64_t block_pages = 0;  // pages per block (1 GB paper-equivalent)
+    uint64_t num_blocks = 0;   // WSS = block_pages * num_blocks
+    double zipf_theta = 0.99;
+  };
+
+  PointerChaseWorkload(MemorySystem* ms, AddressSpace* as, const Config& config)
+      : WorkloadActor(ms, as, config.base),
+        config_(config),
+        blocks_(config.num_blocks, config.zipf_theta, config.base.seed ^ 0xB10C) {
+    base_.mlp = 1;  // dependent loads cannot overlap
+  }
+
+  std::string name() const override { return "pointer-chase"; }
+
+ protected:
+  Cycles RunOp(uint64_t op_index) override {
+    // A run of accesses stays inside one block; hop blocks on a Zipfian
+    // draw every kRunLength accesses (the paper "repeatedly accesses"
+    // blocks, visiting all lines of a block per visit).
+    if (op_index % kRunLength == 0) {
+      current_block_ = blocks_.Draw(rng_);
+    }
+    const Vpn vpn =
+        config_.region_start + current_block_ * config_.block_pages +
+        rng_.Below(config_.block_pages);
+    const uint64_t offset = rng_.Below(kPageSize / kCacheLineSize) * kCacheLineSize;
+    return TouchLine(vpn, offset, /*is_write=*/false);
+  }
+
+ private:
+  static constexpr uint64_t kRunLength = 256;
+
+  Config config_;
+  ScrambledZipfian blocks_;
+  uint64_t current_block_ = 0;
+};
+
+}  // namespace nomad
+
+#endif  // SRC_WORKLOAD_POINTER_CHASE_H_

@@ -1,0 +1,41 @@
+#include "src/workload/trace.h"
+
+#include <istream>
+#include <ostream>
+
+namespace nomad {
+
+TraceRecorder::TraceRecorder(MemorySystem* ms, ActorId cpu_filter) {
+  ms->add_access_observer([this, cpu_filter](ActorId cpu, AddressSpace& /*as*/, Vpn vpn,
+                                             uint64_t offset, bool is_write,
+                                             bool /*llc_miss*/, bool /*tlb_miss*/,
+                                             Tier /*tier*/) {
+    if (cpu_filter != ~ActorId{0} && cpu != cpu_filter) {
+      return;
+    }
+    records_.push_back(
+        TraceRecord{vpn, static_cast<uint32_t>(offset), static_cast<uint8_t>(is_write ? 1 : 0)});
+  });
+}
+
+void TraceRecorder::Save(std::ostream& out) const {
+  for (const TraceRecord& r : records_) {
+    out << r.vpn << " " << r.offset << " " << static_cast<int>(r.is_write) << "\n";
+  }
+}
+
+std::vector<TraceRecord> TraceRecorder::Load(std::istream& in) {
+  std::vector<TraceRecord> records;
+  TraceRecord r;
+  uint64_t vpn = 0, offset = 0;
+  int w = 0;
+  while (in >> vpn >> offset >> w) {
+    r.vpn = vpn;
+    r.offset = static_cast<uint32_t>(offset);
+    r.is_write = static_cast<uint8_t>(w != 0);
+    records.push_back(r);
+  }
+  return records;
+}
+
+}  // namespace nomad

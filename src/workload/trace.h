@@ -1,0 +1,79 @@
+// Access-trace recording and replay.
+//
+// TraceRecorder subscribes to a MemorySystem and captures every user access
+// as a compact record; TraceReplayWorkload plays a captured (or externally
+// produced) trace back as a workload actor. This enables
+//  - capturing an application workload once and replaying it bit-identically
+//    under different tiering policies or platforms,
+//  - importing real access traces into the simulator,
+//  - regression-testing policies against frozen workloads.
+#ifndef SRC_WORKLOAD_TRACE_H_
+#define SRC_WORKLOAD_TRACE_H_
+
+#include <cstdint>
+#include <iosfwd>
+#include <vector>
+
+#include "src/workload/workload.h"
+
+namespace nomad {
+
+// One user access. 16 bytes.
+struct TraceRecord {
+  Vpn vpn = 0;
+  uint32_t offset = 0;  // byte offset within the page
+  uint8_t is_write = 0;
+
+  bool operator==(const TraceRecord&) const = default;
+};
+
+// Captures accesses flowing through a MemorySystem.
+class TraceRecorder {
+ public:
+  // Subscribes to `ms`. Only accesses by `cpu` are recorded when
+  // `cpu_filter` is set (pass ~0 for all CPUs).
+  TraceRecorder(MemorySystem* ms, ActorId cpu_filter = ~ActorId{0});
+
+  const std::vector<TraceRecord>& records() const { return records_; }
+  void Clear() { records_.clear(); }
+
+  // Text serialization: one "vpn offset w" triple per line.
+  void Save(std::ostream& out) const;
+  static std::vector<TraceRecord> Load(std::istream& in);
+
+ private:
+  std::vector<TraceRecord> records_;
+};
+
+// Replays a trace as a workload actor (one record per op).
+class TraceReplayWorkload : public WorkloadActor {
+ public:
+  struct Config {
+    BaseConfig base;  // total_ops is overridden by the trace length
+  };
+
+  TraceReplayWorkload(MemorySystem* ms, AddressSpace* as, std::vector<TraceRecord> trace,
+                      const Config& config = Config{})
+      : WorkloadActor(ms, as, WithLength(config, trace.size())), trace_(std::move(trace)) {}
+
+  std::string name() const override { return "trace-replay"; }
+
+ protected:
+  Cycles RunOp(uint64_t op_index) override {
+    const TraceRecord& r = trace_[op_index];
+    return TouchLine(r.vpn, r.offset, r.is_write != 0);
+  }
+
+ private:
+  static BaseConfig WithLength(const Config& config, size_t n) {
+    BaseConfig base = config.base;
+    base.total_ops = n;
+    return base;
+  }
+
+  std::vector<TraceRecord> trace_;
+};
+
+}  // namespace nomad
+
+#endif  // SRC_WORKLOAD_TRACE_H_

@@ -1,0 +1,90 @@
+// Base class for application workload actors.
+//
+// A workload actor is one simulated application thread: each engine step
+// executes a small batch of memory accesses (small enough that TPM copy
+// windows interleave with stores, which is what makes transaction aborts
+// observable). The base class owns the measurement instruments every
+// experiment reads: a windowed bandwidth series, a latency histogram, and
+// the op counter that ends the run.
+#ifndef SRC_WORKLOAD_WORKLOAD_H_
+#define SRC_WORKLOAD_WORKLOAD_H_
+
+#include <memory>
+#include <string>
+
+#include "src/mm/memory_system.h"
+#include "src/sim/rng.h"
+#include "src/sim/stats.h"
+
+namespace nomad {
+
+class WorkloadActor : public Actor {
+ public:
+  struct BaseConfig {
+    uint64_t total_ops = 1000000;   // accesses (or app-level ops) before done
+    unsigned batch = 8;             // accesses executed per engine step
+    unsigned mlp = 4;               // memory-level parallelism per access
+    Cycles bandwidth_window = 500000;  // windowed-series granularity
+    uint64_t seed = 1;
+  };
+
+  WorkloadActor(MemorySystem* ms, AddressSpace* as, const BaseConfig& base)
+      : ms_(ms),
+        as_(as),
+        base_(base),
+        rng_(base.seed),
+        bandwidth_(base.bandwidth_window) {}
+
+  void set_actor_id(ActorId id) { actor_id_ = id; }
+  ActorId actor_id() const { return actor_id_; }
+
+  Cycles Step(Engine& engine) final;
+  bool done() const final { return ops_done_ >= base_.total_ops; }
+
+  uint64_t ops_done() const { return ops_done_; }
+  const WindowedSeries& bandwidth() const { return bandwidth_; }
+  const LatencyHistogram& latency() const { return latency_; }
+  Cycles finish_time() const { return finish_time_; }
+
+ protected:
+  // Executes one application-level operation (commonly one memory access)
+  // and returns its simulated latency. `op_index` is the 0-based operation
+  // number.
+  virtual Cycles RunOp(uint64_t op_index) = 0;
+
+  // One user access charged against this actor, with measurement.
+  Cycles TouchLine(Vpn vpn, uint64_t offset, bool is_write) {
+    const Cycles c = ms_->Access(actor_id_, *as_, vpn, offset, is_write, base_.mlp);
+    bandwidth_.Record(ms_->Now(), kCacheLineSize);
+    latency_.Record(c);
+    return c;
+  }
+
+  MemorySystem* ms_;
+  AddressSpace* as_;
+  BaseConfig base_;
+  Rng rng_;
+
+ private:
+  ActorId actor_id_ = 0;
+  WindowedSeries bandwidth_;
+  LatencyHistogram latency_;
+  uint64_t ops_done_ = 0;
+  Cycles finish_time_ = 0;
+};
+
+inline Cycles WorkloadActor::Step(Engine& engine) {
+  Cycles spent = 0;
+  for (unsigned i = 0; i < base_.batch && ops_done_ < base_.total_ops; i++) {
+    spent += RunOp(ops_done_);
+    ops_done_++;
+  }
+  if (done()) {
+    finish_time_ = engine.now() + spent;
+  }
+  return spent;
+}
+
+}  // namespace nomad
+
+#endif  // SRC_WORKLOAD_WORKLOAD_H_

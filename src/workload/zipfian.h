@@ -1,0 +1,94 @@
+// Zipfian page selection, YCSB-style.
+//
+// The paper's micro-benchmark "generates memory accesses to the WSS data
+// that mimic real-world memory access patterns with a Zipfian distribution"
+// with "the frequently accessed, or hot, data uniformly distributed along
+// the WSS" (sec. 4.1). That is a *scrambled* Zipfian: rank r is the r-th
+// hottest page, and a random permutation spreads ranks uniformly over the
+// page range. Exposing the permutation lets the harness implement the
+// Frequency-opt initial placement of Fig. 1 (hottest pages placed in fast
+// memory first).
+#ifndef SRC_WORKLOAD_ZIPFIAN_H_
+#define SRC_WORKLOAD_ZIPFIAN_H_
+
+#include <cmath>
+#include <cstdint>
+#include <numeric>
+#include <vector>
+
+#include "src/sim/rng.h"
+
+namespace nomad {
+
+// Draws ranks in [0, n) with P(rank) ~ 1/(rank+1)^theta (Gray et al.).
+class ZipfianRanks {
+ public:
+  ZipfianRanks(uint64_t n, double theta = 0.99);
+
+  uint64_t Draw(Rng& rng) const;
+
+  uint64_t n() const { return n_; }
+  double theta() const { return theta_; }
+
+ private:
+  uint64_t n_;
+  double theta_;
+  double zetan_;
+  double alpha_;
+  double eta_;
+};
+
+// Scrambled Zipfian over a page (or item) range: hotness ranks are
+// permuted uniformly across [0, n).
+class ScrambledZipfian {
+ public:
+  ScrambledZipfian(uint64_t n, double theta, uint64_t seed)
+      : ranks_(n, theta), perm_(n) {
+    std::iota(perm_.begin(), perm_.end(), uint64_t{0});
+    Rng rng(seed);
+    for (uint64_t i = n; i > 1; i--) {  // Fisher-Yates
+      std::swap(perm_[i - 1], perm_[rng.Below(i)]);
+    }
+  }
+
+  // Next item index (0-based within the range).
+  uint64_t Draw(Rng& rng) const { return perm_[ranks_.Draw(rng)]; }
+
+  // Item holding hotness rank r (0 = hottest). Used for Frequency-opt
+  // placement.
+  uint64_t ItemOfRank(uint64_t rank) const { return perm_[rank]; }
+
+  uint64_t n() const { return ranks_.n(); }
+
+ private:
+  ZipfianRanks ranks_;
+  std::vector<uint64_t> perm_;
+};
+
+inline ZipfianRanks::ZipfianRanks(uint64_t n, double theta) : n_(n), theta_(theta) {
+  zetan_ = 0.0;
+  for (uint64_t i = 1; i <= n_; i++) {
+    zetan_ += 1.0 / std::pow(static_cast<double>(i), theta_);
+  }
+  alpha_ = 1.0 / (1.0 - theta_);
+  const double zeta2 = 1.0 + 1.0 / std::pow(2.0, theta_);
+  eta_ = (1.0 - std::pow(2.0 / static_cast<double>(n_), 1.0 - theta_)) / (1.0 - zeta2 / zetan_);
+}
+
+inline uint64_t ZipfianRanks::Draw(Rng& rng) const {
+  const double u = rng.NextDouble();
+  const double uz = u * zetan_;
+  if (uz < 1.0) {
+    return 0;
+  }
+  if (uz < 1.0 + std::pow(0.5, theta_)) {
+    return 1;
+  }
+  const auto r = static_cast<uint64_t>(static_cast<double>(n_) *
+                                       std::pow(eta_ * u - eta_ + 1.0, alpha_));
+  return r >= n_ ? n_ - 1 : r;
+}
+
+}  // namespace nomad
+
+#endif  // SRC_WORKLOAD_ZIPFIAN_H_

@@ -1,0 +1,130 @@
+// Miscellaneous cross-cutting coverage: copy-cost charging, Sim's hard
+// cap, watermark interplay between kpromote and kswapd, and counters'
+// stability across policy reinstallation patterns.
+#include <gtest/gtest.h>
+
+#include "src/harness/experiment.h"
+#include "src/workload/micro.h"
+#include "src/workload/seq_scan.h"
+
+namespace nomad {
+namespace {
+
+PlatformSpec SmallPlatform() {
+  Scale scale{1024};
+  return MakePlatform(PlatformId::kA, scale);
+}
+
+TEST(CopyCostTest, CopyCostReflectsSlowerSide) {
+  Engine engine;
+  MemorySystem ms(SmallPlatform(), &engine);
+  // Promotion copies read from the slow tier: the cost must be at least
+  // the slow tier's latency plus 4 KB of serialization at its single
+  // rate.
+  const TierSpec& slow = ms.platform().tiers[1];
+  const Cycles promote_copy = ms.CopyPageCost(Tier::kSlow, Tier::kFast);
+  EXPECT_GE(promote_copy,
+            slow.read_latency + static_cast<Cycles>(4096.0 / slow.read_bw_single));
+  // Demotion writes to the slow tier.
+  const Cycles demote_copy = ms.CopyPageCost(Tier::kFast, Tier::kSlow);
+  EXPECT_GE(demote_copy, slow.write_latency);
+}
+
+TEST(CopyCostTest, BackToBackCopiesQueueOnTheDevice) {
+  Engine engine;
+  MemorySystem ms(SmallPlatform(), &engine);
+  const Cycles first = ms.CopyPageCost(Tier::kSlow, Tier::kFast);
+  Cycles last = first;
+  for (int i = 0; i < 20; i++) {
+    last = ms.CopyPageCost(Tier::kSlow, Tier::kFast);
+  }
+  EXPECT_GT(last, first);  // the channel backlog grows
+}
+
+TEST(SimHardCapTest, RunStopsAtVirtualTimeCap) {
+  Sim sim(SmallPlatform(), PolicyKind::kNoMigration, 1000);
+  ScrambledZipfian zipf(100, 0.99, 1);
+  MicroWorkload::Config cfg;
+  cfg.base.total_ops = ~uint64_t{0} >> 8;  // effectively unbounded
+  cfg.wss_start = 0;
+  cfg.wss_pages = 100;
+  MicroWorkload w(&sim.ms(), &sim.as(), &zipf, cfg);
+  sim.AddWorkload(&w);
+  const Cycles end = sim.Run(/*hard_cap=*/1000000);
+  EXPECT_LE(end, 1100000u);
+  EXPECT_FALSE(w.done());
+}
+
+// Under NOMAD, a sequential scan larger than total memory must neither
+// OOM nor deadlock: kswapd + shadow reclamation keep allocation alive.
+TEST(ScanPressureTest, SequentialScanBiggerThanMemorySurvives) {
+  const Scale scale{1024};
+  const PlatformSpec platform = MakePlatform(PlatformId::kA, scale);
+  const uint64_t rss_pages = scale.Pages(29.0);  // vs 32 GB total
+  Sim sim(platform, PolicyKind::kNomad, rss_pages + 8);
+  MapRange(sim.ms(), sim.as(), 0, rss_pages, Tier::kFast);
+
+  SeqScanWorkload::Config cfg;
+  cfg.region_start = 0;
+  cfg.region_pages = rss_pages;
+  cfg.base.total_ops = rss_pages * 4 * 3;
+  SeqScanWorkload app(&sim.ms(), &sim.as(), cfg);
+  sim.AddWorkload(&app);
+  sim.Run();
+  EXPECT_TRUE(app.done());
+  EXPECT_EQ(sim.ms().counters().Get("oom"), 0u);
+  EXPECT_EQ(sim.ms().pool().oom_count(), 0u);
+  // Every page is still mapped.
+  for (Vpn v = 0; v < rss_pages; v += 97) {
+    const Pte* pte = sim.ms().PteOf(sim.as(), v);
+    ASSERT_NE(pte, nullptr);
+    EXPECT_TRUE(pte->present);
+  }
+}
+
+// kpromote and kswapd must not livelock each other at the watermark:
+// promotion waits for headroom, kswapd restores it, promotion proceeds.
+TEST(WatermarkInterplayTest, PromotionsResumeAfterReclaim) {
+  const Scale scale{2048};  // 16 GB -> 2048 pages per tier
+  const PlatformSpec platform = MakePlatform(PlatformId::kA, scale);
+  Sim sim(platform, PolicyKind::kNomad, 8192);
+  // Fill fast memory with cold pages, then run a hot Zipfian set on slow.
+  MapRange(sim.ms(), sim.as(), 0, 2000, Tier::kFast);
+  MapRange(sim.ms(), sim.as(), 4000, 256, Tier::kSlow);
+  ScrambledZipfian zipf(256, 0.99, 2);
+  MicroWorkload::Config cfg;
+  cfg.base.total_ops = 400000;
+  cfg.wss_start = 4000;
+  cfg.wss_pages = 256;
+  MicroWorkload w(&sim.ms(), &sim.as(), &zipf, cfg);
+  sim.AddWorkload(&w);
+  sim.Run();
+  // Promotions happened despite the initially-full fast node.
+  EXPECT_GT(sim.nomad()->tpm_stats().commits, 50u);
+  // kswapd made the room.
+  EXPECT_GT(sim.ms().counters().Get("migrate.sync_demote") +
+                sim.ms().counters().Get("nomad.demote_remap"),
+            50u);
+}
+
+TEST(AnalyzeShapeTest, TransientAndStableDifferAfterWarmup) {
+  // A policy that migrates should show stable >= transient when hot data
+  // starts on the slow tier.
+  const Scale scale{1024};
+  const PlatformSpec platform = MakePlatform(PlatformId::kA, scale);
+  Sim sim(platform, PolicyKind::kNomad, 8192);
+  MapRange(sim.ms(), sim.as(), 0, 1024, Tier::kSlow);
+  ScrambledZipfian zipf(1024, 0.99, 3);
+  MicroWorkload::Config cfg;
+  cfg.base.total_ops = 300000;
+  cfg.wss_start = 0;
+  cfg.wss_pages = 1024;
+  MicroWorkload w(&sim.ms(), &sim.as(), &zipf, cfg);
+  sim.AddWorkload(&w);
+  sim.Run();
+  const PhaseReport r = Analyze(sim);
+  EXPECT_GT(r.stable_gbps, r.transient_gbps);
+}
+
+}  // namespace
+}  // namespace nomad

@@ -1,0 +1,96 @@
+// Tests for the bandwidth-queued device model.
+#include "src/mem/device.h"
+
+#include <gtest/gtest.h>
+
+namespace nomad {
+namespace {
+
+TierSpec TestSpec() {
+  TierSpec t;
+  t.read_latency = 300;
+  t.write_latency = 200;
+  t.read_bw_single = 4.0;   // bytes/cycle
+  t.read_bw_peak = 16.0;
+  t.write_bw_single = 2.0;
+  t.write_bw_peak = 8.0;
+  return t;
+}
+
+TEST(DeviceTest, UnloadedReadLatency) {
+  MemoryDevice dev(TestSpec());
+  // 64 B at 4 B/cyc single-thread = 16 cycles service + 300 latency.
+  EXPECT_EQ(dev.Read(0, 64), 300u + 16u);
+}
+
+TEST(DeviceTest, UnloadedWriteLatency) {
+  MemoryDevice dev(TestSpec());
+  EXPECT_EQ(dev.Write(0, 64), 200u + 32u);
+}
+
+TEST(DeviceTest, ReadAndWriteChannelsIndependent) {
+  MemoryDevice dev(TestSpec());
+  const Cycles r1 = dev.Read(0, 4096);
+  const Cycles w1 = dev.Write(0, 4096);
+  // Neither queues behind the other.
+  EXPECT_EQ(r1, 300u + 1024u);
+  EXPECT_EQ(w1, 200u + 2048u);
+}
+
+TEST(DeviceTest, BackToBackRequestsQueue) {
+  MemoryDevice dev(TestSpec());
+  // First 4 KB read occupies the channel for 4096/16 = 256 cycles.
+  const Cycles first = dev.Read(0, 4096);
+  // A second request at t=0 queues 256 cycles.
+  const Cycles second = dev.Read(0, 4096);
+  EXPECT_EQ(second, first + 256);
+}
+
+TEST(DeviceTest, SpacedRequestsDoNotQueue) {
+  MemoryDevice dev(TestSpec());
+  const Cycles first = dev.Read(0, 4096);
+  const Cycles later = dev.Read(10000, 4096);
+  EXPECT_EQ(later, first);
+}
+
+TEST(DeviceTest, QueueDrainsOverTime) {
+  MemoryDevice dev(TestSpec());
+  dev.Read(0, 4096);           // channel busy until t=256
+  const Cycles at_100 = dev.Read(100, 64);
+  // Queued 156 cycles, then latency 300 + service 16.
+  EXPECT_EQ(at_100, 156u + 300u + 16u);
+}
+
+TEST(DeviceTest, BytesAccounted) {
+  MemoryDevice dev(TestSpec());
+  dev.Read(0, 64);
+  dev.Read(0, 4096);
+  dev.Write(0, 128);
+  EXPECT_EQ(dev.read_channel().bytes_total(), 64u + 4096u);
+  EXPECT_EQ(dev.write_channel().bytes_total(), 128u);
+}
+
+TEST(DeviceTest, MinimumOneCycleService) {
+  TierSpec t = TestSpec();
+  t.read_bw_single = 1e9;  // absurdly fast
+  t.read_bw_peak = 1e9;
+  MemoryDevice dev(t);
+  EXPECT_GE(dev.Read(0, 1), t.read_latency + 1);
+}
+
+// Aggregate throughput under saturation approaches peak bandwidth, not the
+// single-thread rate.
+TEST(DeviceTest, SaturationApproachesPeakBandwidth) {
+  MemoryDevice dev(TestSpec());
+  const int kRequests = 1000;
+  Cycles last_done = 0;
+  for (int i = 0; i < kRequests; i++) {
+    last_done = dev.Read(0, 4096);  // all arrive at t=0
+  }
+  const double achieved =
+      static_cast<double>(kRequests) * 4096.0 / static_cast<double>(last_done);
+  EXPECT_NEAR(achieved, 16.0, 1.0);
+}
+
+}  // namespace
+}  // namespace nomad

@@ -1,0 +1,92 @@
+// Tests for platform presets (Table 1) and size scaling.
+#include "src/mem/platform.h"
+
+#include <gtest/gtest.h>
+
+namespace nomad {
+namespace {
+
+TEST(ScaleTest, BytesAndPages) {
+  Scale s{64};
+  EXPECT_EQ(s.Bytes(16.0), (uint64_t{16} << 30) / 64);
+  EXPECT_EQ(s.Pages(16.0), (uint64_t{16} << 30) / 64 / 4096);
+  EXPECT_DOUBLE_EQ(s.ToPaperGb(s.Bytes(16.0)), 16.0);
+}
+
+TEST(ScaleTest, UnityScale) {
+  Scale s{1};
+  EXPECT_EQ(s.Bytes(1.0), uint64_t{1} << 30);
+}
+
+TEST(ScaleTest, FractionalGb) {
+  Scale s{64};
+  EXPECT_EQ(s.Bytes(0.5), (uint64_t{1} << 29) / 64);
+}
+
+TEST(PlatformTest, AllPlatformsConstruct) {
+  for (PlatformId id :
+       {PlatformId::kA, PlatformId::kB, PlatformId::kC, PlatformId::kD}) {
+    const PlatformSpec p = MakePlatform(id);
+    EXPECT_GT(p.ghz, 0.0);
+    EXPECT_GT(p.llc_bytes, 0u);
+    EXPECT_GT(p.tiers[0].capacity_bytes, 0u);
+    EXPECT_GT(p.tiers[1].capacity_bytes, 0u);
+    // The capacity tier is slower than the performance tier on every
+    // testbed (Table 1).
+    EXPECT_GT(p.tiers[1].read_latency, p.tiers[0].read_latency);
+  }
+}
+
+TEST(PlatformTest, Table1ReadLatencies) {
+  EXPECT_EQ(MakePlatform(PlatformId::kA).tiers[0].read_latency, 316u);
+  EXPECT_EQ(MakePlatform(PlatformId::kA).tiers[1].read_latency, 854u);
+  EXPECT_EQ(MakePlatform(PlatformId::kB).tiers[0].read_latency, 226u);
+  EXPECT_EQ(MakePlatform(PlatformId::kB).tiers[1].read_latency, 737u);
+  EXPECT_EQ(MakePlatform(PlatformId::kC).tiers[0].read_latency, 249u);
+  EXPECT_EQ(MakePlatform(PlatformId::kC).tiers[1].read_latency, 1077u);
+  EXPECT_EQ(MakePlatform(PlatformId::kD).tiers[0].read_latency, 391u);
+  EXPECT_EQ(MakePlatform(PlatformId::kD).tiers[1].read_latency, 712u);
+}
+
+TEST(PlatformTest, BandwidthConvertedToBytesPerCycle) {
+  const PlatformSpec a = MakePlatform(PlatformId::kA);
+  // 12 GB/s at 2.1 GHz = 5.714 B/cyc single-thread fast reads.
+  EXPECT_NEAR(a.tiers[0].read_bw_single, 12.0 / 2.1, 1e-9);
+  EXPECT_NEAR(a.tiers[1].read_bw_peak, 21.7 / 2.1, 1e-9);
+}
+
+TEST(PlatformTest, PebsVisibilityPerPlatform) {
+  EXPECT_TRUE(MakePlatform(PlatformId::kA).pebs_supported);
+  EXPECT_FALSE(MakePlatform(PlatformId::kA).pebs_sees_slow_reads);  // CXL uncore
+  EXPECT_FALSE(MakePlatform(PlatformId::kB).pebs_sees_slow_reads);
+  EXPECT_TRUE(MakePlatform(PlatformId::kC).pebs_sees_slow_reads);   // PM
+  EXPECT_FALSE(MakePlatform(PlatformId::kD).pebs_supported);        // no IBS
+}
+
+TEST(PlatformTest, CapacityRespectsArguments) {
+  const Scale s{64};
+  const PlatformSpec p = MakePlatform(PlatformId::kC, s, 16.0, 256.0);
+  EXPECT_EQ(p.tiers[0].capacity_bytes, s.Bytes(16.0));
+  EXPECT_EQ(p.tiers[1].capacity_bytes, s.Bytes(256.0));
+}
+
+TEST(PlatformTest, PlatformDHasNarrowestGap) {
+  // The paper attributes NOMAD's largest wins to platform D's small
+  // fast/slow latency ratio; keep that property in the presets.
+  auto ratio = [](PlatformId id) {
+    const PlatformSpec p = MakePlatform(id);
+    return static_cast<double>(p.tiers[1].read_latency) /
+           static_cast<double>(p.tiers[0].read_latency);
+  };
+  EXPECT_LT(ratio(PlatformId::kD), ratio(PlatformId::kA));
+  EXPECT_LT(ratio(PlatformId::kD), ratio(PlatformId::kB));
+  EXPECT_LT(ratio(PlatformId::kD), ratio(PlatformId::kC));
+}
+
+TEST(PlatformTest, NamesAreStable) {
+  EXPECT_STREQ(PlatformName(PlatformId::kA), "A");
+  EXPECT_STREQ(PlatformName(PlatformId::kD), "D");
+}
+
+}  // namespace
+}  // namespace nomad

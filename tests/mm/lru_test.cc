@@ -1,0 +1,203 @@
+// Tests for the active/inactive LRU lists and the 15-slot pagevec batching
+// that produces TPP's multi-fault promotion pathology.
+#include "src/mm/lru.h"
+
+#include <gtest/gtest.h>
+
+#include "src/mem/platform.h"
+
+namespace nomad {
+namespace {
+
+class LruTest : public ::testing::Test {
+ protected:
+  LruTest() : pool_(MakePool()), lru_(&pool_) {}
+
+  static FramePool MakePool() {
+    PlatformSpec p = MakePlatform(PlatformId::kA);
+    p.tiers[0].capacity_bytes = 256 * kPageSize;
+    p.tiers[1].capacity_bytes = 256 * kPageSize;
+    return FramePool(p);
+  }
+
+  Pfn NewPage() {
+    const Pfn pfn = pool_.AllocOn(Tier::kFast);
+    lru_.AddInactive(pfn);
+    return pfn;
+  }
+
+  FramePool pool_;
+  LruLists lru_;
+};
+
+TEST_F(LruTest, NewPagesGoInactive) {
+  const Pfn pfn = NewPage();
+  EXPECT_EQ(pool_.frame(pfn).lru, LruList::kInactive);
+  EXPECT_FALSE(pool_.frame(pfn).active);
+  EXPECT_EQ(lru_.inactive_size(), 1u);
+}
+
+TEST_F(LruTest, FirstTouchSetsReferencedOnly) {
+  const Pfn pfn = NewPage();
+  lru_.MarkAccessed(pfn);
+  EXPECT_TRUE(pool_.frame(pfn).referenced);
+  EXPECT_EQ(pool_.frame(pfn).lru, LruList::kInactive);
+}
+
+TEST_F(LruTest, SecondTouchQueuesActivationInPagevec) {
+  const Pfn pfn = NewPage();
+  lru_.MarkAccessed(pfn);
+  lru_.MarkAccessed(pfn);
+  // Still inactive: the activation sits in the pagevec.
+  EXPECT_EQ(pool_.frame(pfn).lru, LruList::kInactive);
+  EXPECT_FALSE(pool_.frame(pfn).active);
+  EXPECT_EQ(lru_.pagevec_fill(), 1u);
+}
+
+TEST_F(LruTest, DrainActivates) {
+  const Pfn pfn = NewPage();
+  lru_.MarkAccessed(pfn);
+  lru_.MarkAccessed(pfn);
+  EXPECT_EQ(lru_.DrainPagevec(), 1u);
+  EXPECT_EQ(pool_.frame(pfn).lru, LruList::kActive);
+  EXPECT_TRUE(pool_.frame(pfn).active);
+  EXPECT_FALSE(pool_.frame(pfn).referenced);  // cleared on activation
+}
+
+TEST_F(LruTest, PagevecAutoDrainsAtFifteen) {
+  // One page can fill the pagevec with duplicate requests; the 15th
+  // request triggers the drain (this is the "up to 15 minor faults"
+  // behaviour of sec. 3.1).
+  const Pfn pfn = NewPage();
+  lru_.MarkAccessed(pfn);  // sets referenced
+  for (size_t i = 0; i < kPagevecSize - 1; i++) {
+    lru_.MarkAccessed(pfn);
+    EXPECT_FALSE(pool_.frame(pfn).active);
+    EXPECT_EQ(lru_.pagevec_fill(), i + 1);
+  }
+  lru_.MarkAccessed(pfn);  // 15th request: auto-drain
+  EXPECT_TRUE(pool_.frame(pfn).active);
+  EXPECT_EQ(lru_.pagevec_fill(), 0u);
+}
+
+TEST_F(LruTest, DuplicateRequestsActivateOnce) {
+  const Pfn a = NewPage();
+  const Pfn b = NewPage();
+  lru_.MarkAccessed(a);
+  lru_.MarkAccessed(b);
+  lru_.MarkAccessed(a);
+  lru_.MarkAccessed(a);
+  lru_.MarkAccessed(b);
+  EXPECT_EQ(lru_.DrainPagevec(), 2u);
+  EXPECT_EQ(lru_.active_size(), 2u);
+}
+
+TEST_F(LruTest, ActiveTouchSetsReferenced) {
+  const Pfn pfn = NewPage();
+  lru_.MarkAccessed(pfn);
+  lru_.MarkAccessed(pfn);
+  lru_.DrainPagevec();
+  lru_.MarkAccessed(pfn);
+  EXPECT_TRUE(pool_.frame(pfn).referenced);
+  EXPECT_EQ(pool_.frame(pfn).lru, LruList::kActive);
+}
+
+TEST_F(LruTest, InactiveTailIsOldest) {
+  const Pfn first = NewPage();
+  NewPage();
+  const Pfn last = NewPage();
+  EXPECT_EQ(lru_.InactiveTail(), first);
+  (void)last;
+}
+
+TEST_F(LruTest, RotateMovesToHead) {
+  const Pfn first = NewPage();
+  const Pfn second = NewPage();
+  lru_.RotateInactive(first);
+  EXPECT_EQ(lru_.InactiveTail(), second);
+}
+
+TEST_F(LruTest, DeactivateMovesActiveToInactive) {
+  const Pfn pfn = NewPage();
+  lru_.MarkAccessed(pfn);
+  lru_.MarkAccessed(pfn);
+  lru_.DrainPagevec();
+  lru_.Deactivate(pfn);
+  EXPECT_EQ(pool_.frame(pfn).lru, LruList::kInactive);
+  EXPECT_FALSE(pool_.frame(pfn).active);
+  EXPECT_FALSE(pool_.frame(pfn).referenced);
+}
+
+TEST_F(LruTest, ActivateNowBypassesPagevec) {
+  const Pfn pfn = NewPage();
+  lru_.ActivateNow(pfn);
+  EXPECT_EQ(pool_.frame(pfn).lru, LruList::kActive);
+  EXPECT_EQ(lru_.pagevec_fill(), 0u);
+}
+
+TEST_F(LruTest, RemoveIsolatesPage) {
+  const Pfn a = NewPage();
+  const Pfn b = NewPage();
+  const Pfn c = NewPage();
+  lru_.Remove(b);
+  EXPECT_EQ(pool_.frame(b).lru, LruList::kNone);
+  EXPECT_EQ(lru_.inactive_size(), 2u);
+  // List links survive around the removed node.
+  EXPECT_EQ(lru_.InactiveTail(), a);
+  EXPECT_EQ(pool_.frame(a).lru_prev, c);
+}
+
+TEST_F(LruTest, RemoveUnlistedIsNoop) {
+  const Pfn pfn = pool_.AllocOn(Tier::kFast);
+  lru_.Remove(pfn);  // never added
+  EXPECT_EQ(lru_.inactive_size(), 0u);
+}
+
+TEST_F(LruTest, DrainSkipsPagesRemovedMeanwhile) {
+  const Pfn pfn = NewPage();
+  lru_.MarkAccessed(pfn);
+  lru_.MarkAccessed(pfn);
+  lru_.Remove(pfn);  // isolated for migration while request pending
+  EXPECT_EQ(lru_.DrainPagevec(), 0u);
+}
+
+TEST_F(LruTest, MarkAccessedOnIsolatedPageIsNoop) {
+  const Pfn pfn = NewPage();
+  lru_.Remove(pfn);
+  lru_.MarkAccessed(pfn);
+  EXPECT_FALSE(pool_.frame(pfn).referenced);
+}
+
+TEST_F(LruTest, InactiveIsLowHeuristic) {
+  // 1 inactive vs 3 active -> low.
+  const Pfn a = NewPage();
+  const Pfn b = NewPage();
+  const Pfn c = NewPage();
+  NewPage();
+  for (Pfn p : {a, b, c}) {
+    lru_.ActivateNow(p);
+  }
+  EXPECT_TRUE(lru_.InactiveIsLow());
+}
+
+TEST_F(LruTest, ManyPagesKeepListConsistent) {
+  std::vector<Pfn> pages;
+  for (int i = 0; i < 100; i++) {
+    pages.push_back(NewPage());
+  }
+  // Remove every third page, then walk the list from the tail and count.
+  size_t removed = 0;
+  for (size_t i = 0; i < pages.size(); i += 3) {
+    lru_.Remove(pages[i]);
+    removed++;
+  }
+  EXPECT_EQ(lru_.inactive_size(), pages.size() - removed);
+  size_t walked = 0;
+  for (Pfn p = lru_.InactiveTail(); p != kInvalidPfn; p = pool_.frame(p).lru_prev) {
+    walked++;
+  }
+  EXPECT_EQ(walked, pages.size() - removed);
+}
+
+}  // namespace
+}  // namespace nomad

@@ -1,0 +1,150 @@
+// Tests for Linux-style synchronous page migration.
+#include "src/mm/migrate.h"
+
+#include <gtest/gtest.h>
+
+namespace nomad {
+namespace {
+
+PlatformSpec TestPlatform(uint64_t fast_pages = 64, uint64_t slow_pages = 64) {
+  PlatformSpec p = MakePlatform(PlatformId::kA);
+  p.tiers[0].capacity_bytes = fast_pages * kPageSize;
+  p.tiers[1].capacity_bytes = slow_pages * kPageSize;
+  p.llc_bytes = 64 * 1024;
+  return p;
+}
+
+class MigrateTest : public ::testing::Test {
+ protected:
+  MigrateTest() : ms_(TestPlatform(), &engine_), as_(256) { ms_.RegisterCpu(0); }
+
+  Engine engine_;
+  MemorySystem ms_;
+  AddressSpace as_;
+};
+
+TEST_F(MigrateTest, PromoteMovesPageToFast) {
+  ms_.MapNewPage(as_, 0, Tier::kSlow);
+  const MigrateResult r = MigratePageSync(ms_, as_, 0, Tier::kFast);
+  ASSERT_TRUE(r.success);
+  EXPECT_GT(r.cycles, 0u);
+  const Pte* pte = ms_.PteOf(as_, 0);
+  EXPECT_TRUE(pte->present);
+  EXPECT_EQ(ms_.pool().TierOf(pte->pfn), Tier::kFast);
+  EXPECT_EQ(ms_.counters().Get("migrate.sync_promote"), 1u);
+}
+
+TEST_F(MigrateTest, DemoteMovesPageToSlow) {
+  ms_.MapNewPage(as_, 0, Tier::kFast);
+  const MigrateResult r = MigratePageSync(ms_, as_, 0, Tier::kSlow);
+  ASSERT_TRUE(r.success);
+  EXPECT_EQ(ms_.pool().TierOf(ms_.PteOf(as_, 0)->pfn), Tier::kSlow);
+}
+
+TEST_F(MigrateTest, OldFrameIsFreed) {
+  const Pfn old_pfn = ms_.MapNewPage(as_, 0, Tier::kSlow);
+  const uint64_t slow_free = ms_.pool().FreeFrames(Tier::kSlow);
+  MigratePageSync(ms_, as_, 0, Tier::kFast);
+  EXPECT_EQ(ms_.pool().FreeFrames(Tier::kSlow), slow_free + 1);
+  EXPECT_FALSE(ms_.pool().frame(old_pfn).in_use);
+}
+
+TEST_F(MigrateTest, PreservesPermissionsAndDirty) {
+  ms_.MapNewPage(as_, 0, Tier::kSlow);
+  ms_.Access(0, as_, 0, 0, true);  // dirty it
+  MigratePageSync(ms_, as_, 0, Tier::kFast);
+  const Pte* pte = ms_.PteOf(as_, 0);
+  EXPECT_TRUE(pte->writable);
+  EXPECT_TRUE(pte->dirty);
+}
+
+TEST_F(MigrateTest, PreservesLruTemperature) {
+  const Pfn pfn = ms_.MapNewPage(as_, 0, Tier::kSlow);
+  ms_.lru(Tier::kSlow).ActivateNow(pfn);
+  MigratePageSync(ms_, as_, 0, Tier::kFast);
+  const Pfn new_pfn = ms_.PteOf(as_, 0)->pfn;
+  EXPECT_TRUE(ms_.pool().frame(new_pfn).active);
+  EXPECT_EQ(ms_.pool().frame(new_pfn).lru, LruList::kActive);
+}
+
+TEST_F(MigrateTest, ClearsProtNone) {
+  ms_.MapNewPage(as_, 0, Tier::kSlow);
+  ms_.PteOf(as_, 0)->prot_none = true;
+  MigratePageSync(ms_, as_, 0, Tier::kFast);
+  EXPECT_FALSE(ms_.PteOf(as_, 0)->prot_none);
+}
+
+TEST_F(MigrateTest, InvalidatesTlb) {
+  ms_.MapNewPage(as_, 0, Tier::kSlow);
+  ms_.Access(0, as_, 0, 0, false);
+  EXPECT_NE(ms_.tlb(0).Lookup(0), nullptr);
+  MigratePageSync(ms_, as_, 0, Tier::kFast);
+  EXPECT_EQ(ms_.tlb(0).Lookup(0), nullptr);
+}
+
+TEST_F(MigrateTest, FailsWhenDestinationFull) {
+  for (Vpn v = 0; v < 64; v++) {
+    ms_.MapNewPage(as_, 100 + v, Tier::kFast);
+  }
+  ms_.MapNewPage(as_, 0, Tier::kSlow);
+  const MigrateResult r = MigratePageSync(ms_, as_, 0, Tier::kFast);
+  EXPECT_FALSE(r.success);
+  EXPECT_GT(r.cycles, 0u);  // wasted work is still charged
+  // The page is untouched and still mapped on the slow tier.
+  const Pte* pte = ms_.PteOf(as_, 0);
+  EXPECT_TRUE(pte->present);
+  EXPECT_EQ(ms_.pool().TierOf(pte->pfn), Tier::kSlow);
+  EXPECT_EQ(ms_.counters().Get("migrate.sync_fail_nomem"), 1u);
+}
+
+TEST_F(MigrateTest, FailsOnUnmappedPage) {
+  const MigrateResult r = MigratePageSync(ms_, as_, 5, Tier::kFast);
+  EXPECT_FALSE(r.success);
+}
+
+TEST_F(MigrateTest, NoopWhenAlreadyOnDestination) {
+  ms_.MapNewPage(as_, 0, Tier::kFast);
+  const MigrateResult r = MigratePageSync(ms_, as_, 0, Tier::kFast);
+  EXPECT_FALSE(r.success);
+}
+
+TEST_F(MigrateTest, RegistersMigrationWindow) {
+  ms_.MapNewPage(as_, 0, Tier::kSlow);
+  const MigrateResult r = MigratePageSync(ms_, as_, 0, Tier::kFast);
+  // A concurrent walker (TLB was shot down) must block until the copy ends.
+  AccessInfo info;
+  const Cycles c = ms_.Access(0, as_, 0, 0, false, 4, &info);
+  EXPECT_GE(c, r.cycles - 100);
+  EXPECT_EQ(ms_.counters().Get("fault.migration_block"), 1u);
+}
+
+TEST_F(MigrateTest, RetryAccumulatesCostAcrossAttempts) {
+  for (Vpn v = 0; v < 64; v++) {
+    ms_.MapNewPage(as_, 100 + v, Tier::kFast);
+  }
+  ms_.MapNewPage(as_, 0, Tier::kSlow);
+  const MigrateResult once = MigratePageSync(ms_, as_, 0, Tier::kFast);
+  // Fresh state for the retry version.
+  const MigrateResult retried = MigratePageWithRetry(ms_, as_, 0, Tier::kFast, 10);
+  EXPECT_FALSE(retried.success);
+  EXPECT_GE(retried.cycles, once.cycles * 9);  // ~10 attempts of wasted work
+  EXPECT_EQ(ms_.counters().Get("migrate.sync_retry"), 9u);
+}
+
+TEST_F(MigrateTest, RetrySucceedsFirstTryWhenPossible) {
+  ms_.MapNewPage(as_, 0, Tier::kSlow);
+  const MigrateResult r = MigratePageWithRetry(ms_, as_, 0, Tier::kFast, 10);
+  EXPECT_TRUE(r.success);
+  EXPECT_EQ(ms_.counters().Get("migrate.sync_retry"), 0u);
+}
+
+TEST_F(MigrateTest, NewFrameCarriesReverseMap) {
+  ms_.MapNewPage(as_, 3, Tier::kSlow);
+  MigratePageSync(ms_, as_, 3, Tier::kFast);
+  const Pfn new_pfn = ms_.PteOf(as_, 3)->pfn;
+  EXPECT_EQ(ms_.pool().frame(new_pfn).owner, &as_);
+  EXPECT_EQ(ms_.pool().frame(new_pfn).vpn, 3u);
+}
+
+}  // namespace
+}  // namespace nomad

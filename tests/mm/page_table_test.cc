@@ -1,0 +1,95 @@
+// Tests for the two-level page table.
+#include "src/mm/page_table.h"
+
+#include <gtest/gtest.h>
+
+namespace nomad {
+namespace {
+
+TEST(PageTableTest, LookupOfUnmappedIsNull) {
+  PageTable pt;
+  EXPECT_EQ(pt.Lookup(0), nullptr);
+  EXPECT_EQ(pt.Lookup(12345678), nullptr);
+}
+
+TEST(PageTableTest, EnsureCreatesEntry) {
+  PageTable pt;
+  Pte& pte = pt.Ensure(7);
+  pte.pfn = 42;
+  pte.present = true;
+  ASSERT_NE(pt.Lookup(7), nullptr);
+  EXPECT_EQ(pt.Lookup(7)->pfn, 42u);
+}
+
+TEST(PageTableTest, EntriesDefaultToNotPresent) {
+  PageTable pt;
+  pt.Ensure(100);
+  // Neighbors in the same leaf exist but are not present.
+  ASSERT_NE(pt.Lookup(101), nullptr);
+  EXPECT_FALSE(pt.Lookup(101)->present);
+}
+
+TEST(PageTableTest, LeavesAllocatedLazily) {
+  PageTable pt;
+  EXPECT_EQ(pt.NumLeaves(), 0u);
+  pt.Ensure(0);
+  EXPECT_EQ(pt.NumLeaves(), 1u);
+  pt.Ensure(511);  // same leaf
+  EXPECT_EQ(pt.NumLeaves(), 1u);
+  pt.Ensure(512);  // next leaf
+  EXPECT_EQ(pt.NumLeaves(), 2u);
+}
+
+TEST(PageTableTest, SparseVpnsDoNotAllocateIntermediateLeaves) {
+  PageTable pt;
+  pt.Ensure(0);
+  pt.Ensure(1000000);
+  EXPECT_EQ(pt.NumLeaves(), 2u);
+  EXPECT_EQ(pt.Lookup(500000), nullptr);
+}
+
+TEST(PageTableTest, PointerStableAcrossEnsures) {
+  PageTable pt;
+  Pte* first = &pt.Ensure(3);
+  first->pfn = 9;
+  for (Vpn v = 1000; v < 2000; v++) {
+    pt.Ensure(v);
+  }
+  EXPECT_EQ(pt.Lookup(3), first);
+  EXPECT_EQ(first->pfn, 9u);
+}
+
+TEST(PageTableTest, ConstLookupMatches) {
+  PageTable pt;
+  pt.Ensure(5).present = true;
+  const PageTable& cpt = pt;
+  ASSERT_NE(cpt.Lookup(5), nullptr);
+  EXPECT_TRUE(cpt.Lookup(5)->present);
+  EXPECT_EQ(cpt.Lookup(5000), nullptr);
+}
+
+TEST(PageTableTest, AllPteBitsRoundTrip) {
+  PageTable pt;
+  Pte& pte = pt.Ensure(1);
+  pte.present = true;
+  pte.writable = true;
+  pte.accessed = true;
+  pte.dirty = true;
+  pte.prot_none = true;
+  pte.shadow_rw = true;
+  const Pte* read = pt.Lookup(1);
+  EXPECT_TRUE(read->present && read->writable && read->accessed && read->dirty &&
+              read->prot_none && read->shadow_rw);
+}
+
+TEST(PteTest, MappedAndReachable) {
+  Pte pte;
+  EXPECT_FALSE(pte.MappedAndReachable());
+  pte.present = true;
+  EXPECT_TRUE(pte.MappedAndReachable());
+  pte.prot_none = true;
+  EXPECT_FALSE(pte.MappedAndReachable());
+}
+
+}  // namespace
+}  // namespace nomad

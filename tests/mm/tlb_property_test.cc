@@ -1,0 +1,89 @@
+// Property-based TLB tests: a set-associative TLB must behave like a
+// cache - never returning a stale translation - under random fill /
+// invalidate / lookup sequences, across geometries and seeds.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <tuple>
+
+#include "src/mm/tlb.h"
+#include "src/sim/rng.h"
+
+namespace nomad {
+namespace {
+
+struct Geometry {
+  size_t entries;
+  uint64_t seed;
+};
+
+class TlbFuzz : public ::testing::TestWithParam<Geometry> {};
+
+TEST_P(TlbFuzz, NeverReturnsStaleTranslations) {
+  Tlb tlb(GetParam().entries);
+  Rng rng(GetParam().seed);
+  // Reference: the authoritative translation for each VPN. The TLB may
+  // forget entries (capacity), but whatever it returns must match the
+  // last Fill for that VPN and postdate any Invalidate.
+  std::map<Vpn, std::tuple<Pfn, bool, bool>> authoritative;
+
+  for (int op = 0; op < 30000; op++) {
+    const Vpn vpn = rng.Below(256);
+    const double a = rng.NextDouble();
+    if (a < 0.4) {
+      const Pfn pfn = rng.Below(1 << 20);
+      const bool writable = rng.Chance(0.5);
+      const bool dirty = rng.Chance(0.3);
+      tlb.Fill(vpn, pfn, writable, dirty);
+      authoritative[vpn] = {pfn, writable, dirty};
+    } else if (a < 0.5) {
+      tlb.Invalidate(vpn);
+      authoritative.erase(vpn);
+    } else if (a < 0.52) {
+      tlb.InvalidateAll();
+      authoritative.clear();
+    } else {
+      Tlb::Entry* e = tlb.Lookup(vpn);
+      if (e != nullptr) {
+        auto it = authoritative.find(vpn);
+        ASSERT_NE(it, authoritative.end())
+            << "TLB returned an entry for an invalidated vpn " << vpn;
+        const auto [pfn, writable, fill_dirty] = it->second;
+        ASSERT_EQ(e->pfn, pfn);
+        ASSERT_EQ(e->writable, writable);
+        // The dirty bit may have been upgraded in place by the MMU, never
+        // silently downgraded.
+        ASSERT_GE(e->dirty, fill_dirty);
+      }
+      // A miss is always legal (capacity evictions).
+    }
+  }
+}
+
+// Hit-rate sanity: a working set no larger than one set's worth of ways
+// per set must always hit after warm-up.
+TEST_P(TlbFuzz, SmallWorkingSetAlwaysHits) {
+  Tlb tlb(GetParam().entries);
+  const size_t sets = GetParam().entries / 4 == 0 ? 1 : GetParam().entries / 4;
+  // One vpn per set: no conflicts possible.
+  std::vector<Vpn> vpns;
+  for (size_t s = 0; s < std::min<size_t>(sets, 16); s++) {
+    vpns.push_back(s);
+  }
+  for (Vpn v : vpns) {
+    tlb.Fill(v, v + 100, true, false);
+  }
+  for (int round = 0; round < 10; round++) {
+    for (Vpn v : vpns) {
+      ASSERT_NE(tlb.Lookup(v), nullptr) << "vpn " << v;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Geometries, TlbFuzz,
+                         ::testing::Values(Geometry{4, 1}, Geometry{16, 2},
+                                           Geometry{64, 3}, Geometry{256, 4},
+                                           Geometry{1536, 5}, Geometry{64, 77}));
+
+}  // namespace
+}  // namespace nomad

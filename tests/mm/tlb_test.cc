@@ -1,0 +1,105 @@
+// Tests for the set-associative TLB, including the dirty-bit caching
+// semantics TPM's correctness depends on.
+#include "src/mm/tlb.h"
+
+#include <gtest/gtest.h>
+
+namespace nomad {
+namespace {
+
+TEST(TlbTest, MissThenHit) {
+  Tlb tlb(64);
+  EXPECT_EQ(tlb.Lookup(5), nullptr);
+  tlb.Fill(5, 500, true, false);
+  Tlb::Entry* e = tlb.Lookup(5);
+  ASSERT_NE(e, nullptr);
+  EXPECT_EQ(e->pfn, 500u);
+  EXPECT_TRUE(e->writable);
+  EXPECT_FALSE(e->dirty);
+  EXPECT_EQ(tlb.hits(), 1u);
+  EXPECT_EQ(tlb.misses(), 1u);
+}
+
+TEST(TlbTest, InvalidateRemovesEntry) {
+  Tlb tlb(64);
+  tlb.Fill(5, 500, true, false);
+  tlb.Invalidate(5);
+  EXPECT_EQ(tlb.Lookup(5), nullptr);
+}
+
+TEST(TlbTest, InvalidateOtherVpnIsNoop) {
+  Tlb tlb(64);
+  tlb.Fill(5, 500, true, false);
+  tlb.Invalidate(6);
+  EXPECT_NE(tlb.Lookup(5), nullptr);
+}
+
+TEST(TlbTest, InvalidateAllFlushes) {
+  Tlb tlb(64);
+  for (Vpn v = 0; v < 10; v++) {
+    tlb.Fill(v, v, true, false);
+  }
+  tlb.InvalidateAll();
+  for (Vpn v = 0; v < 10; v++) {
+    EXPECT_EQ(tlb.Lookup(v), nullptr);
+  }
+}
+
+TEST(TlbTest, RefillSameVpnUpdatesInPlace) {
+  Tlb tlb(64);
+  tlb.Fill(5, 500, false, false);
+  tlb.Fill(5, 500, true, true);  // permission upgrade must not duplicate
+  Tlb::Entry* e = tlb.Lookup(5);
+  ASSERT_NE(e, nullptr);
+  EXPECT_TRUE(e->writable);
+  EXPECT_TRUE(e->dirty);
+  // Invalidate must fully remove it (a duplicate would survive).
+  tlb.Invalidate(5);
+  EXPECT_EQ(tlb.Lookup(5), nullptr);
+}
+
+TEST(TlbTest, SetConflictEvictsLru) {
+  // 16 entries, 4 ways -> 4 sets. VPNs congruent mod 4 share a set.
+  Tlb tlb(16);
+  tlb.Fill(0, 0, true, false);
+  tlb.Fill(4, 4, true, false);
+  tlb.Fill(8, 8, true, false);
+  tlb.Fill(12, 12, true, false);
+  tlb.Lookup(0);  // refresh 0 so 4 is the LRU
+  tlb.Fill(16, 16, true, false);
+  EXPECT_NE(tlb.Lookup(0), nullptr);
+  EXPECT_EQ(tlb.Lookup(4), nullptr);  // evicted
+  EXPECT_NE(tlb.Lookup(16), nullptr);
+}
+
+TEST(TlbTest, DifferentSetsDoNotConflict) {
+  Tlb tlb(16);
+  for (Vpn v = 0; v < 4; v++) {
+    tlb.Fill(v, v, true, false);
+  }
+  for (Vpn v = 0; v < 4; v++) {
+    EXPECT_NE(tlb.Lookup(v), nullptr);
+  }
+}
+
+TEST(TlbTest, MinimumGeometry) {
+  Tlb tlb(1);  // rounds to one set of 4 ways
+  tlb.Fill(0, 0, true, false);
+  EXPECT_NE(tlb.Lookup(0), nullptr);
+  EXPECT_EQ(tlb.num_entries(), 4u);
+}
+
+// A dirty cached entry is what allows stores to bypass the PTE dirty bit:
+// the simulator must preserve entry->dirty across lookups so MemorySystem
+// can implement that rule (TPM shoots down TLBs exactly to prevent it).
+TEST(TlbTest, DirtyBitPersistsInEntry) {
+  Tlb tlb(64);
+  Tlb::Entry& filled = tlb.Fill(9, 900, true, false);
+  filled.dirty = true;
+  Tlb::Entry* e = tlb.Lookup(9);
+  ASSERT_NE(e, nullptr);
+  EXPECT_TRUE(e->dirty);
+}
+
+}  // namespace
+}  // namespace nomad

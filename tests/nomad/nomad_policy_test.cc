@@ -1,0 +1,219 @@
+// End-to-end tests for the assembled NOMAD policy: hint-fault nomination,
+// shadow page faults, remap-only demotion, and shadow reclamation hooks.
+#include "src/nomad/nomad_policy.h"
+
+#include <gtest/gtest.h>
+
+#include "src/workload/workload.h"
+
+namespace nomad {
+namespace {
+
+PlatformSpec TestPlatform(uint64_t fast_pages = 128, uint64_t slow_pages = 128) {
+  PlatformSpec p = MakePlatform(PlatformId::kA);
+  p.tiers[0].capacity_bytes = fast_pages * kPageSize;
+  p.tiers[1].capacity_bytes = slow_pages * kPageSize;
+  p.llc_bytes = 64 * 1024;
+  return p;
+}
+
+// A tiny scripted app thread: touches a fixed set of pages each step.
+class TouchLoop : public Actor {
+ public:
+  TouchLoop(MemorySystem* ms, AddressSpace* as, std::vector<Vpn> pages, bool writes,
+            int max_steps = 100000)
+      : ms_(ms), as_(as), pages_(std::move(pages)), writes_(writes), max_steps_(max_steps) {}
+
+  void set_actor_id(ActorId id) { id_ = id; }
+  ActorId actor_id() const { return id_; }
+
+  Cycles Step(Engine&) override {
+    Cycles c = 0;
+    for (Vpn v : pages_) {
+      c += ms_->Access(id_, *as_, v, 0, writes_);
+    }
+    steps_++;
+    return c;
+  }
+  std::string name() const override { return "touch-loop"; }
+  bool done() const override { return steps_ >= max_steps_; }
+
+ private:
+  MemorySystem* ms_;
+  AddressSpace* as_;
+  std::vector<Vpn> pages_;
+  bool writes_;
+  int max_steps_;
+  ActorId id_ = 0;
+  int steps_ = 0;
+};
+
+class NomadPolicyTest : public ::testing::Test {
+ protected:
+  // CPU id usable for direct Access() calls from test bodies.
+  static constexpr ActorId kTestCpu = 99;
+
+  explicit NomadPolicyTest(PlatformSpec platform = TestPlatform())
+      : ms_(platform, &engine_), as_(4096) {
+    policy_.Install(ms_, engine_);
+    ms_.RegisterCpu(kTestCpu);
+  }
+
+  // Adds an app thread touching `pages`.
+  TouchLoop* AddApp(std::vector<Vpn> pages, bool writes = false, int max_steps = 100000) {
+    apps_.push_back(
+        std::make_unique<TouchLoop>(&ms_, &as_, std::move(pages), writes, max_steps));
+    const ActorId id = engine_.AddActor(apps_.back().get());
+    apps_.back()->set_actor_id(id);
+    ms_.RegisterCpu(id);
+    return apps_.back().get();
+  }
+
+  Engine engine_;
+  MemorySystem ms_;
+  AddressSpace as_;
+  NomadPolicy policy_;
+  std::vector<std::unique_ptr<TouchLoop>> apps_;
+};
+
+TEST_F(NomadPolicyTest, HotSlowPageGetsPromotedTransactionally) {
+  ms_.MapNewPage(as_, 0, Tier::kSlow);
+  AddApp({0});
+  engine_.Run(50000000);
+  EXPECT_EQ(ms_.pool().TierOf(ms_.PteOf(as_, 0)->pfn), Tier::kFast);
+  EXPECT_GE(policy_.tpm_stats().commits, 1u);
+  EXPECT_EQ(policy_.shadows().count(), 1u);
+}
+
+TEST_F(NomadPolicyTest, OneFaultPerMigratedPage) {
+  for (Vpn v = 0; v < 8; v++) {
+    ms_.MapNewPage(as_, v, Tier::kSlow);
+  }
+  AddApp({0, 1, 2, 3, 4, 5, 6, 7});
+  engine_.Run(50000000);
+  EXPECT_EQ(policy_.tpm_stats().commits, 8u);
+  // Exactly one hint fault per page: the paper's guarantee (sec. 3.1),
+  // versus up to 15 for TPP.
+  EXPECT_EQ(ms_.counters().Get("fault.hint"), 8u);
+}
+
+TEST_F(NomadPolicyTest, WriteToMasterTakesShadowFaultAndDiscardsShadow) {
+  ms_.MapNewPage(as_, 0, Tier::kSlow);
+  AddApp({0});
+  engine_.Run(50000000);
+  const Pfn master = ms_.PteOf(as_, 0)->pfn;
+  ASSERT_TRUE(ms_.pool().frame(master).shadowed);
+  ASSERT_FALSE(ms_.PteOf(as_, 0)->writable);
+
+  // First write: shadow page fault restores write permission and frees the
+  // shadow copy.
+  AccessInfo info;
+  ms_.Access(kTestCpu, as_, 0, 0, true, 4, &info);
+  EXPECT_TRUE(info.took_fault);
+  EXPECT_TRUE(ms_.PteOf(as_, 0)->writable);
+  EXPECT_FALSE(ms_.PteOf(as_, 0)->shadow_rw);
+  EXPECT_FALSE(ms_.pool().frame(master).shadowed);
+  EXPECT_EQ(policy_.shadows().count(), 0u);
+  EXPECT_EQ(ms_.counters().Get("nomad.shadow_fault"), 1u);
+
+  // Second write: no further fault.
+  AccessInfo info2;
+  ms_.Access(kTestCpu, as_, 0, 64, true, 4, &info2);
+  EXPECT_FALSE(info2.took_fault);
+}
+
+TEST_F(NomadPolicyTest, ReadsOnMasterTakeNoExtraFaults) {
+  ms_.MapNewPage(as_, 0, Tier::kSlow);
+  AddApp({0});
+  engine_.Run(50000000);
+  const uint64_t faults_before = ms_.counters().Get("fault.hint") +
+                                 ms_.counters().Get("fault.write_protect");
+  AccessInfo info;
+  ms_.Access(kTestCpu, as_, 0, 0, false, 4, &info);
+  EXPECT_FALSE(info.took_fault);
+  EXPECT_EQ(ms_.counters().Get("fault.hint") + ms_.counters().Get("fault.write_protect"),
+            faults_before);
+}
+
+TEST_F(NomadPolicyTest, CleanMasterDemotesByRemap) {
+  ms_.MapNewPage(as_, 0, Tier::kSlow);
+  AddApp({0}, /*writes=*/false, /*max_steps=*/500);  // stops before demotion
+  engine_.Run(50000000);
+  const Pfn master = ms_.PteOf(as_, 0)->pfn;
+  const Pfn shadow = policy_.shadows().ShadowOf(master);
+  ASSERT_NE(shadow, kInvalidPfn);
+
+  // Demote through the policy's kswapd hook path by direct invocation:
+  // place the master on the inactive list first (as reclaim would find it).
+  ms_.lru(Tier::kFast).Remove(master);
+  ms_.lru(Tier::kFast).AddInactive(master);
+  ms_.PteOf(as_, 0)->accessed = false;
+
+  // Drive kswapd by dropping the watermark below current free count.
+  FramePool& pool = ms_.pool();
+  const uint64_t used = pool.UsedFrames(Tier::kFast);
+  pool.SetWatermarks(Tier::kFast, pool.FreeFrames(Tier::kFast) + used,
+                     pool.FreeFrames(Tier::kFast) + used + 1);
+  engine_.Run(engine_.now() + 10000000);
+
+  const Pte* pte = ms_.PteOf(as_, 0);
+  EXPECT_EQ(pte->pfn, shadow);  // remapped onto the shadow copy
+  EXPECT_TRUE(pte->writable);   // permission restored
+  EXPECT_GE(ms_.counters().Get("nomad.demote_remap"), 1u);
+  EXPECT_FALSE(pool.frame(shadow).is_shadow);
+  EXPECT_EQ(pool.frame(shadow).owner, &as_);
+}
+
+TEST_F(NomadPolicyTest, AllocFailureReclaimsShadows) {
+  // Promote a page so a shadow exists, then exhaust the slow tier; the
+  // allocation-failure hook must free shadows instead of OOMing.
+  ms_.MapNewPage(as_, 0, Tier::kSlow);
+  AddApp({0});
+  engine_.Run(50000000);
+  ASSERT_EQ(policy_.shadows().count(), 1u);
+  uint64_t v = 100;
+  while (ms_.pool().FreeFrames(Tier::kSlow) > 0) {
+    ms_.MapNewPage(as_, v++, Tier::kSlow);
+  }
+  // One more allocation triggers the failure hook.
+  const Pfn rescued = ms_.pool().AllocOn(Tier::kSlow);
+  EXPECT_NE(rescued, kInvalidPfn);
+  EXPECT_EQ(policy_.shadows().count(), 0u);
+  EXPECT_GE(ms_.counters().Get("nomad.shadow_reclaimed"), 1u);
+}
+
+TEST_F(NomadPolicyTest, WriteWorkloadAbortsSomeTransactions) {
+  for (Vpn v = 0; v < 16; v++) {
+    ms_.MapNewPage(as_, v, Tier::kSlow);
+  }
+  AddApp({0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15}, /*writes=*/true);
+  engine_.Run(100000000);
+  // Constant writes during copies must abort at least one transaction.
+  EXPECT_GE(policy_.tpm_stats().aborts, 1u);
+}
+
+TEST_F(NomadPolicyTest, MultiMappedPagePromotesViaSyncFallbackWithoutShadow) {
+  const Pfn pfn = ms_.MapNewPage(as_, 0, Tier::kSlow);
+  ms_.pool().frame(pfn).extra_mappers = 2;  // shared with other page tables
+  AddApp({0});
+  engine_.Run(50000000);
+  const Pte* pte = ms_.PteOf(as_, 0);
+  EXPECT_EQ(ms_.pool().TierOf(pte->pfn), Tier::kFast);
+  EXPECT_GE(ms_.counters().Get("nomad.sync_fallback"), 1u);
+  EXPECT_EQ(policy_.tpm_stats().commits, 0u);  // TPM was deactivated
+  // Exclusive migration: no shadow, page stays writable.
+  EXPECT_FALSE(ms_.pool().frame(pte->pfn).shadowed);
+  EXPECT_TRUE(pte->writable);
+  EXPECT_EQ(policy_.shadows().count(), 0u);
+}
+
+TEST_F(NomadPolicyTest, FastPagesNeverEnterPcq) {
+  ms_.MapNewPage(as_, 0, Tier::kFast);
+  AddApp({0});
+  engine_.Run(5000000);
+  EXPECT_EQ(ms_.counters().Get("fault.hint"), 0u);
+  EXPECT_EQ(policy_.tpm_stats().commits, 0u);
+}
+
+}  // namespace
+}  // namespace nomad

@@ -1,0 +1,188 @@
+// Tests for the promotion candidate queue / migration pending queue.
+#include "src/nomad/pcq.h"
+
+#include <gtest/gtest.h>
+
+namespace nomad {
+namespace {
+
+PlatformSpec TestPlatform() {
+  PlatformSpec p = MakePlatform(PlatformId::kA);
+  p.tiers[0].capacity_bytes = 64 * kPageSize;
+  p.tiers[1].capacity_bytes = 64 * kPageSize;
+  p.llc_bytes = 64 * 1024;
+  return p;
+}
+
+class PcqTest : public ::testing::Test {
+ protected:
+  PcqTest() : ms_(TestPlatform(), &engine_), as_(256) {
+    ms_.RegisterCpu(0);
+    PromotionQueues::Config cfg;
+    cfg.pcq_capacity = 8;
+    queues_ = std::make_unique<PromotionQueues>(&ms_, cfg);
+  }
+
+  Pfn SlowPage(Vpn vpn) { return ms_.MapNewPage(as_, vpn, Tier::kSlow); }
+
+  // Marks the page as referenced + accessed (a hot page's state).
+  void Heat(Vpn vpn) {
+    Pte* pte = ms_.PteOf(as_, vpn);
+    pte->accessed = true;
+    ms_.pool().frame(pte->pfn).referenced = true;
+  }
+
+  Engine engine_;
+  MemorySystem ms_;
+  AddressSpace as_;
+  std::unique_ptr<PromotionQueues> queues_;
+};
+
+TEST_F(PcqTest, EnqueueSetsFlag) {
+  const Pfn pfn = SlowPage(0);
+  queues_->EnqueueCandidate(pfn);
+  EXPECT_TRUE(ms_.pool().frame(pfn).in_pcq);
+  EXPECT_EQ(queues_->pcq_size(), 1u);
+}
+
+TEST_F(PcqTest, DuplicateEnqueueIgnored) {
+  const Pfn pfn = SlowPage(0);
+  queues_->EnqueueCandidate(pfn);
+  queues_->EnqueueCandidate(pfn);
+  EXPECT_EQ(queues_->pcq_size(), 1u);
+}
+
+TEST_F(PcqTest, FirstScanPrimesAndClearsAbit) {
+  const Pfn pfn = SlowPage(0);
+  Heat(0);
+  queues_->EnqueueCandidate(pfn);
+  auto [moved, cost] = queues_->ScanPcq(10);
+  EXPECT_EQ(moved, 0u);
+  EXPECT_GT(cost, 0u);
+  EXPECT_TRUE(ms_.pool().frame(pfn).pcq_primed);
+  EXPECT_FALSE(ms_.PteOf(as_, 0)->accessed);
+  EXPECT_EQ(queues_->pcq_size(), 1u);  // rotated, still a candidate
+}
+
+TEST_F(PcqTest, SecondTouchAfterPrimeMovesToPending) {
+  const Pfn pfn = SlowPage(0);
+  Heat(0);
+  queues_->EnqueueCandidate(pfn);
+  queues_->ScanPcq(10);                 // prime
+  ms_.PteOf(as_, 0)->accessed = true;   // the decisive second touch
+  auto [moved, cost] = queues_->ScanPcq(10);
+  EXPECT_EQ(moved, 1u);
+  EXPECT_TRUE(ms_.pool().frame(pfn).in_pending);
+  EXPECT_FALSE(ms_.pool().frame(pfn).in_pcq);
+  EXPECT_EQ(queues_->pending_size(), 1u);
+}
+
+TEST_F(PcqTest, UntouchedCandidateKeepsCycling) {
+  const Pfn pfn = SlowPage(0);
+  Heat(0);
+  queues_->EnqueueCandidate(pfn);
+  for (int i = 0; i < 5; i++) {
+    auto [moved, cost] = queues_->ScanPcq(10);
+    EXPECT_EQ(moved, 0u);
+  }
+  EXPECT_EQ(queues_->pcq_size(), 1u);
+  EXPECT_TRUE(ms_.pool().frame(pfn).in_pcq);
+}
+
+TEST_F(PcqTest, ScanDoesNotReexamineSameEntryInOneCall) {
+  const Pfn pfn = SlowPage(0);
+  Heat(0);
+  queues_->EnqueueCandidate(pfn);
+  // Even with a huge limit, the snapshot prevents prime+expire in one call.
+  queues_->ScanPcq(1000);
+  EXPECT_TRUE(ms_.pool().frame(pfn).in_pcq);
+}
+
+TEST_F(PcqTest, ColdPageWithoutReferencedNeverPromotes) {
+  const Pfn pfn = SlowPage(0);
+  queues_->EnqueueCandidate(pfn);
+  queues_->ScanPcq(10);
+  ms_.PteOf(as_, 0)->accessed = true;  // touched, but never referenced
+  ms_.pool().frame(pfn).referenced = false;
+  queues_->ScanPcq(10);
+  EXPECT_EQ(queues_->pending_size(), 0u);
+}
+
+TEST_F(PcqTest, OverflowDropsOldest) {
+  std::vector<Pfn> pages;
+  for (Vpn v = 0; v < 9; v++) {  // capacity is 8
+    pages.push_back(SlowPage(v));
+    queues_->EnqueueCandidate(pages.back());
+  }
+  EXPECT_EQ(queues_->pcq_size(), 8u);
+  EXPECT_FALSE(ms_.pool().frame(pages[0]).in_pcq);  // oldest dropped
+  EXPECT_TRUE(ms_.pool().frame(pages[8]).in_pcq);
+  EXPECT_EQ(ms_.counters().Get("nomad.pcq_overflow"), 1u);
+}
+
+TEST_F(PcqTest, ScanSkipsPromotedPages) {
+  const Pfn pfn = SlowPage(0);
+  Heat(0);
+  queues_->EnqueueCandidate(pfn);
+  // Simulate promotion elsewhere: page is unmapped & freed.
+  ms_.UnmapAndFree(as_, 0);
+  auto [moved, cost] = queues_->ScanPcq(10);
+  EXPECT_EQ(moved, 0u);
+  EXPECT_EQ(queues_->pcq_size(), 0u);  // dropped as stale
+}
+
+TEST_F(PcqTest, PopPendingValidates) {
+  const Pfn pfn = SlowPage(0);
+  Heat(0);
+  queues_->EnqueueCandidate(pfn);
+  queues_->ScanPcq(10);
+  ms_.PteOf(as_, 0)->accessed = true;
+  queues_->ScanPcq(10);
+  EXPECT_EQ(queues_->PopPending(), pfn);
+  EXPECT_EQ(queues_->PopPending(), kInvalidPfn);
+}
+
+TEST_F(PcqTest, PopPendingSkipsStaleEntries) {
+  const Pfn pfn = SlowPage(0);
+  Heat(0);
+  queues_->EnqueueCandidate(pfn);
+  queues_->ScanPcq(10);
+  ms_.PteOf(as_, 0)->accessed = true;
+  queues_->ScanPcq(10);
+  ms_.UnmapAndFree(as_, 0);  // page vanished while pending
+  EXPECT_EQ(queues_->PopPending(), kInvalidPfn);
+}
+
+TEST_F(PcqTest, RequeuePendingForRetry) {
+  const Pfn pfn = SlowPage(0);
+  queues_->RequeuePending(pfn);
+  EXPECT_TRUE(ms_.pool().frame(pfn).in_pending);
+  EXPECT_EQ(queues_->PopPending(), pfn);
+}
+
+TEST_F(PcqTest, EnqueueRejectedWhilePendingOrMigrating) {
+  const Pfn pfn = SlowPage(0);
+  ms_.pool().frame(pfn).in_pending = true;
+  queues_->EnqueueCandidate(pfn);
+  EXPECT_EQ(queues_->pcq_size(), 0u);
+  ms_.pool().frame(pfn).in_pending = false;
+  ms_.pool().frame(pfn).migrating = true;
+  queues_->EnqueueCandidate(pfn);
+  EXPECT_EQ(queues_->pcq_size(), 0u);
+}
+
+TEST_F(PcqTest, ScanClearsAbitThroughTlb) {
+  const Pfn pfn = SlowPage(0);
+  ms_.Access(0, as_, 0, 0, false);  // loads the TLB + sets A
+  ms_.pool().frame(pfn).referenced = true;
+  queues_->EnqueueCandidate(pfn);
+  queues_->ScanPcq(10);
+  // The cached translation must be gone so the next touch re-walks and
+  // re-sets the A bit.
+  EXPECT_EQ(ms_.tlb(0).Lookup(0), nullptr);
+  ms_.Access(0, as_, 0, 0, false);
+  EXPECT_TRUE(ms_.PteOf(as_, 0)->accessed);
+}
+
+}  // namespace
+}  // namespace nomad

@@ -1,0 +1,155 @@
+// Tests for the XArray-equivalent radix tree, including a randomized
+// differential test against std::map.
+#include "src/nomad/radix_tree.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "src/sim/rng.h"
+
+namespace nomad {
+namespace {
+
+TEST(RadixTreeTest, EmptyTree) {
+  RadixTree<uint64_t> t;
+  EXPECT_TRUE(t.empty());
+  EXPECT_EQ(t.Find(0), nullptr);
+  EXPECT_FALSE(t.Erase(0));
+}
+
+TEST(RadixTreeTest, InsertFind) {
+  RadixTree<uint64_t> t;
+  EXPECT_TRUE(t.Insert(5, 500));
+  ASSERT_NE(t.Find(5), nullptr);
+  EXPECT_EQ(*t.Find(5), 500u);
+  EXPECT_EQ(t.size(), 1u);
+}
+
+TEST(RadixTreeTest, InsertOverwrites) {
+  RadixTree<uint64_t> t;
+  EXPECT_TRUE(t.Insert(5, 500));
+  EXPECT_FALSE(t.Insert(5, 600));
+  EXPECT_EQ(*t.Find(5), 600u);
+  EXPECT_EQ(t.size(), 1u);
+}
+
+TEST(RadixTreeTest, KeyZero) {
+  RadixTree<uint64_t> t;
+  t.Insert(0, 1);
+  ASSERT_NE(t.Find(0), nullptr);
+  EXPECT_EQ(*t.Find(0), 1u);
+}
+
+TEST(RadixTreeTest, GrowsForLargeKeys) {
+  RadixTree<uint64_t> t;
+  t.Insert(1, 10);
+  t.Insert(uint64_t{1} << 40, 20);
+  EXPECT_EQ(*t.Find(1), 10u);
+  EXPECT_EQ(*t.Find(uint64_t{1} << 40), 20u);
+  EXPECT_GE(t.height(), 6);
+}
+
+TEST(RadixTreeTest, MaxKey) {
+  RadixTree<uint64_t> t;
+  const uint64_t k = ~uint64_t{0};
+  t.Insert(k, 7);
+  ASSERT_NE(t.Find(k), nullptr);
+  EXPECT_EQ(*t.Find(k), 7u);
+}
+
+TEST(RadixTreeTest, FindMissingBeyondRange) {
+  RadixTree<uint64_t> t;
+  t.Insert(3, 30);
+  EXPECT_EQ(t.Find(uint64_t{1} << 50), nullptr);
+}
+
+TEST(RadixTreeTest, EraseRemoves) {
+  RadixTree<uint64_t> t;
+  t.Insert(5, 500);
+  EXPECT_TRUE(t.Erase(5));
+  EXPECT_EQ(t.Find(5), nullptr);
+  EXPECT_TRUE(t.empty());
+  EXPECT_FALSE(t.Erase(5));
+}
+
+TEST(RadixTreeTest, ErasePrunesEmptyNodes) {
+  RadixTree<uint64_t> t;
+  t.Insert(uint64_t{1} << 40, 1);
+  t.Erase(uint64_t{1} << 40);
+  EXPECT_TRUE(t.empty());
+  EXPECT_EQ(t.height(), 0);  // the whole spine was pruned
+}
+
+TEST(RadixTreeTest, EraseLeavesSiblings) {
+  RadixTree<uint64_t> t;
+  t.Insert(64, 1);  // same parent, different leaves
+  t.Insert(128, 2);
+  t.Erase(64);
+  EXPECT_EQ(t.Find(64), nullptr);
+  ASSERT_NE(t.Find(128), nullptr);
+  EXPECT_EQ(*t.Find(128), 2u);
+}
+
+TEST(RadixTreeTest, ForEachAscendingOrder) {
+  RadixTree<uint64_t> t;
+  t.Insert(300, 3);
+  t.Insert(5, 1);
+  t.Insert(70, 2);
+  std::vector<uint64_t> keys;
+  t.ForEach([&](uint64_t k, const uint64_t&) { keys.push_back(k); });
+  EXPECT_EQ(keys, (std::vector<uint64_t>{5, 70, 300}));
+}
+
+TEST(RadixTreeTest, DenseRange) {
+  RadixTree<uint64_t> t;
+  for (uint64_t k = 0; k < 1000; k++) {
+    t.Insert(k, k * 2);
+  }
+  EXPECT_EQ(t.size(), 1000u);
+  for (uint64_t k = 0; k < 1000; k++) {
+    ASSERT_NE(t.Find(k), nullptr);
+    EXPECT_EQ(*t.Find(k), k * 2);
+  }
+}
+
+// Property-based differential test: random interleaved inserts, erases and
+// lookups must match std::map exactly, across several seeds.
+class RadixTreeFuzz : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(RadixTreeFuzz, MatchesStdMap) {
+  Rng rng(GetParam());
+  RadixTree<uint64_t> tree;
+  std::map<uint64_t, uint64_t> ref;
+  for (int op = 0; op < 20000; op++) {
+    // Mixed key ranges: small (dense collisions) and huge (deep trees).
+    const uint64_t key = rng.Chance(0.5) ? rng.Below(512) : rng.Next() >> rng.Below(40);
+    const double action = rng.NextDouble();
+    if (action < 0.5) {
+      const uint64_t value = rng.Next();
+      EXPECT_EQ(tree.Insert(key, value), ref.insert_or_assign(key, value).second);
+    } else if (action < 0.8) {
+      EXPECT_EQ(tree.Erase(key), ref.erase(key) > 0);
+    } else {
+      const uint64_t* found = tree.Find(key);
+      auto it = ref.find(key);
+      if (it == ref.end()) {
+        EXPECT_EQ(found, nullptr);
+      } else {
+        ASSERT_NE(found, nullptr);
+        EXPECT_EQ(*found, it->second);
+      }
+    }
+    EXPECT_EQ(tree.size(), ref.size());
+  }
+  // Full sweep must match.
+  std::vector<std::pair<uint64_t, uint64_t>> dumped;
+  tree.ForEach([&](uint64_t k, const uint64_t& v) { dumped.emplace_back(k, v); });
+  std::vector<std::pair<uint64_t, uint64_t>> expected(ref.begin(), ref.end());
+  EXPECT_EQ(dumped, expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RadixTreeFuzz, ::testing::Values(1, 2, 3, 17, 99));
+
+}  // namespace
+}  // namespace nomad

@@ -1,0 +1,198 @@
+// Tests for kpromote's transactional page migration: commit, abort on
+// dirty, shadow creation, fallbacks, and retries.
+#include "src/nomad/kpromote.h"
+
+#include <gtest/gtest.h>
+
+namespace nomad {
+namespace {
+
+PlatformSpec TestPlatform(uint64_t fast_pages = 64, uint64_t slow_pages = 64) {
+  PlatformSpec p = MakePlatform(PlatformId::kA);
+  p.tiers[0].capacity_bytes = fast_pages * kPageSize;
+  p.tiers[1].capacity_bytes = slow_pages * kPageSize;
+  p.llc_bytes = 64 * 1024;
+  return p;
+}
+
+class TpmTest : public ::testing::Test {
+ protected:
+  TpmTest() : TpmTest(TestPlatform()) {}
+  explicit TpmTest(const PlatformSpec& platform)
+      : ms_(platform, &engine_),
+        as_(256),
+        shadows_(&ms_),
+        queues_(&ms_),
+        kpromote_(&ms_, &queues_, &shadows_) {
+    ms_.RegisterCpu(0);
+    const ActorId id = engine_.AddActor(&kpromote_);
+    kpromote_.set_actor_id(id);
+  }
+
+  // Maps a slow page and queues it for promotion directly.
+  Pfn QueueSlowPage(Vpn vpn, bool writable = true) {
+    const Pfn pfn = ms_.MapNewPage(as_, vpn, Tier::kSlow, writable);
+    ms_.pool().frame(pfn).referenced = true;
+    queues_.RequeuePending(pfn);
+    return pfn;
+  }
+
+  // Runs kpromote's next step (Begin or Commit).
+  void StepOnce() {
+    const Cycles t = engine_.NextTimeOf(kpromote_.actor_id());
+    engine_.Run(t);
+  }
+
+  Engine engine_;
+  MemorySystem ms_;
+  AddressSpace as_;
+  ShadowManager shadows_;
+  PromotionQueues queues_;
+  KpromoteActor kpromote_;
+};
+
+TEST_F(TpmTest, CommitPromotesAndCreatesShadow) {
+  const Pfn old_pfn = QueueSlowPage(0);
+  StepOnce();  // Begin: clear dirty, shootdown, copy
+  EXPECT_TRUE(ms_.pool().frame(old_pfn).migrating);
+  StepOnce();  // Commit
+  EXPECT_EQ(kpromote_.stats().commits, 1u);
+  const Pte* pte = ms_.PteOf(as_, 0);
+  ASSERT_TRUE(pte->present);
+  const Pfn new_pfn = pte->pfn;
+  EXPECT_EQ(ms_.pool().TierOf(new_pfn), Tier::kFast);
+  // Master is read-only with the original permission in shadow_rw.
+  EXPECT_FALSE(pte->writable);
+  EXPECT_TRUE(pte->shadow_rw);
+  EXPECT_FALSE(pte->dirty);
+  // The old frame is the shadow.
+  EXPECT_TRUE(ms_.pool().frame(new_pfn).shadowed);
+  EXPECT_EQ(shadows_.ShadowOf(new_pfn), old_pfn);
+  EXPECT_TRUE(ms_.pool().frame(old_pfn).is_shadow);
+  EXPECT_EQ(ms_.pool().frame(old_pfn).lru, LruList::kNone);
+  // The master lands on the fast active list.
+  EXPECT_EQ(ms_.pool().frame(new_pfn).lru, LruList::kActive);
+}
+
+TEST_F(TpmTest, ReadOnlyPagePromotesWithoutShadowRw) {
+  QueueSlowPage(0, /*writable=*/false);
+  StepOnce();
+  StepOnce();
+  const Pte* pte = ms_.PteOf(as_, 0);
+  EXPECT_FALSE(pte->writable);
+  EXPECT_FALSE(pte->shadow_rw);  // it was never writable
+}
+
+TEST_F(TpmTest, PageStaysAccessibleDuringCopy) {
+  QueueSlowPage(0);
+  StepOnce();  // Begin; the copy is in flight now
+  // An access during the copy must not block or fault.
+  AccessInfo info;
+  const Cycles c = ms_.Access(0, as_, 0, 0, false, 4, &info);
+  EXPECT_FALSE(info.took_fault);
+  EXPECT_EQ(info.tier, Tier::kSlow);
+  EXPECT_LT(c, 10000u);
+}
+
+TEST_F(TpmTest, WriteDuringCopyAbortsTransaction) {
+  const Pfn old_pfn = QueueSlowPage(0);
+  StepOnce();                        // Begin
+  ms_.Access(0, as_, 0, 0, true);    // store during the copy window
+  EXPECT_TRUE(ms_.PteOf(as_, 0)->dirty);
+  StepOnce();                        // Commit -> abort
+  EXPECT_EQ(kpromote_.stats().aborts, 1u);
+  EXPECT_EQ(kpromote_.stats().commits, 0u);
+  // The page is untouched: same frame, still mapped, still writable.
+  const Pte* pte = ms_.PteOf(as_, 0);
+  EXPECT_EQ(pte->pfn, old_pfn);
+  EXPECT_TRUE(pte->writable);
+  EXPECT_FALSE(ms_.pool().frame(old_pfn).migrating);
+  // No fast frame was leaked.
+  EXPECT_EQ(ms_.pool().UsedFrames(Tier::kFast), 0u);
+  // The page was requeued for retry.
+  EXPECT_EQ(queues_.pending_size(), 1u);
+}
+
+TEST_F(TpmTest, AbortedTransactionRetriesAndCommits) {
+  QueueSlowPage(0);
+  StepOnce();
+  ms_.Access(0, as_, 0, 0, true);  // abort #1
+  StepOnce();
+  // No further writes: the retry goes through.
+  StepOnce();  // Begin (retry)
+  StepOnce();  // Commit
+  EXPECT_EQ(kpromote_.stats().aborts, 1u);
+  EXPECT_EQ(kpromote_.stats().commits, 1u);
+  EXPECT_EQ(ms_.pool().TierOf(ms_.PteOf(as_, 0)->pfn), Tier::kFast);
+}
+
+TEST_F(TpmTest, ReadDuringCopyDoesNotAbort) {
+  QueueSlowPage(0);
+  StepOnce();
+  ms_.Access(0, as_, 0, 0, false);  // read during copy
+  StepOnce();
+  EXPECT_EQ(kpromote_.stats().commits, 1u);
+}
+
+TEST_F(TpmTest, MultiMappedPageFallsBackToSyncMigration) {
+  const Pfn pfn = QueueSlowPage(0);
+  ms_.pool().frame(pfn).extra_mappers = 1;
+  StepOnce();
+  EXPECT_EQ(kpromote_.stats().sync_fallbacks, 1u);
+  EXPECT_EQ(kpromote_.stats().commits, 0u);
+  EXPECT_EQ(ms_.pool().TierOf(ms_.PteOf(as_, 0)->pfn), Tier::kFast);
+  // Sync migration is exclusive: no shadow.
+  EXPECT_FALSE(ms_.pool().frame(ms_.PteOf(as_, 0)->pfn).shadowed);
+}
+
+TEST_F(TpmTest, UnmappedPendingPageIsSkipped) {
+  QueueSlowPage(0);
+  ms_.UnmapAndFree(as_, 0);
+  StepOnce();
+  EXPECT_EQ(kpromote_.stats().commits, 0u);
+  EXPECT_EQ(kpromote_.stats().aborts, 0u);
+}
+
+TEST_F(TpmTest, PageFreedDuringCopyAbortsCleanly) {
+  QueueSlowPage(0);
+  StepOnce();  // Begin
+  ms_.UnmapAndFree(as_, 0);
+  StepOnce();  // Commit finds the page gone
+  EXPECT_EQ(kpromote_.stats().commits, 0u);
+  EXPECT_EQ(ms_.pool().UsedFrames(Tier::kFast), 0u);  // copy frame freed
+}
+
+TEST_F(TpmTest, CommitChargesTwoShootdowns) {
+  QueueSlowPage(0);
+  const uint64_t before = ms_.counters().Get("tlb.shootdown");
+  StepOnce();
+  StepOnce();
+  EXPECT_EQ(ms_.counters().Get("tlb.shootdown"), before + 2);
+}
+
+TEST_F(TpmTest, SleepsWhenIdle) {
+  StepOnce();  // nothing queued
+  EXPECT_GE(engine_.NextTimeOf(kpromote_.actor_id()),
+            KpromoteActor::Config{}.idle_poll);
+}
+
+class TpmNoMemTest : public TpmTest {
+ protected:
+  TpmNoMemTest() : TpmTest(TestPlatform(4, 64)) {}
+};
+
+TEST_F(TpmNoMemTest, WaitsWhenFastTierFull) {
+  // Fill the tiny fast tier completely.
+  for (Vpn v = 100; v < 104; v++) {
+    ms_.MapNewPage(as_, v, Tier::kFast);
+  }
+  QueueSlowPage(0);
+  StepOnce();
+  EXPECT_EQ(kpromote_.stats().nomem_waits, 1u);
+  EXPECT_EQ(kpromote_.stats().commits, 0u);
+  // Still queued for a later attempt.
+  EXPECT_EQ(queues_.pending_size(), 1u);
+}
+
+}  // namespace
+}  // namespace nomad

@@ -1,0 +1,116 @@
+// Tests for the Memtis baseline: background sampling-driven migration.
+#include "src/policy/memtis.h"
+
+#include <gtest/gtest.h>
+
+namespace nomad {
+namespace {
+
+PlatformSpec TestPlatform(PlatformId id, uint64_t fast_pages = 128,
+                          uint64_t slow_pages = 128) {
+  PlatformSpec p = MakePlatform(id);
+  p.tiers[0].capacity_bytes = fast_pages * kPageSize;
+  p.tiers[1].capacity_bytes = slow_pages * kPageSize;
+  p.llc_bytes = 16 * 64;  // tiny LLC: accesses miss and are sampleable
+  return p;
+}
+
+class MemtisTest : public ::testing::Test {
+ protected:
+  static constexpr ActorId kCpu = 10;
+
+  MemtisTest() : ms_(TestPlatform(PlatformId::kC), &engine_), as_(4096) {
+    MemtisPolicy::Config cfg = MemtisPolicy::DefaultVariant();
+    cfg.pebs.sample_period = 3;  // dense sampling for fast unit tests
+    cfg.migrate_interval = 50000;
+    policy_ = std::make_unique<MemtisPolicy>(cfg);
+    policy_->Install(ms_, engine_);
+    ms_.RegisterCpu(kCpu);
+  }
+
+  Engine engine_;
+  MemorySystem ms_;
+  AddressSpace as_;
+  std::unique_ptr<MemtisPolicy> policy_;
+};
+
+TEST_F(MemtisTest, HotSlowPageGetsPromotedInBackground) {
+  ms_.MapNewPage(as_, 0, Tier::kSlow);
+  for (int round = 0; round < 50; round++) {
+    for (int i = 0; i < 20; i++) {
+      ms_.Access(kCpu, as_, 0, (i % 64) * 64, false);
+    }
+    engine_.Run(engine_.now() + 100000);
+    if (ms_.pool().TierOf(ms_.PteOf(as_, 0)->pfn) == Tier::kFast) {
+      break;
+    }
+  }
+  EXPECT_EQ(ms_.pool().TierOf(ms_.PteOf(as_, 0)->pfn), Tier::kFast);
+  EXPECT_GE(ms_.counters().Get("memtis.promote"), 1u);
+}
+
+TEST_F(MemtisTest, NoHintFaultsEver) {
+  ms_.MapNewPage(as_, 0, Tier::kSlow);
+  for (int i = 0; i < 100; i++) {
+    ms_.Access(kCpu, as_, 0, 0, false);
+  }
+  engine_.Run(engine_.now() + 1000000);
+  EXPECT_EQ(ms_.counters().Get("fault.hint"), 0u);
+}
+
+TEST_F(MemtisTest, PromotionOffCriticalPath) {
+  ms_.MapNewPage(as_, 0, Tier::kSlow);
+  // No single access should ever cost migration-scale latency.
+  Cycles max_access = 0;
+  for (int round = 0; round < 30; round++) {
+    for (int i = 0; i < 10; i++) {
+      AccessInfo info;
+      ms_.Access(kCpu, as_, 0, (i % 64) * 64, false, 4, &info);
+      max_access = std::max(max_access, info.latency);
+    }
+    engine_.Run(engine_.now() + 100000);
+  }
+  EXPECT_LT(max_access, 5000u);
+}
+
+TEST_F(MemtisTest, ColdPagesDemotedUnderPressure) {
+  // Fill fast with cold pages, keep a hot page, then let the migrator
+  // demote cold ones when below the watermark.
+  ms_.pool().SetWatermarks(Tier::kFast, 16, 32);
+  for (Vpn v = 0; v < 126; v++) {
+    ms_.MapNewPage(as_, v, Tier::kFast);
+  }
+  // Sample some cold pages so the migrator knows about them.
+  for (Vpn v = 0; v < 30; v++) {
+    ms_.Access(kCpu, as_, v, 0, false);
+  }
+  engine_.Run(engine_.now() + 5000000);
+  EXPECT_GT(ms_.counters().Get("memtis.demote") +
+                ms_.counters().Get("migrate.sync_demote"),
+            0u);
+}
+
+TEST(MemtisPlatformTest, NotInstalledOnPlatformD) {
+  Engine engine;
+  MemorySystem ms(TestPlatform(PlatformId::kD), &engine);
+  MemtisPolicy policy;
+  policy.Install(ms, engine);  // must be a no-op, not a crash
+  ms.RegisterCpu(0);
+  AddressSpace as(64);
+  ms.MapNewPage(as, 0, Tier::kSlow);
+  for (int i = 0; i < 50; i++) {
+    ms.Access(0, as, 0, 0, true);
+  }
+  engine.Run(10000000);
+  EXPECT_EQ(ms.counters().Get("memtis.promote"), 0u);
+  EXPECT_EQ(ms.pool().TierOf(ms.PteOf(as, 0)->pfn), Tier::kSlow);
+}
+
+TEST(MemtisVariantTest, CoolingPeriodsDiffer) {
+  EXPECT_EQ(MemtisPolicy::DefaultVariant().pebs.cooling_period, 2000000u);
+  EXPECT_EQ(MemtisPolicy::QuickCoolVariant().pebs.cooling_period, 2000u);
+  EXPECT_EQ(MemtisPolicy(MemtisPolicy::QuickCoolVariant()).name(), "memtis-quickcool");
+}
+
+}  // namespace
+}  // namespace nomad

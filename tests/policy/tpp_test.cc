@@ -1,0 +1,150 @@
+// Tests for the TPP baseline: synchronous fault-driven promotion gated on
+// the active list, the multi-fault activation pathology, and kswapd
+// demotion under pressure.
+#include "src/policy/tpp.h"
+
+#include <gtest/gtest.h>
+
+namespace nomad {
+namespace {
+
+PlatformSpec TestPlatform(uint64_t fast_pages = 128, uint64_t slow_pages = 128) {
+  PlatformSpec p = MakePlatform(PlatformId::kA);
+  p.tiers[0].capacity_bytes = fast_pages * kPageSize;
+  p.tiers[1].capacity_bytes = slow_pages * kPageSize;
+  p.llc_bytes = 64 * 1024;
+  return p;
+}
+
+class TppTest : public ::testing::Test {
+ protected:
+  static constexpr ActorId kCpu = 50;
+
+  TppTest() : ms_(TestPlatform(), &engine_), as_(4096) {
+    TppPolicy::Config cfg;
+    cfg.scanner.round_interval = 5000;  // aggressive re-arming for tests
+    policy_ = std::make_unique<TppPolicy>(cfg);
+    policy_->Install(ms_, engine_);
+    ms_.RegisterCpu(kCpu);
+  }
+
+  // Touches the page once, advancing the engine a little so the scanner
+  // can re-arm between touches.
+  AccessInfo Touch(Vpn vpn, bool write = false) {
+    AccessInfo info;
+    ms_.Access(kCpu, as_, vpn, 0, write, 4, &info);
+    engine_.Run(engine_.now() + 20000);
+    return info;
+  }
+
+  Engine engine_;
+  MemorySystem ms_;
+  AddressSpace as_;
+  std::unique_ptr<TppPolicy> policy_;
+};
+
+TEST_F(TppTest, FirstTouchFaultsButDoesNotPromote) {
+  ms_.MapNewPage(as_, 0, Tier::kSlow);
+  engine_.Run(5000);  // let the scanner arm the page
+  const AccessInfo info = Touch(0);
+  EXPECT_TRUE(info.took_fault);
+  EXPECT_EQ(ms_.counters().Get("fault.hint"), 1u);
+  EXPECT_EQ(ms_.counters().Get("tpp.promote"), 0u);
+  EXPECT_EQ(ms_.pool().TierOf(ms_.PteOf(as_, 0)->pfn), Tier::kSlow);
+}
+
+TEST_F(TppTest, PromotionNeedsActivationThroughPagevec) {
+  ms_.MapNewPage(as_, 0, Tier::kSlow);
+  engine_.Run(5000);
+  // Repeated faulting touches: referenced -> pagevec requests (batch 15)
+  // -> activation -> promotion. This is the up-to-15-fault pathology.
+  int faults = 0;
+  for (int i = 0; i < 30; i++) {
+    if (ms_.pool().TierOf(ms_.PteOf(as_, 0)->pfn) == Tier::kFast) {
+      break;
+    }
+    faults += Touch(0).took_fault ? 1 : 0;
+  }
+  EXPECT_EQ(ms_.pool().TierOf(ms_.PteOf(as_, 0)->pfn), Tier::kFast);
+  EXPECT_EQ(ms_.counters().Get("tpp.promote"), 1u);
+  // More than one fault was needed (NOMAD needs exactly one), but no more
+  // than Linux's pagevec bound plus the activating and promoting faults.
+  EXPECT_GT(faults, 1);
+  EXPECT_LE(faults, static_cast<int>(kPagevecSize) + 2);
+  EXPECT_GE(ms_.counters().Get("tpp.fault_not_active"), 1u);
+}
+
+TEST_F(TppTest, PromotionIsExclusiveNoShadow) {
+  ms_.MapNewPage(as_, 0, Tier::kSlow);
+  engine_.Run(5000);
+  for (int i = 0; i < 30 && ms_.pool().TierOf(ms_.PteOf(as_, 0)->pfn) == Tier::kSlow; i++) {
+    Touch(0);
+  }
+  const Pfn pfn = ms_.PteOf(as_, 0)->pfn;
+  ASSERT_EQ(ms_.pool().TierOf(pfn), Tier::kFast);
+  EXPECT_FALSE(ms_.pool().frame(pfn).shadowed);
+  EXPECT_TRUE(ms_.PteOf(as_, 0)->writable);  // no write-protection games
+  // Old slow frame was freed (exclusive tiering).
+  EXPECT_EQ(ms_.pool().UsedFrames(Tier::kSlow), 0u);
+}
+
+TEST_F(TppTest, PromotionBlocksConcurrentAccessors) {
+  ms_.MapNewPage(as_, 0, Tier::kSlow);
+  engine_.Run(5000);
+  for (int i = 0; i < 30 && ms_.pool().TierOf(ms_.PteOf(as_, 0)->pfn) == Tier::kSlow; i++) {
+    Touch(0);
+  }
+  // The last Touch triggered the synchronous migration and registered a
+  // blocking window; but since Touch advances time past it, just verify
+  // the counter shows promotion happened synchronously in the fault.
+  EXPECT_EQ(ms_.counters().Get("migrate.sync_promote"), 1u);
+}
+
+TEST_F(TppTest, PromotionSkippedWithoutHeadroom) {
+  // Fill fast memory completely so promotion has no headroom.
+  PlatformSpec p = TestPlatform(16, 128);
+  Engine engine;
+  MemorySystem ms(p, &engine);
+  TppPolicy::Config cfg;
+  cfg.scanner.round_interval = 5000;
+  TppPolicy policy(cfg);
+  policy.Install(ms, engine);
+  ms.RegisterCpu(kCpu);
+  AddressSpace as(4096);
+  for (Vpn v = 100; v < 116; v++) {
+    ms.MapNewPage(as, v, Tier::kFast);
+  }
+  ms.MapNewPage(as, 0, Tier::kSlow);
+  // Pin fast pages as hot so kswapd's demotion cannot help instantly.
+  engine.Run(5000);
+  for (int i = 0; i < 40; i++) {
+    ms.Access(kCpu, as, 0, 0, false);
+    for (Vpn v = 100; v < 116; v++) {
+      ms.Access(kCpu, as, v, 0, false);
+    }
+    engine.Run(engine.now() + 20000);
+  }
+  EXPECT_GT(ms.counters().Get("tpp.promote_skipped_nomem"), 0u);
+}
+
+TEST_F(TppTest, KswapdDemotesUnderPressure) {
+  // Map cold pages until the fast node is under the low watermark.
+  ms_.pool().SetWatermarks(Tier::kFast, 16, 32);
+  for (Vpn v = 0; v < 120; v++) {
+    ms_.MapNewPage(as_, v, Tier::kFast);
+  }
+  engine_.Run(engine_.now() + 5000000);
+  EXPECT_GE(ms_.pool().FreeFrames(Tier::kFast), 32u);
+  EXPECT_GT(ms_.counters().Get("migrate.sync_demote"), 0u);
+}
+
+TEST_F(TppTest, FastPagesAreNeverArmed) {
+  ms_.MapNewPage(as_, 0, Tier::kFast);
+  engine_.Run(50000);
+  EXPECT_FALSE(ms_.PteOf(as_, 0)->prot_none);
+  const AccessInfo info = Touch(0);
+  EXPECT_FALSE(info.took_fault);
+}
+
+}  // namespace
+}  // namespace nomad

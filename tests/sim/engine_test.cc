@@ -1,0 +1,212 @@
+// Tests for the discrete-event engine: scheduling order, virtual time,
+// sleep/wake/penalize semantics, and determinism.
+#include "src/sim/engine.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace nomad {
+namespace {
+
+// Records (actor tag, time) pairs so tests can assert interleavings.
+struct Trace {
+  std::vector<std::pair<char, Cycles>> events;
+};
+
+class ScriptedActor : public Actor {
+ public:
+  ScriptedActor(char tag, Cycles step_cost, int steps, Trace* trace)
+      : tag_(tag), step_cost_(step_cost), steps_left_(steps), trace_(trace) {}
+
+  Cycles Step(Engine& engine) override {
+    trace_->events.emplace_back(tag_, engine.now());
+    steps_left_--;
+    return step_cost_;
+  }
+  std::string name() const override { return std::string(1, tag_); }
+  bool done() const override { return steps_left_ <= 0; }
+
+ private:
+  char tag_;
+  Cycles step_cost_;
+  int steps_left_;
+  Trace* trace_;
+};
+
+TEST(EngineTest, SingleActorAdvancesByStepCost) {
+  Engine engine;
+  Trace trace;
+  ScriptedActor a('a', 100, 3, &trace);
+  engine.AddActor(&a);
+  engine.Run(10000);
+  ASSERT_EQ(trace.events.size(), 3u);
+  EXPECT_EQ(trace.events[0].second, 0u);
+  EXPECT_EQ(trace.events[1].second, 100u);
+  EXPECT_EQ(trace.events[2].second, 200u);
+}
+
+TEST(EngineTest, MinTimeActorRunsFirst) {
+  Engine engine;
+  Trace trace;
+  ScriptedActor slow('s', 300, 2, &trace);
+  ScriptedActor fast('f', 100, 4, &trace);
+  engine.AddActor(&slow);
+  engine.AddActor(&fast);
+  engine.Run(10000);
+  // At t=0 both are ready; the lower id (slow) goes first. Then fast runs
+  // at 0, 100, 200 before slow's second step at 300.
+  std::vector<std::pair<char, Cycles>> expected = {
+      {'s', 0}, {'f', 0}, {'f', 100}, {'f', 200}, {'s', 300}, {'f', 300}};
+  EXPECT_EQ(trace.events, expected);
+}
+
+TEST(EngineTest, ZeroCostStepStillMakesProgress) {
+  Engine engine;
+  Trace trace;
+  ScriptedActor a('a', 0, 5, &trace);
+  engine.AddActor(&a);
+  engine.Run(10000);
+  ASSERT_EQ(trace.events.size(), 5u);
+  // Each step advances by at least one cycle.
+  for (size_t i = 1; i < trace.events.size(); i++) {
+    EXPECT_GT(trace.events[i].second, trace.events[i - 1].second);
+  }
+}
+
+TEST(EngineTest, RunStopsAtDeadline) {
+  Engine engine;
+  Trace trace;
+  ScriptedActor a('a', 100, 1000, &trace);
+  engine.AddActor(&a);
+  engine.Run(450);
+  // Steps at 0, 100, ..., 400: 5 events; the step scheduled at 500 exceeds
+  // the deadline.
+  EXPECT_EQ(trace.events.size(), 5u);
+}
+
+class SleepyActor : public Actor {
+ public:
+  explicit SleepyActor(Trace* trace) : trace_(trace) {}
+  Cycles Step(Engine& engine) override {
+    trace_->events.emplace_back('z', engine.now());
+    steps_++;
+    if (steps_ == 1) {
+      engine.SleepUntil(5000);
+      return 0;
+    }
+    if (steps_ == 2) {
+      engine.SleepUntil(kNever);
+      return 0;
+    }
+    return 1;
+  }
+  std::string name() const override { return "sleepy"; }
+  int steps() const { return steps_; }
+
+ private:
+  Trace* trace_;
+  int steps_ = 0;
+};
+
+TEST(EngineTest, SleepUntilDefersNextStep) {
+  Engine engine;
+  Trace trace;
+  SleepyActor a(&trace);
+  engine.AddActor(&a);
+  engine.Run(100000);
+  // Step 1 at t=0, step 2 at t=5000, then asleep forever -> run drains.
+  ASSERT_EQ(a.steps(), 2);
+  EXPECT_EQ(trace.events[1].second, 5000u);
+}
+
+TEST(EngineTest, WakeRousesASleepingActor) {
+  Engine engine;
+  Trace trace;
+  SleepyActor sleeper(&trace);
+
+  class Waker : public Actor {
+   public:
+    Waker(ActorId target, Cycles when) : target_(target), when_(when) {}
+    Cycles Step(Engine& engine) override {
+      engine.Wake(target_, when_);
+      fired_ = true;
+      engine.SleepUntil(kNever);
+      return 0;
+    }
+    std::string name() const override { return "waker"; }
+    bool done() const override { return fired_; }
+
+   private:
+    ActorId target_;
+    Cycles when_;
+    bool fired_ = false;
+  };
+
+  const ActorId sleeper_id = engine.AddActor(&sleeper);
+  Waker waker(sleeper_id, 1000);
+  engine.AddActor(&waker, 500);
+  engine.Run(100000);
+  // Sleeper stepped at 0 then slept to 5000; the waker pulled it to 1000.
+  ASSERT_GE(trace.events.size(), 2u);
+  EXPECT_EQ(trace.events[1].second, 1000u);
+}
+
+TEST(EngineTest, WakeDoesNotDelayABusyActor) {
+  Engine engine;
+  Trace trace;
+  ScriptedActor a('a', 100, 2, &trace);
+  const ActorId id = engine.AddActor(&a);
+  engine.Wake(id, 5000);  // later than its scheduled time: no effect
+  engine.Run(10000);
+  EXPECT_EQ(trace.events[0].second, 0u);
+  EXPECT_EQ(trace.events[1].second, 100u);
+}
+
+TEST(EngineTest, PenalizePushesActorBack) {
+  Engine engine;
+  Trace trace;
+  ScriptedActor a('a', 100, 2, &trace);
+  const ActorId id = engine.AddActor(&a);
+  engine.Penalize(id, 700);
+  engine.Run(10000);
+  EXPECT_EQ(trace.events[0].second, 700u);
+}
+
+TEST(EngineTest, RunUntilPredicateStops) {
+  Engine engine;
+  Trace trace;
+  ScriptedActor a('a', 10, 1000, &trace);
+  engine.AddActor(&a);
+  engine.RunUntil([&] { return trace.events.size() >= 7; });
+  EXPECT_EQ(trace.events.size(), 7u);
+}
+
+TEST(EngineTest, DeterministicAcrossRuns) {
+  auto run_once = [] {
+    Engine engine;
+    Trace trace;
+    ScriptedActor a('a', 37, 50, &trace);
+    ScriptedActor b('b', 53, 50, &trace);
+    ScriptedActor c('c', 11, 50, &trace);
+    engine.AddActor(&a);
+    engine.AddActor(&b);
+    engine.AddActor(&c);
+    engine.Run(100000);
+    return trace.events;
+  };
+  EXPECT_EQ(run_once(), run_once());
+}
+
+TEST(EngineTest, DrainsWhenAllActorsDone) {
+  Engine engine;
+  Trace trace;
+  ScriptedActor a('a', 10, 2, &trace);
+  engine.AddActor(&a);
+  const Cycles end = engine.Run(1000000);
+  EXPECT_LE(end, 20u);
+  EXPECT_EQ(trace.events.size(), 2u);
+}
+
+}  // namespace
+}  // namespace nomad

@@ -1,0 +1,84 @@
+// Tests for the deterministic PRNG.
+#include "src/sim/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace nomad {
+namespace {
+
+TEST(RngTest, SameSeedSameSequence) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; i++) {
+    EXPECT_EQ(a.Next(), b.Next());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; i++) {
+    same += a.Next() == b.Next();
+  }
+  EXPECT_LT(same, 3);
+}
+
+TEST(RngTest, BelowStaysInBounds) {
+  Rng rng(42);
+  for (uint64_t bound : {1ull, 2ull, 7ull, 1000ull, 1ull << 40}) {
+    for (int i = 0; i < 1000; i++) {
+      EXPECT_LT(rng.Below(bound), bound);
+    }
+  }
+}
+
+TEST(RngTest, BelowOneAlwaysZero) {
+  Rng rng(9);
+  for (int i = 0; i < 100; i++) {
+    EXPECT_EQ(rng.Below(1), 0u);
+  }
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(5);
+  for (int i = 0; i < 10000; i++) {
+    const double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(RngTest, BelowIsRoughlyUniform) {
+  Rng rng(77);
+  constexpr uint64_t kBuckets = 10;
+  constexpr int kDraws = 100000;
+  std::vector<int> hist(kBuckets, 0);
+  for (int i = 0; i < kDraws; i++) {
+    hist[rng.Below(kBuckets)]++;
+  }
+  for (uint64_t b = 0; b < kBuckets; b++) {
+    EXPECT_NEAR(hist[b], kDraws / kBuckets, kDraws / kBuckets * 0.1);
+  }
+}
+
+TEST(RngTest, ChanceMatchesProbability) {
+  Rng rng(11);
+  int hits = 0;
+  constexpr int kTrials = 100000;
+  for (int i = 0; i < kTrials; i++) {
+    hits += rng.Chance(0.3);
+  }
+  EXPECT_NEAR(hits, 30000, 1500);
+}
+
+TEST(RngTest, ChanceExtremes) {
+  Rng rng(3);
+  for (int i = 0; i < 100; i++) {
+    EXPECT_FALSE(rng.Chance(0.0));
+    EXPECT_TRUE(rng.Chance(1.0));
+  }
+}
+
+}  // namespace
+}  // namespace nomad

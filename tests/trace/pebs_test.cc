@@ -1,0 +1,218 @@
+// Tests for the PEBS-like sampler: eligibility rules per platform,
+// sampling periods, cooling, and hot/cold classification.
+#include "src/trace/pebs.h"
+
+#include <gtest/gtest.h>
+
+namespace nomad {
+namespace {
+
+PlatformSpec TestPlatform(PlatformId id) {
+  PlatformSpec p = MakePlatform(id);
+  p.tiers[0].capacity_bytes = 128 * kPageSize;
+  p.tiers[1].capacity_bytes = 128 * kPageSize;
+  p.llc_bytes = 16 * 64;  // 16 lines: practically everything misses
+  return p;
+}
+
+class PebsTest : public ::testing::Test {
+ protected:
+  explicit PebsTest(PlatformId id = PlatformId::kC)
+      : ms_(TestPlatform(id), &engine_), as_(512) {
+    ms_.RegisterCpu(0);
+  }
+
+  PebsSampler MakeSampler(uint64_t period, uint64_t cooling = 2000000) {
+    PebsSampler::Config cfg;
+    cfg.sample_period = period;
+    cfg.cooling_period = cooling;
+    return PebsSampler(&ms_, cfg);
+  }
+
+  Engine engine_;
+  MemorySystem ms_;
+  AddressSpace as_;
+};
+
+TEST_F(PebsTest, SamplesEveryNthEvent) {
+  PebsSampler pebs = MakeSampler(10);
+  pebs.Attach();
+  ms_.MapNewPage(as_, 0, Tier::kSlow);
+  for (int i = 0; i < 100; i++) {
+    ms_.Access(0, as_, 0, 0, true);  // stores: always eligible
+  }
+  EXPECT_EQ(pebs.total_samples(), 10u);
+  EXPECT_EQ(pebs.CountOf(0), 10u);
+}
+
+TEST_F(PebsTest, SlowReadsVisibleOnPlatformC) {
+  PebsSampler pebs = MakeSampler(1);
+  pebs.Attach();
+  ms_.MapNewPage(as_, 0, Tier::kSlow);
+  for (int i = 0; i < 16; i++) {
+    ms_.Access(0, as_, 0, i * 64, false);
+  }
+  EXPECT_GT(pebs.CountOf(0), 0u);  // PM misses are core PEBS events
+}
+
+class PebsPlatformATest : public PebsTest {
+ protected:
+  PebsPlatformATest() : PebsTest(PlatformId::kA) {}
+};
+
+TEST_F(PebsPlatformATest, SlowReadsNearlyInvisibleOnCxl) {
+  // On platform A, CXL read misses are uncore events: only the sparse
+  // dTLB-miss stream can see them.
+  PebsSampler pebs = MakeSampler(1);
+  pebs.Attach();
+  ms_.MapNewPage(as_, 0, Tier::kSlow);
+  ms_.MapNewPage(as_, 1, Tier::kFast);
+  for (int i = 0; i < 32; i++) {
+    ms_.Access(0, as_, 0, (i % 64) * 64, false);
+    ms_.Access(0, as_, 1, (i % 64) * 64, false);
+  }
+  // Fast reads sampled at the primary rate; slow reads far less.
+  EXPECT_GT(pebs.CountOf(1), pebs.CountOf(0));
+}
+
+TEST_F(PebsPlatformATest, StoresVisibleEverywhere) {
+  PebsSampler pebs = MakeSampler(1);
+  pebs.Attach();
+  ms_.MapNewPage(as_, 0, Tier::kSlow);
+  for (int i = 0; i < 10; i++) {
+    ms_.Access(0, as_, 0, 0, true);
+  }
+  EXPECT_GT(pebs.CountOf(0), 0u);
+}
+
+TEST_F(PebsTest, LlcHitsAreInvisible) {
+  // Large LLC so repeats hit; TLB large enough to avoid dTLB-miss samples.
+  PlatformSpec p = TestPlatform(PlatformId::kC);
+  p.llc_bytes = 1 << 20;
+  Engine engine;
+  MemorySystem ms(p, &engine);
+  ms.RegisterCpu(0);
+  AddressSpace as(512);
+  PebsSampler::Config cfg;
+  cfg.sample_period = 1;
+  PebsSampler pebs(&ms, cfg);
+  pebs.Attach();
+  ms.MapNewPage(as, 0, Tier::kFast);
+  ms.Access(0, as, 0, 0, false);  // miss (eligible) + tlb miss
+  const uint64_t after_first = pebs.total_samples();
+  for (int i = 0; i < 50; i++) {
+    ms.Access(0, as, 0, 0, false);  // LLC hits through a warm TLB
+  }
+  EXPECT_EQ(pebs.total_samples(), after_first);
+}
+
+TEST_F(PebsTest, CoolingHalvesCounts) {
+  PebsSampler pebs = MakeSampler(1, /*cooling=*/20);
+  pebs.Attach();
+  ms_.MapNewPage(as_, 0, Tier::kSlow);
+  for (int i = 0; i < 20; i++) {
+    ms_.Access(0, as_, 0, 0, true);
+  }
+  EXPECT_EQ(pebs.coolings(), 1u);
+  EXPECT_EQ(pebs.CountOf(0), 10u);
+}
+
+TEST_F(PebsTest, CoolingDropsZeroCounts) {
+  PebsSampler pebs = MakeSampler(1, /*cooling=*/4);
+  pebs.Attach();
+  ms_.MapNewPage(as_, 0, Tier::kSlow);
+  ms_.MapNewPage(as_, 1, Tier::kSlow);
+  ms_.Access(0, as_, 1, 0, true);   // count 1 -> halves to 0 -> dropped
+  for (int i = 0; i < 3; i++) {
+    ms_.Access(0, as_, 0, 0, true);
+  }
+  EXPECT_EQ(pebs.coolings(), 1u);
+  EXPECT_EQ(pebs.CountOf(1), 0u);
+  EXPECT_EQ(pebs.counts().size(), 1u);
+}
+
+TEST_F(PebsTest, HotThresholdSplitsByBudget) {
+  PebsSampler pebs = MakeSampler(1);
+  pebs.Attach();
+  for (Vpn v = 0; v < 8; v++) {
+    ms_.MapNewPage(as_, v, Tier::kSlow);
+  }
+  // Page 0 gets 64 writes, pages 1..7 get 2 each.
+  for (int i = 0; i < 64; i++) {
+    ms_.Access(0, as_, 0, 0, true);
+  }
+  for (Vpn v = 1; v < 8; v++) {
+    ms_.Access(0, as_, v, 0, true);
+    ms_.Access(0, as_, v, 64, true);
+  }
+  // Budget of 1 page: only the heavy hitter qualifies.
+  const uint64_t thr = pebs.HotThreshold(1);
+  EXPECT_GT(thr, 2u);
+  EXPECT_LE(thr, 64u);
+  // Huge budget: everything qualifies.
+  EXPECT_EQ(pebs.HotThreshold(1000), 1u);
+}
+
+TEST_F(PebsTest, HotAndColdPagesByTier) {
+  PebsSampler pebs = MakeSampler(1);
+  pebs.Attach();
+  ms_.MapNewPage(as_, 0, Tier::kSlow);
+  ms_.MapNewPage(as_, 1, Tier::kFast);
+  for (int i = 0; i < 10; i++) {
+    ms_.Access(0, as_, 0, 0, true);
+  }
+  ms_.Access(0, as_, 1, 0, true);
+  const auto hot_slow = pebs.HotPagesOn(Tier::kSlow, 2, 10);
+  ASSERT_EQ(hot_slow.size(), 1u);
+  EXPECT_EQ(hot_slow[0], 0u);
+  const auto cold_fast = pebs.ColdPagesOn(Tier::kFast, 5, 10);
+  ASSERT_EQ(cold_fast.size(), 1u);
+  EXPECT_EQ(cold_fast[0], 1u);
+}
+
+TEST_F(PebsTest, HotPagesSortedHottestFirst) {
+  PebsSampler pebs = MakeSampler(1);
+  pebs.Attach();
+  for (Vpn v = 0; v < 4; v++) {
+    ms_.MapNewPage(as_, v, Tier::kSlow);
+  }
+  for (Vpn v = 0; v < 4; v++) {
+    for (Vpn i = 0; i <= v; i++) {
+      ms_.Access(0, as_, v, 0, true);
+    }
+  }
+  const auto hot = pebs.HotPagesOn(Tier::kSlow, 1, 10);
+  ASSERT_EQ(hot.size(), 4u);
+  EXPECT_EQ(hot[0], 3u);
+  EXPECT_EQ(hot[3], 0u);
+}
+
+TEST_F(PebsTest, NoAttachOnUnsupportedPlatform) {
+  Engine engine;
+  MemorySystem ms(TestPlatform(PlatformId::kD), &engine);
+  ms.RegisterCpu(0);
+  AddressSpace as(16);
+  PebsSampler::Config cfg;
+  cfg.sample_period = 1;
+  PebsSampler pebs(&ms, cfg);
+  pebs.Attach();  // no-op: platform D has no IBS backend
+  ms.MapNewPage(as, 0, Tier::kSlow);
+  for (int i = 0; i < 10; i++) {
+    ms.Access(0, as, 0, 0, true);
+  }
+  EXPECT_EQ(pebs.total_samples(), 0u);
+}
+
+TEST_F(PebsTest, UnmappedPagesExcludedFromHotSets) {
+  PebsSampler pebs = MakeSampler(1);
+  pebs.Attach();
+  ms_.MapNewPage(as_, 0, Tier::kSlow);
+  for (int i = 0; i < 5; i++) {
+    ms_.Access(0, as_, 0, 0, true);
+  }
+  ms_.UnmapAndFree(as_, 0);
+  EXPECT_TRUE(pebs.HotPagesOn(Tier::kSlow, 1, 10).empty());
+}
+
+}  // namespace
+}  // namespace nomad

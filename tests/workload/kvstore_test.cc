@@ -1,0 +1,144 @@
+// Tests for the KV store layout and access plans.
+#include "src/workload/kvstore.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+namespace nomad {
+namespace {
+
+struct Touch {
+  Vpn vpn;
+  uint64_t offset;
+  bool write;
+  bool operator==(const Touch&) const = default;
+};
+
+// Collects the accesses an operation generates.
+class Recorder {
+ public:
+  Cycles operator()(Vpn vpn, uint64_t offset, bool write) {
+    touches.push_back({vpn, offset, write});
+    return 1;
+  }
+  std::vector<Touch> touches;
+};
+
+KvStore MakeStore(uint64_t records = 1000, Vpn base = 100) {
+  KvStore::Config cfg;
+  cfg.record_count = records;
+  KvStore store(cfg);
+  store.Layout(base);
+  return store;
+}
+
+TEST(KvStoreTest, LayoutComputesDisjointRegions) {
+  KvStore::Config cfg;
+  cfg.record_count = 1000;  // slots = 2048 -> 4 index pages; heap 250 pages
+  KvStore store(cfg);
+  const Vpn end = store.Layout(100);
+  EXPECT_EQ(store.index_start(), 100u);
+  EXPECT_EQ(store.heap_start(), 104u);
+  EXPECT_EQ(end, 104u + 250u);
+}
+
+TEST(KvStoreTest, GetTouchesIndexThenWholeRecord) {
+  KvStore store = MakeStore();
+  Recorder rec;
+  const Cycles c = store.Get(42, rec);
+  // At least 1 index probe + 16 record lines (1 KB / 64 B).
+  ASSERT_GE(rec.touches.size(), 17u);
+  EXPECT_EQ(c, rec.touches.size());
+  // Index probes first, in the index region; all reads.
+  EXPECT_GE(rec.touches[0].vpn, store.index_start());
+  EXPECT_LT(rec.touches[0].vpn, store.heap_start());
+  EXPECT_FALSE(rec.touches[0].write);
+  // The record lines are in the heap region, contiguous, reads.
+  const size_t probes = rec.touches.size() - 16;
+  for (size_t i = probes; i < rec.touches.size(); i++) {
+    EXPECT_GE(rec.touches[i].vpn, store.heap_start());
+    EXPECT_FALSE(rec.touches[i].write);
+  }
+}
+
+TEST(KvStoreTest, UpdateWritesWholeRecord) {
+  KvStore store = MakeStore();
+  Recorder rec;
+  store.Update(42, rec);
+  int writes = 0;
+  for (const Touch& t : rec.touches) {
+    writes += t.write;
+  }
+  EXPECT_EQ(writes, 16);  // the record lines; index probes are reads
+}
+
+TEST(KvStoreTest, SameKeySameRecordHome) {
+  KvStore store = MakeStore();
+  Recorder a, b;
+  store.Get(7, a);
+  store.Update(7, b);
+  EXPECT_EQ(a.touches.back().vpn, b.touches.back().vpn);
+  EXPECT_EQ(a.touches.back().offset, b.touches.back().offset);
+}
+
+TEST(KvStoreTest, RecordsPackedFourPerPage) {
+  KvStore store = MakeStore();
+  Recorder r0, r1, r4;
+  store.Get(0, r0);
+  store.Get(1, r1);
+  store.Get(4, r4);
+  EXPECT_EQ(r0.touches.back().vpn, r1.touches.back().vpn);   // same page
+  EXPECT_NE(r0.touches.back().offset, r1.touches.back().offset);
+  EXPECT_EQ(r4.touches.back().vpn, r0.touches.back().vpn + 1);  // next page
+}
+
+TEST(KvStoreTest, KeysWrapModuloRecordCount) {
+  KvStore store = MakeStore(1000);
+  Recorder a, b;
+  store.Get(5, a);
+  store.Get(1005, b);
+  EXPECT_EQ(a.touches.back().vpn, b.touches.back().vpn);
+  EXPECT_EQ(a.touches.back().offset, b.touches.back().offset);
+}
+
+TEST(KvStoreTest, DeterministicAccessPlans) {
+  KvStore s1 = MakeStore();
+  KvStore s2 = MakeStore();
+  Recorder a, b;
+  s1.Get(99, a);
+  s2.Get(99, b);
+  EXPECT_EQ(a.touches, b.touches);
+}
+
+TEST(KvStoreTest, ProbeCountsBounded) {
+  KvStore store = MakeStore(10000);
+  for (uint64_t key = 0; key < 500; key++) {
+    Recorder rec;
+    store.Get(key, rec);
+    const size_t probes = rec.touches.size() - 16;
+    EXPECT_GE(probes, 1u);
+    EXPECT_LE(probes, 3u);
+  }
+}
+
+TEST(KvStoreTest, AllRecordsWithinLayout) {
+  KvStore::Config cfg;
+  cfg.record_count = 777;  // non-power-of-two, non-multiple of 4
+  KvStore store(cfg);
+  const Vpn end = store.Layout(0);
+  std::set<Vpn> pages;
+  for (uint64_t key = 0; key < 777; key++) {
+    Recorder rec;
+    store.Get(key, rec);
+    for (const Touch& t : rec.touches) {
+      EXPECT_LT(t.vpn, end);
+      pages.insert(t.vpn);
+    }
+  }
+  EXPECT_GT(pages.size(), 100u);  // the heap really is spread over pages
+}
+
+}  // namespace
+}  // namespace nomad

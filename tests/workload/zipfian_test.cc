@@ -1,0 +1,113 @@
+// Tests for the Zipfian generators.
+#include "src/workload/zipfian.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+namespace nomad {
+namespace {
+
+TEST(ZipfianRanksTest, DrawsInRange) {
+  ZipfianRanks z(100, 0.99);
+  Rng rng(1);
+  for (int i = 0; i < 10000; i++) {
+    EXPECT_LT(z.Draw(rng), 100u);
+  }
+}
+
+TEST(ZipfianRanksTest, RankZeroIsHottest) {
+  ZipfianRanks z(1000, 0.99);
+  Rng rng(2);
+  std::vector<int> hits(1000, 0);
+  for (int i = 0; i < 100000; i++) {
+    hits[z.Draw(rng)]++;
+  }
+  // Monotone-ish decay: rank 0 beats rank 10 beats rank 100.
+  EXPECT_GT(hits[0], hits[10]);
+  EXPECT_GT(hits[10], hits[100]);
+  // Skew: the top 10% of ranks should carry well over half the draws.
+  int top = 0;
+  for (int r = 0; r < 100; r++) {
+    top += hits[r];
+  }
+  EXPECT_GT(top, 60000);
+}
+
+TEST(ZipfianRanksTest, ZipfianFrequencyRatio) {
+  // P(0)/P(1) should be about 2^theta.
+  ZipfianRanks z(100000, 0.99);
+  Rng rng(3);
+  int h0 = 0, h1 = 0;
+  for (int i = 0; i < 300000; i++) {
+    const uint64_t r = z.Draw(rng);
+    h0 += r == 0;
+    h1 += r == 1;
+  }
+  EXPECT_NEAR(static_cast<double>(h0) / h1, 2.0, 0.35);
+}
+
+TEST(ZipfianRanksTest, SingleItem) {
+  ZipfianRanks z(1, 0.99);
+  Rng rng(4);
+  EXPECT_EQ(z.Draw(rng), 0u);
+}
+
+TEST(ScrambledZipfianTest, PermutationIsBijective) {
+  ScrambledZipfian z(1000, 0.99, 7);
+  std::set<uint64_t> seen;
+  for (uint64_t r = 0; r < 1000; r++) {
+    const uint64_t item = z.ItemOfRank(r);
+    EXPECT_LT(item, 1000u);
+    EXPECT_TRUE(seen.insert(item).second) << "duplicate item " << item;
+  }
+}
+
+TEST(ScrambledZipfianTest, DrawMatchesRankMapping) {
+  ScrambledZipfian z(100, 0.99, 7);
+  Rng rng(5);
+  std::vector<int> hits(100, 0);
+  for (int i = 0; i < 50000; i++) {
+    hits[z.Draw(rng)]++;
+  }
+  // The scrambled hottest item must be the most-hit one.
+  const uint64_t hottest = z.ItemOfRank(0);
+  const auto max_it = std::max_element(hits.begin(), hits.end());
+  EXPECT_EQ(static_cast<uint64_t>(max_it - hits.begin()), hottest);
+}
+
+TEST(ScrambledZipfianTest, SeedsChangePermutation) {
+  ScrambledZipfian a(1000, 0.99, 1);
+  ScrambledZipfian b(1000, 0.99, 2);
+  int same = 0;
+  for (uint64_t r = 0; r < 1000; r++) {
+    same += a.ItemOfRank(r) == b.ItemOfRank(r);
+  }
+  EXPECT_LT(same, 20);
+}
+
+TEST(ScrambledZipfianTest, SameSeedDeterministic) {
+  ScrambledZipfian a(500, 0.99, 9);
+  ScrambledZipfian b(500, 0.99, 9);
+  Rng ra(3), rb(3);
+  for (int i = 0; i < 1000; i++) {
+    EXPECT_EQ(a.Draw(ra), b.Draw(rb));
+  }
+}
+
+// Hot items are spread uniformly across the range (the paper's "hot data
+// uniformly distributed along the WSS").
+TEST(ScrambledZipfianTest, HotItemsSpreadAcrossRange) {
+  ScrambledZipfian z(10000, 0.99, 11);
+  // Take the 100 hottest items and check they are not clustered.
+  uint64_t lower_half = 0;
+  for (uint64_t r = 0; r < 100; r++) {
+    lower_half += z.ItemOfRank(r) < 5000;
+  }
+  EXPECT_GT(lower_half, 25u);
+  EXPECT_LT(lower_half, 75u);
+}
+
+}  // namespace
+}  // namespace nomad

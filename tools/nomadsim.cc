@@ -1,0 +1,162 @@
+// nomadsim: command-line driver for one-off tiered-memory experiments.
+//
+// Examples:
+//   # the paper's medium-WSS read benchmark under every policy
+//   ./nomadsim --platform=A --wss_gb=13.5 --rss_gb=27
+//
+//   # a single policy, write-heavy, with the thrash governor enabled
+//   ./nomadsim --policy=nomad --governor --write_fraction=1
+//              --wss_gb=27 --rss_gb=27 --wss_fast_gb=16
+//
+// Flags (defaults in brackets):
+//   --platform=A|B|C|D   [A]      testbed from Table 1
+//   --policy=...         [all]    no-migration|tpp|memtis-default|
+//                                 memtis-quickcool|nomad
+//   --scale=N            [64]     size divisor vs the paper's GB
+//   --rss_gb --wss_gb --wss_fast_gb --kernel_gb    layout (paper GB)
+//   --placement=freq|random [random]
+//   --write_fraction=F   [0]
+//   --ops=N              [2000000]
+//   --threads=N          [2]
+//   --seed=N             [42]
+//   --governor           [off]    enable the sec. 5 thrash governor (nomad)
+//   --counters           [off]    dump raw event counters after each run
+#include <iostream>
+#include <memory>
+
+#include "bench/bench_common.h"
+#include "src/harness/flags.h"
+
+using namespace nomad;
+
+namespace {
+
+PlatformId ParsePlatform(const std::string& s) {
+  if (s == "B") return PlatformId::kB;
+  if (s == "C") return PlatformId::kC;
+  if (s == "D") return PlatformId::kD;
+  return PlatformId::kA;
+}
+
+bool ParsePolicy(const std::string& s, PolicyKind* out) {
+  for (PolicyKind kind : {PolicyKind::kNoMigration, PolicyKind::kTpp,
+                          PolicyKind::kMemtisDefault, PolicyKind::kMemtisQuickCool,
+                          PolicyKind::kNomad}) {
+    if (s == PolicyKindName(kind)) {
+      *out = kind;
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Flags flags(argc, argv);
+
+  MicroRunConfig cfg;
+  cfg.platform = ParsePlatform(flags.GetString("platform", "A"));
+  cfg.scale_denom = flags.GetUint("scale", 64);
+  cfg.rss_gb = flags.GetDouble("rss_gb", 27.0);
+  cfg.wss_gb = flags.GetDouble("wss_gb", 13.5);
+  cfg.wss_fast_gb = flags.GetDouble("wss_fast_gb", 2.5);
+  cfg.kernel_gb = flags.GetDouble("kernel_gb", 3.5);
+  cfg.placement = flags.GetString("placement", "random") == "freq" ? Placement::kFrequencyOpt
+                                                                   : Placement::kRandom;
+  cfg.write_fraction = flags.GetDouble("write_fraction", 0.0);
+  cfg.total_ops = flags.GetUint("ops", 2000000);
+  cfg.threads = static_cast<int>(flags.GetUint("threads", 2));
+  cfg.seed = flags.GetUint("seed", 42);
+  const bool governor = flags.GetBool("governor", false);
+  const bool dump_counters = flags.GetBool("counters", false);
+  const std::string policy_arg = flags.GetString("policy", "");
+
+  const auto unused = flags.UnusedKeys();
+  if (!unused.empty()) {
+    std::cerr << "unknown flag(s):";
+    for (const auto& k : unused) {
+      std::cerr << " --" << k;
+    }
+    std::cerr << "\n";
+    return 2;
+  }
+
+  std::vector<PolicyKind> policies;
+  if (!policy_arg.empty()) {
+    PolicyKind kind;
+    if (!ParsePolicy(policy_arg, &kind)) {
+      std::cerr << "unknown policy '" << policy_arg << "'\n";
+      return 2;
+    }
+    policies.push_back(kind);
+  } else {
+    policies = PoliciesFor(cfg.platform, /*include_no_migration=*/true);
+  }
+
+  PrintHeader("nomadsim", "one-off micro-benchmark run", cfg.platform, cfg.scale_denom);
+  std::cout << "RSS " << cfg.rss_gb << " GB, WSS " << cfg.wss_gb << " GB ("
+            << cfg.wss_fast_gb << " GB starting fast), "
+            << (cfg.placement == Placement::kFrequencyOpt ? "frequency-opt" : "random")
+            << " placement, write fraction " << cfg.write_fraction << ", "
+            << cfg.total_ops << " ops on " << cfg.threads << " thread(s)\n\n";
+
+  TablePrinter t({"policy", "transient GB/s", "stable GB/s", "mean lat (cyc)",
+                  "p99 (cyc)", "promos", "demos", "tpm aborts"});
+  for (PolicyKind kind : policies) {
+    const PlatformSpec platform_spec = MakePlatform(cfg.platform);
+    if (!PolicySupported(kind, platform_spec)) {
+      continue;
+    }
+    MicroRunConfig run_cfg = cfg;
+    run_cfg.policy = kind;
+    MicroRunResult r;
+    if (kind == PolicyKind::kNomad && governor) {
+      // Hand-wire the governed variant through the custom-policy path.
+      const Scale scale{cfg.scale_denom};
+      const PlatformSpec platform =
+          MakePlatform(cfg.platform, scale, cfg.fast_gb, cfg.slow_gb);
+      NomadPolicy::Config pcfg;
+      pcfg.enable_governor = true;
+      Sim sim(platform, std::make_unique<NomadPolicy>(pcfg), kind,
+              scale.Pages(cfg.rss_gb) + 16);
+      MicroLayout layout;
+      layout.rss_pages = scale.Pages(cfg.rss_gb);
+      layout.wss_pages = scale.Pages(cfg.wss_gb);
+      layout.wss_fast_pages = scale.Pages(cfg.wss_fast_gb);
+      layout.kernel_pages = scale.Pages(cfg.kernel_gb);
+      layout.placement = cfg.placement;
+      ScrambledZipfian zipf(layout.wss_pages, 0.99, cfg.seed);
+      const Vpn wss_start = SetupMicroLayout(sim, layout, zipf);
+      std::vector<std::unique_ptr<MicroWorkload>> apps;
+      for (int th = 0; th < cfg.threads; th++) {
+        MicroWorkload::Config wcfg;
+        wcfg.base.total_ops = cfg.total_ops / cfg.threads;
+        wcfg.base.seed = cfg.seed + 1000 + th;
+        wcfg.wss_start = wss_start;
+        wcfg.wss_pages = layout.wss_pages;
+        wcfg.write_fraction = cfg.write_fraction;
+        apps.push_back(std::make_unique<MicroWorkload>(&sim.ms(), &sim.as(), &zipf, wcfg));
+        sim.AddWorkload(apps.back().get());
+      }
+      sim.Run();
+      r.report = Analyze(sim);
+      r.counters = sim.ms().counters();
+      r.tpm_aborts = sim.nomad()->tpm_stats().aborts;
+    } else {
+      r = RunMicroBench(run_cfg);
+    }
+    t.AddRow({governor && kind == PolicyKind::kNomad ? "nomad+governor"
+                                                     : PolicyKindName(kind),
+              Fmt(r.report.transient_gbps), Fmt(r.report.stable_gbps),
+              Fmt(r.report.mean_latency_cycles, 0), Fmt(r.report.p99_latency_cycles, 0),
+              FmtCount(Promotions(r.counters)), FmtCount(Demotions(r.counters)),
+              FmtCount(r.tpm_aborts)});
+    if (dump_counters) {
+      std::cout << "--- counters (" << PolicyKindName(kind) << ") ---\n"
+                << r.counters.ToString();
+    }
+  }
+  t.Print(std::cout);
+  return 0;
+}
