@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_pcq.dir/ablation_pcq.cc.o"
+  "CMakeFiles/ablation_pcq.dir/ablation_pcq.cc.o.d"
+  "ablation_pcq"
+  "ablation_pcq.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_pcq.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

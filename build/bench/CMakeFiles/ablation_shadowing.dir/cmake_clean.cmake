@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_shadowing.dir/ablation_shadowing.cc.o"
+  "CMakeFiles/ablation_shadowing.dir/ablation_shadowing.cc.o.d"
+  "ablation_shadowing"
+  "ablation_shadowing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_shadowing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig07_micro_platform_a.dir/fig07_micro_platform_a.cc.o"
+  "CMakeFiles/fig07_micro_platform_a.dir/fig07_micro_platform_a.cc.o.d"
+  "fig07_micro_platform_a"
+  "fig07_micro_platform_a.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_micro_platform_a.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08_micro_platform_c.dir/fig08_micro_platform_c.cc.o"
+  "CMakeFiles/fig08_micro_platform_c.dir/fig08_micro_platform_c.cc.o.d"
+  "fig08_micro_platform_c"
+  "fig08_micro_platform_c.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_micro_platform_c.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

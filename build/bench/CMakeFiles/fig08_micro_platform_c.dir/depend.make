@@ -1,0 +1,2 @@
+# Empty dependencies file for fig08_micro_platform_c.
+# This may be replaced when dependencies are built.

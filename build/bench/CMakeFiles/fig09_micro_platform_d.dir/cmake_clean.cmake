@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_micro_platform_d.dir/fig09_micro_platform_d.cc.o"
+  "CMakeFiles/fig09_micro_platform_d.dir/fig09_micro_platform_d.cc.o.d"
+  "fig09_micro_platform_d"
+  "fig09_micro_platform_d.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_micro_platform_d.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

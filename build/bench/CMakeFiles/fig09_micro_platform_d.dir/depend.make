@@ -1,0 +1,2 @@
+# Empty dependencies file for fig09_micro_platform_d.
+# This may be replaced when dependencies are built.

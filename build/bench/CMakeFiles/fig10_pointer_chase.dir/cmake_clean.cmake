@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_pointer_chase.dir/fig10_pointer_chase.cc.o"
+  "CMakeFiles/fig10_pointer_chase.dir/fig10_pointer_chase.cc.o.d"
+  "fig10_pointer_chase"
+  "fig10_pointer_chase.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_pointer_chase.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

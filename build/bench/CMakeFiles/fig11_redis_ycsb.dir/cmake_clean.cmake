@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_redis_ycsb.dir/fig11_redis_ycsb.cc.o"
+  "CMakeFiles/fig11_redis_ycsb.dir/fig11_redis_ycsb.cc.o.d"
+  "fig11_redis_ycsb"
+  "fig11_redis_ycsb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_redis_ycsb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_pagerank.dir/fig12_pagerank.cc.o"
+  "CMakeFiles/fig12_pagerank.dir/fig12_pagerank.cc.o.d"
+  "fig12_pagerank"
+  "fig12_pagerank.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_pagerank.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

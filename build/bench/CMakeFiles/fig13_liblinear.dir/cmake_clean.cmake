@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_liblinear.dir/fig13_liblinear.cc.o"
+  "CMakeFiles/fig13_liblinear.dir/fig13_liblinear.cc.o.d"
+  "fig13_liblinear"
+  "fig13_liblinear.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_liblinear.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig14_redis_large.dir/fig14_redis_large.cc.o"
+  "CMakeFiles/fig14_redis_large.dir/fig14_redis_large.cc.o.d"
+  "fig14_redis_large"
+  "fig14_redis_large.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_redis_large.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

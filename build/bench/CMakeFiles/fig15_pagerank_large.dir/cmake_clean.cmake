@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig15_pagerank_large.dir/fig15_pagerank_large.cc.o"
+  "CMakeFiles/fig15_pagerank_large.dir/fig15_pagerank_large.cc.o.d"
+  "fig15_pagerank_large"
+  "fig15_pagerank_large.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig15_pagerank_large.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

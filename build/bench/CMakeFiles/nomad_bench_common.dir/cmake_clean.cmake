@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nomad_bench_common.dir/bench_common.cc.o"
+  "CMakeFiles/nomad_bench_common.dir/bench_common.cc.o.d"
+  "libnomad_bench_common.a"
+  "libnomad_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nomad_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_migration_counts.dir/table2_migration_counts.cc.o"
+  "CMakeFiles/table2_migration_counts.dir/table2_migration_counts.cc.o.d"
+  "table2_migration_counts"
+  "table2_migration_counts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_migration_counts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

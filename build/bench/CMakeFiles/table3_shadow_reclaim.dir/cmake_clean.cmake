@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_shadow_reclaim.dir/table3_shadow_reclaim.cc.o"
+  "CMakeFiles/table3_shadow_reclaim.dir/table3_shadow_reclaim.cc.o.d"
+  "table3_shadow_reclaim"
+  "table3_shadow_reclaim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_shadow_reclaim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table4_tpm_success.dir/table4_tpm_success.cc.o"
+  "CMakeFiles/table4_tpm_success.dir/table4_tpm_success.cc.o.d"
+  "table4_tpm_success"
+  "table4_tpm_success.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_tpm_success.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/redis_tiering.dir/redis_tiering.cpp.o"
+  "CMakeFiles/redis_tiering.dir/redis_tiering.cpp.o.d"
+  "redis_tiering"
+  "redis_tiering.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/redis_tiering.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

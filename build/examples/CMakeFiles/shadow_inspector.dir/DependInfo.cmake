@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/shadow_inspector.cpp" "examples/CMakeFiles/shadow_inspector.dir/shadow_inspector.cpp.o" "gcc" "examples/CMakeFiles/shadow_inspector.dir/shadow_inspector.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/harness/CMakeFiles/nomad_harness.dir/DependInfo.cmake"
+  "/root/repo/build/src/nomad/CMakeFiles/nomad_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/policy/CMakeFiles/nomad_policy.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/nomad_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/nomad_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/mm/CMakeFiles/nomad_mm.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/nomad_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/nomad_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

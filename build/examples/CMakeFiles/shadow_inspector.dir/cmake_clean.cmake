@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/shadow_inspector.dir/shadow_inspector.cpp.o"
+  "CMakeFiles/shadow_inspector.dir/shadow_inspector.cpp.o.d"
+  "shadow_inspector"
+  "shadow_inspector.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/shadow_inspector.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

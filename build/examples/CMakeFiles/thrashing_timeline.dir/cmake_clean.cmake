@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/thrashing_timeline.dir/thrashing_timeline.cpp.o"
+  "CMakeFiles/thrashing_timeline.dir/thrashing_timeline.cpp.o.d"
+  "thrashing_timeline"
+  "thrashing_timeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/thrashing_timeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nomad_harness.dir/experiment.cc.o"
+  "CMakeFiles/nomad_harness.dir/experiment.cc.o.d"
+  "CMakeFiles/nomad_harness.dir/flags.cc.o"
+  "CMakeFiles/nomad_harness.dir/flags.cc.o.d"
+  "CMakeFiles/nomad_harness.dir/table.cc.o"
+  "CMakeFiles/nomad_harness.dir/table.cc.o.d"
+  "libnomad_harness.a"
+  "libnomad_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nomad_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mm/address_space.cc" "src/mm/CMakeFiles/nomad_mm.dir/address_space.cc.o" "gcc" "src/mm/CMakeFiles/nomad_mm.dir/address_space.cc.o.d"
+  "/root/repo/src/mm/cache.cc" "src/mm/CMakeFiles/nomad_mm.dir/cache.cc.o" "gcc" "src/mm/CMakeFiles/nomad_mm.dir/cache.cc.o.d"
+  "/root/repo/src/mm/frame_pool.cc" "src/mm/CMakeFiles/nomad_mm.dir/frame_pool.cc.o" "gcc" "src/mm/CMakeFiles/nomad_mm.dir/frame_pool.cc.o.d"
+  "/root/repo/src/mm/kswapd.cc" "src/mm/CMakeFiles/nomad_mm.dir/kswapd.cc.o" "gcc" "src/mm/CMakeFiles/nomad_mm.dir/kswapd.cc.o.d"
+  "/root/repo/src/mm/lru.cc" "src/mm/CMakeFiles/nomad_mm.dir/lru.cc.o" "gcc" "src/mm/CMakeFiles/nomad_mm.dir/lru.cc.o.d"
+  "/root/repo/src/mm/memory_system.cc" "src/mm/CMakeFiles/nomad_mm.dir/memory_system.cc.o" "gcc" "src/mm/CMakeFiles/nomad_mm.dir/memory_system.cc.o.d"
+  "/root/repo/src/mm/migrate.cc" "src/mm/CMakeFiles/nomad_mm.dir/migrate.cc.o" "gcc" "src/mm/CMakeFiles/nomad_mm.dir/migrate.cc.o.d"
+  "/root/repo/src/mm/page_table.cc" "src/mm/CMakeFiles/nomad_mm.dir/page_table.cc.o" "gcc" "src/mm/CMakeFiles/nomad_mm.dir/page_table.cc.o.d"
+  "/root/repo/src/mm/tlb.cc" "src/mm/CMakeFiles/nomad_mm.dir/tlb.cc.o" "gcc" "src/mm/CMakeFiles/nomad_mm.dir/tlb.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/nomad_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/nomad_mem.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nomad_mm.dir/address_space.cc.o"
+  "CMakeFiles/nomad_mm.dir/address_space.cc.o.d"
+  "CMakeFiles/nomad_mm.dir/cache.cc.o"
+  "CMakeFiles/nomad_mm.dir/cache.cc.o.d"
+  "CMakeFiles/nomad_mm.dir/frame_pool.cc.o"
+  "CMakeFiles/nomad_mm.dir/frame_pool.cc.o.d"
+  "CMakeFiles/nomad_mm.dir/kswapd.cc.o"
+  "CMakeFiles/nomad_mm.dir/kswapd.cc.o.d"
+  "CMakeFiles/nomad_mm.dir/lru.cc.o"
+  "CMakeFiles/nomad_mm.dir/lru.cc.o.d"
+  "CMakeFiles/nomad_mm.dir/memory_system.cc.o"
+  "CMakeFiles/nomad_mm.dir/memory_system.cc.o.d"
+  "CMakeFiles/nomad_mm.dir/migrate.cc.o"
+  "CMakeFiles/nomad_mm.dir/migrate.cc.o.d"
+  "CMakeFiles/nomad_mm.dir/page_table.cc.o"
+  "CMakeFiles/nomad_mm.dir/page_table.cc.o.d"
+  "CMakeFiles/nomad_mm.dir/tlb.cc.o"
+  "CMakeFiles/nomad_mm.dir/tlb.cc.o.d"
+  "libnomad_mm.a"
+  "libnomad_mm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nomad_mm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

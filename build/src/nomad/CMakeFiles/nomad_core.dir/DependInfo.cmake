@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nomad/governor.cc" "src/nomad/CMakeFiles/nomad_core.dir/governor.cc.o" "gcc" "src/nomad/CMakeFiles/nomad_core.dir/governor.cc.o.d"
+  "/root/repo/src/nomad/kpromote.cc" "src/nomad/CMakeFiles/nomad_core.dir/kpromote.cc.o" "gcc" "src/nomad/CMakeFiles/nomad_core.dir/kpromote.cc.o.d"
+  "/root/repo/src/nomad/nomad_policy.cc" "src/nomad/CMakeFiles/nomad_core.dir/nomad_policy.cc.o" "gcc" "src/nomad/CMakeFiles/nomad_core.dir/nomad_policy.cc.o.d"
+  "/root/repo/src/nomad/pcq.cc" "src/nomad/CMakeFiles/nomad_core.dir/pcq.cc.o" "gcc" "src/nomad/CMakeFiles/nomad_core.dir/pcq.cc.o.d"
+  "/root/repo/src/nomad/shadow.cc" "src/nomad/CMakeFiles/nomad_core.dir/shadow.cc.o" "gcc" "src/nomad/CMakeFiles/nomad_core.dir/shadow.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/mm/CMakeFiles/nomad_mm.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/nomad_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/policy/CMakeFiles/nomad_policy.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/nomad_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/nomad_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nomad_core.dir/governor.cc.o"
+  "CMakeFiles/nomad_core.dir/governor.cc.o.d"
+  "CMakeFiles/nomad_core.dir/kpromote.cc.o"
+  "CMakeFiles/nomad_core.dir/kpromote.cc.o.d"
+  "CMakeFiles/nomad_core.dir/nomad_policy.cc.o"
+  "CMakeFiles/nomad_core.dir/nomad_policy.cc.o.d"
+  "CMakeFiles/nomad_core.dir/pcq.cc.o"
+  "CMakeFiles/nomad_core.dir/pcq.cc.o.d"
+  "CMakeFiles/nomad_core.dir/shadow.cc.o"
+  "CMakeFiles/nomad_core.dir/shadow.cc.o.d"
+  "libnomad_core.a"
+  "libnomad_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nomad_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nomad_policy.dir/memtis.cc.o"
+  "CMakeFiles/nomad_policy.dir/memtis.cc.o.d"
+  "CMakeFiles/nomad_policy.dir/tpp.cc.o"
+  "CMakeFiles/nomad_policy.dir/tpp.cc.o.d"
+  "libnomad_policy.a"
+  "libnomad_policy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nomad_policy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libnomad_policy.a"
+)

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nomad_sim.dir/engine.cc.o"
+  "CMakeFiles/nomad_sim.dir/engine.cc.o.d"
+  "CMakeFiles/nomad_sim.dir/stats.cc.o"
+  "CMakeFiles/nomad_sim.dir/stats.cc.o.d"
+  "libnomad_sim.a"
+  "libnomad_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nomad_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/trace/hint_fault_scanner.cc" "src/trace/CMakeFiles/nomad_trace.dir/hint_fault_scanner.cc.o" "gcc" "src/trace/CMakeFiles/nomad_trace.dir/hint_fault_scanner.cc.o.d"
+  "/root/repo/src/trace/pebs.cc" "src/trace/CMakeFiles/nomad_trace.dir/pebs.cc.o" "gcc" "src/trace/CMakeFiles/nomad_trace.dir/pebs.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/mm/CMakeFiles/nomad_mm.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/nomad_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/nomad_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

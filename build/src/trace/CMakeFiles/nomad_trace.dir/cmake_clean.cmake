@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nomad_trace.dir/hint_fault_scanner.cc.o"
+  "CMakeFiles/nomad_trace.dir/hint_fault_scanner.cc.o.d"
+  "CMakeFiles/nomad_trace.dir/pebs.cc.o"
+  "CMakeFiles/nomad_trace.dir/pebs.cc.o.d"
+  "libnomad_trace.a"
+  "libnomad_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nomad_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

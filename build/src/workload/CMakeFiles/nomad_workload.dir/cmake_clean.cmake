@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nomad_workload.dir/trace.cc.o"
+  "CMakeFiles/nomad_workload.dir/trace.cc.o.d"
+  "libnomad_workload.a"
+  "libnomad_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nomad_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

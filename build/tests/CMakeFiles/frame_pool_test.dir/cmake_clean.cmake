@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/frame_pool_test.dir/mm/frame_pool_test.cc.o"
+  "CMakeFiles/frame_pool_test.dir/mm/frame_pool_test.cc.o.d"
+  "frame_pool_test"
+  "frame_pool_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/frame_pool_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

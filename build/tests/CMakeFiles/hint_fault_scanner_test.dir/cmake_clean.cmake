@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hint_fault_scanner_test.dir/trace/hint_fault_scanner_test.cc.o"
+  "CMakeFiles/hint_fault_scanner_test.dir/trace/hint_fault_scanner_test.cc.o.d"
+  "hint_fault_scanner_test"
+  "hint_fault_scanner_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hint_fault_scanner_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

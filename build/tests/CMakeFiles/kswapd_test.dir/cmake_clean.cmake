@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kswapd_test.dir/mm/kswapd_test.cc.o"
+  "CMakeFiles/kswapd_test.dir/mm/kswapd_test.cc.o.d"
+  "kswapd_test"
+  "kswapd_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kswapd_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

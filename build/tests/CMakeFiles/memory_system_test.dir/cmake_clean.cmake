@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/memory_system_test.dir/mm/memory_system_test.cc.o"
+  "CMakeFiles/memory_system_test.dir/mm/memory_system_test.cc.o.d"
+  "memory_system_test"
+  "memory_system_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/memory_system_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/memtis_test.dir/policy/memtis_test.cc.o"
+  "CMakeFiles/memtis_test.dir/policy/memtis_test.cc.o.d"
+  "memtis_test"
+  "memtis_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/memtis_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mm_property_test.dir/mm/mm_property_test.cc.o"
+  "CMakeFiles/mm_property_test.dir/mm/mm_property_test.cc.o.d"
+  "mm_property_test"
+  "mm_property_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mm_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

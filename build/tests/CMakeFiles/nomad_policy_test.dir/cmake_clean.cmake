@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nomad_policy_test.dir/nomad/nomad_policy_test.cc.o"
+  "CMakeFiles/nomad_policy_test.dir/nomad/nomad_policy_test.cc.o.d"
+  "nomad_policy_test"
+  "nomad_policy_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nomad_policy_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

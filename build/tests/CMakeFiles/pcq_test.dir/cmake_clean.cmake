@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pcq_test.dir/nomad/pcq_test.cc.o"
+  "CMakeFiles/pcq_test.dir/nomad/pcq_test.cc.o.d"
+  "pcq_test"
+  "pcq_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pcq_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

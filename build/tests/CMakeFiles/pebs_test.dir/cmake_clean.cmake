@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pebs_test.dir/trace/pebs_test.cc.o"
+  "CMakeFiles/pebs_test.dir/trace/pebs_test.cc.o.d"
+  "pebs_test"
+  "pebs_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pebs_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/radix_tree_test.dir/nomad/radix_tree_test.cc.o"
+  "CMakeFiles/radix_tree_test.dir/nomad/radix_tree_test.cc.o.d"
+  "radix_tree_test"
+  "radix_tree_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/radix_tree_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

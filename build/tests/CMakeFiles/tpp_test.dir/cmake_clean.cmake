@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tpp_test.dir/policy/tpp_test.cc.o"
+  "CMakeFiles/tpp_test.dir/policy/tpp_test.cc.o.d"
+  "tpp_test"
+  "tpp_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tpp_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

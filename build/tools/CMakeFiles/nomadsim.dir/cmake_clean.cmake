@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nomadsim.dir/nomadsim.cc.o"
+  "CMakeFiles/nomadsim.dir/nomadsim.cc.o.d"
+  "nomadsim"
+  "nomadsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nomadsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
