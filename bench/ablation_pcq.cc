@@ -18,7 +18,7 @@ struct VariantResult {
   uint64_t hint_faults;
 };
 
-VariantResult RunNomad(size_t scan_batch) {
+VariantResult RunNomad(size_t scan_batch, MetricsCollector* collector) {
   const Scale scale{64};
   const PlatformSpec platform = MakePlatform(PlatformId::kA, scale);
   NomadPolicy::Config pcfg;
@@ -43,17 +43,21 @@ VariantResult RunNomad(size_t scan_batch) {
   sim.Run();
 
   VariantResult v;
-  v.stable_gbps = Analyze(sim).stable_gbps;
+  const PhaseReport report = Analyze(sim);
+  v.stable_gbps = report.stable_gbps;
   v.promotions = sim.nomad()->tpm_stats().commits;
   v.hint_faults = sim.ms().counters().Get("fault.hint");
+  if (collector != nullptr) {
+    collector->Capture("nomad-batch" + std::to_string(scan_batch), sim, report);
+  }
   return v;
 }
 
-VariantResult RunTpp() {
+VariantResult RunTpp(MetricsCollector* collector) {
   MicroRunConfig cfg = MediumWssConfig(PlatformId::kA, PolicyKind::kTpp);
   cfg.threads = 1;
   cfg.total_ops = 2000000;
-  const MicroRunResult r = RunMicroBench(cfg);
+  const MicroRunResult r = RunMicroBench(cfg, collector);
   VariantResult v;
   v.stable_gbps = r.report.stable_gbps;
   v.promotions = Promotions(r.counters);
@@ -63,13 +67,19 @@ VariantResult RunTpp() {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  Flags flags(argc, argv);
+  MetricsCollector collector = MetricsCollector::FromFlags("ablation_pcq", flags);
+  if (!flags.UnusedKeys().empty()) {
+    std::cerr << "usage: ablation_pcq [--metrics_out=PATH] [--trace_out=PATH]\n";
+    return 2;
+  }
   PrintHeader("Ablation", "PCQ examination pace + faults per promotion", PlatformId::kA, 64);
 
   TablePrinter t({"variant", "stable GB/s", "promotions", "hint faults",
                   "faults/promotion"});
   for (size_t batch : {16, 64, 256}) {
-    const VariantResult v = RunNomad(batch);
+    const VariantResult v = RunNomad(batch, &collector);
     t.AddRow({"NOMAD, scan batch " + std::to_string(batch), Fmt(v.stable_gbps),
               FmtCount(v.promotions), FmtCount(v.hint_faults),
               Fmt(v.promotions == 0
@@ -77,7 +87,7 @@ int main() {
                       : static_cast<double>(v.hint_faults) / static_cast<double>(v.promotions),
                   2)});
   }
-  const VariantResult tpp = RunTpp();
+  const VariantResult tpp = RunTpp(&collector);
   t.AddRow({"TPP (no PCQ, pagevec-gated)", Fmt(tpp.stable_gbps), FmtCount(tpp.promotions),
             FmtCount(tpp.hint_faults),
             Fmt(tpp.promotions == 0

@@ -16,7 +16,7 @@ struct VariantResult {
   uint64_t copy_demotions;
 };
 
-VariantResult RunVariant(bool shadowing, double write_fraction) {
+VariantResult RunVariant(bool shadowing, double write_fraction, MetricsCollector* collector) {
   const Scale scale{64};
   const PlatformSpec platform = MakePlatform(PlatformId::kA, scale);
 
@@ -50,12 +50,23 @@ VariantResult RunVariant(bool shadowing, double write_fraction) {
   v.run.counters = sim.ms().counters();
   v.remap_demotions = sim.ms().counters().Get("nomad.demote_remap");
   v.copy_demotions = sim.ms().counters().Get("nomad.demote_copy");
+  if (collector != nullptr) {
+    collector->Capture(std::string(shadowing ? "shadowing" : "exclusive") +
+                           (write_fraction > 0 ? "-write" : "-read"),
+                       sim, v.run.report);
+  }
   return v;
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  Flags flags(argc, argv);
+  MetricsCollector collector = MetricsCollector::FromFlags("ablation_shadowing", flags);
+  if (!flags.UnusedKeys().empty()) {
+    std::cerr << "usage: ablation_shadowing [--metrics_out=PATH] [--trace_out=PATH]\n";
+    return 2;
+  }
   PrintHeader("Ablation", "page shadowing (non-exclusive) vs exclusive tiering in NOMAD",
               PlatformId::kA, 64);
 
@@ -63,8 +74,8 @@ int main() {
                   "copy demotions", "shadow faults"});
   for (double wf : {0.0, 0.5}) {
     const char* wl = wf > 0 ? "50% write" : "read";
-    const VariantResult shadow = RunVariant(true, wf);
-    const VariantResult exclusive = RunVariant(false, wf);
+    const VariantResult shadow = RunVariant(true, wf, &collector);
+    const VariantResult exclusive = RunVariant(false, wf, &collector);
     t.AddRow({"shadowing", wl, Fmt(shadow.run.report.stable_gbps),
               FmtCount(shadow.remap_demotions), FmtCount(shadow.copy_demotions),
               FmtCount(shadow.run.counters.Get("nomad.shadow_fault"))});

@@ -1,10 +1,80 @@
 #include "bench/bench_common.h"
 
+#include <fstream>
 #include <iostream>
+#include <sstream>
 
 namespace nomad {
 
-MicroRunResult RunMicroBench(const MicroRunConfig& config) {
+namespace {
+
+// t.json + "tpp" -> t.tpp.json; labels are sanitized to [-a-zA-Z0-9_].
+std::string PathWithLabel(const std::string& path, const std::string& label) {
+  std::string safe;
+  for (const char c : label) {
+    safe.push_back(std::isalnum(static_cast<unsigned char>(c)) || c == '-' || c == '_' ? c
+                                                                                       : '-');
+  }
+  const size_t slash = path.find_last_of('/');
+  const size_t dot = path.find_last_of('.');
+  if (dot == std::string::npos || (slash != std::string::npos && dot < slash)) {
+    return path + "." + safe;
+  }
+  return path.substr(0, dot) + "." + safe + path.substr(dot);
+}
+
+}  // namespace
+
+MetricsCollector MetricsCollector::FromFlags(const std::string& bench_id, const Flags& flags) {
+  return MetricsCollector(bench_id, flags.GetString("metrics_out", ""),
+                          flags.GetString("trace_out", ""));
+}
+
+void MetricsCollector::Capture(const std::string& label, Sim& sim, const PhaseReport& report) {
+  if (!active()) {
+    return;
+  }
+  if (!metrics_path_.empty()) {
+    std::ostringstream os;
+    JsonWriter jw(os);
+    AppendRunMetrics(jw, sim, report, label);
+    run_json_.push_back(os.str());
+  }
+  if (!trace_path_.empty()) {
+    const std::string path =
+        captures_ == 0 ? trace_path_ : PathWithLabel(trace_path_, label);
+    if (!WriteTraceFile(sim, path)) {
+      std::cerr << "warning: could not write trace to " << path << "\n";
+    }
+  }
+  captures_++;
+}
+
+void MetricsCollector::Flush() {
+  if (flushed_ || metrics_path_.empty()) {
+    return;
+  }
+  flushed_ = true;
+  std::ofstream out(metrics_path_);
+  if (!out) {
+    std::cerr << "warning: could not write metrics to " << metrics_path_ << "\n";
+    return;
+  }
+  JsonWriter jw(out);
+  jw.BeginObject();
+  jw.Field("schema", std::string_view("nomad-metrics-v1"));
+  jw.Field("benchmark", std::string_view(bench_id_));
+  jw.Key("runs").BeginArray();
+  for (const std::string& run : run_json_) {
+    jw.Raw(run);
+  }
+  jw.EndArray();
+  jw.EndObject();
+  out << "\n";
+}
+
+MicroRunResult RunMicroBench(const MicroRunConfig& config, MetricsCollector* collector,
+                             const std::string& label) {
   const Scale scale{config.scale_denom};
   const PlatformSpec platform =
       MakePlatform(config.platform, scale, config.fast_gb, config.slow_gb);
@@ -46,6 +116,10 @@ MicroRunResult RunMicroBench(const MicroRunConfig& config) {
     result.shadow_pages = nomad->shadows().count();
     result.tpm_commits = nomad->tpm_stats().commits;
     result.tpm_aborts = nomad->tpm_stats().aborts;
+  }
+  if (collector != nullptr) {
+    collector->Capture(label.empty() ? PolicyKindName(config.policy) : label, sim,
+                       result.report);
   }
   return result;
 }
@@ -108,7 +182,7 @@ std::vector<PolicyKind> PoliciesFor(PlatformId platform, bool include_no_migrati
 
 namespace {
 
-AppRunResult FinishAppRun(Sim& sim) {
+AppRunResult FinishAppRun(Sim& sim, MetricsCollector* collector, const std::string& label) {
   AppRunResult result;
   const PhaseReport report = Analyze(sim);
   result.ops_per_sec = report.ops_per_sec;
@@ -119,12 +193,16 @@ AppRunResult FinishAppRun(Sim& sim) {
     result.tpm_commits = nomad->tpm_stats().commits;
     result.tpm_aborts = nomad->tpm_stats().aborts;
   }
+  if (collector != nullptr) {
+    collector->Capture(label.empty() ? PolicyKindName(sim.kind()) : label, sim, report);
+  }
   return result;
 }
 
 }  // namespace
 
-AppRunResult RunYcsbBench(const YcsbRunConfig& config) {
+AppRunResult RunYcsbBench(const YcsbRunConfig& config, MetricsCollector* collector,
+                          const std::string& label) {
   const Scale scale{config.scale_denom};
   const PlatformSpec platform =
       MakePlatform(config.platform, scale, 16.0, config.slow_gb);
@@ -153,10 +231,11 @@ AppRunResult RunYcsbBench(const YcsbRunConfig& config) {
   YcsbWorkload app(&sim.ms(), &sim.as(), &store, wcfg);
   sim.AddWorkload(&app);
   sim.Run();
-  return FinishAppRun(sim);
+  return FinishAppRun(sim, collector, label);
 }
 
-AppRunResult RunPageRankBench(const PageRankRunConfig& config) {
+AppRunResult RunPageRankBench(const PageRankRunConfig& config,
+                              MetricsCollector* collector, const std::string& label) {
   const Scale scale{config.scale_denom};
   const PlatformSpec platform =
       MakePlatform(config.platform, scale, 16.0, config.slow_gb);
@@ -176,10 +255,11 @@ AppRunResult RunPageRankBench(const PageRankRunConfig& config) {
   PageRankWorkload app(&sim.ms(), &sim.as(), wcfg);
   sim.AddWorkload(&app);
   sim.Run();
-  return FinishAppRun(sim);
+  return FinishAppRun(sim, collector, label);
 }
 
-AppRunResult RunLiblinearBench(const LiblinearRunConfig& config) {
+AppRunResult RunLiblinearBench(const LiblinearRunConfig& config,
+                               MetricsCollector* collector, const std::string& label) {
   const Scale scale{config.scale_denom};
   const PlatformSpec platform =
       MakePlatform(config.platform, scale, 16.0, config.slow_gb);
@@ -216,7 +296,7 @@ AppRunResult RunLiblinearBench(const LiblinearRunConfig& config) {
     sim.AddWorkload(apps.back().get());
   }
   sim.Run();
-  return FinishAppRun(sim);
+  return FinishAppRun(sim, collector, label);
 }
 
 void PrintHeader(const std::string& id, const std::string& what, PlatformId platform,

@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "src/harness/experiment.h"
+#include "src/harness/flags.h"
 #include "src/harness/table.h"
 #include "src/workload/liblinear.h"
 #include "src/workload/micro.h"
@@ -20,6 +21,44 @@
 #include "src/workload/ycsb.h"
 
 namespace nomad {
+
+// Collects machine-readable artifacts across the runs of one bench binary:
+// a metrics.json document with one entry per captured run, and one
+// chrome://tracing file per run. Inactive (all methods no-ops) when both
+// output paths are empty, so binaries can pass it unconditionally.
+class MetricsCollector {
+ public:
+  MetricsCollector(std::string bench_id, std::string metrics_path, std::string trace_path)
+      : bench_id_(std::move(bench_id)),
+        metrics_path_(std::move(metrics_path)),
+        trace_path_(std::move(trace_path)) {}
+
+  // Reads --metrics_out / --trace_out. Call before Flags::UnusedKeys().
+  static MetricsCollector FromFlags(const std::string& bench_id, const Flags& flags);
+
+  bool active() const { return !metrics_path_.empty() || !trace_path_.empty(); }
+
+  // Records one finished run. The first capture's trace goes to the exact
+  // --trace_out path; later captures get the label inserted before the
+  // extension (t.json -> t.tpp.json).
+  void Capture(const std::string& label, Sim& sim, const PhaseReport& report);
+
+  // Writes metrics.json (idempotent; also runs from the destructor).
+  void Flush();
+
+  ~MetricsCollector() { Flush(); }
+  MetricsCollector(MetricsCollector&&) = default;
+  MetricsCollector(const MetricsCollector&) = delete;
+  MetricsCollector& operator=(const MetricsCollector&) = delete;
+
+ private:
+  std::string bench_id_;
+  std::string metrics_path_;
+  std::string trace_path_;
+  std::vector<std::string> run_json_;  // pre-rendered run objects
+  size_t captures_ = 0;
+  bool flushed_ = false;
+};
 
 // One micro-benchmark run (the Zipfian workload of sec. 4.1).
 struct MicroRunConfig {
@@ -50,8 +89,12 @@ struct MicroRunResult {
   uint64_t slow_used = 0;
 };
 
-// Runs the micro-benchmark and gathers phase reports + counters.
-MicroRunResult RunMicroBench(const MicroRunConfig& config);
+// Runs the micro-benchmark and gathers phase reports + counters. When a
+// collector is given, the run is captured under `label` (default: the
+// policy name).
+MicroRunResult RunMicroBench(const MicroRunConfig& config,
+                             MetricsCollector* collector = nullptr,
+                             const std::string& label = "");
 
 // Second-half value of a counter (steady phase).
 inline uint64_t SteadyCount(const MicroRunResult& r, const std::string& name) {
@@ -100,7 +143,8 @@ struct YcsbRunConfig {
   double kernel_gb = 3.5;
   uint64_t seed = 42;
 };
-AppRunResult RunYcsbBench(const YcsbRunConfig& config);
+AppRunResult RunYcsbBench(const YcsbRunConfig& config, MetricsCollector* collector = nullptr,
+                          const std::string& label = "");
 
 // PageRank on a synthetic uniform graph (Figures 12 and 15).
 struct PageRankRunConfig {
@@ -114,7 +158,9 @@ struct PageRankRunConfig {
   double kernel_gb = 3.5;
   uint64_t seed = 42;
 };
-AppRunResult RunPageRankBench(const PageRankRunConfig& config);
+AppRunResult RunPageRankBench(const PageRankRunConfig& config,
+                              MetricsCollector* collector = nullptr,
+                              const std::string& label = "");
 
 // Liblinear-style regression (Figures 13 and 16). The dataset starts on
 // the slow tier (the paper demotes it before each run).
@@ -133,7 +179,9 @@ struct LiblinearRunConfig {
   double kernel_gb = 3.5;
   uint64_t seed = 42;
 };
-AppRunResult RunLiblinearBench(const LiblinearRunConfig& config);
+AppRunResult RunLiblinearBench(const LiblinearRunConfig& config,
+                               MetricsCollector* collector = nullptr,
+                               const std::string& label = "");
 
 }  // namespace nomad
 

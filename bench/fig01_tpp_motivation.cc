@@ -15,7 +15,13 @@
 
 using namespace nomad;
 
-int main() {
+int main(int argc, char** argv) {
+  Flags flags(argc, argv);
+  MetricsCollector collector = MetricsCollector::FromFlags("fig01_tpp_motivation", flags);
+  if (!flags.UnusedKeys().empty()) {
+    std::cerr << "usage: fig01_tpp_motivation [--metrics_out=PATH] [--trace_out=PATH]\n";
+    return 2;
+  }
   PrintHeader("Figure 1", "achieved bandwidth: TPP vs no-migration", PlatformId::kA, 64);
 
   struct Case {
@@ -43,10 +49,12 @@ int main() {
     cfg.placement = c.placement;
     cfg.total_ops = 4800000;  // TPP needs time to finish relocating
 
+    const std::string tag = std::to_string(static_cast<int>(c.wss_gb)) + "gb-" +
+                            (c.placement == Placement::kRandom ? "random" : "freq");
     cfg.policy = PolicyKind::kTpp;
-    const MicroRunResult tpp = RunMicroBench(cfg);
+    const MicroRunResult tpp = RunMicroBench(cfg, &collector, "tpp-" + tag);
     cfg.policy = PolicyKind::kNoMigration;
-    const MicroRunResult nomig = RunMicroBench(cfg);
+    const MicroRunResult nomig = RunMicroBench(cfg, &collector, "no-migration-" + tag);
 
     t.AddRow({c.label, Fmt(tpp.report.transient_gbps), Fmt(tpp.report.stable_gbps),
               Fmt(nomig.report.overall_gbps)});

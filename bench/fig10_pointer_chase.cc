@@ -12,7 +12,7 @@ using namespace nomad;
 
 namespace {
 
-double RunChase(PolicyKind policy, double wss_gb) {
+double RunChase(PolicyKind policy, double wss_gb, MetricsCollector* collector) {
   const Scale scale{64};
   const PlatformSpec platform = MakePlatform(PlatformId::kC, scale, 16.0, 32.0);
   PointerChaseWorkload::Config cfg;
@@ -29,13 +29,25 @@ double RunChase(PolicyKind policy, double wss_gb) {
   PointerChaseWorkload app(&sim.ms(), &sim.as(), cfg);
   sim.AddWorkload(&app);
   sim.Run();
+  const PhaseReport report = Analyze(sim);
+  if (collector != nullptr) {
+    collector->Capture(std::string(PolicyKindName(policy)) + "-" +
+                           std::to_string(static_cast<int>(wss_gb)) + "gb",
+                       sim, report);
+  }
   // Average latency of the second (post-migration) half of accesses.
-  return Analyze(sim).mean_latency_cycles;
+  return report.mean_latency_cycles;
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  Flags flags(argc, argv);
+  MetricsCollector collector = MetricsCollector::FromFlags("fig10_pointer_chase", flags);
+  if (!flags.UnusedKeys().empty()) {
+    std::cerr << "usage: fig10_pointer_chase [--metrics_out=PATH] [--trace_out=PATH]\n";
+    return 2;
+  }
   PrintHeader("Figure 10", "pointer-chase average cache-line latency vs WSS", PlatformId::kC,
               64);
 
@@ -43,10 +55,10 @@ int main() {
   TablePrinter t({"WSS (GB)", "no-migration (cyc)", "TPP (cyc)", "memtis-default (cyc)",
                   "NOMAD (cyc)"});
   for (double wss : wss_points) {
-    t.AddRow({Fmt(wss, 0), Fmt(RunChase(PolicyKind::kNoMigration, wss), 0),
-              Fmt(RunChase(PolicyKind::kTpp, wss), 0),
-              Fmt(RunChase(PolicyKind::kMemtisDefault, wss), 0),
-              Fmt(RunChase(PolicyKind::kNomad, wss), 0)});
+    t.AddRow({Fmt(wss, 0), Fmt(RunChase(PolicyKind::kNoMigration, wss, &collector), 0),
+              Fmt(RunChase(PolicyKind::kTpp, wss, &collector), 0),
+              Fmt(RunChase(PolicyKind::kMemtisDefault, wss, &collector), 0),
+              Fmt(RunChase(PolicyKind::kNomad, wss, &collector), 0)});
   }
   t.Print(std::cout);
   std::cout << "\nReference: DRAM ~" << MakePlatform(PlatformId::kC).tiers[0].read_latency

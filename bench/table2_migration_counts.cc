@@ -27,18 +27,25 @@ PhaseCounts CountsOf(const MicroRunResult& r) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  Flags flags(argc, argv);
+  MetricsCollector collector = MetricsCollector::FromFlags("table2_migration_counts", flags);
+  if (!flags.UnusedKeys().empty()) {
+    std::cerr << "usage: table2_migration_counts [--metrics_out=PATH] [--trace_out=PATH]\n";
+    return 2;
+  }
   PrintHeader("Table 2", "promotions/demotions per phase (read | write runs)",
               PlatformId::kA, 64);
 
   struct Row {
     const char* wss;
+    const char* slug;
     MicroRunConfig (*make)(PlatformId, PolicyKind);
   };
   const Row rows[] = {
-      {"Small WSS", SmallWssConfig},
-      {"Medium WSS", MediumWssConfig},
-      {"Large WSS", LargeWssConfig},
+      {"Small WSS", "small", SmallWssConfig},
+      {"Medium WSS", "medium", MediumWssConfig},
+      {"Large WSS", "large", LargeWssConfig},
   };
   const PolicyKind policies[] = {PolicyKind::kTpp, PolicyKind::kMemtisDefault,
                                  PolicyKind::kNomad};
@@ -50,8 +57,10 @@ int main() {
       MicroRunConfig cfg_r = row.make(PlatformId::kA, policy);
       MicroRunConfig cfg_w = cfg_r;
       cfg_w.write_fraction = 1.0;
-      const PhaseCounts r = CountsOf(RunMicroBench(cfg_r));
-      const PhaseCounts w = CountsOf(RunMicroBench(cfg_w));
+      const std::string tag =
+          std::string(PolicyKindName(policy)) + "-" + row.slug;
+      const PhaseCounts r = CountsOf(RunMicroBench(cfg_r, &collector, tag + "-read"));
+      const PhaseCounts w = CountsOf(RunMicroBench(cfg_w, &collector, tag + "-write"));
       t.AddRow({row.wss, PolicyKindName(policy),
                 FmtCount(r.promo_first) + "|" + FmtCount(w.promo_first),
                 FmtCount(r.demo_first) + "|" + FmtCount(w.demo_first),

@@ -12,7 +12,13 @@
 
 using namespace nomad;
 
-int main() {
+int main(int argc, char** argv) {
+  Flags flags(argc, argv);
+  MetricsCollector collector = MetricsCollector::FromFlags("table4_tpm_success", flags);
+  if (!flags.UnusedKeys().empty()) {
+    std::cerr << "usage: table4_tpm_success [--metrics_out=PATH] [--trace_out=PATH]\n";
+    return 2;
+  }
   std::cout << "==================================================================\n"
                "Table 4: TPM success : aborted ratio (NOMAD, large-RSS runs)\n"
                "==================================================================\n";
@@ -30,7 +36,8 @@ int main() {
       cfg.epochs = 4;
       cfg.slow_gb = 64.0;
       cfg.kernel_gb = 11.0;  // large-RSS regime: DRAM far smaller than the WSS
-      const AppRunResult r = RunLiblinearBench(cfg);
+      const AppRunResult r = RunLiblinearBench(
+          cfg, &collector, std::string("liblinear-") + PlatformName(platform));
       const double ratio = r.tpm_aborts == 0
                                ? static_cast<double>(r.tpm_commits)
                                : static_cast<double>(r.tpm_commits) /
@@ -45,7 +52,8 @@ int main() {
       cfg.record_count = 312500;
       cfg.slow_gb = 64.0;
       cfg.total_ops = 60000;
-      const AppRunResult r = RunYcsbBench(cfg);
+      const AppRunResult r =
+          RunYcsbBench(cfg, &collector, std::string("redis-") + PlatformName(platform));
       const double ratio = r.tpm_aborts == 0
                                ? static_cast<double>(r.tpm_commits)
                                : static_cast<double>(r.tpm_commits) /

@@ -1,0 +1,119 @@
+#!/usr/bin/env python3
+"""Gate bench metrics against checked-in baselines.
+
+Compares a freshly produced metrics.json (schema nomad-metrics-v1, written
+by bench binaries via --metrics_out) with the baseline of the same benchmark
+under bench/baselines/. Runs are matched by label; per-run "report" metrics
+are compared direction-aware:
+
+  higher is better:  transient_gbps, stable_gbps, overall_gbps, ops_per_sec
+  lower is better:   mean_latency_cycles, p99_latency_cycles
+
+A metric regresses when it is worse than baseline by more than --threshold
+(relative). Metrics whose baseline is ~0 are skipped, as are labels missing
+from either side (reported, but only fatal with --strict-labels).
+
+The simulator is deterministic, so on an unchanged tree current == baseline
+exactly; the tolerance absorbs intentional small behavior shifts.
+
+Usage:
+  check_bench_regression.py --current m.json --baseline bench/baselines/x.json
+  check_bench_regression.py --current m.json   # baseline inferred from
+                                               # the "benchmark" field
+"""
+
+import argparse
+import json
+import os
+import sys
+
+HIGHER_BETTER = ["transient_gbps", "stable_gbps", "overall_gbps", "ops_per_sec"]
+LOWER_BETTER = ["mean_latency_cycles", "p99_latency_cycles"]
+
+# Baselines below this are treated as "no signal" for relative comparison.
+EPSILON = 1e-9
+
+
+def load_runs(path):
+    with open(path) as f:
+        doc = json.load(f)
+    if doc.get("schema") != "nomad-metrics-v1":
+        sys.exit(f"{path}: unexpected schema {doc.get('schema')!r}")
+    return doc.get("benchmark", ""), {run["label"]: run for run in doc.get("runs", [])}
+
+
+def relative_change(current, baseline):
+    return (current - baseline) / baseline
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__,
+                                     formatter_class=argparse.RawDescriptionHelpFormatter)
+    parser.add_argument("--current", required=True, help="metrics.json from this build")
+    parser.add_argument("--baseline",
+                        help="baseline metrics.json (default: "
+                             "<baseline-dir>/<benchmark>.json)")
+    parser.add_argument("--baseline-dir", default="bench/baselines")
+    parser.add_argument("--threshold", type=float, default=0.20,
+                        help="max tolerated relative regression (default 0.20)")
+    parser.add_argument("--strict-labels", action="store_true",
+                        help="fail when run labels differ between the files")
+    args = parser.parse_args()
+
+    bench_id, current = load_runs(args.current)
+    baseline_path = args.baseline or os.path.join(args.baseline_dir, f"{bench_id}.json")
+    if not os.path.exists(baseline_path):
+        sys.exit(f"no baseline at {baseline_path}; generate one with --metrics_out "
+                 f"and commit it")
+    base_bench_id, baseline = load_runs(baseline_path)
+    if bench_id != base_bench_id:
+        print(f"warning: comparing benchmark {bench_id!r} against baseline of "
+              f"{base_bench_id!r}")
+
+    regressions = []
+    compared = 0
+    shared = sorted(set(current) & set(baseline))
+    missing = sorted(set(baseline) - set(current))
+    extra = sorted(set(current) - set(baseline))
+    for labels, what in ((missing, "missing from current"), (extra, "not in baseline")):
+        for label in labels:
+            print(f"note: run {label!r} {what}")
+    if args.strict_labels and (missing or extra):
+        sys.exit("label sets differ (strict mode)")
+    if not shared:
+        sys.exit("no common run labels to compare")
+
+    for label in shared:
+        cur_report = current[label].get("report", {})
+        base_report = baseline[label].get("report", {})
+        for metric, sign in [(m, +1) for m in HIGHER_BETTER] + \
+                            [(m, -1) for m in LOWER_BETTER]:
+            if metric not in cur_report or metric not in base_report:
+                continue
+            base = base_report[metric]
+            if abs(base) < EPSILON:
+                continue
+            compared += 1
+            change = relative_change(cur_report[metric], base)
+            worse = -change * sign  # positive = worse, regardless of direction
+            marker = ""
+            if worse > args.threshold:
+                marker = "  << REGRESSION"
+                regressions.append((label, metric, base, cur_report[metric], change))
+            if marker or abs(change) > args.threshold / 2:
+                print(f"{label:40s} {metric:22s} {base:12.4f} -> "
+                      f"{cur_report[metric]:12.4f} ({change:+.1%}){marker}")
+
+    print(f"\ncompared {compared} metrics across {len(shared)} runs "
+          f"(threshold {args.threshold:.0%})")
+    if regressions:
+        print(f"{len(regressions)} regression(s):")
+        for label, metric, base, cur, change in regressions:
+            print(f"  {label}/{metric}: {base:.4f} -> {cur:.4f} ({change:+.1%})")
+        return 1
+    print("no regressions")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,9 +1,16 @@
 #!/bin/sh
 # Build, test and regenerate every paper table/figure.
-set -e
+set -eu
 cd "$(dirname "$0")/.."
-cmake -B build -G Ninja
-cmake --build build
+
+# On a fresh configure, prefer Ninja when available; an existing build tree
+# keeps whatever generator it was configured with.
+if [ ! -f build/CMakeCache.txt ] && command -v ninja > /dev/null 2>&1; then
+  cmake -B build -G Ninja
+else
+  cmake -B build
+fi
+cmake --build build -j "$(nproc 2> /dev/null || echo 2)"
 ctest --test-dir build 2>&1 | tee test_output.txt
 for b in build/bench/*; do
   [ -x "$b" ] && [ ! -d "$b" ] && case "$b" in *.a) continue;; esac || continue

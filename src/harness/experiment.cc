@@ -2,6 +2,9 @@
 
 #include <algorithm>
 #include <cassert>
+#include <fstream>
+
+#include "src/obs/exporters.h"
 
 namespace nomad {
 
@@ -252,7 +255,85 @@ PhaseReport Analyze(const Sim& sim) {
   r.total_cycles = end_time;
   const double seconds = CyclesToSeconds(end_time == 0 ? 1 : end_time, ghz);
   r.ops_per_sec = static_cast<double>(r.total_ops) / seconds;
+  r.latency = lat;
+  r.window_bytes = std::move(merged);
+  r.window_cycles = window;
   return r;
+}
+
+void AppendRunMetrics(JsonWriter& jw, Sim& sim, const PhaseReport& report,
+                      const std::string& label) {
+  MemorySystem& ms = sim.ms();
+  jw.BeginObject();
+  jw.Field("label", std::string_view(label));
+  jw.Field("policy", std::string_view(PolicyKindName(sim.kind())));
+  jw.Field("platform", std::string_view(sim.platform().name));
+  jw.Field("ghz", sim.platform().ghz);
+
+  jw.Key("report").BeginObject();
+  jw.Field("transient_gbps", report.transient_gbps);
+  jw.Field("stable_gbps", report.stable_gbps);
+  jw.Field("overall_gbps", report.overall_gbps);
+  jw.Field("mean_latency_cycles", report.mean_latency_cycles);
+  jw.Field("p99_latency_cycles", report.p99_latency_cycles);
+  jw.Field("total_ops", report.total_ops);
+  jw.Field("total_cycles", report.total_cycles);
+  jw.Field("ops_per_sec", report.ops_per_sec);
+  jw.EndObject();
+
+  jw.Key("latency");
+  AppendLatencyJson(jw, report.latency);
+  jw.Key("bandwidth");
+  AppendBandwidthJson(jw, report.window_cycles, report.window_bytes, sim.platform().ghz);
+
+  if (NomadPolicy* nomad = sim.nomad()) {
+    const KpromoteActor::Stats& tpm = nomad->tpm_stats();
+    jw.Key("tpm").BeginObject();
+    jw.Field("commits", tpm.commits);
+    jw.Field("aborts", tpm.aborts);
+    jw.Field("sync_fallbacks", tpm.sync_fallbacks);
+    jw.Field("nomem_waits", tpm.nomem_waits);
+    jw.Field("shadow_pages", nomad->shadows().count());
+    jw.EndObject();
+  }
+
+  jw.Key("counters");
+  AppendCountersJson(jw, ms.counters());
+  jw.Key("trace");
+  AppendTraceSummaryJson(jw, ms.trace());
+  jw.EndObject();
+}
+
+bool WriteMetricsFile(Sim& sim, const PhaseReport& report, const std::string& label,
+                      const std::string& bench_id, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) {
+    return false;
+  }
+  JsonWriter jw(out);
+  jw.BeginObject();
+  jw.Field("schema", std::string_view("nomad-metrics-v1"));
+  jw.Field("benchmark", std::string_view(bench_id));
+  jw.Key("runs").BeginArray();
+  AppendRunMetrics(jw, sim, report, label);
+  jw.EndArray();
+  jw.EndObject();
+  out << "\n";
+  return out.good();
+}
+
+bool WriteTraceFile(Sim& sim, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) {
+    return false;
+  }
+  std::vector<std::string> actor_names;
+  actor_names.reserve(sim.engine().NumActors());
+  for (ActorId id = 0; id < sim.engine().NumActors(); id++) {
+    actor_names.push_back(sim.engine().ActorNameOf(id));
+  }
+  WriteChromeTrace(sim.ms().trace(), sim.platform().ghz, actor_names, out);
+  return out.good();
 }
 
 }  // namespace nomad

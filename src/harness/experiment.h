@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "src/mm/memory_system.h"
+#include "src/obs/json.h"
 #include "src/nomad/nomad_policy.h"
 #include "src/policy/memtis.h"
 #include "src/policy/policy.h"
@@ -116,11 +117,34 @@ struct PhaseReport {
   uint64_t total_ops = 0;
   Cycles total_cycles = 0;
   double ops_per_sec = 0;  // app-level ops / simulated second
+
+  // The full instruments backing the scalars above, retained so the metrics
+  // exporter can report percentiles and the per-window bandwidth series.
+  LatencyHistogram latency;
+  std::vector<uint64_t> window_bytes;  // merged across workload actors
+  Cycles window_cycles = 0;
 };
 
 // Aggregates the workloads' series: transient = first quarter of the run's
 // windows (after the first), stable = last quarter.
 PhaseReport Analyze(const Sim& sim);
+
+// ---------- machine-readable export (src/obs exporters) ----------
+
+// Appends one run's metrics object to `jw`: identity (label, policy,
+// platform), the phase report, latency percentiles, the windowed-bandwidth
+// series, TPM statistics when the policy is NOMAD, every raw counter, and a
+// trace summary.
+void AppendRunMetrics(JsonWriter& jw, Sim& sim, const PhaseReport& report,
+                      const std::string& label);
+
+// Writes a complete metrics.json document holding a single run. Returns
+// false when the file cannot be opened.
+bool WriteMetricsFile(Sim& sim, const PhaseReport& report, const std::string& label,
+                      const std::string& bench_id, const std::string& path);
+
+// Writes the run's event trace as a chrome://tracing JSON document.
+bool WriteTraceFile(Sim& sim, const std::string& path);
 
 }  // namespace nomad
 

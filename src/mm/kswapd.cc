@@ -125,6 +125,8 @@ Cycles Kswapd::Step(Engine& engine) {
     engine.SleepUntil(engine.now() + config_.poll_interval);
     return 0;
   }
+  ms_->Trace(TraceEvent::kKswapdWake, static_cast<uint64_t>(TierIndex(tier)),
+             pool.FreeFrames(tier));
   Cycles spent = ReclaimRound();
   ms_->counters().Add("kswapd.cycles", spent);
   if (consecutive_failures_ >= config_.scan_batch) {

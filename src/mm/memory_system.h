@@ -30,6 +30,7 @@
 #include "src/mm/frame_pool.h"
 #include "src/mm/lru.h"
 #include "src/mm/tlb.h"
+#include "src/obs/trace.h"
 #include "src/sim/engine.h"
 #include "src/sim/stats.h"
 
@@ -73,7 +74,22 @@ class MemorySystem {
   MemoryDevice& device(Tier t) { return devices_[TierIndex(t)]; }
   LastLevelCache& llc() { return llc_; }
   CounterSet& counters() { return counters_; }
+  TraceSink& trace() { return trace_; }
+  const TraceSink& trace() const { return trace_; }
   Cycles Now() const { return engine_ ? engine_->now() : 0; }
+
+  // Emits one trace record stamped with the current virtual time and the
+  // actor being stepped. Compiles away entirely when tracing is off.
+  void Trace(TraceEvent e, uint64_t arg, uint64_t value = 0) {
+    if constexpr (kTracingEnabled) {
+      trace_.Emit(e, Now(), engine_ ? static_cast<uint16_t>(engine_->current()) : uint16_t{0},
+                  arg, value);
+    } else {
+      (void)e;
+      (void)arg;
+      (void)value;
+    }
+  }
 
   // Creates the TLB for a simulated CPU; id is the engine ActorId.
   void RegisterCpu(ActorId id);
@@ -141,6 +157,7 @@ class MemorySystem {
   LastLevelCache llc_;
   std::map<ActorId, std::unique_ptr<Tlb>> tlbs_;
   CounterSet counters_;
+  TraceSink trace_;
 
   HintFaultHandler hint_fault_;
   WriteFaultHandler write_fault_;

@@ -69,6 +69,7 @@ MigrateResult MigratePageSync(MemorySystem& ms, AddressSpace& as, Vpn vpn, Tier 
   ms.BeginMigrationWindow(as, vpn, ms.Now() + r.cycles);
 
   ms.counters().Add(dst == Tier::kFast ? "migrate.sync_promote" : "migrate.sync_demote", 1);
+  ms.Trace(dst == Tier::kFast ? TraceEvent::kPromote : TraceEvent::kDemote, vpn, r.cycles);
   r.success = true;
   return r;
 }

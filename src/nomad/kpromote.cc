@@ -82,6 +82,7 @@ Cycles KpromoteActor::BeginNext(Engine& engine) {
 
   f.migrating = true;
   txn_ = Txn{&as, vpn, pfn, f.generation, new_pfn, pte->writable || pte->shadow_rw};
+  ms_->Trace(TraceEvent::kTpmBegin, vpn, spent);
   // Returning the copy duration keeps this actor busy for the whole copy;
   // application actors interleave and may dirty the page meanwhile.
   return spent;
@@ -89,6 +90,7 @@ Cycles KpromoteActor::BeginNext(Engine& engine) {
 
 void KpromoteActor::AbortCleanup(bool requeue) {
   Txn& t = *txn_;
+  ms_->Trace(TraceEvent::kTpmAbort, t.vpn);
   ms_->pool().Free(t.new_pfn);
   PageFrame& f = ms_->pool().frame(t.old_pfn);
   if (f.generation == t.old_gen) {
@@ -172,6 +174,7 @@ Cycles KpromoteActor::Commit(Engine& /*engine*/) {
 
   stats_.commits++;
   ms_->counters().Add("nomad.tpm_commit", 1);
+  ms_->Trace(TraceEvent::kTpmCommit, t.vpn, spent);
   txn_.reset();
   return spent;
 }

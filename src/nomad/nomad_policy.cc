@@ -99,6 +99,7 @@ Cycles NomadPolicy::OnHintFault(ActorId /*cpu*/, AddressSpace& as, Vpn vpn) {
   const KernelCosts& costs = ms.platform().costs;
   Pte* pte = ms.PteOf(as, vpn);
   Cycles cost = costs.pte_update;
+  ms.Trace(TraceEvent::kHintFault, vpn);
   // "Before migration commences, TPM clears the protection bit of the page
   // frame" - the page never hint-faults again while being considered.
   pte->prot_none = false;
@@ -144,6 +145,7 @@ Cycles NomadPolicy::OnWriteProtectFault(ActorId /*cpu*/, AddressSpace& as, Vpn v
     shadows_->DiscardShadow(pte->pfn);
     cost += costs.lru_op;
     ms.counters().Add("nomad.shadow_fault", 1);
+    ms.Trace(TraceEvent::kShadowFault, vpn);
   }
   return cost;
 }
@@ -191,6 +193,7 @@ MigrateResult NomadPolicy::DemotePage(Pfn pfn) {
     ms.BeginMigrationWindow(as, vpn, ms.Now() + r.cycles);
     ms.counters().Add("nomad.demote_remap", 1);
     ms.counters().Add("nomad.demote_recent", 1);
+    ms.Trace(TraceEvent::kDemote, vpn, r.cycles);
     r.success = true;
     return r;
   }

@@ -29,6 +29,7 @@ void PromotionQueues::EnqueueCandidate(Pfn pfn) {
   f.in_pcq = true;
   f.pcq_primed = false;
   pcq_.emplace_back(pfn, f.generation);
+  ms_->Trace(TraceEvent::kPcqEnqueue, pfn);
 }
 
 std::pair<size_t, Cycles> PromotionQueues::ScanPcq(size_t limit) {
@@ -95,6 +96,9 @@ std::pair<size_t, Cycles> PromotionQueues::ScanPcq(size_t limit) {
     }
     f.pcq_primed = true;
     pcq_.emplace_back(pfn, f.generation);
+  }
+  if (examine > 0) {
+    ms_->Trace(TraceEvent::kPcqDrain, examine, moved);
   }
   return {moved, spent};
 }

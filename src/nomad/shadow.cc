@@ -64,6 +64,9 @@ uint64_t ShadowManager::ReclaimShadows(uint64_t target, Cycles* cost) {
       ms_->counters().Add("nomad.shadow_reclaimed", 1);
     }
   }
+  if (freed > 0) {
+    ms_->Trace(TraceEvent::kShadowReclaim, freed, *cost);
+  }
   return freed;
 }
 

@@ -1,0 +1,44 @@
+// Exporters: turn a run's instruments into machine-readable artifacts.
+//
+//  - WriteChromeTrace: the TraceSink as a chrome://tracing / Perfetto JSON
+//    document. TPM transactions become duration slices on the kpromote row
+//    (begin -> commit/abort); every other event is an instant.
+//  - Append*Json: building blocks the harness reducer composes into
+//    metrics.json (counters, latency percentiles, windowed bandwidth).
+#ifndef SRC_OBS_EXPORTERS_H_
+#define SRC_OBS_EXPORTERS_H_
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "src/obs/json.h"
+#include "src/obs/trace.h"
+#include "src/sim/stats.h"
+
+namespace nomad {
+
+// Writes {"traceEvents": [...]} with timestamps in microseconds derived from
+// virtual cycles at `ghz`. `actor_names[i]` labels trace tid i (thread
+// metadata events); missing entries fall back to "actor-N".
+void WriteChromeTrace(const TraceSink& sink, double ghz,
+                      const std::vector<std::string>& actor_names, std::ostream& out);
+
+// {"name": count, ...} for every counter, sorted by name.
+void AppendCountersJson(JsonWriter& jw, const CounterSet& counters);
+
+// {"count":..,"mean":..,"p50":..,"p90":..,"p99":..,"p999":..,"max":..}.
+void AppendLatencyJson(JsonWriter& jw, const LatencyHistogram& hist);
+
+// {"window_cycles":..,"windows":N,"gbps":[...]} - per-window bandwidth in
+// GB/s at `ghz`.
+void AppendBandwidthJson(JsonWriter& jw, Cycles window_cycles,
+                         const std::vector<uint64_t>& window_bytes, double ghz);
+
+// {"enabled":..,"emitted":..,"retained":..,"dropped":..,"events":{...}} -
+// per-type counts of the retained records.
+void AppendTraceSummaryJson(JsonWriter& jw, const TraceSink& sink);
+
+}  // namespace nomad
+
+#endif  // SRC_OBS_EXPORTERS_H_

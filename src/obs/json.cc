@@ -1,0 +1,138 @@
+#include "src/obs/json.h"
+
+#include <cmath>
+#include <cstdio>
+
+namespace nomad {
+
+std::string JsonQuote(std::string_view s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  out.push_back('"');
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  out.push_back('"');
+  return out;
+}
+
+void JsonWriter::BeforeValue() {
+  if (after_key_) {
+    after_key_ = false;
+    return;
+  }
+  if (!has_elems_.empty()) {
+    if (has_elems_.back()) {
+      out_ << ',';
+    }
+    has_elems_.back() = true;
+  }
+}
+
+JsonWriter& JsonWriter::BeginObject() {
+  BeforeValue();
+  has_elems_.push_back(false);
+  out_ << '{';
+  return *this;
+}
+
+JsonWriter& JsonWriter::EndObject() {
+  has_elems_.pop_back();
+  out_ << '}';
+  return *this;
+}
+
+JsonWriter& JsonWriter::BeginArray() {
+  BeforeValue();
+  has_elems_.push_back(false);
+  out_ << '[';
+  return *this;
+}
+
+JsonWriter& JsonWriter::EndArray() {
+  has_elems_.pop_back();
+  out_ << ']';
+  return *this;
+}
+
+JsonWriter& JsonWriter::Key(std::string_view key) {
+  BeforeValue();
+  out_ << JsonQuote(key) << ':';
+  after_key_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::String(std::string_view v) {
+  BeforeValue();
+  out_ << JsonQuote(v);
+  return *this;
+}
+
+JsonWriter& JsonWriter::Uint(uint64_t v) {
+  BeforeValue();
+  out_ << v;
+  return *this;
+}
+
+JsonWriter& JsonWriter::Int(int64_t v) {
+  BeforeValue();
+  out_ << v;
+  return *this;
+}
+
+JsonWriter& JsonWriter::Double(double v) {
+  BeforeValue();
+  if (!std::isfinite(v)) {
+    out_ << "null";
+    return *this;
+  }
+  // %.17g round-trips doubles; shorter forms print naturally.
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  out_ << buf;
+  return *this;
+}
+
+JsonWriter& JsonWriter::Bool(bool v) {
+  BeforeValue();
+  out_ << (v ? "true" : "false");
+  return *this;
+}
+
+JsonWriter& JsonWriter::Null() {
+  BeforeValue();
+  out_ << "null";
+  return *this;
+}
+
+JsonWriter& JsonWriter::Raw(std::string_view json) {
+  BeforeValue();
+  out_ << json;
+  return *this;
+}
+
+}  // namespace nomad

@@ -1,0 +1,57 @@
+// Minimal streaming JSON writer for the exporters. No external deps; emits
+// valid, locale-independent JSON (non-finite doubles become null).
+#ifndef SRC_OBS_JSON_H_
+#define SRC_OBS_JSON_H_
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace nomad {
+
+class JsonWriter {
+ public:
+  explicit JsonWriter(std::ostream& out) : out_(out) {}
+
+  JsonWriter& BeginObject();
+  JsonWriter& EndObject();
+  JsonWriter& BeginArray();
+  JsonWriter& EndArray();
+
+  // Must be called inside an object, before each value.
+  JsonWriter& Key(std::string_view key);
+
+  JsonWriter& String(std::string_view v);
+  JsonWriter& Uint(uint64_t v);
+  JsonWriter& Int(int64_t v);
+  JsonWriter& Double(double v);
+  JsonWriter& Bool(bool v);
+  JsonWriter& Null();
+
+  // Inserts pre-rendered JSON as one value. The caller vouches for validity.
+  JsonWriter& Raw(std::string_view json);
+
+  // Convenience: Key(k) + value.
+  JsonWriter& Field(std::string_view k, std::string_view v) { return Key(k).String(v); }
+  JsonWriter& Field(std::string_view k, uint64_t v) { return Key(k).Uint(v); }
+  JsonWriter& Field(std::string_view k, double v) { return Key(k).Double(v); }
+  JsonWriter& Field(std::string_view k, bool v) { return Key(k).Bool(v); }
+
+ private:
+  // Writes the separating comma and marks that a value is being emitted.
+  void BeforeValue();
+
+  std::ostream& out_;
+  // One entry per open container: true once it holds at least one element.
+  std::vector<bool> has_elems_;
+  bool after_key_ = false;
+};
+
+// Escapes and quotes a string per RFC 8259.
+std::string JsonQuote(std::string_view s);
+
+}  // namespace nomad
+
+#endif  // SRC_OBS_JSON_H_

@@ -1,0 +1,63 @@
+#include "src/obs/trace.h"
+
+namespace nomad {
+
+const char* TraceEventName(TraceEvent e) {
+  switch (e) {
+    case TraceEvent::kTpmBegin:
+      return "tpm_begin";
+    case TraceEvent::kTpmAbort:
+      return "tpm_abort";
+    case TraceEvent::kTpmCommit:
+      return "tpm_commit";
+    case TraceEvent::kPromote:
+      return "promote";
+    case TraceEvent::kDemote:
+      return "demote";
+    case TraceEvent::kHintFault:
+      return "hint_fault";
+    case TraceEvent::kShadowFault:
+      return "shadow_fault";
+    case TraceEvent::kShadowReclaim:
+      return "shadow_reclaim";
+    case TraceEvent::kKswapdWake:
+      return "kswapd_wake";
+    case TraceEvent::kPcqEnqueue:
+      return "pcq_enqueue";
+    case TraceEvent::kPcqDrain:
+      return "pcq_drain";
+    case TraceEvent::kScannerArm:
+      return "scanner_arm";
+    case TraceEvent::kMigrationRound:
+      return "migration_round";
+    case TraceEvent::kNumEvents:
+      break;
+  }
+  return "?";
+}
+
+std::vector<TraceEventRecord> TraceSink::Snapshot() const {
+  std::vector<TraceEventRecord> out;
+  const size_t n = size();
+  out.reserve(n);
+  // When wrapped, the oldest retained record sits at emitted_ & mask_.
+  const uint64_t first = emitted_ - n;
+  for (uint64_t i = first; i < emitted_; i++) {
+    out.push_back(records_[i & mask_]);
+  }
+  return out;
+}
+
+uint64_t TraceSink::CountOf(TraceEvent type) const {
+  uint64_t n = 0;
+  const size_t retained = size();
+  const uint64_t first = emitted_ - retained;
+  for (uint64_t i = first; i < emitted_; i++) {
+    if (records_[i & mask_].type == type) {
+      n++;
+    }
+  }
+  return n;
+}
+
+}  // namespace nomad

@@ -1,0 +1,140 @@
+// Structured event tracing for the simulator.
+//
+// A TraceSink is a fixed-capacity ring buffer of typed, virtual-time-stamped
+// records. Hot paths emit one record per *kernel event* (a TPM transaction
+// stage, a promotion, a kswapd wakeup, ...), never per memory access, so the
+// enabled-path cost is one branch plus one store. When the build disables
+// tracing (cmake -DNOMAD_ENABLE_TRACING=OFF, which defines NOMAD_TRACING=0),
+// every Emit() compiles away to nothing and the sink allocates no storage,
+// guaranteeing zero hot-path overhead.
+//
+// Exporters (src/obs/exporters.h) turn a sink's contents into a
+// chrome://tracing timeline; the harness reducer (src/harness/experiment.h)
+// folds counts into metrics.json.
+#ifndef SRC_OBS_TRACE_H_
+#define SRC_OBS_TRACE_H_
+
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "src/sim/clock.h"
+
+namespace nomad {
+
+#ifndef NOMAD_TRACING
+#define NOMAD_TRACING 1
+#endif
+
+// True when the build carries tracing support. Tests that assert on emitted
+// events must skip when this is false.
+inline constexpr bool kTracingEnabled = NOMAD_TRACING != 0;
+
+// Every traced kernel mechanism. `arg` and `value` below are event-specific:
+//
+//   event            arg                     value
+//   ---------------  ----------------------  ---------------------------
+//   kTpmBegin        vpn being promoted      copy duration (cycles)
+//   kTpmAbort        vpn                     0
+//   kTpmCommit       vpn                     commit-step cycles
+//   kPromote         vpn (sync migration)    migration cycles
+//   kDemote          vpn                     migration cycles
+//   kHintFault       vpn                     0
+//   kShadowFault     vpn                     0
+//   kShadowReclaim   shadows freed           reclaim cycles
+//   kKswapdWake      tier index              free frames at wakeup
+//   kPcqEnqueue      pfn                     0
+//   kPcqDrain        entries examined        entries moved to pending
+//   kScannerArm      scan cursor (pfn)       pages armed this round
+//   kMigrationRound  promotions attempted    round cycles
+enum class TraceEvent : uint8_t {
+  kTpmBegin = 0,
+  kTpmAbort,
+  kTpmCommit,
+  kPromote,
+  kDemote,
+  kHintFault,
+  kShadowFault,
+  kShadowReclaim,
+  kKswapdWake,
+  kPcqEnqueue,
+  kPcqDrain,
+  kScannerArm,
+  kMigrationRound,
+  kNumEvents,
+};
+
+// Stable lower_snake_case name, used by exporters and by baseline files.
+const char* TraceEventName(TraceEvent e);
+
+struct TraceEventRecord {
+  Cycles time = 0;     // virtual time of emission
+  uint64_t arg = 0;    // event-specific subject (see table above)
+  uint64_t value = 0;  // event-specific magnitude
+  uint16_t actor = 0;  // engine ActorId of the emitting actor
+  TraceEvent type = TraceEvent::kNumEvents;
+};
+
+class TraceSink {
+ public:
+  static constexpr size_t kDefaultCapacity = size_t{1} << 16;
+
+  // Capacity is rounded up to a power of two (minimum 2).
+  explicit TraceSink(size_t capacity = kDefaultCapacity) {
+    if constexpr (kTracingEnabled) {
+      const size_t cap = std::bit_ceil(capacity < 2 ? size_t{2} : capacity);
+      records_.resize(cap);
+      mask_ = cap - 1;
+    }
+  }
+
+  void Emit(TraceEvent type, Cycles time, uint16_t actor, uint64_t arg, uint64_t value = 0) {
+    if constexpr (kTracingEnabled) {
+      if (!enabled_) {
+        return;
+      }
+      records_[emitted_ & mask_] = TraceEventRecord{time, arg, value, actor, type};
+      emitted_++;
+    } else {
+      (void)type;
+      (void)time;
+      (void)actor;
+      (void)arg;
+      (void)value;
+    }
+  }
+
+  // Runtime switch; starts enabled (in tracing builds).
+  void set_enabled(bool on) { enabled_ = kTracingEnabled && on; }
+  bool enabled() const { return enabled_; }
+
+  size_t capacity() const { return kTracingEnabled ? mask_ + 1 : 0; }
+
+  // Records currently retained (<= capacity).
+  size_t size() const { return emitted_ < capacity() ? static_cast<size_t>(emitted_) : capacity(); }
+
+  // Total records ever emitted; emitted - size were overwritten by wraparound.
+  uint64_t total_emitted() const { return emitted_; }
+  uint64_t dropped() const { return emitted_ - size(); }
+
+  // Retained records in chronological order (oldest first).
+  std::vector<TraceEventRecord> Snapshot() const;
+
+  // Number of retained records of one type.
+  uint64_t CountOf(TraceEvent type) const;
+
+  void Clear() {
+    emitted_ = 0;
+  }
+
+ private:
+  std::vector<TraceEventRecord> records_;
+  size_t mask_ = 0;
+  uint64_t emitted_ = 0;
+  bool enabled_ = kTracingEnabled;
+};
+
+}  // namespace nomad
+
+#endif  // SRC_OBS_TRACE_H_

@@ -64,15 +64,18 @@ Cycles MemtisPolicy::RunMigrationRound() {
   }
 
   // Promote the hottest sampled pages still resident on the slow tier.
+  uint64_t attempts = 0;
   for (Vpn vpn : pebs.HotPagesOn(Tier::kSlow, threshold, config_.promote_batch)) {
     if (pool.FreeFrames(Tier::kFast) <= pool.LowWatermark(Tier::kFast)) {
       ms.counters().Add("memtis.promote_skipped_nomem", 1);
       break;
     }
+    attempts++;
     MigrateResult r = MigratePageSync(ms, *as, vpn, Tier::kFast);
     spent += r.cycles;
     ms.counters().Add(r.success ? "memtis.promote" : "memtis.promote_fail", 1);
   }
+  ms.Trace(TraceEvent::kMigrationRound, attempts, spent);
   return spent;
 }
 

@@ -31,6 +31,7 @@ Cycles TppPolicy::OnHintFault(ActorId /*cpu*/, AddressSpace& as, Vpn vpn) {
   const KernelCosts& costs = ms.platform().costs;
   Pte* pte = ms.PteOf(as, vpn);
   Cycles cost = costs.pte_update;
+  ms.Trace(TraceEvent::kHintFault, vpn);
   pte->prot_none = false;  // restore access so the faulting load can retire
 
   const Pfn pfn = pte->pfn;

@@ -89,6 +89,11 @@ class Engine {
   size_t NumActors() const { return actors_.size(); }
   Cycles NextTimeOf(ActorId id) const { return entries_[id].next_time; }
 
+  // Display name of an actor, for trace exporters and reports.
+  std::string ActorNameOf(ActorId id) const {
+    return id < actors_.size() ? actors_[id]->name() : "actor-" + std::to_string(id);
+  }
+
  private:
   struct Entry {
     Cycles next_time = 0;

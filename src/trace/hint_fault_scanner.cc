@@ -51,6 +51,9 @@ Cycles HintFaultScanner::Step(Engine& engine) {
     }
   }
 
+  if (armed_this_round > 0) {
+    ms_->Trace(TraceEvent::kScannerArm, cursor_, armed_this_round);
+  }
   if (cursor_ == FirstSlowPfn()) {
     engine.SleepUntil(engine.now() + config_.round_interval);
   }

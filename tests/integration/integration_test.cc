@@ -163,6 +163,12 @@ TEST_F(NomadIntegration, ShadowConsistencyUnderThrashing) {
   EXPECT_GT(ms.counters().Get("nomad.shadow_fault") +
                 ms.counters().Get("nomad.shadow_discard"),
             0u);
+  // The observability layer saw the same mechanisms the counters did: every
+  // committed transaction emitted a kTpmCommit trace record.
+  if (kTracingEnabled) {
+    EXPECT_GE(ms.trace().CountOf(TraceEvent::kTpmCommit), 1u);
+    EXPECT_GT(ms.trace().total_emitted(), 0u);
+  }
 }
 
 TEST_F(NomadIntegration, WriteHeavyRunAbortsButProgresses) {
@@ -189,6 +195,16 @@ TEST_F(NomadIntegration, WriteHeavyRunAbortsButProgresses) {
   EXPECT_GT(stats.commits, 0u);
   // Table 4's phenomenon: write-heavy workloads abort transactions.
   EXPECT_GT(stats.aborts, 0u);
+  // Aborted copies leave kTpmAbort records; the trace agrees with the
+  // policy's own statistics (modulo ring wraparound).
+  if (kTracingEnabled) {
+    const TraceSink& trace = sim.ms().trace();
+    EXPECT_GE(trace.CountOf(TraceEvent::kTpmAbort), 1u);
+    if (trace.dropped() == 0) {
+      EXPECT_EQ(trace.CountOf(TraceEvent::kTpmAbort), stats.aborts);
+      EXPECT_EQ(trace.CountOf(TraceEvent::kTpmCommit), stats.commits);
+    }
+  }
 }
 
 TEST_F(NomadIntegration, DeterministicAcrossRuns) {

@@ -21,6 +21,8 @@
 //   --seed=N             [42]
 //   --governor           [off]    enable the sec. 5 thrash governor (nomad)
 //   --counters           [off]    dump raw event counters after each run
+//   --metrics_out=PATH   []       write machine-readable metrics.json
+//   --trace_out=PATH     []       write chrome://tracing event timeline(s)
 #include <iostream>
 #include <memory>
 
@@ -71,6 +73,7 @@ int main(int argc, char** argv) {
   const bool governor = flags.GetBool("governor", false);
   const bool dump_counters = flags.GetBool("counters", false);
   const std::string policy_arg = flags.GetString("policy", "");
+  MetricsCollector collector = MetricsCollector::FromFlags("nomadsim", flags);
 
   const auto unused = flags.UnusedKeys();
   if (!unused.empty()) {
@@ -143,8 +146,9 @@ int main(int argc, char** argv) {
       r.report = Analyze(sim);
       r.counters = sim.ms().counters();
       r.tpm_aborts = sim.nomad()->tpm_stats().aborts;
+      collector.Capture("nomad+governor", sim, r.report);
     } else {
-      r = RunMicroBench(run_cfg);
+      r = RunMicroBench(run_cfg, &collector);
     }
     t.AddRow({governor && kind == PolicyKind::kNomad ? "nomad+governor"
                                                      : PolicyKindName(kind),
