@@ -1,0 +1,21 @@
+#include "src/check/check.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace nomad {
+namespace check_internal {
+
+void CheckFailed(const char* file, int line, const char* expr, const std::string& detail) {
+  if (detail.empty()) {
+    std::fprintf(stderr, "%s:%d: NOMAD_CHECK failed: %s\n", file, line, expr);
+  } else {
+    std::fprintf(stderr, "%s:%d: NOMAD_CHECK failed: %s (%s)\n", file, line, expr,
+                 detail.c_str());
+  }
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace check_internal
+}  // namespace nomad

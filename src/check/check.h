@@ -1,0 +1,50 @@
+// NOMAD_CHECK: structural invariant assertions that survive release builds.
+//
+// The simulator's correctness argument rests on structural invariants (LRU
+// links, frame accounting, shadow exclusivity). Plain assert() compiles out
+// of the RelWithDebInfo builds CI actually runs, so a violated invariant
+// silently corrupts the simulation instead of stopping it. NOMAD_CHECK is
+// always on: on failure it prints the expression, file/line, and a caller-
+// supplied detail trail (the offending VPN/PFN and frame state), then
+// aborts. The cost on the success path is one predictable branch, which is
+// negligible next to the list/pool work these checks guard.
+//
+//   NOMAD_CHECK(f.in_use, "pfn=", pfn, " tier=", TierName(f.tier));
+#ifndef SRC_CHECK_CHECK_H_
+#define SRC_CHECK_CHECK_H_
+
+#include <sstream>
+#include <string>
+
+namespace nomad {
+namespace check_internal {
+
+// Streams every argument into one detail string. Zero args -> empty.
+template <typename... Args>
+std::string Detail(const Args&... args) {
+  if constexpr (sizeof...(args) == 0) {
+    return std::string();
+  } else {
+    std::ostringstream os;
+    (os << ... << args);
+    return os.str();
+  }
+}
+
+// Prints "<file>:<line>: NOMAD_CHECK failed: <expr> (<detail>)" to stderr
+// and aborts.
+[[noreturn]] void CheckFailed(const char* file, int line, const char* expr,
+                              const std::string& detail);
+
+}  // namespace check_internal
+}  // namespace nomad
+
+#define NOMAD_CHECK(cond, ...)                                                  \
+  do {                                                                          \
+    if (!(cond)) {                                                              \
+      ::nomad::check_internal::CheckFailed(                                     \
+          __FILE__, __LINE__, #cond, ::nomad::check_internal::Detail(__VA_ARGS__)); \
+    }                                                                           \
+  } while (0)
+
+#endif  // SRC_CHECK_CHECK_H_

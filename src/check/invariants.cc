@@ -1,0 +1,352 @@
+#include "src/check/invariants.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <unordered_set>
+
+namespace nomad {
+
+namespace {
+
+const char* LruListName(LruList l) {
+  switch (l) {
+    case LruList::kNone:
+      return "none";
+    case LruList::kInactive:
+      return "inactive";
+    case LruList::kActive:
+      return "active";
+  }
+  return "?";
+}
+
+std::string FrameDesc(const FramePool& pool, Pfn pfn) {
+  const PageFrame& f = pool.frame(pfn);
+  std::ostringstream os;
+  os << "pfn=" << pfn << "{tier=" << TierName(f.tier) << " in_use=" << f.in_use
+     << " owner=" << (f.owner != nullptr) << " vpn=";
+  if (f.vpn == kInvalidVpn) {
+    os << "-";
+  } else {
+    os << f.vpn;
+  }
+  os << " lru=" << LruListName(f.lru) << " active=" << f.active
+     << " shadowed=" << f.shadowed << " is_shadow=" << f.is_shadow
+     << " migrating=" << f.migrating << " in_pcq=" << f.in_pcq
+     << " in_pending=" << f.in_pending << " gen=" << f.generation << "}";
+  return os.str();
+}
+
+}  // namespace
+
+std::vector<InvariantViolation> InvariantChecker::Check() const {
+  checks_run_++;
+  std::vector<InvariantViolation> out;
+  FramePool& pool = ms_->pool();
+  const uint64_t total =
+      pool.TotalFrames(Tier::kFast) + pool.TotalFrames(Tier::kSlow);
+
+  auto violate = [&](const char* rule, std::string detail) {
+    out.push_back(InvariantViolation{rule, std::move(detail)});
+  };
+
+  // ---- Pass 1: page tables. Each present PTE must resolve to an in-use,
+  // non-shadow frame whose reverse map points straight back at it.
+  std::vector<uint32_t> pte_refs(total, 0);
+  for (const AddressSpace* as : spaces_) {
+    as->table().ForEachPresent([&](Vpn vpn, const Pte& pte) {
+      if (pte.pfn >= total) {
+        std::ostringstream os;
+        os << "vpn=" << vpn << " maps out-of-range pfn=" << pte.pfn;
+        violate("pte.frame_identity", os.str());
+        return;
+      }
+      pte_refs[pte.pfn]++;
+      const PageFrame& f = pool.frame(pte.pfn);
+      if (!f.in_use || f.is_shadow || f.owner != as || f.vpn != vpn) {
+        std::ostringstream os;
+        os << "vpn=" << vpn << " maps " << FrameDesc(pool, pte.pfn)
+           << (f.in_use ? "" : " [frame is free]")
+           << (f.is_shadow ? " [frame is a shadow]" : "");
+        violate("pte.frame_identity", os.str());
+      }
+    });
+  }
+
+  // ---- Pass 2: LRU lists. Walk both lists of both tiers tail-to-head,
+  // verifying link symmetry, list/flag agreement, and the recorded sizes.
+  // 0 = not seen on any list; 1 = inactive; 2 = active.
+  std::vector<uint8_t> on_list(total, 0);
+  for (int t = 0; t < kNumTiers; t++) {
+    const Tier tier = t == 0 ? Tier::kFast : Tier::kSlow;
+    LruLists& lru = ms_->lru(tier);
+    for (int which = 0; which < 2; which++) {
+      const bool active_list = which == 1;
+      const LruList want = active_list ? LruList::kActive : LruList::kInactive;
+      const size_t expect = active_list ? lru.active_size() : lru.inactive_size();
+      Pfn cur = active_list ? lru.ActiveTail() : lru.InactiveTail();
+      Pfn came_from = kInvalidPfn;  // the node whose lru_prev brought us here
+      size_t n = 0;
+      while (cur != kInvalidPfn) {
+        if (n > expect) {
+          std::ostringstream os;
+          os << TierName(tier) << ' ' << LruListName(want)
+             << " list walk exceeded recorded size " << expect << " (cycle?)";
+          violate("lru.link", os.str());
+          break;
+        }
+        const PageFrame& f = pool.frame(cur);
+        if (on_list[cur] != 0) {
+          violate("lru.link", "frame on two lists: " + FrameDesc(pool, cur));
+          break;
+        }
+        on_list[cur] = active_list ? 2 : 1;
+        if (f.lru != want || f.tier != tier || !f.in_use) {
+          std::ostringstream os;
+          os << "on " << TierName(tier) << ' ' << LruListName(want) << " list but "
+             << FrameDesc(pool, cur);
+          violate("lru.membership", os.str());
+        }
+        if (f.active != active_list) {
+          std::ostringstream os;
+          os << "PG_active=" << f.active << " on " << LruListName(want)
+             << " list: " << FrameDesc(pool, cur);
+          violate("lru.active_flag", os.str());
+        }
+        if (f.lru_next != came_from) {
+          std::ostringstream os;
+          os << "asymmetric links at " << FrameDesc(pool, cur) << " lru_next="
+             << static_cast<int64_t>(f.lru_next == kInvalidPfn ? -1
+                                                               : static_cast<int64_t>(f.lru_next));
+          violate("lru.link", os.str());
+        }
+        came_from = cur;
+        cur = f.lru_prev;
+        n++;
+      }
+      if (n != expect) {
+        std::ostringstream os;
+        os << TierName(tier) << ' ' << LruListName(want) << " list size " << expect
+           << " but walk found " << n << " frames";
+        violate("lru.size", os.str());
+      }
+    }
+  }
+
+  // ---- Pass 3: frame scan. Classify every frame and cross-check against
+  // the PTE reference counts, the LRU walk, the shadow index, and the
+  // reserved set.
+  std::unordered_set<Pfn> reserved(ms_->reserved_frames().begin(),
+                                   ms_->reserved_frames().end());
+  uint64_t in_use_count[kNumTiers] = {0, 0};
+  uint64_t transient = 0;
+  uint64_t migrating = 0;
+  uint64_t shadow_frames = 0;
+  uint64_t masters_with_shadow = 0;
+  uint64_t flagged_in_pcq = 0;
+  uint64_t flagged_in_pending = 0;
+  std::vector<uint8_t> shadow_claims(total, 0);
+
+  // First sub-pass: masters claim their shadows through the index, so the
+  // shadow-frame sub-pass below can detect orphans.
+  if (shadows_ != nullptr) {
+    for (Pfn pfn = 0; pfn < total; pfn++) {
+      const PageFrame& f = pool.frame(pfn);
+      if (!f.in_use || !f.shadowed) {
+        continue;
+      }
+      masters_with_shadow++;
+      const Pfn shadow = shadows_->ShadowOf(pfn);
+      if (shadow == kInvalidPfn || shadow >= total) {
+        violate("shadow.index", "shadowed master has no index entry: " + FrameDesc(pool, pfn));
+        continue;
+      }
+      shadow_claims[shadow]++;
+      const PageFrame& s = pool.frame(shadow);
+      if (!s.in_use || !s.is_shadow) {
+        violate("shadow.index",
+                "master " + FrameDesc(pool, pfn) + " claims non-shadow " + FrameDesc(pool, shadow));
+      }
+      if (f.tier != Tier::kFast) {
+        violate("shadow.master_fast", "shadowed master off the fast tier: " + FrameDesc(pool, pfn));
+      }
+      // Clean-only: the master must still carry the write protection that
+      // guards shadow coherence, and must never have been dirtied under it.
+      if (f.owner != nullptr) {
+        const Pte* pte = f.owner->table().Lookup(f.vpn);
+        if (pte != nullptr && pte->present && pte->pfn == pfn &&
+            (pte->writable || pte->dirty)) {
+          std::ostringstream os;
+          os << "shadowed master writable=" << pte->writable << " dirty=" << pte->dirty
+             << ": " << FrameDesc(pool, pfn);
+          violate("shadow.clean_only", os.str());
+        }
+      }
+    }
+  }
+
+  for (Pfn pfn = 0; pfn < total; pfn++) {
+    const PageFrame& f = pool.frame(pfn);
+    if (!f.in_use) {
+      if (f.lru != LruList::kNone || on_list[pfn] != 0) {
+        violate("pool.free_state", "free frame on an LRU list: " + FrameDesc(pool, pfn));
+      }
+      if (f.owner != nullptr || f.is_shadow) {
+        violate("pool.free_state", "free frame retains state: " + FrameDesc(pool, pfn));
+      }
+      continue;
+    }
+    in_use_count[TierIndex(f.tier)]++;
+    if (f.in_pcq) {
+      flagged_in_pcq++;
+    }
+    if (f.in_pending) {
+      flagged_in_pending++;
+    }
+    if (f.migrating) {
+      migrating++;
+      if (f.owner == nullptr) {
+        violate("tpm.migrating_mapped", "migrating frame unmapped: " + FrameDesc(pool, pfn));
+      }
+    }
+    // LRU flag vs walk agreement (both directions).
+    const uint8_t want_list = f.lru == LruList::kNone ? 0 : (f.lru == LruList::kInactive ? 1 : 2);
+    if (want_list != on_list[pfn]) {
+      violate("lru.link", "frame list flag disagrees with list walk: " + FrameDesc(pool, pfn));
+    }
+    if (f.is_shadow) {
+      shadow_frames++;
+      if (f.owner != nullptr || pte_refs[pfn] > 0) {
+        violate("shadow.unmapped", "shadow frame is mapped: " + FrameDesc(pool, pfn));
+      }
+      if (f.lru != LruList::kNone) {
+        violate("shadow.off_lru", "shadow frame on an LRU list: " + FrameDesc(pool, pfn));
+      }
+      if (f.tier != Tier::kSlow) {
+        violate("shadow.slow_tier", "shadow frame off the slow tier: " + FrameDesc(pool, pfn));
+      }
+      if (f.shadowed) {
+        violate("shadow.unmapped", "frame is both master and shadow: " + FrameDesc(pool, pfn));
+      }
+      if (shadows_ != nullptr && shadow_claims[pfn] != 1) {
+        std::ostringstream os;
+        os << "shadow frame claimed by " << static_cast<int>(shadow_claims[pfn])
+           << " masters: " << FrameDesc(pool, pfn);
+        violate("shadow.index", os.str());
+      }
+    } else if (f.owner != nullptr) {
+      if (pte_refs[pfn] != 1) {
+        std::ostringstream os;
+        os << "mapped frame referenced by " << pte_refs[pfn]
+           << " present PTEs: " << FrameDesc(pool, pfn);
+        violate("pte.unique_mapping", os.str());
+      }
+      if (!f.migrating && f.lru == LruList::kNone) {
+        violate("lru.mapped_listed", "mapped frame on no LRU list: " + FrameDesc(pool, pfn));
+      }
+    } else if (reserved.count(pfn) == 0) {
+      transient++;
+      if (f.lru != LruList::kNone) {
+        violate("lru.unmapped_listed", "unmapped frame on an LRU list: " + FrameDesc(pool, pfn));
+      }
+    }
+  }
+
+  if (transient > options_.max_transient_frames) {
+    std::ostringstream os;
+    os << transient << " unaccounted in-use frames (allowed "
+       << options_.max_transient_frames << ")";
+    violate("pool.transient", os.str());
+  }
+  if (migrating > options_.max_transient_frames) {
+    std::ostringstream os;
+    os << migrating << " frames marked migrating (allowed " << options_.max_transient_frames
+       << ")";
+    violate("tpm.single_flight", os.str());
+  }
+  if (shadows_ != nullptr && shadow_frames != shadows_->count()) {
+    std::ostringstream os;
+    os << "shadow index holds " << shadows_->count() << " entries but " << shadow_frames
+       << " frames are flagged is_shadow";
+    violate("shadow.index_count", os.str());
+  }
+  if (shadows_ != nullptr && masters_with_shadow != shadows_->count()) {
+    std::ostringstream os;
+    os << "shadow index holds " << shadows_->count() << " entries but " << masters_with_shadow
+       << " masters are flagged shadowed";
+    violate("shadow.index_count", os.str());
+  }
+
+  // ---- Pass 4: per-tier free/used accounting.
+  for (int t = 0; t < kNumTiers; t++) {
+    const Tier tier = t == 0 ? Tier::kFast : Tier::kSlow;
+    if (in_use_count[t] + pool.FreeFrames(tier) != pool.TotalFrames(tier)) {
+      std::ostringstream os;
+      os << TierName(tier) << ": " << in_use_count[t] << " in use + "
+         << pool.FreeFrames(tier) << " free != " << pool.TotalFrames(tier) << " total";
+      violate("pool.accounting", os.str());
+    }
+  }
+
+  // ---- Pass 5: queue-flag sanity. Queues drop stale entries lazily, so a
+  // queue can be larger than its flagged population but never smaller.
+  if (queues_ != nullptr) {
+    if (flagged_in_pcq > queues_->pcq_size()) {
+      std::ostringstream os;
+      os << flagged_in_pcq << " frames flagged in_pcq but the PCQ holds "
+         << queues_->pcq_size();
+      violate("pcq.flag_leak", os.str());
+    }
+    // A popped-but-in-flight transaction keeps in_pending set while off the
+    // queue; allow one such frame per in-flight transaction.
+    if (flagged_in_pending >
+        queues_->pending_size() + queues_->deferred_size() + options_.max_transient_frames) {
+      std::ostringstream os;
+      os << flagged_in_pending << " frames flagged in_pending but pending="
+         << queues_->pending_size() << " deferred=" << queues_->deferred_size();
+      violate("pcq.flag_leak", os.str());
+    }
+  }
+
+  if (!out.empty()) {
+    ms_->Trace(TraceEvent::kInvariantFail, out.size());
+  }
+  return out;
+}
+
+void InvariantChecker::CheckOrDie() const {
+  const std::vector<InvariantViolation> violations = Check();
+  if (violations.empty()) {
+    return;
+  }
+  std::fprintf(stderr, "InvariantChecker: %zu violation(s) at cycle %llu:\n",
+               violations.size(), static_cast<unsigned long long>(ms_->Now()));
+  for (const InvariantViolation& v : violations) {
+    std::fprintf(stderr, "  [%s] %s\n", v.rule.c_str(), v.detail.c_str());
+  }
+  std::fflush(stderr);
+  std::abort();
+}
+
+Cycles InvariantCheckActor::Step(Engine& engine) {
+  if (!violations_.empty()) {
+    // Already failed in record mode; stay dormant so the driver can report.
+    engine.SleepUntil(kNever);
+    return 0;
+  }
+  audits_++;
+  if (config_.die_on_violation) {
+    checker_->CheckOrDie();
+  } else {
+    violations_ = checker_->Check();
+    if (!violations_.empty()) {
+      engine.SleepUntil(kNever);
+      return 1;
+    }
+  }
+  engine.SleepUntil(engine.now() + config_.period);
+  return 1;
+}
+
+}  // namespace nomad

@@ -1,0 +1,102 @@
+// InvariantChecker: whole-system structural audit of the non-exclusive
+// tiering state.
+//
+// Nomad's correctness claims are structural: every mapped VPN resolves to
+// exactly one present PTE backed by an in-use frame; shadow frames are
+// clean-only copies that are never PTE-mapped; LRU membership agrees with
+// per-frame state; per-tier free/used accounting balances. The checker
+// walks the page tables, the frame pool, both tiers' LRU lists, and the
+// shadow index and reports every violated rule with enough detail (VPN,
+// PFN, frame flags) to debug it. It runs in any build type — unlike
+// assert() it does not compile out of RelWithDebInfo — and is cheap enough
+// to run periodically from the simulation engine (InvariantCheckActor) and
+// at the end of every test.
+//
+// The checker is read-only and quiescence-based: it must be called between
+// engine steps, where the only legal "loose" state is the in-flight TPM
+// transaction's destination frame (bounded by Options::max_transient_frames).
+#ifndef SRC_CHECK_INVARIANTS_H_
+#define SRC_CHECK_INVARIANTS_H_
+
+#include <string>
+#include <vector>
+
+#include "src/mm/memory_system.h"
+#include "src/nomad/pcq.h"
+#include "src/nomad/shadow.h"
+
+namespace nomad {
+
+struct InvariantViolation {
+  std::string rule;    // stable rule id, e.g. "pte.frame_identity"
+  std::string detail;  // offending vpn/pfn and frame state
+};
+
+class InvariantChecker {
+ public:
+  struct Options {
+    // In-use frames that are legitimately neither mapped, shadow, nor
+    // reserved: the destination frame of a TPM transaction between Begin
+    // and Commit. One per kpromote actor.
+    uint64_t max_transient_frames = 1;
+  };
+
+  explicit InvariantChecker(MemorySystem* ms) : InvariantChecker(ms, Options{}) {}
+  InvariantChecker(MemorySystem* ms, const Options& options) : ms_(ms), options_(options) {}
+
+  // Registers an address space whose page table the checker walks. All
+  // spaces mapping frames of ms must be registered or the unique-mapping
+  // rule will report false orphans.
+  void AddSpace(const AddressSpace* as) { spaces_.push_back(as); }
+
+  // Optional NOMAD-side structures; when unset their rules are skipped.
+  void set_shadows(const ShadowManager* shadows) { shadows_ = shadows; }
+  void set_queues(const PromotionQueues* queues) { queues_ = queues; }
+
+  // Runs every rule; returns all violations found (empty = healthy).
+  std::vector<InvariantViolation> Check() const;
+
+  // Check() that prints each violation to stderr and aborts on any.
+  void CheckOrDie() const;
+
+  uint64_t checks_run() const { return checks_run_; }
+
+ private:
+  MemorySystem* ms_;
+  Options options_;
+  std::vector<const AddressSpace*> spaces_;
+  const ShadowManager* shadows_ = nullptr;
+  const PromotionQueues* queues_ = nullptr;
+  mutable uint64_t checks_run_ = 0;
+};
+
+// Periodic engine-driven audit. On violation either aborts with a full
+// report (die_on_violation, the test default) or records the violations and
+// goes dormant so the driver can print a reproducer (chaos_sim).
+class InvariantCheckActor : public Actor {
+ public:
+  struct Config {
+    Cycles period = 250000;        // virtual cycles between audits
+    bool die_on_violation = true;  // false: record and stop auditing
+  };
+
+  InvariantCheckActor(InvariantChecker* checker, const Config& config)
+      : checker_(checker), config_(config) {}
+
+  Cycles Step(Engine& engine) override;
+  std::string name() const override { return "invariant-check"; }
+
+  bool failed() const { return !violations_.empty(); }
+  const std::vector<InvariantViolation>& violations() const { return violations_; }
+  uint64_t audits() const { return audits_; }
+
+ private:
+  InvariantChecker* checker_;
+  Config config_;
+  std::vector<InvariantViolation> violations_;
+  uint64_t audits_ = 0;
+};
+
+}  // namespace nomad
+
+#endif  // SRC_CHECK_INVARIANTS_H_

@@ -1,0 +1,92 @@
+#include "src/fault/fault_injector.h"
+
+#include <sstream>
+
+namespace nomad {
+
+const char* FaultKindName(FaultKind k) {
+  switch (k) {
+    case FaultKind::kAllocFail:
+      return "alloc_fail";
+    case FaultKind::kDirtyWrite:
+      return "dirty_write";
+    case FaultKind::kLatencySpike:
+      return "latency_spike";
+    case FaultKind::kPcqOverflow:
+      return "pcq_overflow";
+    case FaultKind::kTlbDelay:
+      return "tlb_delay";
+    case FaultKind::kNumKinds:
+      break;
+  }
+  return "?";
+}
+
+FaultInjector::FaultInjector(uint64_t seed) : seed_(seed) {
+  // One independent stream per kind: mixing the kind index into the seed
+  // keeps each kind's decision sequence stable no matter how often the
+  // other kinds are consulted.
+  for (size_t k = 0; k < kNumFaultKinds; k++) {
+    streams_[k].rng = Rng(seed ^ (0xFA017EC7ull * (k + 1)));
+  }
+}
+
+void FaultInjector::set_schedule(FaultKind k, const FaultSchedule& s) {
+  streams_[static_cast<size_t>(k)].schedule = s;
+}
+
+bool FaultInjector::ShouldInject(FaultKind k) {
+  Stream& st = streams_[static_cast<size_t>(k)];
+  const uint64_t index = st.opportunities++;
+  if (!st.schedule.armed()) {
+    return false;
+  }
+  bool fire = st.schedule.trigger_count > 0 && index >= st.schedule.trigger_start &&
+              index < st.schedule.trigger_start + st.schedule.trigger_count;
+  // Always draw when a probability is set, so the stream stays aligned with
+  // the opportunity index even inside a trigger window.
+  if (st.schedule.probability > 0.0 && st.rng.Chance(st.schedule.probability)) {
+    fire = true;
+  }
+  if (!fire) {
+    return false;
+  }
+  st.injected++;
+  if (trace_ != nullptr) {
+    const Cycles now = engine_ != nullptr ? engine_->now() : 0;
+    const uint16_t actor =
+        engine_ != nullptr ? static_cast<uint16_t>(engine_->current()) : uint16_t{0};
+    trace_->Emit(TraceEvent::kFaultInject, now, actor, static_cast<uint64_t>(k), index);
+  }
+  return true;
+}
+
+uint64_t FaultInjector::total_injected() const {
+  uint64_t n = 0;
+  for (const Stream& st : streams_) {
+    n += st.injected;
+  }
+  return n;
+}
+
+std::string FaultInjector::Describe() const {
+  std::ostringstream os;
+  os << "seed=" << seed_;
+  for (size_t k = 0; k < kNumFaultKinds; k++) {
+    const FaultSchedule& s = streams_[k].schedule;
+    if (!s.armed()) {
+      continue;
+    }
+    os << ' ' << FaultKindName(static_cast<FaultKind>(k)) << "{p=" << s.probability;
+    if (s.trigger_count > 0) {
+      os << " win=[" << s.trigger_start << ',' << s.trigger_start + s.trigger_count << ')';
+    }
+    if (s.latency_cycles > 0) {
+      os << " lat=" << s.latency_cycles;
+    }
+    os << " hit=" << streams_[k].injected << '/' << streams_[k].opportunities << '}';
+  }
+  return os.str();
+}
+
+}  // namespace nomad

@@ -295,6 +295,20 @@ void AppendRunMetrics(JsonWriter& jw, Sim& sim, const PhaseReport& report,
     jw.Field("nomem_waits", tpm.nomem_waits);
     jw.Field("shadow_pages", nomad->shadows().count());
     jw.EndObject();
+
+    // Degradation and queue-pressure telemetry (robustness additions).
+    const PromotionQueues& q = nomad->queues();
+    jw.Key("degradation").BeginObject();
+    jw.Field("backoffs", tpm.backoffs);
+    jw.Field("giveups", tpm.giveups);
+    jw.Field("sync_degrades", tpm.sync_degrades);
+    jw.Field("degraded_migrations", tpm.degraded_migrations);
+    jw.Field("alloc_fail_streak", uint64_t{nomad->alloc_fail_streak()});
+    jw.Field("pcq_hwm", q.pcq_hwm());
+    jw.Field("pending_hwm", q.pending_hwm());
+    jw.Field("pcq_overflows", q.overflow_count());
+    jw.Field("deferred_retries", q.deferred_size());
+    jw.EndObject();
   }
 
   jw.Key("counters");

@@ -1,6 +1,7 @@
 #include "src/mm/frame_pool.h"
 
-#include <cassert>
+#include "src/check/check.h"
+#include "src/fault/fault_injector.h"
 
 namespace nomad {
 
@@ -34,6 +35,15 @@ void FramePool::SetWatermarks(Tier tier, uint64_t low, uint64_t high) {
 }
 
 Pfn FramePool::AllocOn(Tier tier) {
+  if constexpr (kFaultInjectionEnabled) {
+    // A transient fast-tier failure: the frame we'd have taken was stolen
+    // by a concurrent consumer. The caller sees kInvalidPfn exactly as it
+    // would under real pressure and must take its fallback path.
+    if (faults_ != nullptr && tier == Tier::kFast &&
+        faults_->ShouldInject(FaultKind::kAllocFail)) {
+      return kInvalidPfn;
+    }
+  }
   auto& list = free_[TierIndex(tier)];
   if (list.empty()) {
     if (alloc_failure_hook_ && alloc_failure_hook_(tier) && !list.empty()) {
@@ -45,7 +55,8 @@ Pfn FramePool::AllocOn(Tier tier) {
   Pfn pfn = list.back();
   list.pop_back();
   PageFrame& f = frames_[pfn];
-  assert(!f.in_use);
+  NOMAD_CHECK(!f.in_use, "free-list frame already in use, pfn=", pfn, " vpn=", f.vpn,
+              " tier=", static_cast<int>(f.tier));
   f.in_use = true;
   return pfn;
 }
@@ -65,8 +76,9 @@ Pfn FramePool::Alloc(Tier preferred) {
 
 void FramePool::Free(Pfn pfn) {
   PageFrame& f = frames_[pfn];
-  assert(f.in_use);
-  assert(f.lru == LruList::kNone);  // caller must delist first
+  NOMAD_CHECK(f.in_use, "double free, pfn=", pfn, " vpn=", f.vpn);
+  NOMAD_CHECK(f.lru == LruList::kNone, "freeing a frame still on an LRU list, pfn=", pfn,
+              " vpn=", f.vpn, " list=", static_cast<int>(f.lru));
   f.in_use = false;
   f.generation++;
   f.ResetState();

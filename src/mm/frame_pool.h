@@ -18,6 +18,8 @@
 
 namespace nomad {
 
+class FaultInjector;
+
 // Allocator over both tiers' frames. PFNs are global: tier 0 occupies
 // [0, n_fast), tier 1 occupies [n_fast, n_fast + n_slow).
 class FramePool {
@@ -64,6 +66,10 @@ class FramePool {
 
   void set_alloc_failure_hook(AllocFailureHook hook) { alloc_failure_hook_ = std::move(hook); }
 
+  // Optional fault injector (owned by the MemorySystem): makes fast-tier
+  // allocations transiently fail on schedule.
+  void set_fault_injector(FaultInjector* f) { faults_ = f; }
+
   // Number of allocations that found the preferred node empty and spilled.
   uint64_t spill_count() const { return spill_count_; }
   // Number of allocations that failed outright (OOM).
@@ -76,6 +82,7 @@ class FramePool {
   uint64_t low_wm_[kNumTiers] = {0, 0};
   uint64_t high_wm_[kNumTiers] = {0, 0};
   AllocFailureHook alloc_failure_hook_;
+  FaultInjector* faults_ = nullptr;
   uint64_t spill_count_ = 0;
   uint64_t oom_count_ = 0;
 };

@@ -1,12 +1,13 @@
 #include "src/mm/lru.h"
 
-#include <cassert>
+#include "src/check/check.h"
 
 namespace nomad {
 
 void LruLists::PushHead(List* list, LruList which, Pfn pfn) {
   PageFrame& f = pool_->frame(pfn);
-  assert(f.lru == LruList::kNone);
+  NOMAD_CHECK(f.lru == LruList::kNone, "double list insertion, pfn=", pfn, " vpn=", f.vpn,
+              " on=", static_cast<int>(f.lru), " adding_to=", static_cast<int>(which));
   f.lru = which;
   f.lru_prev = kInvalidPfn;
   f.lru_next = list->head;
@@ -35,7 +36,7 @@ void LruLists::Unlink(List* list, Pfn pfn) {
   f.lru = LruList::kNone;
   f.lru_prev = kInvalidPfn;
   f.lru_next = kInvalidPfn;
-  assert(list->size > 0);
+  NOMAD_CHECK(list->size > 0, "unlink from empty list, pfn=", pfn, " vpn=", f.vpn);
   list->size--;
 }
 
@@ -92,15 +93,16 @@ size_t LruLists::DrainPagevec() {
 
 void LruLists::RotateInactive(Pfn pfn) {
   PageFrame& f = pool_->frame(pfn);
-  assert(f.lru == LruList::kInactive);
+  NOMAD_CHECK(f.lru == LruList::kInactive, "rotate of non-inactive page, pfn=", pfn,
+              " vpn=", f.vpn, " on=", static_cast<int>(f.lru));
   Unlink(&ListFor(LruList::kInactive), pfn);
   PushHead(&ListFor(LruList::kInactive), LruList::kInactive, pfn);
-  (void)f;
 }
 
 void LruLists::Deactivate(Pfn pfn) {
   PageFrame& f = pool_->frame(pfn);
-  assert(f.lru == LruList::kActive);
+  NOMAD_CHECK(f.lru == LruList::kActive, "deactivate of non-active page, pfn=", pfn,
+              " vpn=", f.vpn, " on=", static_cast<int>(f.lru));
   Unlink(&ListFor(LruList::kActive), pfn);
   f.active = false;
   f.referenced = false;
@@ -109,7 +111,8 @@ void LruLists::Deactivate(Pfn pfn) {
 
 void LruLists::ActivateNow(Pfn pfn) {
   PageFrame& f = pool_->frame(pfn);
-  assert(f.lru == LruList::kInactive);
+  NOMAD_CHECK(f.lru == LruList::kInactive, "activate of non-inactive page, pfn=", pfn,
+              " vpn=", f.vpn, " on=", static_cast<int>(f.lru));
   Unlink(&ListFor(LruList::kInactive), pfn);
   f.active = true;
   f.referenced = false;

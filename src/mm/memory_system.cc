@@ -1,7 +1,8 @@
 #include "src/mm/memory_system.h"
 
 #include <algorithm>
-#include <cassert>
+
+#include "src/check/check.h"
 
 namespace nomad {
 
@@ -13,6 +14,16 @@ MemorySystem::MemorySystem(const PlatformSpec& platform, Engine* engine)
   for (int t = 0; t < kNumTiers; t++) {
     lru_[t] = std::make_unique<LruLists>(&pool_);
     devices_[t] = MemoryDevice(platform.tiers[t]);
+  }
+}
+
+void MemorySystem::set_fault_injector(std::unique_ptr<FaultInjector> f) {
+  faults_ = std::move(f);
+  if (faults_) {
+    faults_->Bind(&trace_, engine_);
+    pool_.set_fault_injector(faults_.get());
+  } else {
+    pool_.set_fault_injector(nullptr);
   }
 }
 
@@ -86,8 +97,17 @@ Cycles MemorySystem::TlbShootdown(AddressSpace& as, Vpn vpn) {
   }
   counters_.Add("tlb.shootdown", 1);
   counters_.Add("tlb.shootdown_ipis", remote_targets);
-  return platform_.costs.tlb_shootdown_base +
-         platform_.costs.tlb_shootdown_per_cpu * remote_targets;
+  Cycles cost = platform_.costs.tlb_shootdown_base +
+                platform_.costs.tlb_shootdown_per_cpu * remote_targets;
+  if constexpr (kFaultInjectionEnabled) {
+    // A straggling ack: one responder's IPI sits in a long interrupt-off
+    // region, stretching the initiator's wait.
+    if (faults_ && faults_->ShouldInject(FaultKind::kTlbDelay)) {
+      cost += faults_->LatencyFor(FaultKind::kTlbDelay);
+      counters_.Add("fault.tlb_delay", 1);
+    }
+  }
+  return cost;
 }
 
 Cycles MemorySystem::CopyPageCost(Tier from, Tier to) {
@@ -95,7 +115,16 @@ Cycles MemorySystem::CopyPageCost(Tier from, Tier to) {
   Cycles r = device(from).Read(now, kPageSize);
   Cycles w = device(to).Write(now, kPageSize);
   // The copy loop pipelines reads and writes; the slower side dominates.
-  return std::max(r, w);
+  Cycles cost = std::max(r, w);
+  if constexpr (kFaultInjectionEnabled) {
+    // Device contention spike: the copy collides with a burst of demand
+    // traffic on one of the tiers.
+    if (faults_ && faults_->ShouldInject(FaultKind::kLatencySpike)) {
+      cost += faults_->LatencyFor(FaultKind::kLatencySpike);
+      counters_.Add("fault.latency_spike", 1);
+    }
+  }
+  return cost;
 }
 
 void MemorySystem::BeginMigrationWindow(AddressSpace& as, Vpn vpn, Cycles end) {
@@ -144,7 +173,7 @@ Cycles MemorySystem::Access(ActorId cpu, AddressSpace& as, Vpn vpn, uint64_t off
       // Microcode A/D assist: set the PTE dirty bit on first store through
       // a clean cached translation.
       Pte* pte = as.table().Lookup(vpn);
-      assert(pte != nullptr);
+      NOMAD_CHECK(pte != nullptr, "tlb entry with no pte, vpn=", vpn, " pfn=", entry->pfn);
       pte->dirty = true;
       pte->accessed = true;
       entry->dirty = true;

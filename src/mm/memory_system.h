@@ -23,6 +23,7 @@
 #include <memory>
 #include <vector>
 
+#include "src/fault/fault_injector.h"
 #include "src/mem/device.h"
 #include "src/mem/platform.h"
 #include "src/mm/address_space.h"
@@ -77,6 +78,17 @@ class MemorySystem {
   TraceSink& trace() { return trace_; }
   const TraceSink& trace() const { return trace_; }
   Cycles Now() const { return engine_ ? engine_->now() : 0; }
+
+  // Installs the (optional) fault injector. The MemorySystem owns it and
+  // binds it to its trace sink and engine clock; components that consult it
+  // (FramePool, TPM, PCQ) reach it through faults().
+  void set_fault_injector(std::unique_ptr<FaultInjector> f);
+  FaultInjector* faults() { return faults_.get(); }
+
+  // Frames grabbed by ReserveFastFrames(): in use but intentionally
+  // unmapped. The invariant checker excludes them from its transient-frame
+  // budget.
+  const std::vector<Pfn>& reserved_frames() const { return reserved_; }
 
   // Emits one trace record stamped with the current virtual time and the
   // actor being stepped. Compiles away entirely when tracing is off.
@@ -158,6 +170,7 @@ class MemorySystem {
   std::map<ActorId, std::unique_ptr<Tlb>> tlbs_;
   CounterSet counters_;
   TraceSink trace_;
+  std::unique_ptr<FaultInjector> faults_;
 
   HintFaultHandler hint_fault_;
   WriteFaultHandler write_fault_;

@@ -58,6 +58,8 @@ struct PageFrame {
   bool pcq_primed = false;   // PCQ entry examined once; next A-bit hit = hot
   bool in_pending = false;   // sits in the migration pending queue
   bool migrating = false;    // a TPM transaction is in flight on this frame
+  uint8_t tpm_aborts = 0;    // consecutive TPM aborts on this page; drives
+                             // kpromote's backoff and give-up decisions
 
   // --- LRU bookkeeping ---
   LruList lru = LruList::kNone;
@@ -81,6 +83,7 @@ struct PageFrame {
     pcq_primed = false;
     in_pending = false;
     migrating = false;
+    tpm_aborts = 0;
     lru = LruList::kNone;
     lru_prev = kInvalidPfn;
     lru_next = kInvalidPfn;

@@ -30,4 +30,19 @@ Pte& PageTable::Ensure(Vpn vpn) {
   return dir_[dir_idx]->entries[vpn % kEntriesPerLeaf];
 }
 
+void PageTable::ForEachPresent(const std::function<void(Vpn, const Pte&)>& fn) const {
+  for (size_t dir_idx = 0; dir_idx < dir_.size(); dir_idx++) {
+    if (!dir_[dir_idx]) {
+      continue;
+    }
+    const Vpn base = static_cast<Vpn>(dir_idx) * kEntriesPerLeaf;
+    for (uint64_t i = 0; i < kEntriesPerLeaf; i++) {
+      const Pte& pte = dir_[dir_idx]->entries[i];
+      if (pte.present) {
+        fn(base + i, pte);
+      }
+    }
+  }
+}
+
 }  // namespace nomad

@@ -7,6 +7,7 @@
 #ifndef SRC_MM_PAGE_TABLE_H_
 #define SRC_MM_PAGE_TABLE_H_
 
+#include <functional>
 #include <memory>
 #include <vector>
 
@@ -31,6 +32,11 @@ class PageTable {
 
   // Number of materialized leaf tables (for footprint accounting).
   size_t NumLeaves() const { return num_leaves_; }
+
+  // Visits every *present* PTE in ascending VPN order. Used by the
+  // invariant checker, which must see all mappings regardless of the
+  // nominal VPN range an address space advertises.
+  void ForEachPresent(const std::function<void(Vpn, const Pte&)>& fn) const;
 
  private:
   struct Leaf {

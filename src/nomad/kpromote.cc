@@ -1,5 +1,7 @@
 #include "src/nomad/kpromote.h"
 
+#include <algorithm>
+
 #include "src/mm/migrate.h"
 
 namespace nomad {
@@ -14,6 +16,12 @@ Cycles KpromoteActor::Step(Engine& engine) {
 Cycles KpromoteActor::BeginNext(Engine& engine) {
   const KernelCosts& costs = ms_->platform().costs;
   Cycles spent = 0;
+  if (degraded_until_ != 0 && engine.now() >= degraded_until_) {
+    // The abort storm cooled off; resume transactional migration.
+    degraded_until_ = 0;
+    storm_aborts_ = 0;
+    ms_->Trace(TraceEvent::kSyncDegrade, 0);
+  }
   if (enabled_ && !enabled_()) {
     engine.SleepUntil(engine.now() + config_.idle_poll);
     return 0;
@@ -29,7 +37,11 @@ Cycles KpromoteActor::BeginNext(Engine& engine) {
   }
   Pfn pfn = queues_->PopPending();
   if (pfn == kInvalidPfn) {
-    engine.SleepUntil(engine.now() + std::max<Cycles>(spent, 1) + config_.idle_poll);
+    // Sleep until the next poll — or earlier, if a backed-off retry
+    // becomes due before that.
+    Cycles wake = engine.now() + std::max<Cycles>(spent, 1) + config_.idle_poll;
+    wake = std::min(wake, std::max(queues_->NextDeferredReady(), engine.now() + 1));
+    engine.SleepUntil(wake);
     return spent;
   }
 
@@ -44,12 +56,20 @@ Cycles KpromoteActor::BeginNext(Engine& engine) {
 
   // Multi-mapped pages would need simultaneous shootdowns per mapping;
   // NOMAD deactivates TPM for them and uses the default synchronous path
-  // (sec. 3.3). The ablation switch forces this path for every page.
-  if (f.multi_mapped() || !config_.transactional) {
+  // (sec. 3.3). The ablation switch forces this path for every page, and
+  // an abort storm forces it temporarily (graceful degradation: the sync
+  // path unmaps before copying, so concurrent stores cannot abort it).
+  const bool storm_degraded = degraded_until_ != 0;
+  if (f.multi_mapped() || !config_.transactional || storm_degraded) {
     f.in_pending = false;
     MigrateResult r = MigratePageWithRetry(*ms_, as, vpn, Tier::kFast);
-    stats_.sync_fallbacks++;
-    ms_->counters().Add("nomad.sync_fallback", 1);
+    if (storm_degraded && !f.multi_mapped()) {
+      stats_.degraded_migrations++;
+      ms_->counters().Add("nomad.degraded_sync_migration", 1);
+    } else {
+      stats_.sync_fallbacks++;
+      ms_->counters().Add("nomad.sync_fallback", 1);
+    }
     return spent + r.cycles;
   }
 
@@ -95,13 +115,44 @@ void KpromoteActor::AbortCleanup(bool requeue) {
   PageFrame& f = ms_->pool().frame(t.old_pfn);
   if (f.generation == t.old_gen) {
     f.migrating = false;
-    if (requeue) {
-      queues_->RequeuePending(t.old_pfn);
-    } else {
+    if (!requeue) {
       f.in_pending = false;
+    } else if (f.tpm_aborts >= config_.max_txn_retries) {
+      // Bounded retry: a page that keeps getting written mid-copy is too
+      // hot-and-dirty for TPM right now. Drop its candidacy; the PCQ aging
+      // machinery can re-nominate it once it cools down.
+      stats_.giveups++;
+      ms_->counters().Add("nomad.tpm_giveup", 1);
+      ms_->Trace(TraceEvent::kTpmGiveUp, t.vpn, f.tpm_aborts);
+      f.tpm_aborts = 0;
+      f.in_pending = false;
+    } else {
+      // Exponential backoff: each consecutive abort doubles the park time,
+      // giving the writer a progressively wider window to go quiet.
+      const Cycles delay = config_.abort_backoff_base
+                           << (f.tpm_aborts > 0 ? f.tpm_aborts - 1 : 0);
+      stats_.backoffs++;
+      ms_->counters().Add("nomad.tpm_backoff", 1);
+      ms_->Trace(TraceEvent::kTpmBackoff, t.vpn, delay);
+      queues_->DeferPending(t.old_pfn, ms_->Now() + delay);
     }
   }
   txn_.reset();
+}
+
+void KpromoteActor::NoteAbortForStorm() {
+  const Cycles now = ms_->Now();
+  if (now - storm_window_start_ > config_.storm_window) {
+    storm_window_start_ = now;
+    storm_aborts_ = 0;
+  }
+  storm_aborts_++;
+  if (storm_aborts_ >= config_.storm_abort_threshold && degraded_until_ == 0) {
+    degraded_until_ = now + config_.sync_degrade_duration;
+    stats_.sync_degrades++;
+    ms_->counters().Add("nomad.sync_degrade", 1);
+    ms_->Trace(TraceEvent::kSyncDegrade, 1, degraded_until_);
+  }
 }
 
 Cycles KpromoteActor::Commit(Engine& /*engine*/) {
@@ -125,12 +176,25 @@ Cycles KpromoteActor::Commit(Engine& /*engine*/) {
   spent += costs.pte_update;
   spent += ms_->TlbShootdown(*t.as, t.vpn);
 
+  if constexpr (kFaultInjectionEnabled) {
+    // Injected mid-copy store: as if a writer raced the copy and dirtied
+    // the page just before the atomic get_and_clear. Only writable pages
+    // can be dirtied.
+    if (!pte->dirty && t.was_writable && ms_->faults() != nullptr &&
+        ms_->faults()->ShouldInject(FaultKind::kDirtyWrite)) {
+      pte->dirty = true;
+      ms_->counters().Add("fault.dirty_write", 1);
+    }
+  }
+
   if (pte->dirty) {
     // Step 8: the page was written during the copy; the transaction is
     // invalid. Restore the original PTE (nothing else changed) and retry
     // later.
     stats_.aborts++;
     ms_->counters().Add("nomad.tpm_abort", 1);
+    old_frame.tpm_aborts++;
+    NoteAbortForStorm();
     AbortCleanup(/*requeue=*/true);
     return spent + costs.pte_update;
   }
@@ -158,6 +222,7 @@ Cycles KpromoteActor::Commit(Engine& /*engine*/) {
   old_frame.in_pending = false;
   old_frame.in_pcq = false;
   old_frame.migrating = false;
+  old_frame.tpm_aborts = 0;
   ms_->lru(Tier::kFast).AddActive(t.new_pfn);
   if (config_.shadowing) {
     shadows_->AddShadow(t.new_pfn, t.old_pfn);

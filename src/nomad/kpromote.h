@@ -40,6 +40,19 @@ class KpromoteActor : public Actor {
     // Ablation switches (benches only; both true = full NOMAD):
     bool transactional = true;    // false: kpromote migrates synchronously
     bool shadowing = true;        // false: exclusive tiering (free the old frame)
+
+    // --- graceful degradation ---
+    // A page whose transaction aborts is retried with exponential backoff
+    // (base << (aborts-1)) and dropped after max_txn_retries consecutive
+    // aborts; the candidacy machinery may re-nominate it later.
+    uint32_t max_txn_retries = 4;
+    Cycles abort_backoff_base = 50000;
+    // Abort storm: >= storm_abort_threshold aborts inside one storm_window
+    // switches kpromote to plain synchronous migration (no copy-while-
+    // mapped race, so no aborts) for sync_degrade_duration cycles.
+    uint64_t storm_abort_threshold = 8;
+    Cycles storm_window = 500000;
+    Cycles sync_degrade_duration = 2000000;
   };
 
   struct Stats {
@@ -47,6 +60,11 @@ class KpromoteActor : public Actor {
     uint64_t aborts = 0;
     uint64_t sync_fallbacks = 0;  // multi-mapped pages
     uint64_t nomem_waits = 0;
+    // --- graceful degradation ---
+    uint64_t backoffs = 0;             // aborted pages parked for retry
+    uint64_t giveups = 0;              // pages dropped after max_txn_retries
+    uint64_t sync_degrades = 0;        // times the abort storm tripped
+    uint64_t degraded_migrations = 0;  // migrations done in degraded mode
   };
 
   KpromoteActor(MemorySystem* ms, PromotionQueues* queues, ShadowManager* shadows)
@@ -66,6 +84,8 @@ class KpromoteActor : public Actor {
   std::string name() const override { return "kpromote"; }
 
   const Stats& stats() const { return stats_; }
+  // True while the abort storm has kpromote migrating synchronously.
+  bool degraded() const { return degraded_until_ != 0; }
 
  private:
   struct Txn {
@@ -80,6 +100,7 @@ class KpromoteActor : public Actor {
   Cycles BeginNext(Engine& engine);
   Cycles Commit(Engine& engine);
   void AbortCleanup(bool requeue);
+  void NoteAbortForStorm();
 
   MemorySystem* ms_;
   PromotionQueues* queues_;
@@ -91,6 +112,12 @@ class KpromoteActor : public Actor {
   Stats stats_;
   Cycles last_scan_ = 0;
   std::function<bool()> enabled_;
+
+  // Abort-storm tracking: aborts land in a coarse sliding window; tripping
+  // the threshold sets degraded_until_ (0 = not degraded).
+  Cycles storm_window_start_ = 0;
+  uint64_t storm_aborts_ = 0;
+  Cycles degraded_until_ = 0;
 };
 
 }  // namespace nomad

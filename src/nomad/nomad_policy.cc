@@ -1,5 +1,7 @@
 #include "src/nomad/nomad_policy.h"
 
+#include <algorithm>
+
 #include "src/mm/migrate.h"
 
 namespace nomad {
@@ -77,13 +79,38 @@ void NomadPolicy::Install(MemorySystem& ms, Engine& engine) {
   });
 
   // Allocation-failure path: free shadows (targeting 10x the request, here
-  // one page at a time) before declaring OOM.
+  // one page at a time) before declaring OOM. Consecutive fruitless
+  // attempts escalate the target exponentially, and the loop is bounded:
+  // after alloc_fail_max_attempts misses the hook stands down until the
+  // shadow index repopulates, instead of walking an empty reclaim FIFO on
+  // every failing allocation forever.
   ms.pool().set_alloc_failure_hook([this](Tier tier) {
     if (tier != Tier::kSlow) {
       return false;
     }
+    if (alloc_fail_streak_ >= config_.alloc_fail_max_attempts) {
+      if (shadows_->count() == 0) {
+        return false;  // still nothing to reclaim; fail fast
+      }
+      alloc_fail_streak_ = 0;  // shadows reappeared; re-arm
+    }
+    const uint64_t target =
+        std::min<uint64_t>(config_.alloc_fail_reclaim_factor << alloc_fail_streak_,
+                           config_.alloc_fail_reclaim_cap);
     Cycles cost = 0;
-    return shadows_->ReclaimShadows(config_.alloc_fail_reclaim_factor, &cost) > 0;
+    const uint64_t freed = shadows_->ReclaimShadows(target, &cost);
+    if (freed == 0) {
+      alloc_fail_streak_++;
+      ms_->counters().Add("nomad.alloc_fail_reclaim_miss", 1);
+      return false;
+    }
+    if (alloc_fail_streak_ > 0) {
+      // An escalated attempt succeeded: record how hard we had to pull.
+      ms_->counters().Add("nomad.alloc_fail_escalate", 1);
+      ms_->Trace(TraceEvent::kReclaimEscalate, target, freed);
+    }
+    alloc_fail_streak_ = 0;
+    return true;
   });
 
   ms.set_hint_fault_handler([this](ActorId cpu, AddressSpace& as, Vpn vpn) {

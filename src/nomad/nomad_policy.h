@@ -33,6 +33,13 @@ class NomadPolicy : public TieringPolicy {
     Kswapd::Config kswapd_fast;
     Kswapd::Config kswapd_slow;
     uint64_t alloc_fail_reclaim_factor = 10;  // shadows freed per failed alloc
+    // Graceful degradation of the allocation-failure path: each fruitless
+    // reclaim attempt doubles the next target (up to the cap); after
+    // max_attempts consecutive misses the hook short-circuits until the
+    // shadow index repopulates, so an exhausted index cannot add a reclaim
+    // walk to every failing allocation.
+    uint64_t alloc_fail_reclaim_cap = 640;
+    uint32_t alloc_fail_max_attempts = 5;
     // Sec. 5 extension: detect balanced promotion/demotion churn and stop
     // promoting until memory pressure eases. Off by default: the paper's
     // evaluated system does not include it.
@@ -51,6 +58,10 @@ class NomadPolicy : public TieringPolicy {
   ShadowManager& shadows() { return *shadows_; }
   const ThrashGovernor* governor() const { return governor_.get(); }
   bool promotion_gate_open() const { return gate_.open; }
+  const PromotionQueues& queues() const { return *queues_; }
+  const KpromoteActor& kpromote() const { return *kpromote_; }
+  // Consecutive fruitless alloc-failure reclaim attempts (for tests).
+  uint32_t alloc_fail_streak() const { return alloc_fail_streak_; }
 
  private:
   Cycles OnHintFault(ActorId cpu, AddressSpace& as, Vpn vpn);
@@ -67,6 +78,7 @@ class NomadPolicy : public TieringPolicy {
   std::unique_ptr<HintFaultScanner> scanner_;
   std::unique_ptr<ThrashGovernor> governor_;
   PromotionGate gate_;
+  uint32_t alloc_fail_streak_ = 0;
 };
 
 }  // namespace nomad

@@ -15,7 +15,16 @@ void PromotionQueues::EnqueueCandidate(Pfn pfn) {
   if (f.in_pcq || f.in_pending || f.migrating) {
     return;
   }
-  if (pcq_.size() >= config_.pcq_capacity) {
+  bool overflow = pcq_.size() >= config_.pcq_capacity;
+  if constexpr (kFaultInjectionEnabled) {
+    // Queue-pressure fault: the PCQ behaves as if at capacity, evicting its
+    // oldest candidate to admit this one.
+    if (!overflow && !pcq_.empty() && ms_->faults() != nullptr &&
+        ms_->faults()->ShouldInject(FaultKind::kPcqOverflow)) {
+      overflow = true;
+    }
+  }
+  if (overflow) {
     // Overflow: forget the oldest candidate.
     auto [old, gen] = pcq_.front();
     pcq_.pop_front();
@@ -25,10 +34,13 @@ void PromotionQueues::EnqueueCandidate(Pfn pfn) {
       of.pcq_primed = false;
     }
     ms_->counters().Add("nomad.pcq_overflow", 1);
+    overflow_count_++;
+    ms_->Trace(TraceEvent::kPcqOverflow, old, pcq_.size());
   }
   f.in_pcq = true;
   f.pcq_primed = false;
   pcq_.emplace_back(pfn, f.generation);
+  pcq_hwm_ = std::max(pcq_hwm_, pcq_.size());
   ms_->Trace(TraceEvent::kPcqEnqueue, pfn);
 }
 
@@ -60,6 +72,7 @@ std::pair<size_t, Cycles> PromotionQueues::ScanPcq(size_t limit) {
       f.pcq_primed = false;
       f.in_pending = true;
       pending_.emplace_back(pfn, f.generation);
+      pending_hwm_ = std::max(pending_hwm_, pending_.size() + deferred_.size());
       moved++;
       continue;
     }
@@ -103,7 +116,16 @@ std::pair<size_t, Cycles> PromotionQueues::ScanPcq(size_t limit) {
   return {moved, spent};
 }
 
+void PromotionQueues::PromoteDueDeferred() {
+  const Cycles now = ms_->Now();
+  while (!deferred_.empty() && deferred_.begin()->first <= now) {
+    pending_.push_back(deferred_.begin()->second);
+    deferred_.erase(deferred_.begin());
+  }
+}
+
 Pfn PromotionQueues::PopPending() {
+  PromoteDueDeferred();
   while (!pending_.empty()) {
     auto [pfn, gen] = pending_.front();
     pending_.pop_front();
@@ -124,6 +146,14 @@ void PromotionQueues::RequeuePending(Pfn pfn) {
   PageFrame& f = ms_->pool().frame(pfn);
   f.in_pending = true;
   pending_.emplace_back(pfn, f.generation);
+  pending_hwm_ = std::max(pending_hwm_, pending_.size() + deferred_.size());
+}
+
+void PromotionQueues::DeferPending(Pfn pfn, Cycles ready) {
+  PageFrame& f = ms_->pool().frame(pfn);
+  f.in_pending = true;
+  deferred_.emplace(ready, std::make_pair(pfn, f.generation));
+  pending_hwm_ = std::max(pending_hwm_, pending_.size() + deferred_.size());
 }
 
 }  // namespace nomad

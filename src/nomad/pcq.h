@@ -15,6 +15,7 @@
 
 #include <cstddef>
 #include <deque>
+#include <map>
 #include <utility>
 
 #include "src/mm/memory_system.h"
@@ -49,17 +50,39 @@ class PromotionQueues {
   // Requeues an aborted transaction's page for a later retry.
   void RequeuePending(Pfn pfn);
 
+  // Parks an aborted page until virtual time `ready` (exponential-backoff
+  // retries). The page keeps its in_pending flag; PopPending() surfaces it
+  // once `ready` passes.
+  void DeferPending(Pfn pfn, Cycles ready);
+
+  // Earliest ready time among deferred pages, or kNever when none: lets
+  // kpromote sleep exactly until a retry becomes due.
+  Cycles NextDeferredReady() const {
+    return deferred_.empty() ? kNever : deferred_.begin()->first;
+  }
+
   size_t pcq_size() const { return pcq_.size(); }
   size_t pending_size() const { return pending_.size(); }
+  size_t deferred_size() const { return deferred_.size(); }
+  // High watermarks, for the metrics export.
+  size_t pcq_hwm() const { return pcq_hwm_; }
+  size_t pending_hwm() const { return pending_hwm_; }
+  uint64_t overflow_count() const { return overflow_count_; }
   const Config& config() const { return config_; }
 
  private:
   bool ValidCandidate(Pfn pfn, uint32_t gen) const;
+  void PromoteDueDeferred();
 
   MemorySystem* ms_;
   Config config_;
   std::deque<std::pair<Pfn, uint32_t>> pcq_;
   std::deque<std::pair<Pfn, uint32_t>> pending_;
+  // ready time -> (pfn, generation), drained front-first by PopPending().
+  std::multimap<Cycles, std::pair<Pfn, uint32_t>> deferred_;
+  size_t pcq_hwm_ = 0;
+  size_t pending_hwm_ = 0;
+  uint64_t overflow_count_ = 0;
 };
 
 }  // namespace nomad

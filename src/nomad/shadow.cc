@@ -1,13 +1,15 @@
 #include "src/nomad/shadow.h"
 
-#include <cassert>
+#include "src/check/check.h"
 
 namespace nomad {
 
 void ShadowManager::AddShadow(Pfn master, Pfn shadow) {
   PageFrame& m = ms_->pool().frame(master);
   PageFrame& s = ms_->pool().frame(shadow);
-  assert(!m.shadowed && s.in_use);
+  NOMAD_CHECK(!m.shadowed, "master already shadowed, master=", master, " vpn=", m.vpn,
+              " new_shadow=", shadow);
+  NOMAD_CHECK(s.in_use, "shadow frame not in use, master=", master, " shadow=", shadow);
   m.shadowed = true;
   s.is_shadow = true;
   index_.Insert(master, shadow);

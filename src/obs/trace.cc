@@ -30,6 +30,20 @@ const char* TraceEventName(TraceEvent e) {
       return "scanner_arm";
     case TraceEvent::kMigrationRound:
       return "migration_round";
+    case TraceEvent::kPcqOverflow:
+      return "pcq_overflow";
+    case TraceEvent::kFaultInject:
+      return "fault_inject";
+    case TraceEvent::kTpmBackoff:
+      return "tpm_backoff";
+    case TraceEvent::kTpmGiveUp:
+      return "tpm_give_up";
+    case TraceEvent::kSyncDegrade:
+      return "sync_degrade";
+    case TraceEvent::kReclaimEscalate:
+      return "reclaim_escalate";
+    case TraceEvent::kInvariantFail:
+      return "invariant_fail";
     case TraceEvent::kNumEvents:
       break;
   }

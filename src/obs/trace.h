@@ -48,6 +48,13 @@ inline constexpr bool kTracingEnabled = NOMAD_TRACING != 0;
 //   kPcqDrain        entries examined        entries moved to pending
 //   kScannerArm      scan cursor (pfn)       pages armed this round
 //   kMigrationRound  promotions attempted    round cycles
+//   kPcqOverflow     evicted pfn             queue depth at overflow
+//   kFaultInject     fault kind (FaultKind)  opportunity index
+//   kTpmBackoff      vpn                     backoff delay (cycles)
+//   kTpmGiveUp       vpn                     aborts accumulated
+//   kSyncDegrade     1=enter, 0=exit         abort streak / cycles in mode
+//   kReclaimEscalate reclaim target          frames actually freed
+//   kInvariantFail   violations found        0
 enum class TraceEvent : uint8_t {
   kTpmBegin = 0,
   kTpmAbort,
@@ -62,6 +69,13 @@ enum class TraceEvent : uint8_t {
   kPcqDrain,
   kScannerArm,
   kMigrationRound,
+  kPcqOverflow,
+  kFaultInject,
+  kTpmBackoff,
+  kTpmGiveUp,
+  kSyncDegrade,
+  kReclaimEscalate,
+  kInvariantFail,
   kNumEvents,
 };
 

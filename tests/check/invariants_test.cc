@@ -1,0 +1,199 @@
+// Tests for NOMAD_CHECK and the InvariantChecker: a healthy system audits
+// clean, and each class of deliberate corruption is caught by the right
+// rule.
+#include "src/check/invariants.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "src/check/check.h"
+#include "src/nomad/kpromote.h"
+
+namespace nomad {
+namespace {
+
+PlatformSpec TestPlatform(uint64_t fast_pages = 64, uint64_t slow_pages = 64) {
+  PlatformSpec p = MakePlatform(PlatformId::kA);
+  p.tiers[0].capacity_bytes = fast_pages * kPageSize;
+  p.tiers[1].capacity_bytes = slow_pages * kPageSize;
+  p.llc_bytes = 64 * 1024;
+  return p;
+}
+
+bool HasRule(const std::vector<InvariantViolation>& vs, const std::string& rule) {
+  for (const InvariantViolation& v : vs) {
+    if (v.rule == rule) {
+      return true;
+    }
+  }
+  return false;
+}
+
+TEST(NomadCheckTest, PassesOnTrueCondition) {
+  NOMAD_CHECK(1 + 1 == 2, "never printed");
+}
+
+TEST(NomadCheckDeathTest, AbortsWithFileLineAndDetail) {
+  EXPECT_DEATH(NOMAD_CHECK(false, "pfn=", 42, " vpn=", 7),
+               "NOMAD_CHECK failed.*pfn=42 vpn=7");
+}
+
+class InvariantsTest : public ::testing::Test {
+ protected:
+  InvariantsTest()
+      : ms_(TestPlatform(), &engine_),
+        as_(256),
+        shadows_(&ms_),
+        queues_(&ms_),
+        kpromote_(&ms_, &queues_, &shadows_),
+        checker_(&ms_) {
+    ms_.RegisterCpu(0);
+    const ActorId id = engine_.AddActor(&kpromote_);
+    kpromote_.set_actor_id(id);
+    checker_.AddSpace(&as_);
+    checker_.set_shadows(&shadows_);
+    checker_.set_queues(&queues_);
+  }
+
+  // Promotes vpn through a full TPM commit, creating a shadow.
+  void Promote(Vpn vpn) {
+    const Pfn pfn = ms_.MapNewPage(as_, vpn, Tier::kSlow, true);
+    ms_.pool().frame(pfn).referenced = true;
+    queues_.RequeuePending(pfn);
+    engine_.Run(engine_.NextTimeOf(kpromote_.actor_id()));  // Begin
+    engine_.Run(engine_.NextTimeOf(kpromote_.actor_id()));  // Commit
+    ASSERT_EQ(ms_.pool().TierOf(ms_.PteOf(as_, vpn)->pfn), Tier::kFast);
+  }
+
+  Engine engine_;
+  MemorySystem ms_;
+  AddressSpace as_;
+  ShadowManager shadows_;
+  PromotionQueues queues_;
+  KpromoteActor kpromote_;
+  InvariantChecker checker_;
+};
+
+TEST_F(InvariantsTest, CleanSystemHasNoViolations) {
+  for (Vpn v = 0; v < 8; v++) {
+    ms_.MapNewPage(as_, v, v % 2 ? Tier::kSlow : Tier::kFast);
+  }
+  Promote(100);
+  EXPECT_TRUE(checker_.Check().empty());
+  EXPECT_EQ(checker_.checks_run(), 1u);
+}
+
+TEST_F(InvariantsTest, ReservedFramesAreNotTransient) {
+  ms_.ReserveFastFrames(8);
+  EXPECT_TRUE(checker_.Check().empty());
+}
+
+TEST_F(InvariantsTest, DetectsDanglingPte) {
+  const Pfn pfn = ms_.MapNewPage(as_, 0, Tier::kFast);
+  // Free the frame behind the PTE's back.
+  ms_.lru(Tier::kFast).Remove(pfn);
+  ms_.pool().Free(pfn);
+  const auto vs = checker_.Check();
+  EXPECT_TRUE(HasRule(vs, "pte.frame_identity"));
+}
+
+TEST_F(InvariantsTest, DetectsDoubleMapping) {
+  const Pfn pfn = ms_.MapNewPage(as_, 0, Tier::kFast);
+  // Map a second VPN onto the same frame.
+  Pte& pte = as_.table().Ensure(1);
+  pte.pfn = pfn;
+  pte.present = true;
+  const auto vs = checker_.Check();
+  EXPECT_TRUE(HasRule(vs, "pte.unique_mapping"));
+}
+
+TEST_F(InvariantsTest, DetectsLruSizeCorruption) {
+  ms_.MapNewPage(as_, 0, Tier::kFast);
+  const Pfn pfn = ms_.PteOf(as_, 0)->pfn;
+  // Clear the frame's list flag without unlinking it.
+  ms_.pool().frame(pfn).lru = LruList::kNone;
+  const auto vs = checker_.Check();
+  EXPECT_FALSE(vs.empty());
+  EXPECT_TRUE(HasRule(vs, "lru.membership") || HasRule(vs, "lru.link"));
+}
+
+TEST_F(InvariantsTest, DetectsMappedShadow) {
+  Promote(0);
+  const Pfn master = ms_.PteOf(as_, 0)->pfn;
+  const Pfn shadow = shadows_.ShadowOf(master);
+  ASSERT_NE(shadow, kInvalidPfn);
+  // Corrupt: point a PTE at the shadow frame.
+  Pte& pte = as_.table().Ensure(9);
+  pte.pfn = shadow;
+  pte.present = true;
+  const auto vs = checker_.Check();
+  EXPECT_TRUE(HasRule(vs, "shadow.unmapped"));
+}
+
+TEST_F(InvariantsTest, DetectsDirtyShadowedMaster) {
+  Promote(0);
+  // Corrupt: make the master writable+dirty while its shadow survives,
+  // breaking clean-only shadow coherence.
+  Pte* pte = ms_.PteOf(as_, 0);
+  pte->writable = true;
+  pte->dirty = true;
+  const auto vs = checker_.Check();
+  EXPECT_TRUE(HasRule(vs, "shadow.clean_only"));
+}
+
+TEST_F(InvariantsTest, DetectsShadowIndexLeak) {
+  Promote(0);
+  const Pfn master = ms_.PteOf(as_, 0)->pfn;
+  // Corrupt: clear the master's flag but leave the index entry.
+  ms_.pool().frame(master).shadowed = false;
+  const auto vs = checker_.Check();
+  EXPECT_TRUE(HasRule(vs, "shadow.index_count"));
+}
+
+TEST_F(InvariantsTest, DetectsAccountingMismatch) {
+  // Corrupt: mark a free frame in_use without taking it off the free list.
+  // (Pick the highest slow pfn; nothing else touches it.)
+  const Pfn last = ms_.pool().TotalFrames(Tier::kFast) + ms_.pool().TotalFrames(Tier::kSlow) - 1;
+  ms_.pool().frame(last).in_use = true;
+  const auto vs = checker_.Check();
+  EXPECT_TRUE(HasRule(vs, "pool.accounting"));
+}
+
+TEST_F(InvariantsTest, InFlightTransactionIsTransientNotViolation) {
+  const Pfn pfn = ms_.MapNewPage(as_, 0, Tier::kSlow, true);
+  ms_.pool().frame(pfn).referenced = true;
+  queues_.RequeuePending(pfn);
+  engine_.Run(engine_.NextTimeOf(kpromote_.actor_id()));  // Begin only
+  ASSERT_TRUE(ms_.pool().frame(pfn).migrating);
+  // Mid-transaction: the destination frame is in use but unmapped. That is
+  // the one legal transient state.
+  EXPECT_TRUE(checker_.Check().empty());
+}
+
+TEST_F(InvariantsTest, CheckActorAuditsPeriodicallyAndRecords) {
+  ms_.MapNewPage(as_, 0, Tier::kFast);
+  InvariantCheckActor::Config cfg;
+  cfg.period = 1000;
+  cfg.die_on_violation = false;
+  InvariantCheckActor actor(&checker_, cfg);
+  engine_.AddActor(&actor);
+  engine_.Run(10000);
+  EXPECT_GE(actor.audits(), 5u);
+  EXPECT_FALSE(actor.failed());
+
+  // Corrupt the state; the next audit records it and the actor goes dormant.
+  const Pfn pfn = ms_.PteOf(as_, 0)->pfn;
+  ms_.lru(Tier::kFast).Remove(pfn);
+  ms_.pool().Free(pfn);
+  engine_.Run(engine_.now() + 5000);
+  EXPECT_TRUE(actor.failed());
+  EXPECT_TRUE(HasRule(actor.violations(), "pte.frame_identity"));
+  const uint64_t audits_at_failure = actor.audits();
+  engine_.Run(engine_.now() + 5000);
+  EXPECT_EQ(actor.audits(), audits_at_failure);  // dormant after failure
+}
+
+}  // namespace
+}  // namespace nomad

@@ -184,5 +184,65 @@ TEST_F(PcqTest, ScanClearsAbitThroughTlb) {
   EXPECT_TRUE(ms_.PteOf(as_, 0)->accessed);
 }
 
+TEST_F(PcqTest, OverflowEmitsTraceAndCounts) {
+  // Fill to capacity (8), then one more: the oldest is evicted.
+  for (Vpn v = 0; v < 9; v++) {
+    queues_->EnqueueCandidate(SlowPage(v));
+  }
+  EXPECT_EQ(queues_->pcq_size(), 8u);
+  EXPECT_EQ(queues_->overflow_count(), 1u);
+  EXPECT_EQ(ms_.counters().Get("nomad.pcq_overflow"), 1u);
+  if (kTracingEnabled) {
+    EXPECT_EQ(ms_.trace().CountOf(TraceEvent::kPcqOverflow), 1u);
+  }
+}
+
+TEST_F(PcqTest, HighWatermarksTrackDepth) {
+  for (Vpn v = 0; v < 5; v++) {
+    queues_->EnqueueCandidate(SlowPage(v));
+  }
+  EXPECT_EQ(queues_->pcq_hwm(), 5u);
+  // Drain some; the high watermark stays.
+  queues_->ScanPcq(5);
+  EXPECT_EQ(queues_->pcq_hwm(), 5u);
+}
+
+// Advancing virtual time requires a runnable actor.
+class TickerActor : public Actor {
+ public:
+  Cycles Step(Engine&) override { return 1000; }
+  std::string name() const override { return "ticker"; }
+};
+
+TEST_F(PcqTest, DeferPendingSurfacesAfterReadyTime) {
+  TickerActor ticker;
+  engine_.AddActor(&ticker);
+  const Pfn pfn = SlowPage(0);
+  queues_->DeferPending(pfn, 5000);
+  EXPECT_TRUE(ms_.pool().frame(pfn).in_pending);
+  EXPECT_EQ(queues_->deferred_size(), 1u);
+  EXPECT_EQ(queues_->NextDeferredReady(), 5000u);
+  // Not due yet: PopPending returns nothing (engine time is 0).
+  EXPECT_EQ(queues_->PopPending(), kInvalidPfn);
+  EXPECT_EQ(queues_->deferred_size(), 1u);
+  // Advance virtual time past the ready point.
+  engine_.Run(6000);
+  EXPECT_EQ(queues_->PopPending(), pfn);
+  EXPECT_EQ(queues_->deferred_size(), 0u);
+  EXPECT_EQ(queues_->NextDeferredReady(), kNever);
+}
+
+TEST_F(PcqTest, DeferPendingDrainsInReadyOrder) {
+  TickerActor ticker;
+  engine_.AddActor(&ticker);
+  const Pfn a = SlowPage(0);
+  const Pfn b = SlowPage(1);
+  queues_->DeferPending(b, 3000);  // later insertion, earlier deadline
+  queues_->DeferPending(a, 1000);
+  engine_.Run(4000);
+  EXPECT_EQ(queues_->PopPending(), a);
+  EXPECT_EQ(queues_->PopPending(), b);
+}
+
 }  // namespace
 }  // namespace nomad

@@ -109,8 +109,11 @@ TEST_F(TpmTest, WriteDuringCopyAbortsTransaction) {
   EXPECT_FALSE(ms_.pool().frame(old_pfn).migrating);
   // No fast frame was leaked.
   EXPECT_EQ(ms_.pool().UsedFrames(Tier::kFast), 0u);
-  // The page was requeued for retry.
-  EXPECT_EQ(queues_.pending_size(), 1u);
+  // The page was parked for a backed-off retry, still flagged pending.
+  EXPECT_EQ(kpromote_.stats().backoffs, 1u);
+  EXPECT_EQ(queues_.deferred_size(), 1u);
+  EXPECT_TRUE(ms_.pool().frame(old_pfn).in_pending);
+  EXPECT_EQ(ms_.pool().frame(old_pfn).tpm_aborts, 1u);
 }
 
 TEST_F(TpmTest, AbortedTransactionRetriesAndCommits) {
@@ -118,12 +121,16 @@ TEST_F(TpmTest, AbortedTransactionRetriesAndCommits) {
   StepOnce();
   ms_.Access(0, as_, 0, 0, true);  // abort #1
   StepOnce();
-  // No further writes: the retry goes through.
-  StepOnce();  // Begin (retry)
-  StepOnce();  // Commit
+  EXPECT_EQ(queues_.deferred_size(), 1u);
+  // No further writes: once the backoff expires, the retry goes through.
+  for (int i = 0; i < 10 && kpromote_.stats().commits == 0; i++) {
+    StepOnce();
+  }
   EXPECT_EQ(kpromote_.stats().aborts, 1u);
   EXPECT_EQ(kpromote_.stats().commits, 1u);
   EXPECT_EQ(ms_.pool().TierOf(ms_.PteOf(as_, 0)->pfn), Tier::kFast);
+  // A successful commit clears the abort history.
+  EXPECT_EQ(ms_.pool().frame(ms_.PteOf(as_, 0)->pfn).tpm_aborts, 0u);
 }
 
 TEST_F(TpmTest, ReadDuringCopyDoesNotAbort) {
@@ -174,6 +181,170 @@ TEST_F(TpmTest, SleepsWhenIdle) {
   StepOnce();  // nothing queued
   EXPECT_GE(engine_.NextTimeOf(kpromote_.actor_id()),
             KpromoteActor::Config{}.idle_poll);
+}
+
+TEST_F(TpmTest, DoubleAbortSameVpnBacksOffEachTime) {
+  const Pfn pfn = QueueSlowPage(0);
+  for (int round = 1; round <= 2; round++) {
+    // Step until the next transaction begins on this page (the retry is
+    // parked behind an exponential backoff).
+    for (int i = 0; i < 20 && !ms_.pool().frame(pfn).migrating; i++) {
+      StepOnce();
+    }
+    ASSERT_TRUE(ms_.pool().frame(pfn).migrating) << "round " << round;
+    ms_.Access(0, as_, 0, 0, true);  // store during the copy window
+    StepOnce();                      // Commit -> abort
+    EXPECT_EQ(kpromote_.stats().aborts, static_cast<uint64_t>(round));
+    EXPECT_EQ(ms_.pool().frame(pfn).tpm_aborts, round);
+  }
+  EXPECT_EQ(kpromote_.stats().backoffs, 2u);
+  EXPECT_EQ(queues_.deferred_size(), 1u);
+  EXPECT_EQ(kpromote_.stats().commits, 0u);
+  // Still mapped to the original frame, still writable.
+  EXPECT_EQ(ms_.PteOf(as_, 0)->pfn, pfn);
+  EXPECT_TRUE(ms_.PteOf(as_, 0)->writable);
+}
+
+TEST_F(TpmTest, AbortThenFreeDropsStaleRetry) {
+  QueueSlowPage(0);
+  StepOnce();  // Begin
+  ms_.Access(0, as_, 0, 0, true);
+  StepOnce();  // Commit -> abort, page parked for retry
+  ms_.UnmapAndFree(as_, 0);  // page freed before the retry comes due
+  for (int i = 0; i < 10; i++) {
+    StepOnce();
+  }
+  // The stale deferred entry was dropped by the generation check, not
+  // migrated.
+  EXPECT_EQ(kpromote_.stats().commits, 0u);
+  EXPECT_EQ(kpromote_.stats().aborts, 1u);
+  EXPECT_EQ(queues_.deferred_size(), 0u);
+  EXPECT_EQ(ms_.pool().UsedFrames(Tier::kFast), 0u);
+  EXPECT_EQ(ms_.pool().UsedFrames(Tier::kSlow), 0u);
+}
+
+TEST_F(TpmTest, CommitThenShadowReclaimThenWriteIsSafe) {
+  QueueSlowPage(0);
+  StepOnce();
+  StepOnce();  // Commit: shadow created
+  ASSERT_EQ(shadows_.count(), 1u);
+  Cycles cost = 0;
+  EXPECT_EQ(shadows_.ReclaimShadows(10, &cost), 1u);
+  EXPECT_EQ(shadows_.count(), 0u);
+  EXPECT_EQ(ms_.pool().UsedFrames(Tier::kSlow), 0u);  // shadow frame freed
+  // The master's write protection outlived its shadow; the write-protect
+  // fault restores writability without touching freed memory.
+  ms_.Access(0, as_, 0, 0, true);
+  EXPECT_TRUE(ms_.PteOf(as_, 0)->writable);
+  EXPECT_FALSE(ms_.pool().frame(ms_.PteOf(as_, 0)->pfn).shadowed);
+}
+
+// Degradation-focused fixture: tiny backoff so retries come due quickly,
+// low give-up and storm thresholds so the paths trip within a short test.
+class TpmDegradeTest : public ::testing::Test {
+ protected:
+  static KpromoteActor::Config DegradeConfig() {
+    KpromoteActor::Config c;
+    c.abort_backoff_base = 1000;
+    c.max_txn_retries = 2;
+    c.storm_abort_threshold = 3;
+    c.storm_window = 10'000'000;
+    c.sync_degrade_duration = 300'000;
+    return c;
+  }
+
+  TpmDegradeTest()
+      : ms_(TestPlatform(), &engine_),
+        as_(256),
+        shadows_(&ms_),
+        queues_(&ms_),
+        kpromote_(&ms_, &queues_, &shadows_, DegradeConfig()) {
+    ms_.RegisterCpu(0);
+    const ActorId id = engine_.AddActor(&kpromote_);
+    kpromote_.set_actor_id(id);
+  }
+
+  Pfn QueueSlowPage(Vpn vpn) {
+    const Pfn pfn = ms_.MapNewPage(as_, vpn, Tier::kSlow, true);
+    ms_.pool().frame(pfn).referenced = true;
+    queues_.RequeuePending(pfn);
+    return pfn;
+  }
+
+  void StepOnce() { engine_.Run(engine_.NextTimeOf(kpromote_.actor_id())); }
+
+  // Dirties vpn whenever its transaction is mid-copy, forcing `n` aborts.
+  void ForceAborts(Pfn pfn, Vpn vpn, uint64_t n) {
+    const uint64_t start = kpromote_.stats().aborts;
+    for (int i = 0; i < 200 && kpromote_.stats().aborts < start + n; i++) {
+      if (ms_.pool().frame(pfn).migrating) {
+        ms_.Access(0, as_, vpn, 0, true);
+      }
+      StepOnce();
+    }
+    ASSERT_EQ(kpromote_.stats().aborts, start + n);
+  }
+
+  Engine engine_;
+  MemorySystem ms_;
+  AddressSpace as_;
+  ShadowManager shadows_;
+  PromotionQueues queues_;
+  KpromoteActor kpromote_;
+};
+
+TEST_F(TpmDegradeTest, GivesUpAfterMaxConsecutiveAborts) {
+  const Pfn pfn = QueueSlowPage(0);
+  ForceAborts(pfn, 0, 2);  // max_txn_retries = 2
+  EXPECT_EQ(kpromote_.stats().giveups, 1u);
+  EXPECT_EQ(kpromote_.stats().backoffs, 1u);  // first abort backed off
+  // Candidacy dropped entirely; abort history reset for a future
+  // re-nomination.
+  EXPECT_FALSE(ms_.pool().frame(pfn).in_pending);
+  EXPECT_EQ(ms_.pool().frame(pfn).tpm_aborts, 0u);
+  EXPECT_EQ(queues_.deferred_size(), 0u);
+  EXPECT_EQ(queues_.pending_size(), 0u);
+  // The page itself is intact on the slow tier.
+  EXPECT_EQ(ms_.PteOf(as_, 0)->pfn, pfn);
+  EXPECT_EQ(ms_.pool().UsedFrames(Tier::kFast), 0u);
+}
+
+TEST_F(TpmDegradeTest, AbortStormDegradesToSyncMigrationAndRecovers) {
+  // Three different pages each abort once: trips storm_abort_threshold.
+  const Pfn p0 = QueueSlowPage(0);
+  ForceAborts(p0, 0, 1);
+  const Pfn p1 = QueueSlowPage(1);
+  ForceAborts(p1, 1, 1);
+  const Pfn p2 = QueueSlowPage(2);
+  ForceAborts(p2, 2, 1);
+  EXPECT_TRUE(kpromote_.degraded());
+  EXPECT_EQ(kpromote_.stats().sync_degrades, 1u);
+
+  // While degraded, a fresh candidate migrates synchronously: no shadow,
+  // no abort risk, counted separately from multi-map fallbacks. (The three
+  // backed-off pages drain through the same degraded path.)
+  QueueSlowPage(3);
+  for (int i = 0; i < 50 && ms_.pool().TierOf(ms_.PteOf(as_, 3)->pfn) != Tier::kFast; i++) {
+    StepOnce();
+  }
+  EXPECT_GE(kpromote_.stats().degraded_migrations, 1u);
+  const Pte* pte = ms_.PteOf(as_, 3);
+  ASSERT_EQ(ms_.pool().TierOf(pte->pfn), Tier::kFast);
+  EXPECT_FALSE(ms_.pool().frame(pte->pfn).shadowed);
+
+  // After sync_degrade_duration the actor re-enables TPM.
+  for (int i = 0; i < 100 && kpromote_.degraded(); i++) {
+    StepOnce();
+  }
+  EXPECT_FALSE(kpromote_.degraded());
+  // And a new candidate commits transactionally again.
+  const uint64_t commits_before = kpromote_.stats().commits;
+  QueueSlowPage(4);
+  for (int i = 0; i < 100 && ms_.pool().TierOf(ms_.PteOf(as_, 4)->pfn) != Tier::kFast; i++) {
+    StepOnce();
+  }
+  EXPECT_GT(kpromote_.stats().commits, commits_before);
+  EXPECT_TRUE(ms_.pool().frame(ms_.PteOf(as_, 4)->pfn).shadowed);
 }
 
 class TpmNoMemTest : public TpmTest {

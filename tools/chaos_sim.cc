@@ -1,0 +1,326 @@
+// chaos_sim: randomized fault-injection campaign for the NOMAD migration
+// paths, with continuous invariant auditing.
+//
+// For every (seed, workload) pair the driver builds a deliberately
+// undersized two-tier platform, arms the deterministic FaultInjector with
+// schedules derived from the seed (alloc failures, forced dirty-write
+// aborts, latency spikes, PCQ overflow pressure, delayed TLB shootdown
+// acks), runs the workload to completion while an InvariantCheckActor
+// audits the page tables / frame pool / LRU lists / shadow index, and
+// finishes with one last full audit. Any violation prints a one-line
+// reproducer (the seed fully determines the run) and exits nonzero.
+//
+// Examples:
+//   ./chaos_sim --seeds=50                       # CI campaign
+//   ./chaos_sim --seed=1337 --workloads=micro    # replay one reproducer
+//   ./chaos_sim --selftest                       # prove detection works
+//
+// Flags (defaults in brackets):
+//   --seeds=N          [50]     seeds 1..N (ignored when --seed given)
+//   --seed=N           []       run exactly one seed
+//   --ops=N            [30000]  workload ops per run
+//   --workloads=a,b    [micro,chase,scan]
+//   --selftest         [off]    corrupt state mid-run; succeed iff caught
+//   --verbose          [off]    per-run summary lines
+#include <iostream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "src/check/invariants.h"
+#include "src/fault/fault_injector.h"
+#include "src/harness/experiment.h"
+#include "src/harness/flags.h"
+#include "src/workload/micro.h"
+#include "src/workload/pointer_chase.h"
+#include "src/workload/seq_scan.h"
+
+using namespace nomad;
+
+namespace {
+
+// Small enough that every run finishes in milliseconds, tight enough that
+// the fast tier cannot hold the working set (so promotion, demotion, shadow
+// reclaim and alloc-failure paths all fire).
+constexpr uint64_t kFastPages = 128;
+constexpr uint64_t kSlowPages = 384;
+constexpr uint64_t kRegionPages = 224;  // > fast tier
+constexpr uint64_t kAsPages = 512;
+
+PlatformSpec ChaosPlatform() {
+  PlatformSpec p = MakePlatform(PlatformId::kA);
+  p.tiers[0].capacity_bytes = kFastPages * kPageSize;
+  p.tiers[1].capacity_bytes = kSlowPages * kPageSize;
+  p.llc_bytes = 64 * 1024;
+  return p;
+}
+
+double UnitDouble(Rng& rng) {
+  return static_cast<double>(rng.Next() >> 11) * 0x1.0p-53;
+}
+
+// Seed-derived fault schedules. Each kind is independently armed with a
+// random probability (and magnitude where applicable); occasionally a
+// deterministic trigger window is used instead, which exercises the exact
+// "Nth opportunity" replay mode.
+void ArmFaults(FaultInjector* fi, uint64_t seed) {
+  Rng rng(seed ^ 0xC4A05C4A05ull);
+  struct KindRange {
+    FaultKind kind;
+    double max_probability;
+    Cycles max_latency;
+  };
+  const KindRange kinds[] = {
+      {FaultKind::kAllocFail, 0.30, 0},
+      {FaultKind::kDirtyWrite, 0.40, 0},
+      {FaultKind::kLatencySpike, 0.10, 50000},
+      {FaultKind::kPcqOverflow, 0.20, 0},
+      {FaultKind::kTlbDelay, 0.10, 20000},
+  };
+  for (const KindRange& k : kinds) {
+    FaultSchedule s;
+    const double mode = UnitDouble(rng);
+    if (mode < 0.2) {
+      // Unarmed: this kind stays quiet for the whole run.
+    } else if (mode < 0.35) {
+      s.trigger_start = rng.Below(200);
+      s.trigger_count = 1 + rng.Below(16);
+    } else {
+      s.probability = UnitDouble(rng) * k.max_probability;
+    }
+    if (k.max_latency > 0) {
+      s.latency_cycles = 1000 + rng.Below(k.max_latency);
+    }
+    fi->set_schedule(k.kind, s);
+  }
+}
+
+struct RunResult {
+  bool ok = true;
+  std::vector<InvariantViolation> violations;
+  std::string injector;  // FaultInjector::Describe() at end of run
+  uint64_t audits = 0;
+  uint64_t injections = 0;
+  Cycles end_time = 0;
+};
+
+// Deliberate mid-run corruption for --selftest: frees a mapped frame
+// behind the PTE's back, which a correct checker must flag as
+// pte.frame_identity (at least).
+class CorruptorActor : public Actor {
+ public:
+  CorruptorActor(MemorySystem* ms, AddressSpace* as, Cycles when)
+      : ms_(ms), as_(as), when_(when) {}
+
+  Cycles Step(Engine& engine) override {
+    if (fired_) {
+      engine.SleepUntil(kNever);
+      return 0;
+    }
+    if (engine.now() < when_) {
+      engine.SleepUntil(when_);
+      return 0;
+    }
+    for (Vpn v = 0; v < kAsPages; v++) {
+      const Pte* pte = ms_->PteOf(*as_, v);
+      if (pte != nullptr && pte->present &&
+          !ms_->pool().frame(pte->pfn).migrating) {
+        ms_->lru(ms_->pool().TierOf(pte->pfn)).Remove(pte->pfn);
+        ms_->pool().Free(pte->pfn);
+        fired_ = true;
+        break;
+      }
+    }
+    engine.SleepUntil(kNever);
+    return 1;
+  }
+
+  std::string name() const override { return "corruptor"; }
+  bool fired() const { return fired_; }
+
+ private:
+  MemorySystem* ms_;
+  AddressSpace* as_;
+  Cycles when_;
+  bool fired_ = false;
+};
+
+RunResult RunOne(uint64_t seed, const std::string& workload, uint64_t ops,
+                 bool corrupt) {
+  Sim sim(ChaosPlatform(), PolicyKind::kNomad, kAsPages);
+  NomadPolicy* nomad = sim.nomad();
+
+  auto fi = std::make_unique<FaultInjector>(seed);
+  ArmFaults(fi.get(), seed);
+  sim.ms().set_fault_injector(std::move(fi));
+
+  InvariantChecker checker(&sim.ms());
+  checker.AddSpace(&sim.as());
+  checker.set_shadows(&nomad->shadows());
+  checker.set_queues(&nomad->queues());
+
+  InvariantCheckActor::Config audit_cfg;
+  Rng rng(seed ^ 0xAD17ull);
+  audit_cfg.period = 50000 + rng.Below(350000);
+  audit_cfg.die_on_violation = false;
+  InvariantCheckActor auditor(&checker, audit_cfg);
+  sim.engine().AddActor(&auditor);
+
+  CorruptorActor corruptor(&sim.ms(), &sim.as(), 2000000);
+  if (corrupt) {
+    sim.engine().AddActor(&corruptor);
+  }
+
+  // The region starts entirely on the slow tier (promotion pressure); a
+  // fast-tier filler keeps free fast frames scarce so allocation failures
+  // and kswapd reclaim are routine rather than exceptional.
+  MapRange(sim.ms(), sim.as(), 0, kRegionPages, Tier::kSlow);
+  MapRange(sim.ms(), sim.as(), kRegionPages, kFastPages * 3 / 4, Tier::kFast);
+
+  WorkloadActor::BaseConfig base;
+  base.total_ops = ops;
+  base.seed = seed;
+  std::unique_ptr<WorkloadActor> actor;
+  std::unique_ptr<ScrambledZipfian> zipf;
+  if (workload == "micro") {
+    MicroWorkload::Config cfg;
+    cfg.base = base;
+    cfg.wss_start = 0;
+    cfg.wss_pages = kRegionPages;
+    cfg.write_fraction = UnitDouble(rng) * 0.5;
+    zipf = std::make_unique<ScrambledZipfian>(kRegionPages, cfg.zipf_theta, seed);
+    actor = std::make_unique<MicroWorkload>(&sim.ms(), &sim.as(), zipf.get(), cfg);
+  } else if (workload == "chase") {
+    PointerChaseWorkload::Config cfg;
+    cfg.base = base;
+    cfg.region_start = 0;
+    cfg.block_pages = 16;
+    cfg.num_blocks = kRegionPages / 16;
+    actor = std::make_unique<PointerChaseWorkload>(&sim.ms(), &sim.as(), cfg);
+  } else if (workload == "scan") {
+    SeqScanWorkload::Config cfg;
+    cfg.base = base;
+    cfg.region_start = 0;
+    cfg.region_pages = kRegionPages;
+    cfg.write_fraction = UnitDouble(rng) * 0.5;
+    actor = std::make_unique<SeqScanWorkload>(&sim.ms(), &sim.as(), cfg);
+  } else {
+    std::cerr << "unknown workload: " << workload << "\n";
+    std::exit(2);
+  }
+  sim.AddWorkload(actor.get());
+
+  RunResult r;
+  r.end_time = sim.Run(Cycles{1} << 38);
+
+  r.violations = auditor.violations();
+  if (r.violations.empty()) {
+    r.violations = checker.Check();  // final end-of-run audit
+  }
+  r.ok = r.violations.empty();
+  r.injector = sim.ms().faults()->Describe();
+  r.audits = auditor.audits();
+  r.injections = sim.ms().faults()->total_injected();
+  if (corrupt && !corruptor.fired()) {
+    std::cerr << "selftest: corruptor never fired (run too short?)\n";
+    r.ok = true;  // nothing to detect; caller treats this as failure
+  }
+  return r;
+}
+
+void PrintViolation(uint64_t seed, const std::string& workload, uint64_t ops,
+                    const RunResult& r) {
+  std::cerr << "INVARIANT VIOLATION  seed=" << seed << " workload=" << workload
+            << " ops=" << ops << " t=" << r.end_time << "\n";
+  std::cerr << "  injector: " << r.injector << "\n";
+  for (const InvariantViolation& v : r.violations) {
+    std::cerr << "  " << v.rule << ": " << v.detail << "\n";
+  }
+  std::cerr << "reproduce: chaos_sim --seed=" << seed << " --workloads=" << workload
+            << " --ops=" << ops << "\n";
+}
+
+std::vector<std::string> SplitList(const std::string& s) {
+  std::vector<std::string> out;
+  std::stringstream ss(s);
+  std::string item;
+  while (std::getline(ss, item, ',')) {
+    if (!item.empty()) {
+      out.push_back(item);
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Flags flags(argc, argv);
+  const uint64_t seeds = flags.GetUint("seeds", 50);
+  const uint64_t one_seed = flags.GetUint("seed", 0);
+  const uint64_t ops = flags.GetUint("ops", 30000);
+  const std::vector<std::string> workloads =
+      SplitList(flags.GetString("workloads", "micro,chase,scan"));
+  const bool selftest = flags.GetBool("selftest", false);
+  const bool verbose = flags.GetBool("verbose", false);
+
+  const auto unused = flags.UnusedKeys();
+  if (!unused.empty()) {
+    std::cerr << "unknown flag(s):";
+    for (const auto& k : unused) {
+      std::cerr << " --" << k;
+    }
+    std::cerr << "\n";
+    return 2;
+  }
+
+  if (selftest) {
+    // The campaign is only trustworthy if a real corruption is caught.
+    const uint64_t seed = one_seed != 0 ? one_seed : 7;
+    const RunResult r = RunOne(seed, workloads.front(), ops, /*corrupt=*/true);
+    if (r.ok) {
+      std::cerr << "selftest FAILED: deliberate corruption was not detected\n";
+      return 1;
+    }
+    std::cout << "selftest passed: corruption detected by rule '"
+              << r.violations.front().rule << "' after " << r.audits
+              << " audits\n";
+    return 0;
+  }
+
+  std::vector<uint64_t> seed_list;
+  if (one_seed != 0) {
+    seed_list.push_back(one_seed);
+  } else {
+    for (uint64_t s = 1; s <= seeds; s++) {
+      seed_list.push_back(s);
+    }
+  }
+
+  uint64_t runs = 0, failures = 0, total_injections = 0, total_audits = 0;
+  for (const uint64_t seed : seed_list) {
+    for (const std::string& w : workloads) {
+      const RunResult r = RunOne(seed, w, ops, /*corrupt=*/false);
+      runs++;
+      total_injections += r.injections;
+      total_audits += r.audits;
+      if (!r.ok) {
+        failures++;
+        PrintViolation(seed, w, ops, r);
+      } else if (verbose) {
+        std::cout << "ok seed=" << seed << " workload=" << w
+                  << " t=" << r.end_time << " audits=" << r.audits
+                  << " injections=" << r.injections << "\n";
+        std::cout << "   " << r.injector << "\n";
+      }
+    }
+  }
+
+  std::cout << "chaos_sim: " << runs << " runs, " << total_injections
+            << " faults injected, " << total_audits << " audits, " << failures
+            << " violations"
+            << (kFaultInjectionEnabled ? "" : " [fault injection compiled out]")
+            << "\n";
+  return failures == 0 ? 0 : 1;
+}
