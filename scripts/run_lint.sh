@@ -1,0 +1,16 @@
+#!/usr/bin/env bash
+# Runs nomad_lint over the tree — the same entry point CI's `lint` job uses,
+# so a clean local run means a clean CI run.
+#
+#   scripts/run_lint.sh                 # token engine (no dependencies)
+#   scripts/run_lint.sh --backend=clang # AST backend (needs python3-clang
+#                                       # and build/compile_commands.json)
+#
+# Extra arguments are passed through to nomad_lint.py.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+# The linter's own detection logic is validated before its verdict counts.
+python3 tools/nomad_lint/nomad_lint.py --selftest >/dev/null
+
+exec python3 tools/nomad_lint/nomad_lint.py --root=. "$@"

@@ -1,9 +1,9 @@
 #include "src/harness/experiment.h"
 
 #include <algorithm>
-#include <cassert>
 #include <fstream>
 
+#include "src/check/check.h"
 #include "src/obs/exporters.h"
 
 namespace nomad {
@@ -116,23 +116,7 @@ bool MovePageSilent(MemorySystem& ms, AddressSpace& as, Vpn vpn, Tier tier) {
   if (new_pfn == kInvalidPfn) {
     return false;
   }
-  PageFrame& new_frame = ms.pool().frame(new_pfn);
-  new_frame.owner = &as;
-  new_frame.vpn = vpn;
-  new_frame.referenced = old_frame.referenced;
-  new_frame.active = old_frame.active;
-  ms.lru(old_frame.tier).Remove(old_pfn);
-  if (new_frame.active) {
-    ms.lru(tier).AddActive(new_pfn);
-  } else {
-    ms.lru(tier).AddInactive(new_pfn);
-  }
-  pte->pfn = new_pfn;
-  for (ActorId cpu : as.cpus()) {
-    ms.tlb(cpu).Invalidate(vpn);
-  }
-  ms.llc().InvalidatePage(old_pfn);
-  ms.pool().Free(old_pfn);
+  ms.RepointMappingSilent(as, vpn, new_pfn);
   return true;
 }
 
@@ -152,8 +136,9 @@ uint64_t DemoteAll(MemorySystem& ms, AddressSpace& as) {
 Vpn SetupMicroLayout(Sim& sim, const MicroLayout& layout, const ScrambledZipfian& zipf) {
   MemorySystem& ms = sim.ms();
   AddressSpace& as = sim.as();
-  assert(layout.wss_pages <= layout.rss_pages);
-  assert(zipf.n() == layout.wss_pages);
+  NOMAD_CHECK(layout.wss_pages <= layout.rss_pages, "wss=", layout.wss_pages,
+              " rss=", layout.rss_pages);
+  NOMAD_CHECK(zipf.n() == layout.wss_pages, "zipf_n=", zipf.n(), " wss=", layout.wss_pages);
 
   ms.ReserveFastFrames(layout.kernel_pages);
 
@@ -190,15 +175,7 @@ Vpn SetupMicroLayout(Sim& sim, const MicroLayout& layout, const ScrambledZipfian
     if (pfn == kInvalidPfn) {
       break;  // genuinely out of memory; the workload will demand-fault
     }
-    PageFrame& f = ms.pool().frame(pfn);
-    f.owner = &as;
-    f.vpn = order[i];
-    Pte& pte = as.table().Ensure(order[i]);
-    pte = Pte{};
-    pte.pfn = pfn;
-    pte.present = true;
-    pte.writable = true;
-    ms.lru(f.tier).AddInactive(pfn);
+    ms.InstallMappingSilent(as, order[i], pfn, /*writable=*/true);
   }
   return wss_start;
 }

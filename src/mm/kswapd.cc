@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "src/obs/event_registry.h"
+
 namespace nomad {
 
 Kswapd::Kswapd(MemorySystem* ms, const Config& config) : ms_(ms), config_(config) {}
@@ -128,7 +130,7 @@ Cycles Kswapd::Step(Engine& engine) {
   ms_->Trace(TraceEvent::kKswapdWake, static_cast<uint64_t>(TierIndex(tier)),
              pool.FreeFrames(tier));
   Cycles spent = ReclaimRound();
-  ms_->counters().Add("kswapd.cycles", spent);
+  ms_->counters().Add(cnt::kKswapdCycles, spent);
   if (consecutive_failures_ >= config_.scan_batch) {
     // Thrashing against a full lower tier; back off.
     consecutive_failures_ = 0;

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "src/check/check.h"
+#include "src/obs/event_registry.h"
 
 namespace nomad {
 
@@ -37,7 +38,7 @@ void MemorySystem::RegisterCpu(ActorId id) {
 Pfn MemorySystem::MapNewPage(AddressSpace& as, Vpn vpn, Tier preferred, bool writable) {
   Pfn pfn = pool_.Alloc(preferred);
   if (pfn == kInvalidPfn) {
-    counters_.Add("oom", 1);
+    counters_.Add(cnt::kOom, 1);
     return kInvalidPfn;
   }
   PageFrame& f = pool_.frame(pfn);
@@ -53,6 +54,44 @@ Pfn MemorySystem::MapNewPage(AddressSpace& as, Vpn vpn, Tier preferred, bool wri
     kswapd_waker_(f.tier);
   }
   return pfn;
+}
+
+void MemorySystem::InstallMappingSilent(AddressSpace& as, Vpn vpn, Pfn pfn, bool writable) {
+  PageFrame& f = pool_.frame(pfn);
+  f.owner = &as;
+  f.vpn = vpn;
+  Pte& pte = as.table().Ensure(vpn);
+  pte = Pte{};
+  pte.pfn = pfn;
+  pte.present = true;
+  pte.writable = writable;
+  lru(f.tier).AddInactive(pfn);
+}
+
+void MemorySystem::RepointMappingSilent(AddressSpace& as, Vpn vpn, Pfn new_pfn) {
+  Pte* pte = as.table().Lookup(vpn);
+  if (pte == nullptr || !pte->present) {
+    return;
+  }
+  const Pfn old_pfn = pte->pfn;
+  PageFrame& old_frame = pool_.frame(old_pfn);
+  PageFrame& new_frame = pool_.frame(new_pfn);
+  new_frame.owner = &as;
+  new_frame.vpn = vpn;
+  new_frame.referenced = old_frame.referenced;
+  new_frame.active = old_frame.active;
+  lru(old_frame.tier).Remove(old_pfn);
+  if (new_frame.active) {
+    lru(new_frame.tier).AddActive(new_pfn);
+  } else {
+    lru(new_frame.tier).AddInactive(new_pfn);
+  }
+  pte->pfn = new_pfn;
+  for (ActorId cpu : as.cpus()) {
+    tlb(cpu).Invalidate(vpn);
+  }
+  llc_.InvalidatePage(old_pfn);
+  pool_.Free(old_pfn);
 }
 
 void MemorySystem::UnmapAndFree(AddressSpace& as, Vpn vpn) {
@@ -95,8 +134,8 @@ Cycles MemorySystem::TlbShootdown(AddressSpace& as, Vpn vpn) {
       }
     }
   }
-  counters_.Add("tlb.shootdown", 1);
-  counters_.Add("tlb.shootdown_ipis", remote_targets);
+  counters_.Add(cnt::kTlbShootdown, 1);
+  counters_.Add(cnt::kTlbShootdownIpis, remote_targets);
   Cycles cost = platform_.costs.tlb_shootdown_base +
                 platform_.costs.tlb_shootdown_per_cpu * remote_targets;
   if constexpr (kFaultInjectionEnabled) {
@@ -104,7 +143,7 @@ Cycles MemorySystem::TlbShootdown(AddressSpace& as, Vpn vpn) {
     // region, stretching the initiator's wait.
     if (faults_ && faults_->ShouldInject(FaultKind::kTlbDelay)) {
       cost += faults_->LatencyFor(FaultKind::kTlbDelay);
-      counters_.Add("fault.tlb_delay", 1);
+      counters_.Add(cnt::kFaultInjTlbDelay, 1);
     }
   }
   return cost;
@@ -121,7 +160,7 @@ Cycles MemorySystem::CopyPageCost(Tier from, Tier to) {
     // traffic on one of the tiers.
     if (faults_ && faults_->ShouldInject(FaultKind::kLatencySpike)) {
       cost += faults_->LatencyFor(FaultKind::kLatencySpike);
-      counters_.Add("fault.latency_spike", 1);
+      counters_.Add(cnt::kFaultInjLatencySpike, 1);
     }
   }
   return cost;
@@ -150,7 +189,7 @@ void MemorySystem::BeginMigrationWindow(AddressSpace& as, Vpn vpn, Cycles end) {
 }
 
 Cycles MemorySystem::DemandFault(ActorId /*cpu*/, AddressSpace& as, Vpn vpn) {
-  counters_.Add("fault.demand", 1);
+  counters_.Add(cnt::kFaultDemand, 1);
   MapNewPage(as, vpn, Tier::kFast, /*writable=*/true);
   return platform_.costs.pte_update;
 }
@@ -191,7 +230,7 @@ Cycles MemorySystem::Access(ActorId cpu, AddressSpace& as, Vpn vpn, uint64_t off
         if (it->second > now) {
           total += it->second - now;
           total += costs.page_fault;  // discovered via a fault on the locked page
-          counters_.Add("fault.migration_block", 1);
+          counters_.Add(cnt::kFaultMigrationBlock, 1);
           took_fault = true;
         }
         migration_windows_.erase(it);
@@ -203,7 +242,7 @@ Cycles MemorySystem::Access(ActorId cpu, AddressSpace& as, Vpn vpn, uint64_t off
       if (guard++ > 6) {
         // A fault handler failed to make progress; force-map to keep the
         // simulation alive and count the anomaly.
-        counters_.Add("fault.unresolved", 1);
+        counters_.Add(cnt::kFaultUnresolved, 1);
         if (!pte || !pte->present) {
           DemandFault(cpu, as, vpn);
           pte = as.table().Lookup(vpn);
@@ -222,7 +261,7 @@ Cycles MemorySystem::Access(ActorId cpu, AddressSpace& as, Vpn vpn, uint64_t off
       if (pte->prot_none) {
         took_fault = true;
         total += costs.page_fault;
-        counters_.Add("fault.hint", 1);
+        counters_.Add(cnt::kFaultHint, 1);
         if (hint_fault_) {
           total += hint_fault_(cpu, as, vpn);
         } else {
@@ -234,7 +273,7 @@ Cycles MemorySystem::Access(ActorId cpu, AddressSpace& as, Vpn vpn, uint64_t off
       if (is_write && !pte->writable) {
         took_fault = true;
         total += costs.page_fault;
-        counters_.Add("fault.write_protect", 1);
+        counters_.Add(cnt::kFaultWriteProtect, 1);
         if (write_fault_) {
           total += write_fault_(cpu, as, vpn);
         } else {

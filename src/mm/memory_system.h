@@ -117,6 +117,17 @@ class MemorySystem {
   // tooling). No-op when unmapped.
   void UnmapAndFree(AddressSpace& as, Vpn vpn);
 
+  // Installs a fresh mapping vpn -> pfn for an already-allocated frame:
+  // frame ownership, a clean PTE, inactive LRU membership. No counters,
+  // traces, or kswapd wakeups — setup/tooling only. Layers outside mm/
+  // must use this instead of writing PTE bits directly (lint rule NL001).
+  void InstallMappingSilent(AddressSpace& as, Vpn vpn, Pfn pfn, bool writable);
+
+  // Repoints an existing mapping at an already-allocated frame, carrying
+  // LRU state across, invalidating TLBs and the old frame's cache lines,
+  // and freeing the old frame. Same silent contract as above.
+  void RepointMappingSilent(AddressSpace& as, Vpn vpn, Pfn new_pfn);
+
   // Grabs frames off the fast node to emulate pre-existing consumers (the
   // 10 GB pre-fill in Fig. 1's setup, the ~3-4 GB the OS occupies).
   void ReserveFastFrames(uint64_t frames);
@@ -131,6 +142,11 @@ class MemorySystem {
   // --- kernel primitives (used by migrate.cc, nomad/tpm.cc, kswapd) -----
   // Direct PTE access (the "kernel" manipulates entries it owns).
   Pte* PteOf(AddressSpace& as, Vpn vpn) { return as.table().Lookup(vpn); }
+
+  // Restores access after a NUMA-hint fault (the scanner set prot_none so
+  // the next touch would fault). Policy layers call this instead of
+  // flipping PTE bits themselves (lint rule NL001).
+  void ResolveHintFault(Pte& pte) { pte.prot_none = false; }
 
   // Invalidates vpn on every CPU in as's cpumask and charges the initiator;
   // remote CPUs get an IPI service penalty via the engine. Returns the

@@ -1,6 +1,86 @@
 #include "src/mm/migrate.h"
 
+#include "src/nomad/tpm_protocol.h"
+#include "src/obs/event_registry.h"
+
 namespace nomad {
+
+namespace {
+
+// Binds the unmap-copy-remap machine (tpm::SyncMigration, the same
+// transition code tools/tpm_modelcheck explores) to the simulated
+// MemorySystem. Each step charges the kernel cost the inline code used to
+// charge.
+class SyncHwImpl : public tpm::SyncHw {
+ public:
+  SyncHwImpl(MemorySystem& ms, AddressSpace& as, Vpn vpn, Pte& pte, Pfn old_pfn, Pfn new_pfn,
+             Tier dst)
+      : ms_(ms), as_(as), vpn_(vpn), pte_(pte), old_pfn_(old_pfn), new_pfn_(new_pfn), dst_(dst) {}
+
+  void Unmap() override {
+    // Isolate from the LRU and unmap; permissions and dirty state are
+    // carried across to the remap.
+    PageFrame& old_frame = ms_.pool().frame(old_pfn_);
+    ms_.lru(old_frame.tier).Remove(old_pfn_);
+    was_writable_ = pte_.writable || pte_.shadow_rw;
+    was_dirty_ = pte_.dirty;
+    pte_.present = false;
+    cycles_ += ms_.platform().costs.pte_update;
+  }
+
+  void Shootdown() override { cycles_ += ms_.TlbShootdown(as_, vpn_); }
+
+  // Copy the page; the page is unreachable for this whole window.
+  void Copy() override {
+    cycles_ += ms_.CopyPageCost(ms_.pool().frame(old_pfn_).tier, dst_);
+  }
+
+  void Remap() override {
+    // Remap to the new frame, preserving permissions and dirty state.
+    PageFrame& old_frame = ms_.pool().frame(old_pfn_);
+    PageFrame& new_frame = ms_.pool().frame(new_pfn_);
+    new_frame.owner = &as_;
+    new_frame.vpn = vpn_;
+    new_frame.referenced = old_frame.referenced;
+    new_frame.active = old_frame.active;
+    new_frame.extra_mappers = old_frame.extra_mappers;
+    new_frame.promoted = dst_ == Tier::kFast;
+    pte_.pfn = new_pfn_;
+    pte_.present = true;
+    pte_.writable = was_writable_;
+    pte_.shadow_rw = false;
+    pte_.dirty = was_dirty_;
+    pte_.prot_none = false;
+    pte_.accessed = false;
+    cycles_ += ms_.platform().costs.pte_update;
+
+    if (new_frame.active) {
+      ms_.lru(dst_).AddActive(new_pfn_);
+    } else {
+      ms_.lru(dst_).AddInactive(new_pfn_);
+    }
+
+    // The old frame's cache lines are stale physical addresses now.
+    ms_.llc().InvalidatePage(old_pfn_);
+    ms_.pool().Free(old_pfn_);
+  }
+
+  Cycles cycles() const { return cycles_; }
+
+ private:
+  MemorySystem& ms_;
+  AddressSpace& as_;
+  Vpn vpn_;
+  Pte& pte_;
+  Pfn old_pfn_;
+  Pfn new_pfn_;
+  Tier dst_;
+  bool was_writable_ = false;
+  bool was_dirty_ = false;
+  Cycles cycles_ = 0;
+};
+
+}  // namespace
 
 MigrateResult MigratePageSync(MemorySystem& ms, AddressSpace& as, Vpn vpn, Tier dst) {
   MigrateResult r;
@@ -21,54 +101,20 @@ MigrateResult MigratePageSync(MemorySystem& ms, AddressSpace& as, Vpn vpn, Tier 
   // if the node is full (the common failure under memory pressure).
   const Pfn new_pfn = ms.pool().AllocOn(dst);
   if (new_pfn == kInvalidPfn) {
-    ms.counters().Add("migrate.sync_fail_nomem", 1);
+    ms.counters().Add(cnt::kMigrateSyncFailNomem, 1);
     return r;
   }
 
-  // Isolate from the LRU, unmap, and shoot down stale translations.
-  ms.lru(old_frame.tier).Remove(old_pfn);
-  const bool was_writable = pte->writable || pte->shadow_rw;
-  const bool was_dirty = pte->dirty;
-  const bool was_prot_none = pte->prot_none;
-  pte->present = false;
-  r.cycles += costs.pte_update;
-  r.cycles += ms.TlbShootdown(as, vpn);
-
-  // Copy the page; the page is unreachable for this whole window.
-  r.cycles += ms.CopyPageCost(old_frame.tier, dst);
-
-  // Remap to the new frame, preserving permissions and dirty state.
-  PageFrame& new_frame = ms.pool().frame(new_pfn);
-  new_frame.owner = &as;
-  new_frame.vpn = vpn;
-  new_frame.referenced = old_frame.referenced;
-  new_frame.active = old_frame.active;
-  new_frame.extra_mappers = old_frame.extra_mappers;
-  new_frame.promoted = dst == Tier::kFast;
-  pte->pfn = new_pfn;
-  pte->present = true;
-  pte->writable = was_writable;
-  pte->shadow_rw = false;
-  pte->dirty = was_dirty;
-  pte->prot_none = false;
-  pte->accessed = false;
-  r.cycles += costs.pte_update;
-  (void)was_prot_none;
-
-  if (new_frame.active) {
-    ms.lru(dst).AddActive(new_pfn);
-  } else {
-    ms.lru(dst).AddInactive(new_pfn);
-  }
-
-  // The old frame's cache lines are stale physical addresses now.
-  ms.llc().InvalidatePage(old_pfn);
-  ms.pool().Free(old_pfn);
+  // The 3-step procedure itself — unmap, shoot down, copy, remap — runs
+  // through the protocol seam (see src/nomad/tpm_protocol.h).
+  SyncHwImpl hw(ms, as, vpn, *pte, old_pfn, new_pfn, dst);
+  tpm::SyncMigration::Run(hw);
+  r.cycles += hw.cycles();
 
   // Concurrent accessors stall until the copy completes.
   ms.BeginMigrationWindow(as, vpn, ms.Now() + r.cycles);
 
-  ms.counters().Add(dst == Tier::kFast ? "migrate.sync_promote" : "migrate.sync_demote", 1);
+  ms.counters().Add(dst == Tier::kFast ? cnt::kMigrateSyncPromote : cnt::kMigrateSyncDemote, 1);
   ms.Trace(dst == Tier::kFast ? TraceEvent::kPromote : TraceEvent::kDemote, vpn, r.cycles);
   r.success = true;
   return r;
@@ -89,7 +135,7 @@ MigrateResult MigratePageWithRetry(MemorySystem& ms, AddressSpace& as, Vpn vpn, 
       break;  // page vanished; retrying cannot help
     }
     if (attempt + 1 < max_attempts) {
-      ms.counters().Add("migrate.sync_retry", 1);
+      ms.counters().Add(cnt::kMigrateSyncRetry, 1);
     }
   }
   return total;

@@ -2,11 +2,13 @@
 
 #include <cstdlib>
 
+#include "src/obs/event_registry.h"
+
 namespace nomad {
 
 uint64_t ThrashGovernor::PromoTotal() const {
   const CounterSet& c = ms_->counters();
-  return c.Get("nomad.tpm_commit") + c.Get("migrate.sync_promote");
+  return c.Get(cnt::kNomadTpmCommit) + c.Get(cnt::kMigrateSyncPromote);
 }
 
 uint64_t ThrashGovernor::DemoTotal() const {
@@ -14,7 +16,7 @@ uint64_t ThrashGovernor::DemoTotal() const {
   // cold pages to make room for hot ones is exactly what warm-up looks
   // like, and must not trip the governor. NOMAD's shadow machinery marks
   // recently promoted pages, so the distinction is free.
-  return ms_->counters().Get("nomad.demote_recent");
+  return ms_->counters().Get(cnt::kNomadDemoteRecent);
 }
 
 Cycles ThrashGovernor::Step(Engine& engine) {
@@ -30,7 +32,7 @@ Cycles ThrashGovernor::Step(Engine& engine) {
       // Probation: re-open and watch whether thrashing resumes.
       gate_->open = true;
       probation_left_ = config_.probation_periods;
-      ms_->counters().Add("governor.reopen", 1);
+      ms_->counters().Add(cnt::kGovernorReopen, 1);
     }
   } else {
     const bool busy = promo_rate >= config_.min_promotions;
@@ -53,7 +55,7 @@ Cycles ThrashGovernor::Step(Engine& engine) {
       closed_periods_left_ = backoff_;
       probation_left_ = 0;
       throttle_events_++;
-      ms_->counters().Add("governor.throttle", 1);
+      ms_->counters().Add(cnt::kGovernorThrottle, 1);
     } else if (probation_left_ > 0) {
       if (--probation_left_ == 0) {
         backoff_ = 1;  // survived probation: thrashing genuinely ended

@@ -3,8 +3,118 @@
 #include <algorithm>
 
 #include "src/mm/migrate.h"
+#include "src/obs/event_registry.h"
 
 namespace nomad {
+
+// The simulator-side binding of the TPM seam. Every protocol step mutates
+// the real PTE/frame/LRU/shadow state through MemorySystem and charges the
+// kernel cost the old inline code charged; the step *order* and the
+// abort/shadow decisions come from tpm::Transaction, the same machine
+// tools/tpm_modelcheck drives exhaustively.
+class KpromoteActor::ProtocolHw : public tpm::Hw {
+ public:
+  ProtocolHw(KpromoteActor& k, Txn& t, Pte& pte) : k_(k), t_(t), pte_(pte) {}
+
+  void ClearDirty() override {
+    pte_.dirty = false;
+    spent_ += costs().pte_update;
+  }
+
+  void ShootdownAfterClear() override { spent_ += k_.ms_->TlbShootdown(*t_.as, t_.vpn); }
+
+  void StartCopy() override { spent_ += k_.ms_->CopyPageCost(Tier::kSlow, Tier::kFast); }
+
+  // The engine models the copy by keeping kpromote busy for its duration
+  // (charged at StartCopy); completion needs no further work here.
+  void FinishCopy() override {}
+
+  void ShootdownBeforeCheck() override {
+    // The atomic get_and_clear (pte_update) plus shootdown #2.
+    spent_ += costs().pte_update;
+    spent_ += k_.ms_->TlbShootdown(*t_.as, t_.vpn);
+  }
+
+  bool ReadDirty() override {
+    if constexpr (kFaultInjectionEnabled) {
+      // Injected mid-copy store: as if a writer raced the copy and dirtied
+      // the page just before the atomic get_and_clear. Only writable pages
+      // can be dirtied.
+      if (!pte_.dirty && t_.was_writable && k_.ms_->faults() != nullptr &&
+          k_.ms_->faults()->ShouldInject(FaultKind::kDirtyWrite)) {
+        pte_.dirty = true;
+        k_.ms_->counters().Add(cnt::kFaultInjDirtyWrite, 1);
+      }
+    }
+    return pte_.dirty;
+  }
+
+  void CommitRemap(bool retain_shadow) override {
+    MemorySystem& ms = *k_.ms_;
+    PageFrame& old_frame = ms.pool().frame(t_.old_pfn);
+    PageFrame& new_frame = ms.pool().frame(t_.new_pfn);
+    new_frame.owner = t_.as;
+    new_frame.vpn = t_.vpn;
+    new_frame.referenced = true;
+    new_frame.active = true;
+    new_frame.promoted = true;
+
+    pte_.pfn = t_.new_pfn;
+    pte_.present = true;
+    pte_.writable = false;
+    pte_.shadow_rw = t_.was_writable;
+    pte_.dirty = false;
+    pte_.accessed = true;
+    spent_ += costs().pte_update;
+
+    ms.lru(Tier::kSlow).Remove(t_.old_pfn);
+    old_frame.owner = nullptr;
+    old_frame.in_pending = false;
+    old_frame.in_pcq = false;
+    old_frame.migrating = false;
+    old_frame.tpm_aborts = 0;
+    ms.lru(Tier::kFast).AddActive(t_.new_pfn);
+    if (retain_shadow) {
+      k_.shadows_->AddShadow(t_.new_pfn, t_.old_pfn);
+    } else {
+      // Ablation: exclusive tiering - drop the source copy instead.
+      pte_.writable = t_.was_writable;
+      pte_.shadow_rw = false;
+      ms.pool().Free(t_.old_pfn);
+    }
+    ms.llc().InvalidatePage(t_.old_pfn);
+
+    // The page is unreachable only for this short remap step.
+    ms.BeginMigrationWindow(*t_.as, t_.vpn, ms.Now() + spent_);
+
+    k_.stats_.commits++;
+    ms.counters().Add(cnt::kNomadTpmCommit, 1);
+    ms.Trace(TraceEvent::kTpmCommit, t_.vpn, spent_);
+    k_.txn_.reset();
+  }
+
+  void Abort() override {
+    // Step 8: the page was written during the copy; the transaction is
+    // invalid. Restore the original PTE (nothing else changed) and retry
+    // later.
+    k_.stats_.aborts++;
+    k_.ms_->counters().Add(cnt::kNomadTpmAbort, 1);
+    k_.ms_->pool().frame(t_.old_pfn).tpm_aborts++;
+    k_.NoteAbortForStorm();
+    k_.AbortCleanup(/*requeue=*/true);
+    spent_ += costs().pte_update;
+  }
+
+  Cycles spent() const { return spent_; }
+
+ private:
+  const KernelCosts& costs() const { return k_.ms_->platform().costs; }
+
+  KpromoteActor& k_;
+  Txn& t_;
+  Pte& pte_;
+  Cycles spent_ = 0;
+};
 
 Cycles KpromoteActor::Step(Engine& engine) {
   if (txn_) {
@@ -65,10 +175,10 @@ Cycles KpromoteActor::BeginNext(Engine& engine) {
     MigrateResult r = MigratePageWithRetry(*ms_, as, vpn, Tier::kFast);
     if (storm_degraded && !f.multi_mapped()) {
       stats_.degraded_migrations++;
-      ms_->counters().Add("nomad.degraded_sync_migration", 1);
+      ms_->counters().Add(cnt::kNomadDegradedSyncMigration, 1);
     } else {
       stats_.sync_fallbacks++;
-      ms_->counters().Add("nomad.sync_fallback", 1);
+      ms_->counters().Add(cnt::kNomadSyncFallback, 1);
     }
     return spent + r.cycles;
   }
@@ -78,7 +188,7 @@ Cycles KpromoteActor::BeginNext(Engine& engine) {
   FramePool& pool = ms_->pool();
   if (pool.FreeFrames(Tier::kFast) <= pool.LowWatermark(Tier::kFast)) {
     stats_.nomem_waits++;
-    ms_->counters().Add("nomad.promote_wait_nomem", 1);
+    ms_->counters().Add(cnt::kNomadPromoteWaitNomem, 1);
     if (kswapd_fast_id_ != ~ActorId{0}) {
       engine.Wake(kswapd_fast_id_, engine.now() + costs.daemon_wakeup);
     }
@@ -94,14 +204,14 @@ Cycles KpromoteActor::BeginNext(Engine& engine) {
     return spent;
   }
 
-  // --- TPM steps 1-3: clear dirty, shoot down, copy while mapped. ---
-  pte->dirty = false;
-  spent += costs.pte_update;
-  spent += ms_->TlbShootdown(as, vpn);
-  spent += ms_->CopyPageCost(Tier::kSlow, Tier::kFast);
-
+  // --- TPM steps 1-3 (clear dirty, shootdown #1, copy while mapped),
+  // driven through the protocol seam. ---
   f.migrating = true;
   txn_ = Txn{&as, vpn, pfn, f.generation, new_pfn, pte->writable || pte->shadow_rw};
+  machine_.emplace(config_.shadowing);
+  ProtocolHw hw(*this, *txn_, *pte);
+  machine_->Begin(hw);
+  spent += hw.spent();
   ms_->Trace(TraceEvent::kTpmBegin, vpn, spent);
   // Returning the copy duration keeps this actor busy for the whole copy;
   // application actors interleave and may dirty the page meanwhile.
@@ -122,7 +232,7 @@ void KpromoteActor::AbortCleanup(bool requeue) {
       // hot-and-dirty for TPM right now. Drop its candidacy; the PCQ aging
       // machinery can re-nominate it once it cools down.
       stats_.giveups++;
-      ms_->counters().Add("nomad.tpm_giveup", 1);
+      ms_->counters().Add(cnt::kNomadTpmGiveup, 1);
       ms_->Trace(TraceEvent::kTpmGiveUp, t.vpn, f.tpm_aborts);
       f.tpm_aborts = 0;
       f.in_pending = false;
@@ -132,7 +242,7 @@ void KpromoteActor::AbortCleanup(bool requeue) {
       const Cycles delay = config_.abort_backoff_base
                            << (f.tpm_aborts > 0 ? f.tpm_aborts - 1 : 0);
       stats_.backoffs++;
-      ms_->counters().Add("nomad.tpm_backoff", 1);
+      ms_->counters().Add(cnt::kNomadTpmBackoff, 1);
       ms_->Trace(TraceEvent::kTpmBackoff, t.vpn, delay);
       queues_->DeferPending(t.old_pfn, ms_->Now() + delay);
     }
@@ -150,7 +260,7 @@ void KpromoteActor::NoteAbortForStorm() {
   if (storm_aborts_ >= config_.storm_abort_threshold && degraded_until_ == 0) {
     degraded_until_ = now + config_.sync_degrade_duration;
     stats_.sync_degrades++;
-    ms_->counters().Add("nomad.sync_degrade", 1);
+    ms_->counters().Add(cnt::kNomadSyncDegrade, 1);
     ms_->Trace(TraceEvent::kSyncDegrade, 1, degraded_until_);
   }
 }
@@ -158,90 +268,28 @@ void KpromoteActor::NoteAbortForStorm() {
 Cycles KpromoteActor::Commit(Engine& /*engine*/) {
   const KernelCosts& costs = ms_->platform().costs;
   Txn t = *txn_;
-  Cycles spent = 0;
 
   PageFrame& old_frame = ms_->pool().frame(t.old_pfn);
   if (old_frame.generation != t.old_gen || !old_frame.mapped()) {
     // The page vanished during the copy (unmapped by the workload).
     AbortCleanup(/*requeue=*/false);
+    machine_.reset();
     return costs.pte_update;
   }
   Pte* pte = ms_->PteOf(*t.as, t.vpn);
   if (pte == nullptr || !pte->present || pte->pfn != t.old_pfn) {
     AbortCleanup(/*requeue=*/false);
+    machine_.reset();
     return costs.pte_update;
   }
 
-  // --- TPM steps 4-6: atomic get_and_clear, shootdown #2, dirty check. ---
-  spent += costs.pte_update;
-  spent += ms_->TlbShootdown(*t.as, t.vpn);
-
-  if constexpr (kFaultInjectionEnabled) {
-    // Injected mid-copy store: as if a writer raced the copy and dirtied
-    // the page just before the atomic get_and_clear. Only writable pages
-    // can be dirtied.
-    if (!pte->dirty && t.was_writable && ms_->faults() != nullptr &&
-        ms_->faults()->ShouldInject(FaultKind::kDirtyWrite)) {
-      pte->dirty = true;
-      ms_->counters().Add("fault.dirty_write", 1);
-    }
-  }
-
-  if (pte->dirty) {
-    // Step 8: the page was written during the copy; the transaction is
-    // invalid. Restore the original PTE (nothing else changed) and retry
-    // later.
-    stats_.aborts++;
-    ms_->counters().Add("nomad.tpm_abort", 1);
-    old_frame.tpm_aborts++;
-    NoteAbortForStorm();
-    AbortCleanup(/*requeue=*/true);
-    return spent + costs.pte_update;
-  }
-
-  // --- Step 7: commit. Remap to the fast copy; the old frame becomes the
-  // shadow. The master is mapped read-only with the real permission saved
-  // in shadow_rw, so the first store takes a shadow page fault.
-  PageFrame& new_frame = ms_->pool().frame(t.new_pfn);
-  new_frame.owner = t.as;
-  new_frame.vpn = t.vpn;
-  new_frame.referenced = true;
-  new_frame.active = true;
-  new_frame.promoted = true;
-
-  pte->pfn = t.new_pfn;
-  pte->present = true;
-  pte->writable = false;
-  pte->shadow_rw = t.was_writable;
-  pte->dirty = false;
-  pte->accessed = true;
-  spent += costs.pte_update;
-
-  ms_->lru(Tier::kSlow).Remove(t.old_pfn);
-  old_frame.owner = nullptr;
-  old_frame.in_pending = false;
-  old_frame.in_pcq = false;
-  old_frame.migrating = false;
-  old_frame.tpm_aborts = 0;
-  ms_->lru(Tier::kFast).AddActive(t.new_pfn);
-  if (config_.shadowing) {
-    shadows_->AddShadow(t.new_pfn, t.old_pfn);
-  } else {
-    // Ablation: exclusive tiering - drop the source copy instead.
-    pte->writable = t.was_writable;
-    pte->shadow_rw = false;
-    ms_->pool().Free(t.old_pfn);
-  }
-  ms_->llc().InvalidatePage(t.old_pfn);
-
-  // The page is unreachable only for this short remap step.
-  ms_->BeginMigrationWindow(*t.as, t.vpn, ms_->Now() + spent);
-
-  stats_.commits++;
-  ms_->counters().Add("nomad.tpm_commit", 1);
-  ms_->Trace(TraceEvent::kTpmCommit, t.vpn, spent);
-  txn_.reset();
-  return spent;
+  // --- TPM steps 4-8, driven through the protocol seam: get_and_clear +
+  // shootdown #2, the dirty recheck, then commit-remap (the old frame
+  // lives on as the shadow) or abort. ---
+  ProtocolHw hw(*this, t, *pte);
+  (void)machine_->Commit(hw);
+  machine_.reset();
+  return hw.spent();
 }
 
 }  // namespace nomad

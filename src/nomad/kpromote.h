@@ -29,6 +29,7 @@
 #include "src/mm/memory_system.h"
 #include "src/nomad/pcq.h"
 #include "src/nomad/shadow.h"
+#include "src/nomad/tpm_protocol.h"
 
 namespace nomad {
 
@@ -97,6 +98,10 @@ class KpromoteActor : public Actor {
     bool was_writable = false;
   };
 
+  // Binds tpm::Hw to the simulated MemorySystem: each protocol step
+  // mutates the real PTE/frame state and accumulates its kernel cost.
+  class ProtocolHw;
+
   Cycles BeginNext(Engine& engine);
   Cycles Commit(Engine& engine);
   void AbortCleanup(bool requeue);
@@ -109,6 +114,10 @@ class KpromoteActor : public Actor {
   ActorId actor_id_ = 0;
   ActorId kswapd_fast_id_ = ~ActorId{0};
   std::optional<Txn> txn_;
+  // The protocol machine for the in-flight transaction; Begin leaves it
+  // parked at kFinishCopy, Commit drives it to kDone. Lives and dies with
+  // txn_.
+  std::optional<tpm::Transaction> machine_;
   Stats stats_;
   Cycles last_scan_ = 0;
   std::function<bool()> enabled_;

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "src/mm/migrate.h"
+#include "src/obs/event_registry.h"
 
 namespace nomad {
 
@@ -101,12 +102,12 @@ void NomadPolicy::Install(MemorySystem& ms, Engine& engine) {
     const uint64_t freed = shadows_->ReclaimShadows(target, &cost);
     if (freed == 0) {
       alloc_fail_streak_++;
-      ms_->counters().Add("nomad.alloc_fail_reclaim_miss", 1);
+      ms_->counters().Add(cnt::kNomadAllocFailReclaimMiss, 1);
       return false;
     }
     if (alloc_fail_streak_ > 0) {
       // An escalated attempt succeeded: record how hard we had to pull.
-      ms_->counters().Add("nomad.alloc_fail_escalate", 1);
+      ms_->counters().Add(cnt::kNomadAllocFailEscalate, 1);
       ms_->Trace(TraceEvent::kReclaimEscalate, target, freed);
     }
     alloc_fail_streak_ = 0;
@@ -171,7 +172,7 @@ Cycles NomadPolicy::OnWriteProtectFault(ActorId /*cpu*/, AddressSpace& as, Vpn v
   if (f.shadowed) {
     shadows_->DiscardShadow(pte->pfn);
     cost += costs.lru_op;
-    ms.counters().Add("nomad.shadow_fault", 1);
+    ms.counters().Add(cnt::kNomadShadowFault, 1);
     ms.Trace(TraceEvent::kShadowFault, vpn);
   }
   return cost;
@@ -218,8 +219,8 @@ MigrateResult NomadPolicy::DemotePage(Pfn pfn) {
     ms.llc().InvalidatePage(pfn);
     ms.pool().Free(pfn);
     ms.BeginMigrationWindow(as, vpn, ms.Now() + r.cycles);
-    ms.counters().Add("nomad.demote_remap", 1);
-    ms.counters().Add("nomad.demote_recent", 1);
+    ms.counters().Add(cnt::kNomadDemoteRemap, 1);
+    ms.counters().Add(cnt::kNomadDemoteRecent, 1);
     ms.Trace(TraceEvent::kDemote, vpn, r.cycles);
     r.success = true;
     return r;
@@ -228,7 +229,7 @@ MigrateResult NomadPolicy::DemotePage(Pfn pfn) {
   // Demoting a page that arrived by promotion recycles that promotion -
   // the thrash governor's signal. Cold never-promoted victims are warm-up.
   if (f.promoted) {
-    ms.counters().Add("nomad.demote_recent", 1);
+    ms.counters().Add(cnt::kNomadDemoteRecent, 1);
   }
   if (f.shadowed) {
     // Dirty master: the shadow is stale. Free it first (which also makes
@@ -237,7 +238,7 @@ MigrateResult NomadPolicy::DemotePage(Pfn pfn) {
   }
   MigrateResult r = MigratePageSync(ms, as, vpn, Tier::kSlow);
   if (r.success) {
-    ms.counters().Add("nomad.demote_copy", 1);
+    ms.counters().Add(cnt::kNomadDemoteCopy, 1);
   }
   return r;
 }

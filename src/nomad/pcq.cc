@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "src/obs/event_registry.h"
+
 namespace nomad {
 
 bool PromotionQueues::ValidCandidate(Pfn pfn, uint32_t gen) const {
@@ -33,7 +35,7 @@ void PromotionQueues::EnqueueCandidate(Pfn pfn) {
       of.in_pcq = false;
       of.pcq_primed = false;
     }
-    ms_->counters().Add("nomad.pcq_overflow", 1);
+    ms_->counters().Add(cnt::kNomadPcqOverflow, 1);
     overflow_count_++;
     ms_->Trace(TraceEvent::kPcqOverflow, old, pcq_.size());
   }
@@ -85,7 +87,7 @@ std::pair<size_t, Cycles> PromotionQueues::ScanPcq(size_t limit) {
       // collect two touches across arbitrary gaps and get promoted, which
       // floods the pending queue with pages that are not actually hot.
       f.pcq_primed = false;
-      ms_->counters().Add("nomad.pcq_decay", 1);
+      ms_->counters().Add(cnt::kNomadPcqDecay, 1);
       pcq_.emplace_back(pfn, f.generation);
       continue;
     }

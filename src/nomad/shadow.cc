@@ -1,6 +1,7 @@
 #include "src/nomad/shadow.h"
 
 #include "src/check/check.h"
+#include "src/obs/event_registry.h"
 
 namespace nomad {
 
@@ -41,7 +42,7 @@ bool ShadowManager::DiscardShadow(Pfn master) {
     return false;
   }
   ms_->pool().Free(shadow);
-  ms_->counters().Add("nomad.shadow_discard", 1);
+  ms_->counters().Add(cnt::kNomadShadowDiscard, 1);
   return true;
 }
 
@@ -63,7 +64,7 @@ uint64_t ShadowManager::ReclaimShadows(uint64_t target, Cycles* cost) {
     if (DiscardShadow(master)) {
       freed++;
       *cost += costs.pte_update;
-      ms_->counters().Add("nomad.shadow_reclaimed", 1);
+      ms_->counters().Add(cnt::kNomadShadowReclaimed, 1);
     }
   }
   if (freed > 0) {

@@ -1,0 +1,149 @@
+// Central registry of every observable name the simulator emits.
+//
+// Two name spaces live here, and nowhere else:
+//
+//  1. Trace events: the NOMAD_TRACE_EVENT_LIST X-macro is the single source
+//     of truth for the TraceEvent enum *and* the lower_snake_case strings
+//     exporters and baseline files key on. Adding an event means adding one
+//     X() line; the enum, the name table and the count stay in sync by
+//     construction.
+//
+//  2. Counter names: the string keys fed to CounterSet::Add()/Get(). Call
+//     sites in src/ must use these constants instead of string literals so
+//     a typo ("nomad.tpm_comit") becomes a compile error instead of a
+//     silently empty metrics series. nomad_lint rule NL004 enforces this.
+//
+// The `arg` and `value` columns of a trace record are event-specific:
+//
+//   event            arg                     value
+//   ---------------  ----------------------  ---------------------------
+//   kTpmBegin        vpn being promoted      copy duration (cycles)
+//   kTpmAbort        vpn                     0
+//   kTpmCommit       vpn                     commit-step cycles
+//   kPromote         vpn (sync migration)    migration cycles
+//   kDemote          vpn                     migration cycles
+//   kHintFault       vpn                     0
+//   kShadowFault     vpn                     0
+//   kShadowReclaim   shadows freed           reclaim cycles
+//   kKswapdWake      tier index              free frames at wakeup
+//   kPcqEnqueue      pfn                     0
+//   kPcqDrain        entries examined        entries moved to pending
+//   kScannerArm      scan cursor (pfn)       pages armed this round
+//   kMigrationRound  promotions attempted    round cycles
+//   kPcqOverflow     evicted pfn             queue depth at overflow
+//   kFaultInject     fault kind (FaultKind)  opportunity index
+//   kTpmBackoff      vpn                     backoff delay (cycles)
+//   kTpmGiveUp       vpn                     aborts accumulated
+//   kSyncDegrade     1=enter, 0=exit         abort streak / cycles in mode
+//   kReclaimEscalate reclaim target          frames actually freed
+//   kInvariantFail   violations found        0
+#ifndef SRC_OBS_EVENT_REGISTRY_H_
+#define SRC_OBS_EVENT_REGISTRY_H_
+
+#include <cstdint>
+
+namespace nomad {
+
+// X(enumerator-suffix, exported-name). Order is ABI: exporters, baselines
+// and the metrics schema index events by enum value, so new events append.
+#define NOMAD_TRACE_EVENT_LIST(X)      \
+  X(TpmBegin, "tpm_begin")             \
+  X(TpmAbort, "tpm_abort")             \
+  X(TpmCommit, "tpm_commit")           \
+  X(Promote, "promote")                \
+  X(Demote, "demote")                  \
+  X(HintFault, "hint_fault")           \
+  X(ShadowFault, "shadow_fault")       \
+  X(ShadowReclaim, "shadow_reclaim")   \
+  X(KswapdWake, "kswapd_wake")         \
+  X(PcqEnqueue, "pcq_enqueue")         \
+  X(PcqDrain, "pcq_drain")             \
+  X(ScannerArm, "scanner_arm")         \
+  X(MigrationRound, "migration_round") \
+  X(PcqOverflow, "pcq_overflow")       \
+  X(FaultInject, "fault_inject")       \
+  X(TpmBackoff, "tpm_backoff")         \
+  X(TpmGiveUp, "tpm_give_up")          \
+  X(SyncDegrade, "sync_degrade")       \
+  X(ReclaimEscalate, "reclaim_escalate") \
+  X(InvariantFail, "invariant_fail")
+
+// Every traced kernel mechanism (see the arg/value table above).
+enum class TraceEvent : uint8_t {
+#define NOMAD_EVENT_ENUM(name, str) k##name,
+  NOMAD_TRACE_EVENT_LIST(NOMAD_EVENT_ENUM)
+#undef NOMAD_EVENT_ENUM
+      kNumEvents,
+};
+
+inline constexpr uint8_t kNumTraceEvents = static_cast<uint8_t>(TraceEvent::kNumEvents);
+
+// Stable lower_snake_case name, used by exporters and by baseline files.
+// Defined in trace.cc from the same X-macro list.
+const char* TraceEventName(TraceEvent e);
+
+// Counter keys, grouped by emitting subsystem. The dotted prefix is the
+// subsystem ("nomad.", "tpp.", ...); the metrics exporter preserves it so
+// dashboards can group series.
+namespace cnt {
+
+// --- mm core: faults, migration, reclaim, TLB --------------------------
+inline constexpr const char kFaultDemand[] = "fault.demand";
+inline constexpr const char kFaultHint[] = "fault.hint";
+inline constexpr const char kFaultWriteProtect[] = "fault.write_protect";
+inline constexpr const char kFaultMigrationBlock[] = "fault.migration_block";
+inline constexpr const char kFaultUnresolved[] = "fault.unresolved";
+inline constexpr const char kOom[] = "oom";
+inline constexpr const char kTlbShootdown[] = "tlb.shootdown";
+inline constexpr const char kTlbShootdownIpis[] = "tlb.shootdown_ipis";
+inline constexpr const char kKswapdCycles[] = "kswapd.cycles";
+inline constexpr const char kMigrateSyncFailNomem[] = "migrate.sync_fail_nomem";
+inline constexpr const char kMigrateSyncRetry[] = "migrate.sync_retry";
+inline constexpr const char kMigrateSyncPromote[] = "migrate.sync_promote";
+inline constexpr const char kMigrateSyncDemote[] = "migrate.sync_demote";
+
+// --- NOMAD: TPM, PCQ, shadowing, degradation ---------------------------
+inline constexpr const char kNomadTpmCommit[] = "nomad.tpm_commit";
+inline constexpr const char kNomadTpmAbort[] = "nomad.tpm_abort";
+inline constexpr const char kNomadTpmBackoff[] = "nomad.tpm_backoff";
+inline constexpr const char kNomadTpmGiveup[] = "nomad.tpm_giveup";
+inline constexpr const char kNomadSyncFallback[] = "nomad.sync_fallback";
+inline constexpr const char kNomadSyncDegrade[] = "nomad.sync_degrade";
+inline constexpr const char kNomadDegradedSyncMigration[] = "nomad.degraded_sync_migration";
+inline constexpr const char kNomadPromoteWaitNomem[] = "nomad.promote_wait_nomem";
+inline constexpr const char kNomadPcqDecay[] = "nomad.pcq_decay";
+inline constexpr const char kNomadPcqOverflow[] = "nomad.pcq_overflow";
+inline constexpr const char kNomadShadowFault[] = "nomad.shadow_fault";
+inline constexpr const char kNomadShadowDiscard[] = "nomad.shadow_discard";
+inline constexpr const char kNomadShadowReclaimed[] = "nomad.shadow_reclaimed";
+inline constexpr const char kNomadDemoteCopy[] = "nomad.demote_copy";
+inline constexpr const char kNomadDemoteRecent[] = "nomad.demote_recent";
+inline constexpr const char kNomadDemoteRemap[] = "nomad.demote_remap";
+inline constexpr const char kNomadAllocFailEscalate[] = "nomad.alloc_fail_escalate";
+inline constexpr const char kNomadAllocFailReclaimMiss[] = "nomad.alloc_fail_reclaim_miss";
+
+// --- competing policies ------------------------------------------------
+inline constexpr const char kTppPromote[] = "tpp.promote";
+inline constexpr const char kTppPromoteFail[] = "tpp.promote_fail";
+inline constexpr const char kTppFaultNotActive[] = "tpp.fault_not_active";
+inline constexpr const char kTppPromoteCycles[] = "tpp.promote_cycles";
+inline constexpr const char kTppPromoteSkippedNomem[] = "tpp.promote_skipped_nomem";
+inline constexpr const char kMemtisPromote[] = "memtis.promote";
+inline constexpr const char kMemtisPromoteFail[] = "memtis.promote_fail";
+inline constexpr const char kMemtisDemote[] = "memtis.demote";
+inline constexpr const char kMemtisPromoteSkippedNomem[] = "memtis.promote_skipped_nomem";
+
+// --- governor ----------------------------------------------------------
+inline constexpr const char kGovernorThrottle[] = "governor.throttle";
+inline constexpr const char kGovernorReopen[] = "governor.reopen";
+
+// --- fault injection ---------------------------------------------------
+inline constexpr const char kFaultInjDirtyWrite[] = "fault.dirty_write";
+inline constexpr const char kFaultInjLatencySpike[] = "fault.latency_spike";
+inline constexpr const char kFaultInjTlbDelay[] = "fault.tlb_delay";
+
+}  // namespace cnt
+
+}  // namespace nomad
+
+#endif  // SRC_OBS_EVENT_REGISTRY_H_

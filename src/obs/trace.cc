@@ -3,51 +3,17 @@
 namespace nomad {
 
 const char* TraceEventName(TraceEvent e) {
-  switch (e) {
-    case TraceEvent::kTpmBegin:
-      return "tpm_begin";
-    case TraceEvent::kTpmAbort:
-      return "tpm_abort";
-    case TraceEvent::kTpmCommit:
-      return "tpm_commit";
-    case TraceEvent::kPromote:
-      return "promote";
-    case TraceEvent::kDemote:
-      return "demote";
-    case TraceEvent::kHintFault:
-      return "hint_fault";
-    case TraceEvent::kShadowFault:
-      return "shadow_fault";
-    case TraceEvent::kShadowReclaim:
-      return "shadow_reclaim";
-    case TraceEvent::kKswapdWake:
-      return "kswapd_wake";
-    case TraceEvent::kPcqEnqueue:
-      return "pcq_enqueue";
-    case TraceEvent::kPcqDrain:
-      return "pcq_drain";
-    case TraceEvent::kScannerArm:
-      return "scanner_arm";
-    case TraceEvent::kMigrationRound:
-      return "migration_round";
-    case TraceEvent::kPcqOverflow:
-      return "pcq_overflow";
-    case TraceEvent::kFaultInject:
-      return "fault_inject";
-    case TraceEvent::kTpmBackoff:
-      return "tpm_backoff";
-    case TraceEvent::kTpmGiveUp:
-      return "tpm_give_up";
-    case TraceEvent::kSyncDegrade:
-      return "sync_degrade";
-    case TraceEvent::kReclaimEscalate:
-      return "reclaim_escalate";
-    case TraceEvent::kInvariantFail:
-      return "invariant_fail";
-    case TraceEvent::kNumEvents:
-      break;
-  }
-  return "?";
+  // Generated from the registry X-macro; adding an event to
+  // NOMAD_TRACE_EVENT_LIST names it here automatically.
+  static constexpr const char* kNames[] = {
+#define NOMAD_EVENT_NAME(name, str) str,
+      NOMAD_TRACE_EVENT_LIST(NOMAD_EVENT_NAME)
+#undef NOMAD_EVENT_NAME
+  };
+  static_assert(sizeof(kNames) / sizeof(kNames[0]) == kNumTraceEvents,
+                "event registry and TraceEvent enum out of sync");
+  const auto i = static_cast<uint8_t>(e);
+  return i < kNumTraceEvents ? kNames[i] : "?";
 }
 
 std::vector<TraceEventRecord> TraceSink::Snapshot() const {

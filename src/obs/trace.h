@@ -19,6 +19,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "src/obs/event_registry.h"
 #include "src/sim/clock.h"
 
 namespace nomad {
@@ -30,57 +31,6 @@ namespace nomad {
 // True when the build carries tracing support. Tests that assert on emitted
 // events must skip when this is false.
 inline constexpr bool kTracingEnabled = NOMAD_TRACING != 0;
-
-// Every traced kernel mechanism. `arg` and `value` below are event-specific:
-//
-//   event            arg                     value
-//   ---------------  ----------------------  ---------------------------
-//   kTpmBegin        vpn being promoted      copy duration (cycles)
-//   kTpmAbort        vpn                     0
-//   kTpmCommit       vpn                     commit-step cycles
-//   kPromote         vpn (sync migration)    migration cycles
-//   kDemote          vpn                     migration cycles
-//   kHintFault       vpn                     0
-//   kShadowFault     vpn                     0
-//   kShadowReclaim   shadows freed           reclaim cycles
-//   kKswapdWake      tier index              free frames at wakeup
-//   kPcqEnqueue      pfn                     0
-//   kPcqDrain        entries examined        entries moved to pending
-//   kScannerArm      scan cursor (pfn)       pages armed this round
-//   kMigrationRound  promotions attempted    round cycles
-//   kPcqOverflow     evicted pfn             queue depth at overflow
-//   kFaultInject     fault kind (FaultKind)  opportunity index
-//   kTpmBackoff      vpn                     backoff delay (cycles)
-//   kTpmGiveUp       vpn                     aborts accumulated
-//   kSyncDegrade     1=enter, 0=exit         abort streak / cycles in mode
-//   kReclaimEscalate reclaim target          frames actually freed
-//   kInvariantFail   violations found        0
-enum class TraceEvent : uint8_t {
-  kTpmBegin = 0,
-  kTpmAbort,
-  kTpmCommit,
-  kPromote,
-  kDemote,
-  kHintFault,
-  kShadowFault,
-  kShadowReclaim,
-  kKswapdWake,
-  kPcqEnqueue,
-  kPcqDrain,
-  kScannerArm,
-  kMigrationRound,
-  kPcqOverflow,
-  kFaultInject,
-  kTpmBackoff,
-  kTpmGiveUp,
-  kSyncDegrade,
-  kReclaimEscalate,
-  kInvariantFail,
-  kNumEvents,
-};
-
-// Stable lower_snake_case name, used by exporters and by baseline files.
-const char* TraceEventName(TraceEvent e);
 
 struct TraceEventRecord {
   Cycles time = 0;     // virtual time of emission

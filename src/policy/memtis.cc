@@ -1,6 +1,7 @@
 #include "src/policy/memtis.h"
 
 #include "src/mm/migrate.h"
+#include "src/obs/event_registry.h"
 
 namespace nomad {
 
@@ -58,7 +59,7 @@ Cycles MemtisPolicy::RunMigrationRound() {
       MigrateResult r = MigratePageSync(ms, *as, vpn, Tier::kSlow);
       spent += r.cycles;
       if (r.success) {
-        ms.counters().Add("memtis.demote", 1);
+        ms.counters().Add(cnt::kMemtisDemote, 1);
       }
     }
   }
@@ -67,13 +68,13 @@ Cycles MemtisPolicy::RunMigrationRound() {
   uint64_t attempts = 0;
   for (Vpn vpn : pebs.HotPagesOn(Tier::kSlow, threshold, config_.promote_batch)) {
     if (pool.FreeFrames(Tier::kFast) <= pool.LowWatermark(Tier::kFast)) {
-      ms.counters().Add("memtis.promote_skipped_nomem", 1);
+      ms.counters().Add(cnt::kMemtisPromoteSkippedNomem, 1);
       break;
     }
     attempts++;
     MigrateResult r = MigratePageSync(ms, *as, vpn, Tier::kFast);
     spent += r.cycles;
-    ms.counters().Add(r.success ? "memtis.promote" : "memtis.promote_fail", 1);
+    ms.counters().Add(r.success ? cnt::kMemtisPromote : cnt::kMemtisPromoteFail, 1);
   }
   ms.Trace(TraceEvent::kMigrationRound, attempts, spent);
   return spent;

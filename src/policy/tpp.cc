@@ -1,6 +1,7 @@
 #include "src/policy/tpp.h"
 
 #include "src/mm/migrate.h"
+#include "src/obs/event_registry.h"
 
 namespace nomad {
 
@@ -32,7 +33,7 @@ Cycles TppPolicy::OnHintFault(ActorId /*cpu*/, AddressSpace& as, Vpn vpn) {
   Pte* pte = ms.PteOf(as, vpn);
   Cycles cost = costs.pte_update;
   ms.Trace(TraceEvent::kHintFault, vpn);
-  pte->prot_none = false;  // restore access so the faulting load can retire
+  ms.ResolveHintFault(*pte);  // restore access so the faulting load can retire
 
   const Pfn pfn = pte->pfn;
   PageFrame& f = ms.pool().frame(pfn);
@@ -47,7 +48,7 @@ Cycles TppPolicy::OnHintFault(ActorId /*cpu*/, AddressSpace& as, Vpn vpn) {
   cost += costs.lru_op;
 
   if (!f.active) {
-    ms.counters().Add("tpp.fault_not_active", 1);
+    ms.counters().Add(cnt::kTppFaultNotActive, 1);
     return cost;
   }
 
@@ -55,7 +56,7 @@ Cycles TppPolicy::OnHintFault(ActorId /*cpu*/, AddressSpace& as, Vpn vpn) {
   // from reclaim by waking kswapd rather than reclaiming inline.
   FramePool& pool = ms.pool();
   if (pool.FreeFrames(Tier::kFast) <= pool.LowWatermark(Tier::kFast)) {
-    ms.counters().Add("tpp.promote_skipped_nomem", 1);
+    ms.counters().Add(cnt::kTppPromoteSkippedNomem, 1);
     if (ms.engine()) {
       ms.engine()->Wake(kswapd_->actor_id(), ms.Now() + costs.daemon_wakeup);
     }
@@ -65,10 +66,10 @@ Cycles TppPolicy::OnHintFault(ActorId /*cpu*/, AddressSpace& as, Vpn vpn) {
   // Synchronous promotion on the faulting thread's critical path.
   MigrateResult r = MigratePageWithRetry(ms, as, vpn, Tier::kFast, config_.migrate_max_attempts);
   cost += r.cycles;
-  ms.counters().Add(r.success ? "tpp.promote" : "tpp.promote_fail", 1);
+  ms.counters().Add(r.success ? cnt::kTppPromote : cnt::kTppPromoteFail, 1);
   // Cycle attribution for the Figure 2 breakdown: promotion work executes
   // on the application core.
-  ms.counters().Add("tpp.promote_cycles", r.cycles);
+  ms.counters().Add(cnt::kTppPromoteCycles, r.cycles);
   return cost;
 }
 

@@ -1,0 +1,71 @@
+// The registry is the single source of truth for observable names; these
+// tests pin the properties the exporters and lint rules rely on.
+#include "src/obs/event_registry.h"
+
+#include <cctype>
+#include <set>
+#include <string>
+
+#include <gtest/gtest.h>
+
+namespace nomad {
+namespace {
+
+TEST(EventRegistry, EveryEventHasAName) {
+  for (uint8_t i = 0; i < kNumTraceEvents; i++) {
+    const char* name = TraceEventName(static_cast<TraceEvent>(i));
+    ASSERT_NE(name, nullptr);
+    EXPECT_STRNE(name, "?") << "event " << int{i} << " missing from registry";
+  }
+  EXPECT_STREQ(TraceEventName(TraceEvent::kNumEvents), "?");
+}
+
+TEST(EventRegistry, NamesAreUniqueLowerSnakeCase) {
+  std::set<std::string> seen;
+  for (uint8_t i = 0; i < kNumTraceEvents; i++) {
+    const std::string name = TraceEventName(static_cast<TraceEvent>(i));
+    EXPECT_TRUE(seen.insert(name).second) << "duplicate event name " << name;
+    for (char c : name) {
+      EXPECT_TRUE(std::islower(static_cast<unsigned char>(c)) || c == '_' ||
+                  std::isdigit(static_cast<unsigned char>(c)))
+          << "event name not lower_snake_case: " << name;
+    }
+  }
+}
+
+// Baseline files and the chrome://tracing exporter key on these strings;
+// renaming one silently orphans recorded history, so pin the full table.
+TEST(EventRegistry, StableExportedNames) {
+  EXPECT_STREQ(TraceEventName(TraceEvent::kTpmBegin), "tpm_begin");
+  EXPECT_STREQ(TraceEventName(TraceEvent::kTpmAbort), "tpm_abort");
+  EXPECT_STREQ(TraceEventName(TraceEvent::kTpmCommit), "tpm_commit");
+  EXPECT_STREQ(TraceEventName(TraceEvent::kPromote), "promote");
+  EXPECT_STREQ(TraceEventName(TraceEvent::kDemote), "demote");
+  EXPECT_STREQ(TraceEventName(TraceEvent::kHintFault), "hint_fault");
+  EXPECT_STREQ(TraceEventName(TraceEvent::kShadowFault), "shadow_fault");
+  EXPECT_STREQ(TraceEventName(TraceEvent::kShadowReclaim), "shadow_reclaim");
+  EXPECT_STREQ(TraceEventName(TraceEvent::kKswapdWake), "kswapd_wake");
+  EXPECT_STREQ(TraceEventName(TraceEvent::kPcqEnqueue), "pcq_enqueue");
+  EXPECT_STREQ(TraceEventName(TraceEvent::kPcqDrain), "pcq_drain");
+  EXPECT_STREQ(TraceEventName(TraceEvent::kScannerArm), "scanner_arm");
+  EXPECT_STREQ(TraceEventName(TraceEvent::kMigrationRound), "migration_round");
+  EXPECT_STREQ(TraceEventName(TraceEvent::kPcqOverflow), "pcq_overflow");
+  EXPECT_STREQ(TraceEventName(TraceEvent::kFaultInject), "fault_inject");
+  EXPECT_STREQ(TraceEventName(TraceEvent::kTpmBackoff), "tpm_backoff");
+  EXPECT_STREQ(TraceEventName(TraceEvent::kTpmGiveUp), "tpm_give_up");
+  EXPECT_STREQ(TraceEventName(TraceEvent::kSyncDegrade), "sync_degrade");
+  EXPECT_STREQ(TraceEventName(TraceEvent::kReclaimEscalate), "reclaim_escalate");
+  EXPECT_STREQ(TraceEventName(TraceEvent::kInvariantFail), "invariant_fail");
+}
+
+TEST(EventRegistry, CounterKeysCarrySubsystemPrefix) {
+  const std::string tpm = cnt::kNomadTpmCommit;
+  EXPECT_EQ(tpm.rfind("nomad.", 0), 0u);
+  const std::string tpp = cnt::kTppPromote;
+  EXPECT_EQ(tpp.rfind("tpp.", 0), 0u);
+  const std::string tlb = cnt::kTlbShootdown;
+  EXPECT_EQ(tlb.rfind("tlb.", 0), 0u);
+}
+
+}  // namespace
+}  // namespace nomad

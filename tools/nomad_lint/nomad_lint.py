@@ -1,0 +1,525 @@
+#!/usr/bin/env python3
+"""nomad_lint: repo-specific AST/token lint for the NOMAD simulator.
+
+Enforced rules (see DESIGN.md "Verification tooling" for the rationale):
+
+  NL001 pte-mutation      PTE/flag-bit mutation only inside the mechanism
+                          layers (src/mm/, src/nomad/, src/trace/); policy,
+                          harness, and tooling code must go through the
+                          page_table/frame_pool/MemorySystem APIs.
+  NL002 bare-assert       no bare assert(); structural invariants use
+                          NOMAD_CHECK, which survives release builds.
+  NL003 determinism       no std::rand / srand / random_device / mt19937 /
+                          wall-clock sources; simulations draw from the
+                          explicitly seeded nomad::Rng only.
+  NL004 counter-literal   no string literals at counters().Add/.Get call
+                          sites in src/; counter names come from the
+                          cnt:: registry (src/obs/event_registry.h).
+  NL005 naked-new         no naked new/delete in src/; ownership is
+                          std::unique_ptr / containers.
+  NL006 include-guard     header guards spell the repo-relative path
+                          (SRC_MM_PTE_H_ for src/mm/pte.h).
+  NL007 io-in-core        no <iostream>/<fstream> outside the harness and
+                          declared I/O endpoints; core layers report via
+                          counters, traces, and return values.
+
+Engines. The default engine is a pure-Python lexer (comments and string
+literals stripped, then per-line pattern rules): zero dependencies, runs
+anywhere. When the libclang Python bindings are importable (CI installs
+python3-clang), `--backend=clang` re-checks NL001 and NL005 on the real
+AST — member writes are matched by the base expression's *type* (Pte)
+rather than the variable's name, and new/delete by expression kind — and
+any extra findings are reported with the same rule IDs. `--backend=auto`
+(default) uses clang when available, silently falling back otherwise.
+
+Usage:
+  python3 tools/nomad_lint/nomad_lint.py [--root=DIR] [--backend=auto|token|clang]
+                                         [--compdb=build/compile_commands.json]
+                                         [--selftest] [--list-rules] [files...]
+
+Exit status: 0 clean, 1 findings, 2 usage/internal error.
+"""
+
+import os
+import re
+import sys
+
+# --------------------------------------------------------------------------
+# Source model
+
+
+def strip_comments_and_strings(text):
+    """Blanks out comments and string/char literals, preserving line breaks.
+
+    Keeps every character position stable (replaced with spaces) so finding
+    offsets map straight back to the original file.
+    """
+    out = []
+    i = 0
+    n = len(text)
+    state = "code"  # code | line_comment | block_comment | string | char | raw
+    raw_delim = ""
+    while i < n:
+        c = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if state == "code":
+            if c == "/" and nxt == "/":
+                state = "line_comment"
+                out.append("  ")
+                i += 2
+                continue
+            if c == "/" and nxt == "*":
+                state = "block_comment"
+                out.append("  ")
+                i += 2
+                continue
+            if c == '"':
+                m = re.match(r'R"([^()\\ ]{0,16})\(', text[i:])
+                if m and i > 0 and text[i - 1] == "R":
+                    raw_delim = ")" + m.group(1) + '"'
+                    state = "raw"
+                    out.append(" " * (m.end()))
+                    i += m.end()
+                    continue
+                state = "string"
+                out.append(" ")
+                i += 1
+                continue
+            if c == "'":
+                state = "char"
+                out.append(" ")
+                i += 1
+                continue
+            out.append(c)
+            i += 1
+        elif state == "line_comment":
+            if c == "\n":
+                state = "code"
+                out.append("\n")
+            else:
+                out.append(" ")
+            i += 1
+        elif state == "block_comment":
+            if c == "*" and nxt == "/":
+                state = "code"
+                out.append("  ")
+                i += 2
+                continue
+            out.append("\n" if c == "\n" else " ")
+            i += 1
+        elif state in ("string", "char"):
+            quote = '"' if state == "string" else "'"
+            if c == "\\":
+                out.append("  ")
+                i += 2
+                continue
+            if c == quote:
+                state = "code"
+                out.append(quote)
+                i += 1
+                continue
+            out.append("\n" if c == "\n" else " ")
+            i += 1
+        elif state == "raw":
+            if text.startswith(raw_delim, i):
+                state = "code"
+                out.append(" " * len(raw_delim))
+                i += len(raw_delim)
+                continue
+            out.append("\n" if c == "\n" else " ")
+            i += 1
+    return "".join(out)
+
+
+class SourceFile:
+    def __init__(self, path, rel, text):
+        self.path = path
+        self.rel = rel.replace(os.sep, "/")
+        self.text = text
+        self.code = strip_comments_and_strings(text)
+        self.lines = self.code.split("\n")
+        self.raw_lines = text.split("\n")
+
+
+class Finding:
+    def __init__(self, rel, line, rule, message):
+        self.rel = rel
+        self.line = line
+        self.rule = rule
+        self.message = message
+
+    def __str__(self):
+        return "%s:%d: %s: %s" % (self.rel, self.line, self.rule, self.message)
+
+
+# --------------------------------------------------------------------------
+# Token-engine rules
+
+PTE_BITS = r"(?:present|writable|dirty|accessed|prot_none|shadow_rw|pfn)"
+# `pte->dirty = ...`, `pte.writable |= ...`, `(*pte).present = ...`
+PTE_MUT_RE = re.compile(
+    r"(?:\bpte\w*\s*(?:\.|->)|\(\s*\*\s*pte\w*\s*\)\s*\.)\s*"
+    + PTE_BITS
+    + r"\s*(?:\|=|&=|\^=|=(?!=))"
+)
+
+DETERMINISM_RES = [
+    (re.compile(r"\bstd\s*::\s*rand\b|\bsrand\s*\("), "libc PRNG"),
+    (re.compile(r"\brandom_device\b"), "std::random_device (nondeterministic seed)"),
+    (re.compile(r"\bmt19937(_64)?\b"), "std::mt19937 (use the seeded nomad::Rng)"),
+    (
+        re.compile(r"\b(system_clock|steady_clock|high_resolution_clock)\b"),
+        "wall clock (simulated time only)",
+    ),
+    (re.compile(r"\bgettimeofday\b|\bclock_gettime\b"), "wall clock (simulated time only)"),
+    (re.compile(r"\btime\s*\(\s*(NULL|nullptr|0)?\s*\)"), "time() (wall clock)"),
+]
+
+ASSERT_RE = re.compile(r"(?<![\w_])assert\s*\(")
+COUNTER_LIT_RE = re.compile(r"\.\s*(Add|Get)\s*\(\s*\"")
+NEW_RE = re.compile(r"(?<![\w_:])new\b(?!\s*\[?\s*\]?\s*\()")  # `new T...`, not op overloads
+NEW_ANY_RE = re.compile(r"(?<![\w_:])new\b")
+DELETE_RE = re.compile(r"(?<![\w_:])delete\b(?:\s*\[\s*\])?")
+IO_INCLUDE_RE = re.compile(r'#\s*include\s*<(iostream|fstream)>')
+
+
+def in_dirs(rel, dirs):
+    return any(rel.startswith(d) for d in dirs)
+
+
+def rule_nl001(f):
+    # Mechanism layers own the PTE encoding; everyone else uses the APIs.
+    if in_dirs(f.rel, ("src/mm/", "src/nomad/", "src/trace/")):
+        return
+    if not in_dirs(f.rel, ("src/", "tools/")):
+        return
+    for i, line in enumerate(f.lines, 1):
+        if PTE_MUT_RE.search(line):
+            yield Finding(
+                f.rel, i, "NL001",
+                "direct PTE bit mutation outside src/mm|nomad|trace; use the "
+                "page_table/MemorySystem APIs (e.g. InstallMappingSilent)")
+
+
+def rule_nl002(f):
+    if not in_dirs(f.rel, ("src/", "tools/")):
+        return
+    for i, line in enumerate(f.lines, 1):
+        for m in ASSERT_RE.finditer(line):
+            before = line[: m.start()]
+            if before.rstrip().endswith("static_"):
+                continue
+            yield Finding(f.rel, i, "NL002",
+                          "bare assert() compiles out of release builds; use NOMAD_CHECK")
+
+
+def rule_nl003(f):
+    if not in_dirs(f.rel, ("src/", "tools/", "bench/")):
+        return
+    for i, line in enumerate(f.lines, 1):
+        for rx, what in DETERMINISM_RES:
+            if rx.search(line):
+                yield Finding(f.rel, i, "NL003",
+                              "nondeterminism source: %s breaks bit-reproducible runs" % what)
+
+
+def rule_nl004(f):
+    if not in_dirs(f.rel, ("src/",)):
+        return
+    for i, line in enumerate(f.lines, 1):
+        # The stripper blanks literal *contents* but keeps the quotes.
+        if COUNTER_LIT_RE.search(line):
+            yield Finding(
+                f.rel, i, "NL004",
+                "counter name as string literal; use the cnt:: constants from "
+                "src/obs/event_registry.h")
+
+
+def rule_nl005(f):
+    if not in_dirs(f.rel, ("src/", "tools/")):
+        return
+    for i, line in enumerate(f.lines, 1):
+        for m in NEW_ANY_RE.finditer(line):
+            if re.match(r"\s*operator\b", line[m.end():]):
+                continue  # operator new declarations
+            yield Finding(f.rel, i, "NL005",
+                          "naked new; own memory with std::unique_ptr/containers")
+        for m in DELETE_RE.finditer(line):
+            before = line[: m.start()].rstrip()
+            if before.endswith("="):  # `= delete` / `= delete;` function deletion
+                continue
+            if re.match(r"\s*operator\b", line[m.end():]):
+                continue
+            yield Finding(f.rel, i, "NL005",
+                          "naked delete; own memory with std::unique_ptr/containers")
+
+
+GUARD_IFNDEF_RE = re.compile(r"#\s*ifndef\s+(\w+)")
+
+
+def rule_nl006(f):
+    if not f.rel.endswith(".h") or not in_dirs(f.rel, ("src/", "tools/")):
+        return
+    expected = re.sub(r"[^A-Za-z0-9]", "_", f.rel).upper() + "_"
+    for i, line in enumerate(f.lines, 1):
+        m = GUARD_IFNDEF_RE.search(line)
+        if m:
+            if m.group(1) != expected:
+                yield Finding(f.rel, i, "NL006",
+                              "include guard %s should be %s" % (m.group(1), expected))
+            return
+    yield Finding(f.rel, 1, "NL006", "missing include guard %s" % expected)
+
+
+IO_ALLOWLIST = (
+    "src/harness/",        # the experiment driver prints reports by design
+    "src/workload/trace.cc",  # loads recorded access traces from disk
+)
+
+
+def rule_nl007(f):
+    if not in_dirs(f.rel, ("src/",)) or in_dirs(f.rel, IO_ALLOWLIST):
+        return
+    for i, line in enumerate(f.lines, 1):
+        m = IO_INCLUDE_RE.search(line)
+        if m:
+            yield Finding(
+                f.rel, i, "NL007",
+                "<%s> in a core layer; report through counters/traces or move "
+                "I/O to src/harness" % m.group(1))
+
+
+TOKEN_RULES = [
+    ("NL001", "PTE bit mutation outside the mechanism layers", rule_nl001),
+    ("NL002", "bare assert() instead of NOMAD_CHECK", rule_nl002),
+    ("NL003", "nondeterminism sources (rand/clock) outside the seeded Rng", rule_nl003),
+    ("NL004", "counter-name string literals instead of the cnt:: registry", rule_nl004),
+    ("NL005", "naked new/delete", rule_nl005),
+    ("NL006", "include guard must spell the file path", rule_nl006),
+    ("NL007", "<iostream>/<fstream> outside declared I/O endpoints", rule_nl007),
+]
+
+
+# --------------------------------------------------------------------------
+# Optional libclang backend (CI): AST-precise NL001/NL005
+
+
+def try_import_clang():
+    try:
+        import clang.cindex  # noqa: F401  (Debian/Ubuntu: python3-clang)
+        return sys.modules["clang.cindex"]
+    except Exception:
+        return None
+
+
+def clang_compile_args(compdb_dir, path, cindex):
+    try:
+        db = cindex.CompilationDatabase.fromDirectory(compdb_dir)
+        cmds = db.getCompileCommands(path)
+        if cmds:
+            args = list(cmds[0].arguments)[1:]  # drop the compiler itself
+            # Strip output/input args; keep -I/-D/-std and friends.
+            keep, skip_next = [], False
+            for a in args:
+                if skip_next:
+                    skip_next = False
+                    continue
+                if a in ("-c", path) or a.endswith(os.path.basename(path)):
+                    continue
+                if a == "-o":
+                    skip_next = True
+                    continue
+                keep.append(a)
+            return keep
+    except Exception:
+        pass
+    return ["-std=c++20", "-I."]
+
+
+def clang_findings(files, compdb_dir, cindex):
+    """NL001/NL005 on the real AST. Member writes are matched by base type."""
+    findings = []
+    kind = cindex.CursorKind
+    index = cindex.Index.create()
+    pte_bits = {"present", "writable", "dirty", "accessed", "prot_none", "shadow_rw", "pfn"}
+    for f in files:
+        if not f.rel.endswith(".cc"):
+            continue
+        if not in_dirs(f.rel, ("src/", "tools/")):
+            continue
+        try:
+            tu = index.parse(f.path, args=clang_compile_args(compdb_dir, f.path, cindex))
+        except Exception:
+            continue
+
+        def visit(node):
+            if node.location.file is None or node.location.file.name != f.path:
+                for ch in node.get_children():
+                    visit(ch)
+                return
+            if node.kind in (kind.CXX_NEW_EXPR, kind.CXX_DELETE_EXPR) and in_dirs(
+                    f.rel, ("src/", "tools/")):
+                findings.append(Finding(f.rel, node.location.line, "NL005",
+                                        "naked new/delete (AST)"))
+            if node.kind in (kind.BINARY_OPERATOR, kind.COMPOUND_ASSIGNMENT_OPERATOR):
+                kids = list(node.get_children())
+                if kids and kids[0].kind == kind.MEMBER_REF_EXPR:
+                    member = kids[0].spelling
+                    base = list(kids[0].get_children())
+                    base_type = base[0].type.spelling if base else ""
+                    if member in pte_bits and "Pte" in base_type and not in_dirs(
+                            f.rel, ("src/mm/", "src/nomad/", "src/trace/")):
+                        findings.append(Finding(
+                            f.rel, node.location.line, "NL001",
+                            "PTE bit mutation outside the mechanism layers (AST)"))
+            for ch in node.get_children():
+                visit(ch)
+
+        visit(tu.cursor)
+    return findings
+
+
+# --------------------------------------------------------------------------
+# Driver
+
+SCOPE_DIRS = ("src", "tools", "bench")
+SKIP_DIRS = {"build", ".git", "__pycache__"}
+
+
+def discover(root):
+    files = []
+    for scope in SCOPE_DIRS:
+        top = os.path.join(root, scope)
+        for dirpath, dirnames, filenames in os.walk(top):
+            dirnames[:] = [d for d in dirnames if d not in SKIP_DIRS]
+            for name in sorted(filenames):
+                if name.endswith((".h", ".cc")):
+                    files.append(os.path.join(dirpath, name))
+    return sorted(files)
+
+
+def load(root, paths):
+    out = []
+    for p in paths:
+        rel = os.path.relpath(p, root)
+        try:
+            with open(p, "r", encoding="utf-8", errors="replace") as fh:
+                out.append(SourceFile(p, rel, fh.read()))
+        except OSError as e:
+            print("nomad_lint: cannot read %s: %s" % (p, e), file=sys.stderr)
+    return out
+
+
+def run_token_rules(files):
+    findings = []
+    for f in files:
+        for _, _, rule in TOKEN_RULES:
+            findings.extend(rule(f))
+    return findings
+
+
+# --------------------------------------------------------------------------
+# Selftest: every rule must fire on a known-bad snippet and stay quiet on
+# the matching good snippet.
+
+SELFTEST_CASES = [
+    ("NL001", "src/policy/bad.cc", "void f(Pte* pte) { pte->dirty = true; }", True),
+    ("NL001", "src/mm/ok.cc", "void f(Pte* pte) { pte->dirty = true; }", False),
+    ("NL001", "src/policy/ok.cc", "void f(Pte* pte) { bool d = pte->dirty; (void)d; }", False),
+    ("NL002", "src/nomad/bad.cc", "void f(int x) { assert(x > 0); }", True),
+    ("NL002", "src/nomad/ok.cc",
+     "void f(int x) { NOMAD_CHECK(x > 0, \"x=\", x); static_assert(1 + 1 == 2); }", False),
+    ("NL003", "src/policy/bad.cc", "int f() { return std::rand(); }", True),
+    ("NL003", "src/sim/bad.cc", "std::mt19937 gen;", True),
+    ("NL003", "src/workload/bad.cc",
+     "auto t = std::chrono::steady_clock::now();", True),
+    ("NL003", "src/workload/ok.cc", "Cycles finish_time() { return t_; }", False),
+    ("NL004", "src/mm/bad.cc", 'void f(C& c) { c.counters().Add("migrate.promote", 1); }', True),
+    ("NL004", "src/mm/ok.cc", "void f(C& c) { c.counters().Add(cnt::kTlbShootdown, 1); }", False),
+    ("NL005", "src/nomad/bad.cc", "int* p = new int[4];", True),
+    ("NL005", "src/nomad/bad2.cc", "void f(int* p) { delete p; }", True),
+    ("NL005", "src/nomad/ok.cc",
+     "auto p = std::make_unique<int>(3); X(const X&) = delete;", False),
+    ("NL005", "src/nomad/ok2.cc", "// a new frame\nconst Pfn new_pfn = 3;", False),
+    ("NL006", "src/mm/bad.h", "#ifndef WRONG_GUARD_H_\n#define WRONG_GUARD_H_\n#endif", True),
+    ("NL006", "src/mm/good.h", "#ifndef SRC_MM_GOOD_H_\n#define SRC_MM_GOOD_H_\n#endif", False),
+    ("NL007", "src/mm/bad.cc", "#include <iostream>", True),
+    ("NL007", "src/harness/ok.cc", "#include <iostream>", False),
+    ("NL007", "src/mm/ok.cc", "#include <sstream>", False),
+]
+
+
+def selftest():
+    failures = 0
+    for rule_id, rel, code, expect in SELFTEST_CASES:
+        f = SourceFile("<selftest>/" + rel, rel, code + "\n")
+        got = [x for x in run_token_rules([f]) if x.rule == rule_id]
+        ok = bool(got) == expect
+        print("%s %s on %-22s (%s)" % (
+            "ok  " if ok else "FAIL", rule_id, rel,
+            "fires" if expect else "quiet"))
+        if not ok:
+            failures += 1
+            for g in got:
+                print("    unexpected: %s" % g)
+    if failures:
+        print("SELFTEST FAILED: %d case(s)" % failures)
+        return 1
+    print("selftest passed: %d cases" % len(SELFTEST_CASES))
+    return 0
+
+
+def main(argv):
+    root = "."
+    backend = "auto"
+    compdb = "build"
+    explicit = []
+    do_selftest = False
+    for arg in argv[1:]:
+        if arg == "--selftest":
+            do_selftest = True
+        elif arg == "--list-rules":
+            for rid, desc, _ in TOKEN_RULES:
+                print("%s  %s" % (rid, desc))
+            return 0
+        elif arg.startswith("--root="):
+            root = arg.split("=", 1)[1]
+        elif arg.startswith("--backend="):
+            backend = arg.split("=", 1)[1]
+        elif arg.startswith("--compdb="):
+            compdb = arg.split("=", 1)[1]
+        elif arg.startswith("--"):
+            print(__doc__, file=sys.stderr)
+            return 2
+        else:
+            explicit.append(arg)
+
+    if do_selftest:
+        return selftest()
+
+    paths = [os.path.join(root, p) if not os.path.isabs(p) else p for p in explicit]
+    files = load(root, paths or discover(root))
+    findings = run_token_rules(files)
+
+    cindex = try_import_clang() if backend in ("auto", "clang") else None
+    if backend == "clang" and cindex is None:
+        print("nomad_lint: --backend=clang requested but clang.cindex is not "
+              "importable (install python3-clang)", file=sys.stderr)
+        return 2
+    if cindex is not None:
+        seen = {(x.rel, x.line, x.rule) for x in findings}
+        for x in clang_findings(files, os.path.join(root, compdb), cindex):
+            if (x.rel, x.line, x.rule) not in seen:
+                findings.append(x)
+
+    findings.sort(key=lambda x: (x.rel, x.line, x.rule))
+    for x in findings:
+        print(x)
+    engine = "token+clang" if cindex is not None else "token"
+    print("nomad_lint: %d file(s), %d finding(s), engine=%s" % (
+        len(files), len(findings), engine), file=sys.stderr)
+    return 1 if findings else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -1,0 +1,283 @@
+#include "tools/tpm_modelcheck/explore.h"
+
+#include <ostream>
+
+#include "src/sim/rng.h"
+
+namespace nomad {
+namespace modelcheck {
+
+namespace {
+
+// The two machines behind one stepping surface, so the DFS is written once.
+// Machine objects are small values; the DFS copies them per branch.
+struct TpmMachine {
+  tpm::Transaction txn;
+  explicit TpmMachine(const Params& p) : txn(p.shadowing) {}
+  bool done() const { return txn.done(); }
+  void Step(ModelState& st, Mutation mut) {
+    TpmModelHw hw(st, mut);
+    txn.Advance(hw);
+  }
+};
+
+struct SyncMachine {
+  tpm::SyncMigration m;
+  explicit SyncMachine(const Params&) {}
+  bool done() const { return m.done(); }
+  void Step(ModelState& st, Mutation mut) {
+    SyncModelHw hw(st, mut);
+    m.Advance(hw);
+  }
+};
+
+struct Budgets {
+  int writes;
+  int loads;
+  int reads;
+};
+
+void Record(Result& res, const std::vector<Action>& trace, const std::string& invariant,
+            const ModelState& st) {
+  Violation v;
+  v.invariant = invariant;
+  v.schedule = trace;
+  v.detail = "writes_issued=" + std::to_string(st.writes_issued) +
+             " master=" + std::to_string(st.master) + " copy=" + std::to_string(st.copy) +
+             (st.committed ? " committed" : st.aborted ? " aborted" : " in_flight");
+  res.violation = v;
+}
+
+// Applies one application access (never kStep) and runs the per-state
+// checks. Returns false when exploration of this branch must stop because a
+// violation was recorded.
+bool ApplyAccess(Result& res, ModelState& st, Action a, const std::vector<Action>& trace) {
+  std::optional<std::string> bad;
+  switch (a) {
+    case Action::kWrite:
+      bad = ApplyStore(st, /*torn=*/false);
+      break;
+    case Action::kWriteTorn:
+      bad = ApplyStore(st, /*torn=*/true);
+      break;
+    case Action::kLoad:
+      bad = ApplyLoad(st);
+      break;
+    case Action::kRead:
+      bad = ApplyRead(st);
+      break;
+    case Action::kStep:
+      break;
+  }
+  if (!bad) {
+    bad = CheckAlways(st);
+  }
+  if (bad) {
+    Record(res, trace, *bad, st);
+    return false;
+  }
+  return true;
+}
+
+template <typename M>
+void Dfs(const Params& p, Rng* rng, Result& res, const ModelState& st, const M& m, Budgets b,
+         std::vector<Action>& trace) {
+  if (res.violation) {
+    return;
+  }
+  res.states++;
+
+  Action candidates[5];
+  int n = 0;
+  if (!m.done()) {
+    candidates[n++] = Action::kStep;
+  }
+  if (b.writes > 0 && StoreEnabled(st)) {
+    candidates[n++] = Action::kWrite;
+    if (TornStoreEnabled(st)) {
+      candidates[n++] = Action::kWriteTorn;
+    }
+  }
+  if (b.loads > 0 && LoadEnabled(st)) {
+    candidates[n++] = Action::kLoad;
+  }
+  if (b.reads > 0 && ReadEnabled(st)) {
+    candidates[n++] = Action::kRead;
+  }
+
+  if (n == 0) {
+    // Quiescent: the machine is done and every store has drained (the page
+    // is mapped again in all outcomes, so remaining stores stay enabled).
+    res.schedules++;
+    if (auto bad = CheckFinal(st)) {
+      Record(res, trace, *bad, st);
+    }
+    return;
+  }
+
+  if (rng != nullptr) {
+    for (int i = n - 1; i > 0; i--) {
+      const int j = static_cast<int>(rng->Next() % static_cast<uint64_t>(i + 1));
+      const Action tmp = candidates[i];
+      candidates[i] = candidates[j];
+      candidates[j] = tmp;
+    }
+  }
+
+  for (int i = 0; i < n; i++) {
+    const Action a = candidates[i];
+    ModelState st2 = st;
+    M m2 = m;
+    Budgets b2 = b;
+    trace.push_back(a);
+    if (a == Action::kStep) {
+      m2.Step(st2, p.mutation);
+      if (auto bad = CheckAlways(st2)) {
+        Record(res, trace, *bad, st2);
+        trace.pop_back();
+        return;
+      }
+      Dfs(p, rng, res, st2, m2, b2, trace);
+    } else {
+      if (a == Action::kWrite || a == Action::kWriteTorn) {
+        b2.writes--;
+      } else if (a == Action::kLoad) {
+        b2.loads--;
+      } else {
+        b2.reads--;
+      }
+      if (ApplyAccess(res, st2, a, trace)) {
+        Dfs(p, rng, res, st2, m2, b2, trace);
+      }
+    }
+    trace.pop_back();
+    if (res.violation) {
+      return;
+    }
+  }
+}
+
+template <typename M>
+Result ExploreWith(const Params& p) {
+  Result res;
+  Rng rng(p.seed);
+  Rng* rp = p.seed != 0 ? &rng : nullptr;
+  ModelState st;
+  M m(p);
+  // Store indices are content-mask bits; keep them in one word.
+  Budgets b{p.max_writes > 8 ? 8 : p.max_writes, p.max_loads, p.max_reads};
+  std::vector<Action> trace;
+  Dfs(p, rp, res, st, m, b, trace);
+  return res;
+}
+
+template <typename M>
+std::optional<Violation> ReplayWith(const Params& p, const std::vector<Action>& schedule) {
+  Result res;
+  ModelState st;
+  M m(p);
+  std::vector<Action> done;
+  for (Action a : schedule) {
+    done.push_back(a);
+    if (a == Action::kStep) {
+      if (m.done()) {
+        continue;
+      }
+      m.Step(st, p.mutation);
+      if (auto bad = CheckAlways(st)) {
+        Record(res, done, *bad, st);
+        return res.violation;
+      }
+      continue;
+    }
+    // An access scheduled while it would stall simply doesn't happen there
+    // (the migration window parks it); skip it, as the explorer does.
+    const bool enabled = (a == Action::kWrite && StoreEnabled(st)) ||
+                         (a == Action::kWriteTorn && TornStoreEnabled(st)) ||
+                         (a == Action::kLoad && LoadEnabled(st)) ||
+                         (a == Action::kRead && ReadEnabled(st));
+    if (!enabled) {
+      continue;
+    }
+    if (!ApplyAccess(res, st, a, done)) {
+      return res.violation;
+    }
+  }
+  if (m.done()) {
+    if (auto bad = CheckFinal(st)) {
+      Record(res, done, *bad, st);
+    }
+  }
+  return res.violation;
+}
+
+}  // namespace
+
+Result Explore(const Params& p) {
+  return p.sync ? ExploreWith<SyncMachine>(p) : ExploreWith<TpmMachine>(p);
+}
+
+std::optional<Violation> Replay(const Params& p, const std::vector<Action>& schedule) {
+  return p.sync ? ReplayWith<SyncMachine>(p, schedule) : ReplayWith<TpmMachine>(p, schedule);
+}
+
+void PrintViolation(std::ostream& out, const Params& p, const Violation& v) {
+  // One line, directly re-runnable.
+  out << "VIOLATION(" << v.invariant << "): tpm_modelcheck --machine=" << (p.sync ? "sync" : "tpm")
+      << " --shadowing=" << (p.shadowing ? 1 : 0) << " --mutation=" << MutationName(p.mutation)
+      << " --replay=" << EncodeSchedule(v.schedule) << "  # " << v.detail << "\n";
+}
+
+int RunSelftest(const Params& base, std::ostream& out) {
+  struct Case {
+    bool sync;
+    bool shadowing;
+    Mutation mutation;
+    bool expect_violation;
+  };
+  const Case cases[] = {
+      // The real protocol must survive every schedule...
+      {false, true, Mutation::kNone, false},
+      {false, false, Mutation::kNone, false},
+      {true, true, Mutation::kNone, false},
+      // ...and every seeded mutation must be caught. (kNoWriteProtect only
+      // exists where a shadow is retained; the sync machine's one safety
+      // ingredient is its shootdown.)
+      {false, true, Mutation::kSkipShootdown1, true},
+      {false, true, Mutation::kSkipShootdown2, true},
+      {false, true, Mutation::kSkipDirtyCheck, true},
+      {false, true, Mutation::kNoWriteProtect, true},
+      {false, false, Mutation::kSkipShootdown1, true},
+      {false, false, Mutation::kSkipShootdown2, true},
+      {false, false, Mutation::kSkipDirtyCheck, true},
+      {true, true, Mutation::kSkipSyncShootdown, true},
+  };
+  int failures = 0;
+  for (const Case& c : cases) {
+    Params p = base;
+    p.sync = c.sync;
+    p.shadowing = c.shadowing;
+    p.mutation = c.mutation;
+    const Result r = Explore(p);
+    const bool caught = r.violation.has_value();
+    const bool ok = caught == c.expect_violation;
+    out << (ok ? "ok  " : "FAIL") << " machine=" << (c.sync ? "sync" : "tpm")
+        << " shadowing=" << (c.shadowing ? 1 : 0) << " mutation=" << MutationName(c.mutation)
+        << " schedules=" << r.schedules << " states=" << r.states;
+    if (caught) {
+      out << " first=" << r.violation->invariant << " replay="
+          << EncodeSchedule(r.violation->schedule);
+    }
+    out << "\n";
+    if (!ok) {
+      failures++;
+      if (caught) {
+        PrintViolation(out, p, *r.violation);
+      }
+    }
+  }
+  return failures;
+}
+
+}  // namespace modelcheck
+}  // namespace nomad

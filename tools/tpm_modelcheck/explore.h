@@ -1,0 +1,61 @@
+// Exhaustive schedule exploration for the TPM protocol machines.
+//
+// Explore() enumerates, by depth-first search, every interleaving of
+// protocol steps and application accesses (stores, TLB-filling loads,
+// checker reads) up to the configured budgets, branching additionally on
+// whether each mid-copy store is picked up by the racing copy engine. Every
+// reachable state is checked against the model invariants; the first
+// violation is returned with its schedule, which Replay() (and the binary's
+// --replay flag) can re-execute as a one-line reproducer.
+#ifndef TOOLS_TPM_MODELCHECK_EXPLORE_H_
+#define TOOLS_TPM_MODELCHECK_EXPLORE_H_
+
+#include <cstdint>
+#include <iosfwd>
+#include <optional>
+#include <vector>
+
+#include "tools/tpm_modelcheck/model.h"
+
+namespace nomad {
+namespace modelcheck {
+
+struct Params {
+  bool sync = false;       // check tpm::SyncMigration instead of tpm::Transaction
+  bool shadowing = true;   // TPM only: retain the old frame as a shadow
+  int max_writes = 3;      // concurrent writer stores to interleave
+  int max_loads = 1;       // writer-core loads (TLB fills)
+  int max_reads = 2;       // checker reads
+  Mutation mutation = Mutation::kNone;
+  uint64_t seed = 0;       // != 0 permutes DFS branch order (still exhaustive)
+};
+
+struct Result {
+  uint64_t schedules = 0;  // maximal interleavings explored
+  uint64_t states = 0;     // states visited
+  std::optional<Violation> violation;  // first invariant failure, if any
+};
+
+// Exhaustively explores every schedule under p. Stops at the first
+// violation (the search is depth-first, so the reproducer is minimal in
+// its prefix, not globally).
+Result Explore(const Params& p);
+
+// Re-executes one explicit schedule; returns the violation it triggers, if
+// any. Trailing unissued budget is not drained: the schedule is the whole
+// run, except that final-state invariants are checked once the machine is
+// done and the schedule is exhausted.
+std::optional<Violation> Replay(const Params& p, const std::vector<Action>& schedule);
+
+// Prints the violation as a single self-contained reproducer line.
+void PrintViolation(std::ostream& out, const Params& p, const Violation& v);
+
+// Runs the correct protocol (expecting zero violations) and every protocol
+// mutation (expecting each to be caught) across the machine/shadowing
+// matrix. Returns the number of failed cases; prints one line per case.
+int RunSelftest(const Params& base, std::ostream& out);
+
+}  // namespace modelcheck
+}  // namespace nomad
+
+#endif  // TOOLS_TPM_MODELCHECK_EXPLORE_H_

@@ -1,0 +1,260 @@
+#include "tools/tpm_modelcheck/model.h"
+
+namespace nomad {
+namespace modelcheck {
+
+const char* MutationName(Mutation m) {
+  switch (m) {
+    case Mutation::kNone:
+      return "none";
+    case Mutation::kSkipShootdown1:
+      return "skip_shootdown1";
+    case Mutation::kSkipShootdown2:
+      return "skip_shootdown2";
+    case Mutation::kSkipDirtyCheck:
+      return "skip_dirty_check";
+    case Mutation::kNoWriteProtect:
+      return "no_write_protect";
+    case Mutation::kSkipSyncShootdown:
+      return "skip_sync_shootdown";
+  }
+  return "?";
+}
+
+std::optional<Mutation> MutationFromName(const std::string& name) {
+  if (name == MutationName(Mutation::kNone)) {
+    return Mutation::kNone;
+  }
+  for (Mutation m : kAllMutations) {
+    if (name == MutationName(m)) {
+      return m;
+    }
+  }
+  return std::nullopt;
+}
+
+std::string EncodeSchedule(const std::vector<Action>& schedule) {
+  std::string out;
+  for (Action a : schedule) {
+    if (!out.empty()) {
+      out += ',';
+    }
+    out += static_cast<char>(a);
+  }
+  return out;
+}
+
+std::optional<std::vector<Action>> DecodeSchedule(const std::string& text) {
+  std::vector<Action> out;
+  for (char c : text) {
+    switch (c) {
+      case ',':
+      case ' ':
+        break;
+      case 's':
+      case 'w':
+      case 't':
+      case 'l':
+      case 'r':
+        out.push_back(static_cast<Action>(c));
+        break;
+      default:
+        return std::nullopt;
+    }
+  }
+  return out;
+}
+
+// --- protocol steps over the model ---------------------------------------
+
+void TpmModelHw::ClearDirty() { st_.pte_dirty = false; }
+
+void TpmModelHw::ShootdownAfterClear() {
+  if (mut_ != Mutation::kSkipShootdown1) {
+    st_.tlb.valid = false;
+  }
+}
+
+void TpmModelHw::StartCopy() {
+  st_.copying = true;
+  st_.copy = st_.master;  // snapshot; racing stores branch on kWrite/kWriteTorn
+}
+
+void TpmModelHw::FinishCopy() { st_.copying = false; }
+
+void TpmModelHw::ShootdownBeforeCheck() {
+  st_.present = false;  // the atomic get_and_clear unmaps the page
+  if (mut_ != Mutation::kSkipShootdown2) {
+    st_.tlb.valid = false;
+  }
+}
+
+bool TpmModelHw::ReadDirty() {
+  if (mut_ == Mutation::kSkipDirtyCheck) {
+    return false;
+  }
+  return st_.pte_dirty;
+}
+
+void TpmModelHw::CommitRemap(bool retain_shadow) {
+  st_.mapped_to_copy = true;
+  st_.present = true;
+  st_.pte_dirty = false;
+  st_.committed = true;
+  if (retain_shadow) {
+    st_.shadow_present = true;  // the master frame lives on as the shadow
+    st_.write_protected = mut_ != Mutation::kNoWriteProtect;
+  } else {
+    st_.master_freed = true;  // exclusive tiering drops the source copy
+  }
+}
+
+void TpmModelHw::Abort() {
+  // The original mapping — including its dirty bit — is left untouched.
+  st_.present = true;
+  st_.copy_freed = true;
+  st_.aborted = true;
+}
+
+void SyncModelHw::Unmap() { st_.present = false; }
+
+void SyncModelHw::Shootdown() {
+  if (mut_ != Mutation::kSkipSyncShootdown) {
+    st_.tlb.valid = false;
+  }
+}
+
+void SyncModelHw::Copy() { st_.copy = st_.master; }
+
+void SyncModelHw::Remap() {
+  st_.mapped_to_copy = true;
+  st_.present = true;
+  st_.master_freed = true;
+  st_.committed = true;
+}
+
+// --- application accesses -------------------------------------------------
+
+namespace {
+
+// Would a store right now go through the cached TLB entry?
+bool StoreUsesTlb(const ModelState& st) { return st.tlb.valid && st.tlb.writable; }
+
+// The frame a store would reach (true = the new/copy frame).
+bool StoreTargetsCopy(const ModelState& st) {
+  return StoreUsesTlb(st) ? st.tlb.to_copy : st.mapped_to_copy;
+}
+
+}  // namespace
+
+bool StoreEnabled(const ModelState& st) { return StoreUsesTlb(st) || st.present; }
+
+bool TornStoreEnabled(const ModelState& st) {
+  return st.copying && StoreEnabled(st) && !StoreTargetsCopy(st);
+}
+
+bool LoadEnabled(const ModelState& st) { return !st.tlb.valid && st.present; }
+
+bool ReadEnabled(const ModelState& st) { return st.present; }
+
+std::optional<std::string> ApplyStore(ModelState& st, bool torn) {
+  const uint64_t bit = 1ull << st.writes_issued;
+  st.writes_issued++;
+  if (StoreUsesTlb(st)) {
+    // Store through the cached translation: no re-walk for permission or
+    // presence. A clear cached D bit makes the hardware assist set the
+    // in-memory dirty bit (even mid-migration — this is the assist racing
+    // the kernel's get_and_clear).
+    if (!st.tlb.dirty) {
+      st.tlb.dirty = true;
+      st.pte_dirty = true;
+    }
+    if (st.tlb.to_copy) {
+      if (st.copy_freed) {
+        return "use_after_free";
+      }
+      st.copy |= bit;
+    } else {
+      if (st.master_freed) {
+        return "use_after_free";
+      }
+      st.master |= bit;
+      if (st.copying) {
+        st.wrote_mid_copy = true;
+        if (torn) {
+          st.copy |= bit;  // the copy engine happens to pick this store up
+        }
+      }
+    }
+    return std::nullopt;
+  }
+  // Page walk. The explorer only schedules this while the page is mapped
+  // (StoreEnabled), so present holds here.
+  if (st.write_protected) {
+    // Shadow fault: the shadow is discarded *before* the store lands.
+    st.shadow_present = false;
+    st.write_protected = false;
+  }
+  st.pte_dirty = true;
+  st.tlb = WriterTlb{/*valid=*/true, /*to_copy=*/st.mapped_to_copy,
+                     /*writable=*/true, /*dirty=*/true};
+  if (st.mapped_to_copy) {
+    st.copy |= bit;
+  } else {
+    st.master |= bit;
+    if (st.copying) {
+      st.wrote_mid_copy = true;
+      if (torn) {
+        st.copy |= bit;
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<std::string> ApplyLoad(ModelState& st) {
+  st.tlb = WriterTlb{/*valid=*/true, /*to_copy=*/st.mapped_to_copy,
+                     /*writable=*/!st.write_protected, /*dirty=*/false};
+  return std::nullopt;
+}
+
+std::optional<std::string> ApplyRead(ModelState& st) {
+  const uint64_t observed = st.mapped_to_copy ? st.copy : st.master;
+  st.reads_done++;
+  if ((st.last_read & ~observed) != 0) {
+    // A store the checker already saw has vanished from the page.
+    return "read_regression";
+  }
+  st.last_read = observed;
+  return std::nullopt;
+}
+
+// --- invariants -----------------------------------------------------------
+
+std::optional<std::string> CheckAlways(const ModelState& st) {
+  if (st.shadow_present && st.master_freed) {
+    return "shadow_frame_freed";
+  }
+  if (st.shadow_present && st.master != st.copy) {
+    // The shadow must be byte-identical to the page it shadows, from the
+    // commit until the shadow fault discards it.
+    return "stale_shadow";
+  }
+  return std::nullopt;
+}
+
+std::optional<std::string> CheckFinal(const ModelState& st) {
+  const uint64_t all = st.writes_issued >= 64 ? ~0ull : (1ull << st.writes_issued) - 1;
+  const uint64_t mapped = st.mapped_to_copy ? st.copy : st.master;
+  if (mapped != all) {
+    return "lost_update";
+  }
+  if (st.committed && st.wrote_mid_copy) {
+    // The validity test exists to make exactly this unreachable.
+    return "commit_despite_mid_copy_store";
+  }
+  return std::nullopt;
+}
+
+}  // namespace modelcheck
+}  // namespace nomad

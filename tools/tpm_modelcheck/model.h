@@ -1,0 +1,174 @@
+// Abstract page model for exhaustive checking of the TPM protocol.
+//
+// tools/tpm_modelcheck drives the *real* transition code — tpm::Transaction
+// and tpm::SyncMigration from src/nomad/tpm_protocol.h, the same objects
+// kpromote.cc and migrate.cc execute — against this abstract model of one
+// page under migration: two physical frames, one PTE, and the writer core's
+// cached TLB entry. The explorer (explore.h) interleaves application
+// accesses between protocol steps in every possible order and checks three
+// invariants in every reachable state:
+//
+//   no_lost_update   every issued store is visible through the final
+//                    mapping once the migration quiesces;
+//   mid-copy abort   a store that reached the master frame during the copy
+//                    window never coexists with a committed transaction;
+//   clean shadow     whenever the old frame is retained as a shadow, its
+//                    content equals the new frame's content.
+//
+// TLB model. Stores through a valid writable cached entry use the cached
+// translation and never re-walk for permission or presence; if the cached
+// dirty bit is clear, the hardware assist sets the in-memory PTE dirty bit
+// (possibly racing the kernel's get_and_clear — the race the protocol's
+// second shootdown exists to close). Stores without a usable entry walk the
+// page table: they stall while the page is unmapped, take the shadow fault
+// when the mapping is write-protected (discarding the shadow before the
+// store lands), set the dirty bit, and refill the TLB. Loads fill the TLB
+// without dirtying. Page content is modeled as a bitmask of the stores that
+// have reached each frame, so a lost update in the middle of the schedule
+// cannot be masked by a later store.
+#ifndef TOOLS_TPM_MODELCHECK_MODEL_H_
+#define TOOLS_TPM_MODELCHECK_MODEL_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/nomad/tpm_protocol.h"
+
+namespace nomad {
+namespace modelcheck {
+
+// Protocol mutations for --selftest: each deletes one safety ingredient,
+// and the explorer must find a violating schedule for every one of them.
+enum class Mutation : uint8_t {
+  kNone = 0,
+  kSkipShootdown1,     // stale dirty-state entries survive the clear
+  kSkipShootdown2,     // stale writable translations survive into commit
+  kSkipDirtyCheck,     // commit without the validity test
+  kNoWriteProtect,     // shadow retained but first store doesn't fault
+  kSkipSyncShootdown,  // sync path: stale translations survive the unmap
+};
+
+constexpr Mutation kAllMutations[] = {
+    Mutation::kSkipShootdown1, Mutation::kSkipShootdown2, Mutation::kSkipDirtyCheck,
+    Mutation::kNoWriteProtect, Mutation::kSkipSyncShootdown,
+};
+
+const char* MutationName(Mutation m);
+std::optional<Mutation> MutationFromName(const std::string& name);
+
+// One schedule action. A schedule is a sequence of these; 's' advances the
+// protocol machine by exactly one hardware step, the rest are application
+// accesses interleaved between steps.
+enum class Action : char {
+  kStep = 's',       // one protocol step (Transaction/SyncMigration::Advance)
+  kWrite = 'w',      // store; if it races the copy, the copy misses it
+  kWriteTorn = 't',  // store racing the copy that the copy engine picks up
+  kLoad = 'l',       // load on the writer core (fills its TLB, no dirty)
+  kRead = 'r',       // checker read through a fresh walk (no TLB)
+};
+
+// The writer core's cached TLB entry.
+struct WriterTlb {
+  bool valid = false;
+  bool to_copy = false;   // cached translation points at the new frame
+  bool writable = false;  // cached write permission
+  bool dirty = false;     // cached D bit: set => stores skip the PTE entirely
+};
+
+// Frame contents are bitmasks over store indices: store #k sets bit k in
+// the frame it reaches (and, for kWriteTorn, in the in-flight copy too).
+struct ModelState {
+  uint64_t master = 0;  // old (slow-tier) frame content
+  uint64_t copy = 0;    // new (fast-tier) frame content
+  bool master_freed = false;
+  bool copy_freed = false;
+
+  bool present = true;
+  bool pte_dirty = false;
+  bool write_protected = false;  // shadow_rw: first store must fault
+  bool mapped_to_copy = false;
+
+  WriterTlb tlb;
+
+  bool copying = false;  // between StartCopy and FinishCopy
+  bool shadow_present = false;
+
+  uint64_t writes_issued = 0;
+  uint64_t reads_done = 0;
+  uint64_t last_read = 0;  // content mask the checker last observed
+  bool wrote_mid_copy = false;
+  bool committed = false;
+  bool aborted = false;
+};
+
+// A failed invariant plus the schedule that reached it. EncodeSchedule of
+// the schedule is a valid --replay argument: the one-line reproducer.
+struct Violation {
+  std::string invariant;
+  std::string detail;
+  std::vector<Action> schedule;
+};
+
+std::string EncodeSchedule(const std::vector<Action>& schedule);
+std::optional<std::vector<Action>> DecodeSchedule(const std::string& text);
+
+// tpm::Hw bound to the abstract model (optionally mutated).
+class TpmModelHw : public tpm::Hw {
+ public:
+  TpmModelHw(ModelState& st, Mutation mut) : st_(st), mut_(mut) {}
+
+  void ClearDirty() override;
+  void ShootdownAfterClear() override;
+  void StartCopy() override;
+  void FinishCopy() override;
+  void ShootdownBeforeCheck() override;
+  bool ReadDirty() override;
+  void CommitRemap(bool retain_shadow) override;
+  void Abort() override;
+
+ private:
+  ModelState& st_;
+  Mutation mut_;
+};
+
+// tpm::SyncHw bound to the same model.
+class SyncModelHw : public tpm::SyncHw {
+ public:
+  SyncModelHw(ModelState& st, Mutation mut) : st_(st), mut_(mut) {}
+
+  void Unmap() override;
+  void Shootdown() override;
+  void Copy() override;
+  void Remap() override;
+
+ private:
+  ModelState& st_;
+  Mutation mut_;
+};
+
+// Application-side transitions. An access that would stall (page unmapped,
+// no usable TLB entry) is disabled rather than applied: the explorer simply
+// never schedules it at that point, which is exactly what the migration
+// window does to the simulated application.
+bool StoreEnabled(const ModelState& st);
+bool TornStoreEnabled(const ModelState& st);  // store would race the copy
+bool LoadEnabled(const ModelState& st);
+bool ReadEnabled(const ModelState& st);
+
+// Apply an access. Returns the violated invariant if the access itself
+// exposes one (use_after_free, read_regression), nullopt otherwise.
+std::optional<std::string> ApplyStore(ModelState& st, bool torn);
+std::optional<std::string> ApplyLoad(ModelState& st);
+std::optional<std::string> ApplyRead(ModelState& st);
+
+// Invariants over states (checked after every action) and over quiescent
+// final states (machine done, all stores drained).
+std::optional<std::string> CheckAlways(const ModelState& st);
+std::optional<std::string> CheckFinal(const ModelState& st);
+
+}  // namespace modelcheck
+}  // namespace nomad
+
+#endif  // TOOLS_TPM_MODELCHECK_MODEL_H_
