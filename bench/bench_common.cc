@@ -27,7 +27,8 @@ std::string PathWithLabel(const std::string& path, const std::string& label) {
 
 MetricsCollector MetricsCollector::FromFlags(const std::string& bench_id, const Flags& flags) {
   return MetricsCollector(bench_id, flags.GetString("metrics_out", ""),
-                          flags.GetString("trace_out", ""));
+                          flags.GetString("trace_out", ""),
+                          flags.GetString("profile_out", ""));
 }
 
 void MetricsCollector::Capture(const std::string& label, Sim& sim, const PhaseReport& report) {
@@ -45,6 +46,13 @@ void MetricsCollector::Capture(const std::string& label, Sim& sim, const PhaseRe
         captures_ == 0 ? trace_path_ : PathWithLabel(trace_path_, label);
     if (!WriteTraceFile(sim, path)) {
       std::cerr << "warning: could not write trace to " << path << "\n";
+    }
+  }
+  if (!profile_path_.empty()) {
+    const std::string path =
+        captures_ == 0 ? profile_path_ : PathWithLabel(profile_path_, label);
+    if (!WriteProfileFile(sim, path)) {
+      std::cerr << "warning: could not write profile to " << path << "\n";
     }
   }
   captures_++;

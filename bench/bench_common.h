@@ -28,15 +28,20 @@ namespace nomad {
 // output paths are empty, so binaries can pass it unconditionally.
 class MetricsCollector {
  public:
-  MetricsCollector(std::string bench_id, std::string metrics_path, std::string trace_path)
+  MetricsCollector(std::string bench_id, std::string metrics_path, std::string trace_path,
+                   std::string profile_path = "")
       : bench_id_(std::move(bench_id)),
         metrics_path_(std::move(metrics_path)),
-        trace_path_(std::move(trace_path)) {}
+        trace_path_(std::move(trace_path)),
+        profile_path_(std::move(profile_path)) {}
 
-  // Reads --metrics_out / --trace_out. Call before Flags::UnusedKeys().
+  // Reads --metrics_out / --trace_out / --profile_out. Call before
+  // Flags::UnusedKeys().
   static MetricsCollector FromFlags(const std::string& bench_id, const Flags& flags);
 
-  bool active() const { return !metrics_path_.empty() || !trace_path_.empty(); }
+  bool active() const {
+    return !metrics_path_.empty() || !trace_path_.empty() || !profile_path_.empty();
+  }
 
   // Records one finished run. The first capture's trace goes to the exact
   // --trace_out path; later captures get the label inserted before the
@@ -55,6 +60,7 @@ class MetricsCollector {
   std::string bench_id_;
   std::string metrics_path_;
   std::string trace_path_;
+  std::string profile_path_;  // collapsed-stack cycle profiles (flamegraph input)
   std::vector<std::string> run_json_;  // pre-rendered run objects
   size_t captures_ = 0;
   bool flushed_ = false;

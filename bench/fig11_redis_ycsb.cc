@@ -9,7 +9,14 @@
 
 using namespace nomad;
 
-int main() {
+int main(int argc, char** argv) {
+  Flags flags(argc, argv);
+  MetricsCollector collector = MetricsCollector::FromFlags("fig11_redis_ycsb", flags);
+  if (!flags.UnusedKeys().empty()) {
+    std::cerr << "usage: fig11_redis_ycsb [--metrics_out=PATH] [--trace_out=PATH]"
+                 " [--profile_out=PATH]\n";
+    return 2;
+  }
   std::cout << "==================================================================\n"
                "Figure 11: Redis + YCSB-A throughput (K ops/s, simulated)\n"
                "sizes scaled 1/64; record = 1 KB value + overhead (2 KB)\n"
@@ -17,13 +24,14 @@ int main() {
 
   struct Case {
     const char* label;
+    const char* id;    // metrics label stem
     uint64_t records;  // scaled
     bool demote_first;
   };
   const Case cases[] = {
-      {"case 1 (13GB, demoted)", 93750, true},    // ~6M paper records
-      {"case 2 (24GB, demoted)", 156250, true},   // ~10M paper records
-      {"case 3 (24GB, in place)", 156250, false},
+      {"case 1 (13GB, demoted)", "case1", 93750, true},    // ~6M paper records
+      {"case 2 (24GB, demoted)", "case2", 156250, true},   // ~10M paper records
+      {"case 3 (24GB, in place)", "case3", 156250, false},
   };
 
   for (PlatformId platform : {PlatformId::kA, PlatformId::kC, PlatformId::kD}) {
@@ -37,7 +45,9 @@ int main() {
         cfg.record_count = c.records;
         cfg.demote_first = c.demote_first;
         cfg.total_ops = 60000;
-        const AppRunResult r = RunYcsbBench(cfg);
+        const std::string label = std::string(PlatformName(platform)) + "-" + c.id + "-" +
+                                  PolicyKindName(policy);
+        const AppRunResult r = RunYcsbBench(cfg, &collector, label);
         t.AddRow({c.label, PolicyKindName(policy), Fmt(r.ops_per_sec / 1e3, 1),
                   FmtCount(r.promotions)});
       }

@@ -12,8 +12,19 @@ else
 fi
 cmake --build build -j "$(nproc 2> /dev/null || echo 2)"
 ctest --test-dir build 2>&1 | tee test_output.txt
+# Benches that export nomad-metrics-v1 also get metrics + collapsed-stack
+# profiles under artifacts/ (feed the .folded files to a flamegraph tool,
+# and metrics/trace JSON to tools/trace_query).
+mkdir -p artifacts
 for b in build/bench/*; do
   [ -x "$b" ] && [ ! -d "$b" ] && case "$b" in *.a) continue;; esac || continue
-  echo "##### $(basename "$b")"
-  if [ "$(basename "$b")" = micro_ops ]; then "$b" --benchmark_min_time=0.2; else "$b"; fi
+  name="$(basename "$b")"
+  echo "##### $name"
+  case "$name" in
+    micro_ops) "$b" --benchmark_min_time=0.2 ;;
+    ablation_pcq | ablation_shadowing | fig01_tpp_motivation | fig10_pointer_chase | \
+      fig11_redis_ycsb | table2_migration_counts | table4_tpm_success)
+      "$b" --metrics_out="artifacts/$name.json" --profile_out="artifacts/$name.folded" ;;
+    *) "$b" ;;
+  esac
 done 2>&1 | tee bench_output.txt

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <fstream>
+#include <iostream>
 
 #include "src/check/check.h"
 #include "src/obs/exporters.h"
@@ -292,7 +293,21 @@ void AppendRunMetrics(JsonWriter& jw, Sim& sim, const PhaseReport& report,
   AppendCountersJson(jw, ms.counters());
   jw.Key("trace");
   AppendTraceSummaryJson(jw, ms.trace());
+  jw.Key("profile");
+  AppendProfileJson(jw, ms.prof());
+  jw.Key("histograms");
+  AppendHistogramsJson(jw, ms.hists());
+  jw.Key("provenance");
+  AppendProvenanceJson(jw, ms.provenance());
   jw.EndObject();
+
+  // A trace that silently overflowed its ring buffer would make every
+  // downstream pairing analysis (trace_query) quietly wrong; say so.
+  if (ms.trace().dropped() > 0) {
+    std::cerr << "warning: trace ring buffer overflowed; dropped " << ms.trace().dropped()
+              << " of " << ms.trace().total_emitted() << " events (raise TraceSink capacity or "
+              << "shorten the run for complete traces)\n";
+  }
 }
 
 bool WriteMetricsFile(Sim& sim, const PhaseReport& report, const std::string& label,
@@ -324,6 +339,15 @@ bool WriteTraceFile(Sim& sim, const std::string& path) {
     actor_names.push_back(sim.engine().ActorNameOf(id));
   }
   WriteChromeTrace(sim.ms().trace(), sim.platform().ghz, actor_names, out);
+  return out.good();
+}
+
+bool WriteProfileFile(Sim& sim, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) {
+    return false;
+  }
+  WriteCollapsedStacks(sim.ms().prof(), out);
   return out.good();
 }
 

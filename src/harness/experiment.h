@@ -146,6 +146,10 @@ bool WriteMetricsFile(Sim& sim, const PhaseReport& report, const std::string& la
 // Writes the run's event trace as a chrome://tracing JSON document.
 bool WriteTraceFile(Sim& sim, const std::string& path);
 
+// Writes the run's cycle-attribution profile as collapsed-stack text
+// ("root;child cycles" per line), the input format of flamegraph tools.
+bool WriteProfileFile(Sim& sim, const std::string& path);
+
 }  // namespace nomad
 
 #endif  // SRC_HARNESS_EXPERIMENT_H_

@@ -27,7 +27,13 @@ Cycles Kswapd::ReclaimRound() {
   LruLists& lru = ms_->lru(config_.tier);
   const KernelCosts& costs = ms_->platform().costs;
   const Tier tier = config_.tier;
+  // The round is one kswapd_reclaim span; shadow reclaim and the demotion
+  // migrations charge themselves as children, LRU bookkeeping accumulates
+  // into one lru_scan leaf below, and only the setup cost books as self.
+  ProfScope span(ms_->prof(), ProfNode::kKswapdReclaim);
+  Cycles lru_cost = 0;
   Cycles spent = costs.daemon_wakeup / 4;  // loop setup / lru lock costs
+  ms_->prof().Charge(spent);
 
   // Give policies first shot (NOMAD: free shadow pages before demoting).
   if (pre_reclaim_) {
@@ -50,15 +56,19 @@ Cycles Kswapd::ReclaimRound() {
       if (pte != nullptr) {
         pte->accessed = false;
         spent += costs.pte_update;
+        lru_cost += costs.pte_update;
       }
       lru.Deactivate(pfn);
       spent += costs.lru_op;
+      lru_cost += costs.lru_op;
       any = true;
     }
     if (any && lru.InactiveTail() != kInvalidPfn) {
       PageFrame& f = pool.frame(lru.InactiveTail());
       if (f.mapped()) {
-        spent += ms_->TlbShootdown(*f.owner, f.vpn);
+        const Cycles c = ms_->TlbShootdown(*f.owner, f.vpn);
+        spent += c;
+        lru_cost += c;
       }
     }
   }
@@ -80,16 +90,19 @@ Cycles Kswapd::ReclaimRound() {
       lru.Remove(pfn);
       pool.Free(pfn);
       spent += costs.lru_op;
+      lru_cost += costs.lru_op;
       continue;
     }
     if (f.migrating) {
       // A TPM transaction owns this frame; leave it alone.
       lru.RotateInactive(pfn);
       spent += costs.lru_op;
+      lru_cost += costs.lru_op;
       continue;
     }
     Pte* pte = ms_->PteOf(*f.owner, f.vpn);
     spent += costs.lru_op + costs.pte_update;
+    lru_cost += costs.lru_op + costs.pte_update;
     if (pte != nullptr && pte->accessed) {
       // Referenced since the last scan: second chance.
       pte->accessed = false;
@@ -116,6 +129,7 @@ Cycles Kswapd::ReclaimRound() {
       }
     }
   }
+  ms_->prof().ChargeLeaf(ProfNode::kLruScan, lru_cost);
   return spent;
 }
 

@@ -31,6 +31,9 @@
 #include "src/mm/frame_pool.h"
 #include "src/mm/lru.h"
 #include "src/mm/tlb.h"
+#include "src/obs/hist.h"
+#include "src/obs/prof.h"
+#include "src/obs/provenance.h"
 #include "src/obs/trace.h"
 #include "src/sim/engine.h"
 #include "src/sim/stats.h"
@@ -77,6 +80,15 @@ class MemorySystem {
   CounterSet& counters() { return counters_; }
   TraceSink& trace() { return trace_; }
   const TraceSink& trace() const { return trace_; }
+  // Cycle-attribution profiler, latency histograms and per-page ledger.
+  // Like the trace sink these are fed per kernel event, and every feeding
+  // call compiles away when tracing is off.
+  Profiler& prof() { return prof_; }
+  const Profiler& prof() const { return prof_; }
+  HistogramSet& hists() { return hists_; }
+  const HistogramSet& hists() const { return hists_; }
+  ProvenanceLedger& provenance() { return prov_; }
+  const ProvenanceLedger& provenance() const { return prov_; }
   Cycles Now() const { return engine_ ? engine_->now() : 0; }
 
   // Installs the (optional) fault injector. The MemorySystem owns it and
@@ -186,6 +198,9 @@ class MemorySystem {
   std::map<ActorId, std::unique_ptr<Tlb>> tlbs_;
   CounterSet counters_;
   TraceSink trace_;
+  Profiler prof_;
+  HistogramSet hists_;
+  ProvenanceLedger prov_;
   std::unique_ptr<FaultInjector> faults_;
 
   HintFaultHandler hint_fault_;

@@ -84,6 +84,10 @@ class SyncHwImpl : public tpm::SyncHw {
 
 MigrateResult MigratePageSync(MemorySystem& ms, AddressSpace& as, Vpn vpn, Tier dst) {
   MigrateResult r;
+  // Attribution nests under whoever triggered the migration: hint_fault for
+  // TPP's on-fault promotion, kswapd_reclaim for demotions, root-level for
+  // kpromote's multi-mapped fallback.
+  ProfScope span(ms.prof(), ProfNode::kSyncMigrate);
   const KernelCosts& costs = ms.platform().costs;
   Pte* pte = ms.PteOf(as, vpn);
   if (!pte || !pte->present) {
@@ -102,6 +106,7 @@ MigrateResult MigratePageSync(MemorySystem& ms, AddressSpace& as, Vpn vpn, Tier 
   const Pfn new_pfn = ms.pool().AllocOn(dst);
   if (new_pfn == kInvalidPfn) {
     ms.counters().Add(cnt::kMigrateSyncFailNomem, 1);
+    ms.prof().Charge(r.cycles);
     return r;
   }
 
@@ -116,6 +121,14 @@ MigrateResult MigratePageSync(MemorySystem& ms, AddressSpace& as, Vpn vpn, Tier 
 
   ms.counters().Add(dst == Tier::kFast ? cnt::kMigrateSyncPromote : cnt::kMigrateSyncDemote, 1);
   ms.Trace(dst == Tier::kFast ? TraceEvent::kPromote : TraceEvent::kDemote, vpn, r.cycles);
+  ms.prof().Charge(r.cycles);
+  if (dst == Tier::kFast) {
+    ms.hists().Record(hist::kMigrationLatency, r.cycles);
+    ms.provenance().OnPromote(vpn, ms.Now());
+  } else {
+    ms.hists().Record(hist::kDemotionLatency, r.cycles);
+    ms.provenance().OnDemote(vpn, ms.Now());
+  }
   r.success = true;
   return r;
 }

@@ -64,7 +64,9 @@ Cycles ThrashGovernor::Step(Engine& engine) {
   }
 
   engine.SleepUntil(engine.now() + config_.period);
-  return ms_->platform().costs.daemon_wakeup / 2;
+  const Cycles spent = ms_->platform().costs.daemon_wakeup / 2;
+  ms_->prof().ChargeLeaf(ProfNode::kGovernor, spent);
+  return spent;
 }
 
 }  // namespace nomad

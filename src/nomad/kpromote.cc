@@ -19,11 +19,20 @@ class KpromoteActor::ProtocolHw : public tpm::Hw {
   void ClearDirty() override {
     pte_.dirty = false;
     spent_ += costs().pte_update;
+    k_.ms_->prof().Charge(costs().pte_update);
   }
 
-  void ShootdownAfterClear() override { spent_ += k_.ms_->TlbShootdown(*t_.as, t_.vpn); }
+  void ShootdownAfterClear() override {
+    const Cycles c = k_.ms_->TlbShootdown(*t_.as, t_.vpn);
+    k_.ms_->prof().ChargeLeaf(ProfNode::kTpmShootdown1, c);
+    spent_ += c;
+  }
 
-  void StartCopy() override { spent_ += k_.ms_->CopyPageCost(Tier::kSlow, Tier::kFast); }
+  void StartCopy() override {
+    const Cycles c = k_.ms_->CopyPageCost(Tier::kSlow, Tier::kFast);
+    k_.ms_->prof().ChargeLeaf(ProfNode::kTpmCopy, c);
+    spent_ += c;
+  }
 
   // The engine models the copy by keeping kpromote busy for its duration
   // (charged at StartCopy); completion needs no further work here.
@@ -32,7 +41,10 @@ class KpromoteActor::ProtocolHw : public tpm::Hw {
   void ShootdownBeforeCheck() override {
     // The atomic get_and_clear (pte_update) plus shootdown #2.
     spent_ += costs().pte_update;
-    spent_ += k_.ms_->TlbShootdown(*t_.as, t_.vpn);
+    k_.ms_->prof().Charge(costs().pte_update);
+    const Cycles c = k_.ms_->TlbShootdown(*t_.as, t_.vpn);
+    k_.ms_->prof().ChargeLeaf(ProfNode::kTpmShootdown2, c);
+    spent_ += c;
   }
 
   bool ReadDirty() override {
@@ -66,6 +78,12 @@ class KpromoteActor::ProtocolHw : public tpm::Hw {
     pte_.dirty = false;
     pte_.accessed = true;
     spent_ += costs().pte_update;
+    ms.prof().ChargeLeaf(ProfNode::kTpmCommitRemap, costs().pte_update);
+
+    // The retry histogram books the aborts this page ate on its way to an
+    // eventual commit; the counter resets below so the next transaction on
+    // this frame starts clean.
+    ms.hists().Record(hist::kTpmRetries, old_frame.tpm_aborts);
 
     ms.lru(Tier::kSlow).Remove(t_.old_pfn);
     old_frame.owner = nullptr;
@@ -90,6 +108,11 @@ class KpromoteActor::ProtocolHw : public tpm::Hw {
     k_.stats_.commits++;
     ms.counters().Add(cnt::kNomadTpmCommit, 1);
     ms.Trace(TraceEvent::kTpmCommit, t_.vpn, spent_);
+    // End-to-end transaction latency (matches the kTpmBegin->kTpmCommit
+    // trace pairing) and time from "deemed hot" to promoted.
+    ms.hists().Record(hist::kMigrationLatency, ms.Now() - t_.begin_time);
+    ms.hists().Record(hist::kHotToPromoted, ms.Now() - t_.pending_since);
+    ms.provenance().OnPromote(t_.vpn, ms.Now());
     k_.txn_.reset();
   }
 
@@ -103,6 +126,7 @@ class KpromoteActor::ProtocolHw : public tpm::Hw {
     k_.NoteAbortForStorm();
     k_.AbortCleanup(/*requeue=*/true);
     spent_ += costs().pte_update;
+    k_.ms_->prof().Charge(costs().pte_update);
   }
 
   Cycles spent() const { return spent_; }
@@ -143,6 +167,7 @@ Cycles KpromoteActor::BeginNext(Engine& engine) {
     last_scan_ = engine.now();
     auto [moved, scan_cost] = queues_->ScanPcq(config_.pcq_scan_batch);
     (void)moved;
+    ms_->prof().ChargeLeaf(ProfNode::kPcqWait, scan_cost);
     spent += scan_cost;
   }
   Pfn pfn = queues_->PopPending();
@@ -192,14 +217,14 @@ Cycles KpromoteActor::BeginNext(Engine& engine) {
     if (kswapd_fast_id_ != ~ActorId{0}) {
       engine.Wake(kswapd_fast_id_, engine.now() + costs.daemon_wakeup);
     }
-    queues_->RequeuePending(pfn);
+    queues_->RequeuePending(pfn, queues_->popped_hot_since());
     engine.SleepUntil(engine.now() + std::max<Cycles>(spent, 1) + config_.idle_poll);
     return spent;
   }
   const Pfn new_pfn = pool.AllocOn(Tier::kFast);
   if (new_pfn == kInvalidPfn) {
     stats_.nomem_waits++;
-    queues_->RequeuePending(pfn);
+    queues_->RequeuePending(pfn, queues_->popped_hot_since());
     engine.SleepUntil(engine.now() + std::max<Cycles>(spent, 1) + config_.idle_poll);
     return spent;
   }
@@ -207,10 +232,16 @@ Cycles KpromoteActor::BeginNext(Engine& engine) {
   // --- TPM steps 1-3 (clear dirty, shootdown #1, copy while mapped),
   // driven through the protocol seam. ---
   f.migrating = true;
-  txn_ = Txn{&as, vpn, pfn, f.generation, new_pfn, pte->writable || pte->shadow_rw};
+  txn_ = Txn{&as,     vpn,
+             pfn,     f.generation,
+             new_pfn, pte->writable || pte->shadow_rw,
+             /*begin_time=*/engine.now(), queues_->popped_hot_since()};
   machine_.emplace(config_.shadowing);
   ProtocolHw hw(*this, *txn_, *pte);
-  machine_->Begin(hw);
+  {
+    ProfScope tpm_span(ms_->prof(), ProfNode::kTpm);
+    machine_->Begin(hw);
+  }
   spent += hw.spent();
   ms_->Trace(TraceEvent::kTpmBegin, vpn, spent);
   // Returning the copy duration keeps this actor busy for the whole copy;
@@ -221,6 +252,7 @@ Cycles KpromoteActor::BeginNext(Engine& engine) {
 void KpromoteActor::AbortCleanup(bool requeue) {
   Txn& t = *txn_;
   ms_->Trace(TraceEvent::kTpmAbort, t.vpn);
+  ms_->provenance().OnAbort(t.vpn, ms_->Now());
   ms_->pool().Free(t.new_pfn);
   PageFrame& f = ms_->pool().frame(t.old_pfn);
   if (f.generation == t.old_gen) {
@@ -244,7 +276,7 @@ void KpromoteActor::AbortCleanup(bool requeue) {
       stats_.backoffs++;
       ms_->counters().Add(cnt::kNomadTpmBackoff, 1);
       ms_->Trace(TraceEvent::kTpmBackoff, t.vpn, delay);
-      queues_->DeferPending(t.old_pfn, ms_->Now() + delay);
+      queues_->DeferPending(t.old_pfn, ms_->Now() + delay, t.pending_since);
     }
   }
   txn_.reset();
@@ -274,12 +306,14 @@ Cycles KpromoteActor::Commit(Engine& /*engine*/) {
     // The page vanished during the copy (unmapped by the workload).
     AbortCleanup(/*requeue=*/false);
     machine_.reset();
+    ms_->prof().ChargeLeaf(ProfNode::kTpm, costs.pte_update);
     return costs.pte_update;
   }
   Pte* pte = ms_->PteOf(*t.as, t.vpn);
   if (pte == nullptr || !pte->present || pte->pfn != t.old_pfn) {
     AbortCleanup(/*requeue=*/false);
     machine_.reset();
+    ms_->prof().ChargeLeaf(ProfNode::kTpm, costs.pte_update);
     return costs.pte_update;
   }
 
@@ -287,7 +321,10 @@ Cycles KpromoteActor::Commit(Engine& /*engine*/) {
   // shootdown #2, the dirty recheck, then commit-remap (the old frame
   // lives on as the shadow) or abort. ---
   ProtocolHw hw(*this, t, *pte);
-  (void)machine_->Commit(hw);
+  {
+    ProfScope tpm_span(ms_->prof(), ProfNode::kTpm);
+    (void)machine_->Commit(hw);
+  }
   machine_.reset();
   return hw.spent();
 }

@@ -96,6 +96,11 @@ class KpromoteActor : public Actor {
     uint32_t old_gen = 0;
     Pfn new_pfn = kInvalidPfn;
     bool was_writable = false;
+    // Observability timestamps: transaction start (matches the kTpmBegin
+    // trace record) and when the page entered the pending queue, i.e. was
+    // first deemed hot. Feed hist::kMigrationLatency / kHotToPromoted.
+    Cycles begin_time = 0;
+    Cycles pending_since = 0;
   };
 
   // Binds tpm::Hw to the simulated MemorySystem: each protocol step

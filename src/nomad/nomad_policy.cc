@@ -125,8 +125,10 @@ void NomadPolicy::Install(MemorySystem& ms, Engine& engine) {
 Cycles NomadPolicy::OnHintFault(ActorId /*cpu*/, AddressSpace& as, Vpn vpn) {
   MemorySystem& ms = *ms_;
   const KernelCosts& costs = ms.platform().costs;
+  ProfScope span(ms.prof(), ProfNode::kHintFault);
   Pte* pte = ms.PteOf(as, vpn);
   Cycles cost = costs.pte_update;
+  ms.prof().Charge(cost);
   ms.Trace(TraceEvent::kHintFault, vpn);
   // "Before migration commences, TPM clears the protection bit of the page
   // frame" - the page never hint-faults again while being considered.
@@ -140,6 +142,7 @@ Cycles NomadPolicy::OnHintFault(ActorId /*cpu*/, AddressSpace& as, Vpn vpn) {
 
   ms.lru(Tier::kSlow).MarkAccessed(pfn);
   cost += costs.lru_op;
+  ms.prof().Charge(costs.lru_op);
   if (!gate_.open) {
     // The thrash governor closed the promotion gate: serve the page in
     // place and do not nominate it.
@@ -174,6 +177,9 @@ Cycles NomadPolicy::OnWriteProtectFault(ActorId /*cpu*/, AddressSpace& as, Vpn v
     cost += costs.lru_op;
     ms.counters().Add(cnt::kNomadShadowFault, 1);
     ms.Trace(TraceEvent::kShadowFault, vpn);
+    // A store invalidated the transactional copy: the page re-dirtied
+    // after promotion. This is the ledger's re-dirty-rate numerator.
+    ms.provenance().OnRedirty(vpn, ms.Now());
   }
   return cost;
 }
@@ -222,6 +228,11 @@ MigrateResult NomadPolicy::DemotePage(Pfn pfn) {
     ms.counters().Add(cnt::kNomadDemoteRemap, 1);
     ms.counters().Add(cnt::kNomadDemoteRecent, 1);
     ms.Trace(TraceEvent::kDemote, vpn, r.cycles);
+    // Books as kswapd_reclaim self when kswapd drives the demotion; the
+    // copy path below attributes through sync_migrate instead.
+    ms.prof().Charge(r.cycles);
+    ms.hists().Record(hist::kDemotionLatency, r.cycles);
+    ms.provenance().OnDemote(vpn, ms.Now());
     r.success = true;
     return r;
   }

@@ -28,20 +28,20 @@ void PromotionQueues::EnqueueCandidate(Pfn pfn) {
   }
   if (overflow) {
     // Overflow: forget the oldest candidate.
-    auto [old, gen] = pcq_.front();
+    const Entry old = pcq_.front();
     pcq_.pop_front();
-    PageFrame& of = ms_->pool().frame(old);
-    if (of.generation == gen) {
+    PageFrame& of = ms_->pool().frame(old.pfn);
+    if (of.generation == old.gen) {
       of.in_pcq = false;
       of.pcq_primed = false;
     }
     ms_->counters().Add(cnt::kNomadPcqOverflow, 1);
     overflow_count_++;
-    ms_->Trace(TraceEvent::kPcqOverflow, old, pcq_.size());
+    ms_->Trace(TraceEvent::kPcqOverflow, old.pfn, pcq_.size());
   }
   f.in_pcq = true;
   f.pcq_primed = false;
-  pcq_.emplace_back(pfn, f.generation);
+  pcq_.push_back(Entry{pfn, f.generation, ms_->Now()});
   pcq_hwm_ = std::max(pcq_hwm_, pcq_.size());
   ms_->Trace(TraceEvent::kPcqEnqueue, pfn);
 }
@@ -55,7 +55,9 @@ std::pair<size_t, Cycles> PromotionQueues::ScanPcq(size_t limit) {
   // must not be re-examined until the application had time to touch them.
   const size_t examine = std::min(limit, pcq_.size());
   for (size_t i = 0; i < examine && !pcq_.empty(); i++) {
-    auto [pfn, gen] = pcq_.front();
+    const Entry e = pcq_.front();
+    const Pfn pfn = e.pfn;
+    const uint32_t gen = e.gen;
     pcq_.pop_front();
     spent += costs.lru_op;
     if (!ValidCandidate(pfn, gen)) {
@@ -73,7 +75,8 @@ std::pair<size_t, Cycles> PromotionQueues::ScanPcq(size_t limit) {
       f.in_pcq = false;
       f.pcq_primed = false;
       f.in_pending = true;
-      pending_.emplace_back(pfn, f.generation);
+      ms_->hists().Record(hist::kPcqResidence, ms_->Now() - e.since);
+      pending_.push_back(Entry{pfn, f.generation, ms_->Now()});
       pending_hwm_ = std::max(pending_hwm_, pending_.size() + deferred_.size());
       moved++;
       continue;
@@ -88,12 +91,12 @@ std::pair<size_t, Cycles> PromotionQueues::ScanPcq(size_t limit) {
       // floods the pending queue with pages that are not actually hot.
       f.pcq_primed = false;
       ms_->counters().Add(cnt::kNomadPcqDecay, 1);
-      pcq_.emplace_back(pfn, f.generation);
+      pcq_.push_back(Entry{pfn, f.generation, e.since});
       continue;
     }
     if (!pte->accessed) {
       // Untouched and unprimed: just keep cycling. No PTE work needed.
-      pcq_.emplace_back(pfn, f.generation);
+      pcq_.push_back(Entry{pfn, f.generation, e.since});
       continue;
     }
     // Touched since the last exam: clear the A-bit and prime, so the page
@@ -110,7 +113,7 @@ std::pair<size_t, Cycles> PromotionQueues::ScanPcq(size_t limit) {
       cleared_any_abit = true;
     }
     f.pcq_primed = true;
-    pcq_.emplace_back(pfn, f.generation);
+    pcq_.push_back(Entry{pfn, f.generation, e.since});
   }
   if (examine > 0) {
     ms_->Trace(TraceEvent::kPcqDrain, examine, moved);
@@ -129,32 +132,33 @@ void PromotionQueues::PromoteDueDeferred() {
 Pfn PromotionQueues::PopPending() {
   PromoteDueDeferred();
   while (!pending_.empty()) {
-    auto [pfn, gen] = pending_.front();
+    const Entry e = pending_.front();
     pending_.pop_front();
-    PageFrame& f = ms_->pool().frame(pfn);
-    if (f.generation != gen || !f.in_pending) {
+    PageFrame& f = ms_->pool().frame(e.pfn);
+    if (f.generation != e.gen || !f.in_pending) {
       continue;
     }
     if (!f.in_use || !f.mapped() || f.tier != Tier::kSlow || f.migrating) {
       f.in_pending = false;
       continue;
     }
-    return pfn;
+    popped_hot_since_ = e.since;
+    return e.pfn;
   }
   return kInvalidPfn;
 }
 
-void PromotionQueues::RequeuePending(Pfn pfn) {
+void PromotionQueues::RequeuePending(Pfn pfn, Cycles hot_since) {
   PageFrame& f = ms_->pool().frame(pfn);
   f.in_pending = true;
-  pending_.emplace_back(pfn, f.generation);
+  pending_.push_back(Entry{pfn, f.generation, hot_since == kNever ? ms_->Now() : hot_since});
   pending_hwm_ = std::max(pending_hwm_, pending_.size() + deferred_.size());
 }
 
-void PromotionQueues::DeferPending(Pfn pfn, Cycles ready) {
+void PromotionQueues::DeferPending(Pfn pfn, Cycles ready, Cycles hot_since) {
   PageFrame& f = ms_->pool().frame(pfn);
   f.in_pending = true;
-  deferred_.emplace(ready, std::make_pair(pfn, f.generation));
+  deferred_.emplace(ready, Entry{pfn, f.generation, hot_since == kNever ? ms_->Now() : hot_since});
   pending_hwm_ = std::max(pending_hwm_, pending_.size() + deferred_.size());
 }
 

@@ -47,13 +47,19 @@ class PromotionQueues {
   // page's in_pending flag stays set; the migrator clears it on completion.
   Pfn PopPending();
 
-  // Requeues an aborted transaction's page for a later retry.
-  void RequeuePending(Pfn pfn);
+  // When the page returned by the last successful PopPending() was deemed
+  // hot (entered the pending queue). Feeds hist::kHotToPromoted.
+  Cycles popped_hot_since() const { return popped_hot_since_; }
+
+  // Requeues an aborted transaction's page for a later retry. `hot_since`
+  // carries the original pending-entry time across the retry (kNever: reuse
+  // the current time).
+  void RequeuePending(Pfn pfn, Cycles hot_since = kNever);
 
   // Parks an aborted page until virtual time `ready` (exponential-backoff
   // retries). The page keeps its in_pending flag; PopPending() surfaces it
   // once `ready` passes.
-  void DeferPending(Pfn pfn, Cycles ready);
+  void DeferPending(Pfn pfn, Cycles ready, Cycles hot_since = kNever);
 
   // Earliest ready time among deferred pages, or kNever when none: lets
   // kpromote sleep exactly until a retry becomes due.
@@ -71,15 +77,26 @@ class PromotionQueues {
   const Config& config() const { return config_; }
 
  private:
+  // A queued page: identity (pfn + generation) plus the time it entered
+  // this stage, which feeds the pcq.residence / promotion.hot_to_promoted
+  // histograms. `since` survives requeues so the distribution reflects the
+  // page's full wait, not the last retry's.
+  struct Entry {
+    Pfn pfn = kInvalidPfn;
+    uint32_t gen = 0;
+    Cycles since = 0;
+  };
+
   bool ValidCandidate(Pfn pfn, uint32_t gen) const;
   void PromoteDueDeferred();
 
   MemorySystem* ms_;
   Config config_;
-  std::deque<std::pair<Pfn, uint32_t>> pcq_;
-  std::deque<std::pair<Pfn, uint32_t>> pending_;
-  // ready time -> (pfn, generation), drained front-first by PopPending().
-  std::multimap<Cycles, std::pair<Pfn, uint32_t>> deferred_;
+  std::deque<Entry> pcq_;
+  std::deque<Entry> pending_;
+  // ready time -> entry, drained front-first by PopPending().
+  std::multimap<Cycles, Entry> deferred_;
+  Cycles popped_hot_since_ = 0;
   size_t pcq_hwm_ = 0;
   size_t pending_hwm_ = 0;
   uint64_t overflow_count_ = 0;

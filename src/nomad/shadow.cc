@@ -41,6 +41,7 @@ bool ShadowManager::DiscardShadow(Pfn master) {
   if (shadow == kInvalidPfn) {
     return false;
   }
+  ms_->provenance().OnShadowFree(ms_->pool().frame(master).vpn, ms_->Now());
   ms_->pool().Free(shadow);
   ms_->counters().Add(cnt::kNomadShadowDiscard, 1);
   return true;
@@ -48,6 +49,7 @@ bool ShadowManager::DiscardShadow(Pfn master) {
 
 uint64_t ShadowManager::ReclaimShadows(uint64_t target, Cycles* cost) {
   const KernelCosts& costs = ms_->platform().costs;
+  const Cycles cost_at_entry = *cost;
   uint64_t freed = 0;
   // Newest-first: a fresh shadow belongs to a just-promoted (hot) master
   // that will stay in fast memory for a long time, so its shadow is the
@@ -70,6 +72,9 @@ uint64_t ShadowManager::ReclaimShadows(uint64_t target, Cycles* cost) {
   if (freed > 0) {
     ms_->Trace(TraceEvent::kShadowReclaim, freed, *cost);
   }
+  // Nests under kswapd_reclaim on the slow node's pre-reclaim path and
+  // sits at the root when the alloc-failure hook pulls it in directly.
+  ms_->prof().ChargeLeaf(ProfNode::kShadowReclaim, *cost - cost_at_entry);
   return freed;
 }
 

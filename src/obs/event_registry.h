@@ -1,6 +1,6 @@
 // Central registry of every observable name the simulator emits.
 //
-// Two name spaces live here, and nowhere else:
+// Four name spaces live here, and nowhere else:
 //
 //  1. Trace events: the NOMAD_TRACE_EVENT_LIST X-macro is the single source
 //     of truth for the TraceEvent enum *and* the lower_snake_case strings
@@ -12,6 +12,16 @@
 //     sites in src/ must use these constants instead of string literals so
 //     a typo ("nomad.tpm_comit") becomes a compile error instead of a
 //     silently empty metrics series. nomad_lint rule NL004 enforces this.
+//
+//  3. Profiler span nodes: NOMAD_PROF_NODE_LIST defines the ProfNode enum
+//     for the cycle-attribution profiler (src/obs/prof.h). Nesting is
+//     dynamic (whatever Enter/Exit order the run produced); this list only
+//     fixes the node identities and their exported names.
+//
+//  4. Histogram names: the keys fed to HistogramSet::Record()
+//     (src/obs/hist.h). Same contract as counters — call sites use the
+//     hist:: constants, and HistogramSet rejects unregistered names, so the
+//     exported set of distributions is closed and typo-proof (NL004 again).
 //
 // The `arg` and `value` columns of a trace record are event-specific:
 //
@@ -81,6 +91,61 @@ inline constexpr uint8_t kNumTraceEvents = static_cast<uint8_t>(TraceEvent::kNum
 // Stable lower_snake_case name, used by exporters and by baseline files.
 // Defined in trace.cc from the same X-macro list.
 const char* TraceEventName(TraceEvent e);
+
+// X(enumerator-suffix, exported-name). The static tree of subsystems the
+// span profiler attributes simulated cycles to. Like trace events, order is
+// ABI for the collapsed-stack path encoding, so new nodes append.
+#define NOMAD_PROF_NODE_LIST(X)            \
+  X(Tpm, "tpm")                            \
+  X(TpmCopy, "tpm_copy")                   \
+  X(TpmShootdown1, "tpm_shootdown_1")      \
+  X(TpmShootdown2, "tpm_shootdown_2")      \
+  X(TpmCommitRemap, "tpm_commit_remap")    \
+  X(PcqWait, "pcq_wait")                   \
+  X(LruScan, "lru_scan")                   \
+  X(KswapdReclaim, "kswapd_reclaim")       \
+  X(ShadowReclaim, "shadow_reclaim")       \
+  X(HintFault, "hint_fault")               \
+  X(PebsDrain, "pebs_drain")               \
+  X(SyncMigrate, "sync_migrate")           \
+  X(Governor, "governor")
+
+// One subsystem scope in the profiler's span tree.
+enum class ProfNode : uint8_t {
+#define NOMAD_PROF_ENUM(name, str) k##name,
+  NOMAD_PROF_NODE_LIST(NOMAD_PROF_ENUM)
+#undef NOMAD_PROF_ENUM
+      kNumNodes,
+};
+
+inline constexpr uint8_t kNumProfNodes = static_cast<uint8_t>(ProfNode::kNumNodes);
+
+// Stable exported name for one profiler node. Defined in prof.cc from the
+// same X-macro list.
+const char* ProfNodeName(ProfNode n);
+
+// X(constant-suffix, exported-name). Every latency/size distribution the
+// simulator records. HistogramSet::Record() refuses names outside this list.
+#define NOMAD_HIST_NAME_LIST(X)                      \
+  X(MigrationLatency, "migration.latency")           \
+  X(DemotionLatency, "demotion.latency")             \
+  X(HotToPromoted, "promotion.hot_to_promoted")      \
+  X(PcqResidence, "pcq.residence")                   \
+  X(TpmRetries, "tpm.retries")
+
+// Histogram keys (see table above). Units: cycles, except tpm.retries
+// (abort count per eventually-committed transaction).
+namespace hist {
+
+#define NOMAD_HIST_CONST(name, str) inline constexpr const char k##name[] = str;
+NOMAD_HIST_NAME_LIST(NOMAD_HIST_CONST)
+#undef NOMAD_HIST_CONST
+
+}  // namespace hist
+
+// True when `name` is one of the NOMAD_HIST_NAME_LIST entries. Defined in
+// hist.cc.
+bool IsRegisteredHistogramName(const char* name);
 
 // Counter keys, grouped by emitting subsystem. The dotted prefix is the
 // subsystem ("nomad.", "tpp.", ...); the metrics exporter preserves it so

@@ -151,6 +151,81 @@ void AppendBandwidthJson(JsonWriter& jw, Cycles window_cycles,
   jw.EndObject();
 }
 
+void AppendProfileJson(JsonWriter& jw, const Profiler& prof) {
+  jw.BeginObject();
+  jw.Field("unattributed", prof.unattributed());
+  jw.Key("nodes").BeginObject();
+  for (uint8_t i = 0; i < kNumProfNodes; i++) {
+    const ProfNode n = static_cast<ProfNode>(i);
+    if (prof.total_cycles(n) == 0 && prof.self_cycles(n) == 0) {
+      continue;
+    }
+    jw.Key(ProfNodeName(n)).BeginObject();
+    jw.Field("self", prof.self_cycles(n));
+    jw.Field("total", prof.total_cycles(n));
+    jw.EndObject();
+  }
+  jw.EndObject();
+  jw.EndObject();
+}
+
+void WriteCollapsedStacks(const Profiler& prof, std::ostream& out) {
+  for (const auto& [key, cycles] : prof.paths()) {
+    bool first = true;
+    for (const ProfNode n : Profiler::DecodePath(key)) {
+      out << (first ? "" : ";") << ProfNodeName(n);
+      first = false;
+    }
+    out << " " << cycles << "\n";
+  }
+  if (prof.unattributed() > 0) {
+    out << "(unattributed) " << prof.unattributed() << "\n";
+  }
+}
+
+void AppendHistogramsJson(JsonWriter& jw, const HistogramSet& hists) {
+  jw.BeginObject();
+  for (const auto& [name, h] : hists.All()) {
+    jw.Key(name).BeginObject();
+    jw.Field("count", h.count());
+    jw.Field("mean", h.Mean());
+    jw.Field("p50", h.Quantile(0.50));
+    jw.Field("p90", h.Quantile(0.90));
+    jw.Field("p99", h.Quantile(0.99));
+    jw.Field("max", h.Max());
+    jw.EndObject();
+  }
+  jw.EndObject();
+}
+
+void AppendProvenanceJson(JsonWriter& jw, const ProvenanceLedger& ledger, size_t top_n) {
+  jw.BeginObject();
+  jw.Field("tracked", static_cast<uint64_t>(ledger.tracked()));
+  jw.Field("dropped", ledger.dropped());
+  jw.Field("promotions", ledger.promotions());
+  jw.Field("demotions", ledger.demotions());
+  jw.Field("aborts", ledger.aborts());
+  jw.Field("redirty_events", ledger.redirty_events());
+  jw.Field("shadow_frees", ledger.shadow_frees());
+  jw.Field("ping_pong_events", ledger.ping_pong_events());
+  jw.Field("ping_pong_pages", ledger.ping_pong_pages());
+  jw.Field("redirty_rate", ledger.RedirtyRate());
+  jw.Key("top_thrashers").BeginArray();
+  for (const ProvenanceLedger::Thrasher& t : ledger.TopThrashers(top_n)) {
+    jw.BeginObject();
+    jw.Field("vpn", t.vpn);
+    jw.Field("score", t.score);
+    jw.Field("promotions", uint64_t{t.rec.promotions});
+    jw.Field("demotions", uint64_t{t.rec.demotions});
+    jw.Field("aborts", uint64_t{t.rec.aborts});
+    jw.Field("redirties", uint64_t{t.rec.redirties});
+    jw.Field("ping_pongs", uint64_t{t.rec.ping_pongs});
+    jw.EndObject();
+  }
+  jw.EndArray();
+  jw.EndObject();
+}
+
 void AppendTraceSummaryJson(JsonWriter& jw, const TraceSink& sink) {
   jw.BeginObject();
   jw.Field("enabled", sink.enabled());

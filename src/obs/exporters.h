@@ -12,7 +12,10 @@
 #include <string>
 #include <vector>
 
+#include "src/obs/hist.h"
 #include "src/obs/json.h"
+#include "src/obs/prof.h"
+#include "src/obs/provenance.h"
 #include "src/obs/trace.h"
 #include "src/sim/stats.h"
 
@@ -38,6 +41,25 @@ void AppendBandwidthJson(JsonWriter& jw, Cycles window_cycles,
 // {"enabled":..,"emitted":..,"retained":..,"dropped":..,"events":{...}} -
 // per-type counts of the retained records.
 void AppendTraceSummaryJson(JsonWriter& jw, const TraceSink& sink);
+
+// {"unattributed":..,"nodes":{"tpm":{"self":..,"total":..},...}} - cycle
+// attribution per profiler node, in ProfNode declaration order, nodes that
+// never saw a cycle omitted.
+void AppendProfileJson(JsonWriter& jw, const Profiler& prof);
+
+// Collapsed-stack text ("tpm;tpm_copy 1234" per line, outermost frame
+// first), directly consumable by flamegraph.pl / inferno / speedscope.
+// Lines come out in deterministic path-key order.
+void WriteCollapsedStacks(const Profiler& prof, std::ostream& out);
+
+// {"name":{"count":..,"mean":..,"p50":..,"p90":..,"p99":..,"max":..},...}
+// for every recorded histogram, sorted by name.
+void AppendHistogramsJson(JsonWriter& jw, const HistogramSet& hists);
+
+// {"tracked":..,"dropped":..,"promotions":..,...,"redirty_rate":..,
+//  "top_thrashers":[{"vpn":..,"score":..,...}]} - ledger aggregates plus
+// the top_n highest-scoring pages.
+void AppendProvenanceJson(JsonWriter& jw, const ProvenanceLedger& ledger, size_t top_n = 10);
 
 }  // namespace nomad
 

@@ -1,0 +1,96 @@
+#include "src/obs/hist.h"
+
+#include <algorithm>
+#include <bit>
+#include <cstring>
+
+#include "src/check/check.h"
+
+namespace nomad {
+
+int Histogram::BucketFor(uint64_t value) {
+  if (value < kSubBuckets) {
+    return static_cast<int>(value);
+  }
+  const int msb = static_cast<int>(std::bit_width(value)) - 1;  // >= kSubBucketBits
+  const int shift = msb - kSubBucketBits;
+  const int sub = static_cast<int>(value >> shift);  // in [kSubBuckets, 2*kSubBuckets)
+  return kSubBuckets + shift * kSubBuckets + (sub - kSubBuckets);
+}
+
+uint64_t Histogram::BucketLo(int bucket) {
+  if (bucket < kSubBuckets) {
+    return static_cast<uint64_t>(bucket);
+  }
+  const int shift = (bucket - kSubBuckets) / kSubBuckets;
+  const uint64_t sub = static_cast<uint64_t>(kSubBuckets + (bucket - kSubBuckets) % kSubBuckets);
+  return sub << shift;
+}
+
+uint64_t Histogram::BucketHi(int bucket) {
+  if (bucket < kSubBuckets) {
+    return static_cast<uint64_t>(bucket) + 1;
+  }
+  const int shift = (bucket - kSubBuckets) / kSubBuckets;
+  const uint64_t sub = static_cast<uint64_t>(kSubBuckets + (bucket - kSubBuckets) % kSubBuckets);
+  return (sub + 1) << shift;
+}
+
+void Histogram::Record(uint64_t value) {
+  buckets_[BucketFor(value)]++;
+  count_++;
+  sum_ += value;
+  max_ = std::max(max_, value);
+}
+
+uint64_t Histogram::Quantile(double q) const {
+  if (count_ == 0) {
+    return 0;
+  }
+  q = std::clamp(q, 0.0, 1.0);
+  const uint64_t target = static_cast<uint64_t>(q * static_cast<double>(count_ - 1));
+  uint64_t seen = 0;
+  for (int b = 0; b < kNumBuckets; b++) {
+    if (seen + buckets_[b] > target) {
+      const uint64_t lo = BucketLo(b);
+      const uint64_t hi = std::min(BucketHi(b), max_ + 1);
+      const double frac = static_cast<double>(target - seen) / static_cast<double>(buckets_[b]);
+      return lo + static_cast<uint64_t>(frac * static_cast<double>(hi - lo));
+    }
+    seen += buckets_[b];
+  }
+  return max_;
+}
+
+void Histogram::Merge(const Histogram& other) {
+  for (int b = 0; b < kNumBuckets; b++) {
+    buckets_[b] += other.buckets_[b];
+  }
+  count_ += other.count_;
+  sum_ += other.sum_;
+  max_ = std::max(max_, other.max_);
+}
+
+void Histogram::Reset() {
+  std::fill(std::begin(buckets_), std::end(buckets_), 0);
+  count_ = 0;
+  sum_ = 0;
+  max_ = 0;
+}
+
+bool IsRegisteredHistogramName(const char* name) {
+#define NOMAD_HIST_CHECK(cname, str)    \
+  if (std::strcmp(name, str) == 0) {    \
+    return true;                        \
+  }
+  NOMAD_HIST_NAME_LIST(NOMAD_HIST_CHECK)
+#undef NOMAD_HIST_CHECK
+  return false;
+}
+
+Histogram& HistogramSet::At(const char* name) {
+  NOMAD_CHECK(IsRegisteredHistogramName(name), "unregistered histogram name: ", name);
+  return hists_[name];
+}
+
+}  // namespace nomad

@@ -1,0 +1,40 @@
+#include "src/obs/prof.h"
+
+#include <algorithm>
+
+namespace nomad {
+
+const char* ProfNodeName(ProfNode n) {
+  switch (n) {
+#define NOMAD_PROF_NAME(name, str) \
+  case ProfNode::k##name:          \
+    return str;
+    NOMAD_PROF_NODE_LIST(NOMAD_PROF_NAME)
+#undef NOMAD_PROF_NAME
+    case ProfNode::kNumNodes:
+      break;
+  }
+  return "unknown";
+}
+
+std::vector<ProfNode> Profiler::DecodePath(uint64_t key) {
+  std::vector<ProfNode> out;
+  for (int i = 0; i < kMaxDepth; i++) {
+    const uint8_t byte = static_cast<uint8_t>(key >> (8 * i));
+    if (byte == 0) {
+      break;
+    }
+    out.push_back(static_cast<ProfNode>(byte - 1));
+  }
+  return out;
+}
+
+void Profiler::Reset() {
+  depth_ = 0;
+  std::fill(std::begin(self_), std::end(self_), 0);
+  std::fill(std::begin(total_), std::end(total_), 0);
+  unattributed_ = 0;
+  paths_.clear();
+}
+
+}  // namespace nomad

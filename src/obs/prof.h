@@ -1,0 +1,136 @@
+// Scoped span profiler: attributes simulated cycles to a tree of kernel
+// subsystems (ProfNode, src/obs/event_registry.h).
+//
+// The simulator never measures wall time — costs are explicit Cycles values
+// returned by the mechanisms — so a span does not time anything. Instead it
+// establishes *attribution context*: Enter/Exit maintain a stack of nodes,
+// and Charge(c) books c cycles as self time of the innermost node and total
+// time of every node on the stack. The per-path self totals double as a
+// collapsed-stack profile ("tpm;tpm_copy 1234") that flamegraph tools eat
+// directly (see WriteCollapsedStacks in src/obs/exporters.h).
+//
+// Hot-path contract matches the trace sink: spans wrap *kernel events*
+// (one TPM transaction, one reclaim round), never individual accesses, and
+// the whole class compiles to nothing under -DNOMAD_ENABLE_TRACING=OFF.
+#ifndef SRC_OBS_PROF_H_
+#define SRC_OBS_PROF_H_
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "src/check/check.h"
+#include "src/obs/event_registry.h"
+#include "src/obs/trace.h"
+#include "src/sim/clock.h"
+
+namespace nomad {
+
+class Profiler {
+ public:
+  // Deep enough for every real nesting (deepest today is 3: hint_fault ->
+  // sync_migrate -> inner spans); the packed path key spends one byte per
+  // level, which caps the depth at 8.
+  static constexpr int kMaxDepth = 8;
+
+  void Enter(ProfNode n) {
+    if constexpr (kTracingEnabled) {
+      NOMAD_CHECK(depth_ < kMaxDepth, "prof stack overflow entering ",
+                  ProfNodeName(n));
+      stack_[depth_++] = n;
+    } else {
+      (void)n;
+    }
+  }
+
+  void Exit() {
+    if constexpr (kTracingEnabled) {
+      NOMAD_CHECK(depth_ > 0, "prof Exit() with empty stack");
+      depth_--;
+    }
+  }
+
+  // Books `c` cycles at the current stack: self of the innermost node,
+  // total of every distinct node on the stack, and the collapsed path.
+  // With an empty stack the cycles land in unattributed() instead.
+  void Charge(Cycles c) {
+    if constexpr (kTracingEnabled) {
+      if (c == 0) {
+        return;
+      }
+      if (depth_ == 0) {
+        unattributed_ += c;
+        return;
+      }
+      self_[static_cast<size_t>(stack_[depth_ - 1])] += c;
+      uint64_t key = 0;
+      for (int i = 0; i < depth_; i++) {
+        const ProfNode n = stack_[i];
+        key |= static_cast<uint64_t>(static_cast<uint8_t>(n) + 1) << (8 * i);
+        // A node twice on the stack (recursion) must count its total once.
+        bool seen = false;
+        for (int j = 0; j < i; j++) {
+          seen = seen || stack_[j] == n;
+        }
+        if (!seen) {
+          total_[static_cast<size_t>(n)] += c;
+        }
+      }
+      paths_[key] += c;
+    } else {
+      (void)c;
+    }
+  }
+
+  // Enter(n) + Charge(c) + Exit(): a leaf span with no interior structure.
+  void ChargeLeaf(ProfNode n, Cycles c) {
+    if constexpr (kTracingEnabled) {
+      Enter(n);
+      Charge(c);
+      Exit();
+    } else {
+      (void)n;
+      (void)c;
+    }
+  }
+
+  int depth() const { return depth_; }
+  uint64_t self_cycles(ProfNode n) const { return self_[static_cast<size_t>(n)]; }
+  uint64_t total_cycles(ProfNode n) const { return total_[static_cast<size_t>(n)]; }
+  uint64_t unattributed() const { return unattributed_; }
+
+  // Packed path -> self cycles charged while exactly that stack was active.
+  // Key byte i holds stack level i's node + 1 (0 terminates), so iteration
+  // order (and thus every export) is deterministic.
+  const std::map<uint64_t, uint64_t>& paths() const { return paths_; }
+
+  // Unpacks a paths() key, outermost frame first.
+  static std::vector<ProfNode> DecodePath(uint64_t key);
+
+  void Reset();
+
+ private:
+  ProfNode stack_[kMaxDepth] = {};
+  int depth_ = 0;
+  uint64_t self_[kNumProfNodes] = {};
+  uint64_t total_[kNumProfNodes] = {};
+  uint64_t unattributed_ = 0;
+  std::map<uint64_t, uint64_t> paths_;
+};
+
+// RAII span. Compiles away with the profiler when tracing is off.
+class ProfScope {
+ public:
+  ProfScope(Profiler& prof, ProfNode n) : prof_(prof) { prof_.Enter(n); }
+  ~ProfScope() { prof_.Exit(); }
+
+  ProfScope(const ProfScope&) = delete;
+  ProfScope& operator=(const ProfScope&) = delete;
+
+ private:
+  Profiler& prof_;
+};
+
+}  // namespace nomad
+
+#endif  // SRC_OBS_PROF_H_

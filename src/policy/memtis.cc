@@ -40,11 +40,16 @@ Cycles MemtisPolicy::Migrator::Step(Engine& engine) {
 Cycles MemtisPolicy::RunMigrationRound() {
   MemorySystem& ms = *ms_;
   PebsSampler& pebs = *sampler_;
+  // The whole round is a pebs_drain span: the sample-histogram work books
+  // as self, the resulting migrations nest as sync_migrate children.
+  ProfScope span(ms.prof(), ProfNode::kPebsDrain);
   AddressSpace* as = pebs.space();
   if (as == nullptr) {
+    ms.prof().Charge(ms.platform().costs.daemon_wakeup);
     return ms.platform().costs.daemon_wakeup;  // nothing sampled yet
   }
   Cycles spent = ms.platform().costs.daemon_wakeup;
+  ms.prof().Charge(spent);
   FramePool& pool = ms.pool();
 
   const uint64_t fast_budget = pool.TotalFrames(Tier::kFast);

@@ -30,8 +30,13 @@ void TppPolicy::Install(MemorySystem& ms, Engine& engine) {
 Cycles TppPolicy::OnHintFault(ActorId /*cpu*/, AddressSpace& as, Vpn vpn) {
   MemorySystem& ms = *ms_;
   const KernelCosts& costs = ms.platform().costs;
+  // The span shows TPP's defining cost structure in the profile: its
+  // promotions appear as sync_migrate nested *inside* hint_fault, i.e. on
+  // the faulting thread's critical path, where NOMAD's sit under tpm.
+  ProfScope span(ms.prof(), ProfNode::kHintFault);
   Pte* pte = ms.PteOf(as, vpn);
   Cycles cost = costs.pte_update;
+  ms.prof().Charge(cost);
   ms.Trace(TraceEvent::kHintFault, vpn);
   ms.ResolveHintFault(*pte);  // restore access so the faulting load can retire
 
@@ -46,6 +51,7 @@ Cycles TppPolicy::OnHintFault(ActorId /*cpu*/, AddressSpace& as, Vpn vpn) {
   // considers it hot.
   ms.lru(Tier::kSlow).MarkAccessed(pfn);
   cost += costs.lru_op;
+  ms.prof().Charge(costs.lru_op);
 
   if (!f.active) {
     ms.counters().Add(cnt::kTppFaultNotActive, 1);

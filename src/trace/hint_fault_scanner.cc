@@ -54,6 +54,9 @@ Cycles HintFaultScanner::Step(Engine& engine) {
   if (armed_this_round > 0) {
     ms_->Trace(TraceEvent::kScannerArm, cursor_, armed_this_round);
   }
+  // Arming sweeps are LRU/frame-table scanning work; root-level lru_scan
+  // distinguishes them from kswapd's nested lru_scan in the profile.
+  ms_->prof().ChargeLeaf(ProfNode::kLruScan, spent);
   if (cursor_ == FirstSlowPfn()) {
     engine.SleepUntil(engine.now() + config_.round_interval);
   }

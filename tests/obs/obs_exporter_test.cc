@@ -355,6 +355,78 @@ TEST(MetricsJsonTest, BuildingBlocksComposeValidJson) {
   EXPECT_NE(doc.find("fault.hint"), std::string::npos);
 }
 
+TEST(ChromeTraceTest, RingWraparoundKeepsDocumentBalanced) {
+  if (!kTracingEnabled) {
+    GTEST_SKIP() << "built with NOMAD_TRACING=0";
+  }
+  // Capacity 8: the begin is overwritten long before its commit arrives, so
+  // the exporter sees an end with no open begin and must degrade it to an
+  // instant rather than emit an unbalanced "E".
+  TraceSink sink(8);
+  sink.Emit(TraceEvent::kTpmBegin, 10, 3, /*vpn=*/7, 50);
+  for (Cycles t = 20; t < 200; t += 10) {
+    sink.Emit(TraceEvent::kHintFault, t, 1, 42);
+  }
+  sink.Emit(TraceEvent::kTpmCommit, 300, 3, 7, 10);
+  EXPECT_EQ(sink.size(), 8u);
+  EXPECT_GT(sink.dropped(), 0u);
+  std::ostringstream os;
+  WriteChromeTrace(sink, 2.0, {"app0", "app1", "kswapd", "kpromote"}, os);
+  const std::string doc = os.str();
+  EXPECT_TRUE(IsValidJson(doc)) << doc;
+  EXPECT_EQ(CountSubstr(doc, "\"ph\":\"B\""), CountSubstr(doc, "\"ph\":\"E\""));
+}
+
+TEST(MetricsJsonTest, TraceSummarySurfacesDroppedAfterWraparound) {
+  TraceSink sink(4);
+  for (Cycles t = 0; t < 100; t += 10) {
+    sink.Emit(TraceEvent::kHintFault, t, 1, 9);
+  }
+  std::ostringstream os;
+  JsonWriter jw(os);
+  AppendTraceSummaryJson(jw, sink);
+  const std::string doc = os.str();
+  EXPECT_TRUE(IsValidJson(doc)) << doc;
+  if (kTracingEnabled) {
+    EXPECT_NE(doc.find("\"emitted\":10"), std::string::npos) << doc;
+    EXPECT_NE(doc.find("\"retained\":4"), std::string::npos) << doc;
+    EXPECT_NE(doc.find("\"dropped\":6"), std::string::npos) << doc;
+  } else {
+    EXPECT_NE(doc.find("\"dropped\":0"), std::string::npos) << doc;
+  }
+}
+
+TEST(MetricsJsonTest, ObservabilityExportersComposeValidJson) {
+  Profiler prof;
+  prof.Enter(ProfNode::kTpm);
+  prof.ChargeLeaf(ProfNode::kTpmCopy, 40);
+  prof.Charge(100);
+  prof.Exit();
+  HistogramSet hists;
+  hists.Record(hist::kMigrationLatency, 10000);
+  hists.Record(hist::kMigrationLatency, 12000);
+  ProvenanceLedger ledger;
+  ledger.OnPromote(3, 50);
+  ledger.OnDemote(3, 60);
+  std::ostringstream os;
+  JsonWriter jw(os);
+  jw.BeginObject();
+  jw.Key("profile");
+  AppendProfileJson(jw, prof);
+  jw.Key("histograms");
+  AppendHistogramsJson(jw, hists);
+  jw.Key("provenance");
+  AppendProvenanceJson(jw, ledger);
+  jw.EndObject();
+  const std::string doc = os.str();
+  EXPECT_TRUE(IsValidJson(doc)) << doc;
+  if (kTracingEnabled) {
+    EXPECT_NE(doc.find("\"tpm\":{\"self\":100,\"total\":140}"), std::string::npos) << doc;
+    EXPECT_NE(doc.find("\"migration.latency\""), std::string::npos) << doc;
+    EXPECT_NE(doc.find("\"ping_pong_events\":1"), std::string::npos) << doc;
+  }
+}
+
 TEST(MetricsJsonTest, TraceSummaryReportsPerTypeCounts) {
   const TraceSink sink = MakeSinkWithTpm();
   std::ostringstream os;

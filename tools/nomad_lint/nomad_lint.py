@@ -12,9 +12,11 @@ Enforced rules (see DESIGN.md "Verification tooling" for the rationale):
   NL003 determinism       no std::rand / srand / random_device / mt19937 /
                           wall-clock sources; simulations draw from the
                           explicitly seeded nomad::Rng only.
-  NL004 counter-literal   no string literals at counters().Add/.Get call
-                          sites in src/; counter names come from the
-                          cnt:: registry (src/obs/event_registry.h).
+  NL004 name-literal      no string literals at counters().Add/.Get or
+                          histogram .Record() call sites in src/, and no
+                          profiler nodes conjured from integer literals;
+                          names come from the cnt::/hist::/ProfNode
+                          registries (src/obs/event_registry.h).
   NL005 naked-new         no naked new/delete in src/; ownership is
                           std::unique_ptr / containers.
   NL006 include-guard     header guards spell the repo-relative path
@@ -177,6 +179,13 @@ DETERMINISM_RES = [
 
 ASSERT_RE = re.compile(r"(?<![\w_])assert\s*\(")
 COUNTER_LIT_RE = re.compile(r"\.\s*(Add|Get)\s*\(\s*\"")
+# `hists().Record("...")` — histogram names come from the hist:: constants
+# so the registry check (and NOMAD_HIST_NAME_LIST) stays the single source.
+HIST_LIT_RE = re.compile(r"\.\s*Record\s*\(\s*\"")
+# `static_cast<ProfNode>(3)` — a span node invented from a raw integer
+# bypasses the NOMAD_PROF_NODE_LIST registry (casts of loop variables, as
+# the exporters use, are fine).
+PROFNODE_CAST_RE = re.compile(r"static_cast\s*<\s*ProfNode\s*>\s*\(\s*\d")
 NEW_RE = re.compile(r"(?<![\w_:])new\b(?!\s*\[?\s*\]?\s*\()")  # `new T...`, not op overloads
 NEW_ANY_RE = re.compile(r"(?<![\w_:])new\b")
 DELETE_RE = re.compile(r"(?<![\w_:])delete\b(?:\s*\[\s*\])?")
@@ -233,6 +242,16 @@ def rule_nl004(f):
                 f.rel, i, "NL004",
                 "counter name as string literal; use the cnt:: constants from "
                 "src/obs/event_registry.h")
+        if HIST_LIT_RE.search(line):
+            yield Finding(
+                f.rel, i, "NL004",
+                "histogram name as string literal; use the hist:: constants "
+                "from src/obs/event_registry.h")
+        if PROFNODE_CAST_RE.search(line):
+            yield Finding(
+                f.rel, i, "NL004",
+                "profiler node from an integer literal; use the ProfNode:: "
+                "enumerators from src/obs/event_registry.h")
 
 
 def rule_nl005(f):
@@ -293,7 +312,7 @@ TOKEN_RULES = [
     ("NL001", "PTE bit mutation outside the mechanism layers", rule_nl001),
     ("NL002", "bare assert() instead of NOMAD_CHECK", rule_nl002),
     ("NL003", "nondeterminism sources (rand/clock) outside the seeded Rng", rule_nl003),
-    ("NL004", "counter-name string literals instead of the cnt:: registry", rule_nl004),
+    ("NL004", "counter/histogram/span names outside the obs registries", rule_nl004),
     ("NL005", "naked new/delete", rule_nl005),
     ("NL006", "include guard must spell the file path", rule_nl006),
     ("NL007", "<iostream>/<fstream> outside declared I/O endpoints", rule_nl007),
@@ -436,6 +455,14 @@ SELFTEST_CASES = [
     ("NL003", "src/workload/ok.cc", "Cycles finish_time() { return t_; }", False),
     ("NL004", "src/mm/bad.cc", 'void f(C& c) { c.counters().Add("migrate.promote", 1); }', True),
     ("NL004", "src/mm/ok.cc", "void f(C& c) { c.counters().Add(cnt::kTlbShootdown, 1); }", False),
+    ("NL004", "src/nomad/bad_hist.cc",
+     'void f(M& ms) { ms.hists().Record("migration.latency", 5); }', True),
+    ("NL004", "src/nomad/ok_hist.cc",
+     "void f(M& ms) { ms.hists().Record(hist::kMigrationLatency, 5); }", False),
+    ("NL004", "src/policy/bad_span.cc",
+     "void f(P& p) { ProfScope s(p, static_cast<ProfNode>(3)); }", True),
+    ("NL004", "src/obs/ok_span.cc",
+     "for (uint8_t i = 0; i < kNumProfNodes; i++) Use(static_cast<ProfNode>(i));", False),
     ("NL005", "src/nomad/bad.cc", "int* p = new int[4];", True),
     ("NL005", "src/nomad/bad2.cc", "void f(int* p) { delete p; }", True),
     ("NL005", "src/nomad/ok.cc",

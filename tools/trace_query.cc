@@ -1,0 +1,878 @@
+// trace_query: offline analysis over the simulator's exported artifacts.
+//
+// Consumes the chrome://tracing JSON written by --trace_out and/or the
+// metrics.json written by --metrics_out, with no external dependencies (a
+// small recursive-descent JSON reader lives in this file). Core jobs:
+//
+//   summary              (default with --trace) event counts per name/actor
+//   --event= / --actor=  filter the summary to one event type / one actor
+//   --from_us/--to_us    restrict every query to a time window
+//   --pair=tpm           pair tpm B/E slices into per-transaction latencies,
+//                        bucket them with the same HDR histogram the
+//                        simulator uses, and print p50/p90/p99 — committed
+//                        transactions only, so the numbers are directly
+//                        comparable to the "migration.latency" histogram in
+//                        metrics.json (--check enforces agreement to within
+//                        one histogram bucket)
+//   --hist=NAME          print a named histogram from metrics.json runs
+//   --top=N              reconstruct per-page thrash scores (ping-pongs,
+//                        re-dirties, aborts) from promote/demote/
+//                        shadow_fault/tpm_abort instants and rank pages
+//   --selftest           run the embedded checks on canned documents
+//
+// Cycle conversion: trace timestamps are microseconds (ts = cycles/(ghz*1e3)),
+// so --ghz (or the "ghz" field of the first metrics run) recovers cycles.
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "src/harness/flags.h"
+#include "src/obs/hist.h"
+
+namespace nomad {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Minimal JSON reader. Numbers are doubles: every value the simulator
+// exports (timestamps, vpns, counts) fits a double's 53-bit mantissa at the
+// scales the sim runs at.
+// ---------------------------------------------------------------------------
+
+struct JsonValue {
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  double number = 0;
+  std::string str;
+  std::vector<JsonValue> arr;
+  std::vector<std::pair<std::string, JsonValue>> obj;  // preserves order
+
+  const JsonValue* Get(const std::string& key) const {
+    for (const auto& [k, v] : obj) {
+      if (k == key) {
+        return &v;
+      }
+    }
+    return nullptr;
+  }
+  double Num(const std::string& key, double def = 0) const {
+    const JsonValue* v = Get(key);
+    return v != nullptr && v->kind == Kind::kNumber ? v->number : def;
+  }
+  std::string Str(const std::string& key, const std::string& def = "") const {
+    const JsonValue* v = Get(key);
+    return v != nullptr && v->kind == Kind::kString ? v->str : def;
+  }
+};
+
+class JsonParser {
+ public:
+  explicit JsonParser(std::string text) : text_(std::move(text)) {}
+
+  bool Parse(JsonValue* out) {
+    *out = Value();
+    SkipWs();
+    return ok_ && pos_ == text_.size();
+  }
+
+  std::string error() const { return error_; }
+
+ private:
+  void Fail(const std::string& why) {
+    if (ok_) {
+      ok_ = false;
+      error_ = why + " at offset " + std::to_string(pos_);
+    }
+  }
+
+  void SkipWs() {
+    while (pos_ < text_.size() && (text_[pos_] == ' ' || text_[pos_] == '\t' ||
+                                   text_[pos_] == '\n' || text_[pos_] == '\r')) {
+      pos_++;
+    }
+  }
+
+  bool Eat(char c) {
+    SkipWs();
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      pos_++;
+      return true;
+    }
+    return false;
+  }
+
+  bool Literal(const char* word) {
+    const size_t len = std::char_traits<char>::length(word);
+    if (text_.compare(pos_, len, word) == 0) {
+      pos_ += len;
+      return true;
+    }
+    return false;
+  }
+
+  JsonValue Value() {
+    SkipWs();
+    if (!ok_ || pos_ >= text_.size()) {
+      Fail("unexpected end of input");
+      return JsonValue{};
+    }
+    const char c = text_[pos_];
+    JsonValue v;
+    if (c == '{') {
+      return Object();
+    }
+    if (c == '[') {
+      return Array();
+    }
+    if (c == '"') {
+      v.kind = JsonValue::Kind::kString;
+      v.str = String();
+      return v;
+    }
+    if (Literal("true")) {
+      v.kind = JsonValue::Kind::kBool;
+      v.boolean = true;
+      return v;
+    }
+    if (Literal("false")) {
+      v.kind = JsonValue::Kind::kBool;
+      return v;
+    }
+    if (Literal("null")) {
+      return v;
+    }
+    if (c == '-' || (c >= '0' && c <= '9')) {
+      return Number();
+    }
+    Fail(std::string("unexpected character '") + c + "'");
+    return v;
+  }
+
+  JsonValue Object() {
+    JsonValue v;
+    v.kind = JsonValue::Kind::kObject;
+    Eat('{');
+    if (Eat('}')) {
+      return v;
+    }
+    while (ok_) {
+      SkipWs();
+      if (pos_ >= text_.size() || text_[pos_] != '"') {
+        Fail("expected object key");
+        return v;
+      }
+      std::string key = String();
+      if (!Eat(':')) {
+        Fail("expected ':'");
+        return v;
+      }
+      v.obj.emplace_back(std::move(key), Value());
+      if (Eat(',')) {
+        continue;
+      }
+      if (!Eat('}')) {
+        Fail("expected ',' or '}'");
+      }
+      return v;
+    }
+    return v;
+  }
+
+  JsonValue Array() {
+    JsonValue v;
+    v.kind = JsonValue::Kind::kArray;
+    Eat('[');
+    if (Eat(']')) {
+      return v;
+    }
+    while (ok_) {
+      v.arr.push_back(Value());
+      if (Eat(',')) {
+        continue;
+      }
+      if (!Eat(']')) {
+        Fail("expected ',' or ']'");
+      }
+      return v;
+    }
+    return v;
+  }
+
+  std::string String() {
+    std::string s;
+    pos_++;  // opening quote
+    while (pos_ < text_.size() && text_[pos_] != '"') {
+      char c = text_[pos_++];
+      if (c != '\\') {
+        s.push_back(c);
+        continue;
+      }
+      if (pos_ >= text_.size()) {
+        break;
+      }
+      const char esc = text_[pos_++];
+      switch (esc) {
+        case 'n': s.push_back('\n'); break;
+        case 't': s.push_back('\t'); break;
+        case 'r': s.push_back('\r'); break;
+        case 'b': s.push_back('\b'); break;
+        case 'f': s.push_back('\f'); break;
+        case 'u': {
+          // The exporter only escapes control characters; decode the
+          // code point as a single byte (sufficient for ASCII range).
+          if (pos_ + 4 <= text_.size()) {
+            const unsigned long cp = std::stoul(text_.substr(pos_, 4), nullptr, 16);
+            s.push_back(static_cast<char>(cp & 0x7f));
+            pos_ += 4;
+          }
+          break;
+        }
+        default: s.push_back(esc); break;
+      }
+    }
+    if (pos_ >= text_.size()) {
+      Fail("unterminated string");
+      return s;
+    }
+    pos_++;  // closing quote
+    return s;
+  }
+
+  JsonValue Number() {
+    const size_t start = pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) || text_[pos_] == '-' ||
+            text_[pos_] == '+' || text_[pos_] == '.' || text_[pos_] == 'e' ||
+            text_[pos_] == 'E')) {
+      pos_++;
+    }
+    JsonValue v;
+    v.kind = JsonValue::Kind::kNumber;
+    v.number = std::stod(text_.substr(start, pos_ - start));
+    return v;
+  }
+
+  const std::string text_;
+  size_t pos_ = 0;
+  bool ok_ = true;
+  std::string error_;
+};
+
+// ---------------------------------------------------------------------------
+// Trace model: the flattened event list plus the tid -> actor-name map.
+// ---------------------------------------------------------------------------
+
+struct TraceEvt {
+  std::string name;
+  std::string ph;       // "B", "E", "i" (metadata rows are not kept)
+  std::string outcome;  // E-events: args.outcome
+  double ts_us = 0;
+  uint64_t tid = 0;
+  double arg = 0;  // args.arg (vpn for page events)
+};
+
+struct TraceDoc {
+  std::vector<TraceEvt> events;
+  std::map<uint64_t, std::string> actor_names;
+};
+
+bool LoadTrace(const JsonValue& root, TraceDoc* doc, std::string* error) {
+  const JsonValue* events = root.Get("traceEvents");
+  if (events == nullptr || events->kind != JsonValue::Kind::kArray) {
+    *error = "document has no traceEvents array";
+    return false;
+  }
+  for (const JsonValue& e : events->arr) {
+    const std::string ph = e.Str("ph");
+    const uint64_t tid = static_cast<uint64_t>(e.Num("tid"));
+    if (ph == "M") {
+      if (e.Str("name") == "thread_name") {
+        const JsonValue* a = e.Get("args");
+        doc->actor_names[tid] = a != nullptr ? a->Str("name") : "";
+      }
+      continue;
+    }
+    TraceEvt evt;
+    evt.name = e.Str("name");
+    evt.ph = ph;
+    evt.ts_us = e.Num("ts");
+    evt.tid = tid;
+    if (const JsonValue* a = e.Get("args")) {
+      evt.arg = a->Num("arg");
+      evt.outcome = a->Str("outcome");
+    }
+    doc->events.push_back(std::move(evt));
+  }
+  return true;
+}
+
+struct Filter {
+  std::string event;   // empty = all
+  std::string actor;   // empty = all
+  double from_us = -1;
+  double to_us = -1;   // negative = unbounded
+
+  bool Matches(const TraceEvt& e, const TraceDoc& doc) const {
+    if (!event.empty() && e.name != event) {
+      return false;
+    }
+    if (!actor.empty()) {
+      const auto it = doc.actor_names.find(e.tid);
+      if (it == doc.actor_names.end() || it->second != actor) {
+        return false;
+      }
+    }
+    if (from_us >= 0 && e.ts_us < from_us) {
+      return false;
+    }
+    if (to_us >= 0 && e.ts_us > to_us) {
+      return false;
+    }
+    return true;
+  }
+};
+
+// Pairs B/E duration slices named `name` per tid (LIFO, matching the
+// exporter's nesting) and returns committed durations in cycles. Slices
+// whose end reports a non-commit outcome (aborts, still in flight at exit)
+// consume their begin but produce no sample, mirroring the simulator's
+// histogram which records at commit only.
+std::vector<uint64_t> PairDurations(const TraceDoc& doc, const Filter& filter,
+                                    const std::string& name, double ghz) {
+  std::map<uint64_t, std::vector<double>> open;  // tid -> stack of begin ts
+  std::vector<uint64_t> samples;
+  for (const TraceEvt& e : doc.events) {
+    if (e.name != name || !filter.Matches(e, doc)) {
+      continue;
+    }
+    if (e.ph == "B") {
+      open[e.tid].push_back(e.ts_us);
+      continue;
+    }
+    if (e.ph != "E") {
+      continue;
+    }
+    std::vector<double>& stack = open[e.tid];
+    if (stack.empty()) {
+      continue;  // begin lost to ring wraparound
+    }
+    const double begin = stack.back();
+    stack.pop_back();
+    if (e.outcome != "tpm_commit") {
+      continue;  // aborted or dangling: no latency sample was booked
+    }
+    samples.push_back(
+        static_cast<uint64_t>(std::llround((e.ts_us - begin) * ghz * 1e3)));
+  }
+  return samples;
+}
+
+// Per-page lifecycle reconstruction from instant events: the trace-side
+// mirror of the in-sim provenance ledger. A demote that lands while the
+// page is promoted is a ping-pong; shadow faults after promotion are
+// re-dirties.
+struct PageStats {
+  uint64_t promotions = 0;
+  uint64_t demotions = 0;
+  uint64_t aborts = 0;
+  uint64_t redirties = 0;
+  uint64_t ping_pongs = 0;
+  bool promoted_live = false;
+
+  uint64_t Score() const { return 2 * ping_pongs + redirties + aborts; }
+};
+
+std::map<uint64_t, PageStats> ReplayPages(const TraceDoc& doc, const Filter& filter) {
+  std::map<uint64_t, PageStats> pages;
+  for (const TraceEvt& e : doc.events) {
+    if (!filter.Matches(e, doc)) {
+      continue;
+    }
+    const uint64_t vpn = static_cast<uint64_t>(e.arg);
+    // TPM promotions/aborts surface as the "tpm" duration slice's end, not
+    // as separate instants; the slice's arg is the vpn.
+    if (e.name == "tpm" && e.ph == "E") {
+      if (e.outcome == "tpm_commit") {
+        PageStats& p = pages[vpn];
+        p.promotions++;
+        p.promoted_live = true;
+      } else if (e.outcome == "tpm_abort") {
+        pages[vpn].aborts++;
+      }
+      continue;
+    }
+    if (e.ph != "i") {
+      continue;
+    }
+    if (e.name == "promote") {
+      PageStats& p = pages[vpn];
+      p.promotions++;
+      p.promoted_live = true;
+    } else if (e.name == "demote") {
+      PageStats& p = pages[vpn];
+      p.demotions++;
+      if (p.promoted_live) {
+        p.ping_pongs++;
+        p.promoted_live = false;
+      }
+    } else if (e.name == "shadow_fault") {
+      PageStats& p = pages[vpn];
+      if (p.promoted_live) {
+        p.redirties++;
+      }
+    } else if (e.name == "tpm_abort") {
+      pages[vpn].aborts++;
+    }
+  }
+  return pages;
+}
+
+struct Thrasher {
+  uint64_t vpn = 0;
+  PageStats stats;
+};
+
+std::vector<Thrasher> TopThrashers(const std::map<uint64_t, PageStats>& pages, size_t n) {
+  std::vector<Thrasher> out;
+  for (const auto& [vpn, stats] : pages) {
+    if (stats.Score() > 0) {
+      out.push_back(Thrasher{vpn, stats});
+    }
+  }
+  std::sort(out.begin(), out.end(), [](const Thrasher& a, const Thrasher& b) {
+    if (a.stats.Score() != b.stats.Score()) {
+      return a.stats.Score() > b.stats.Score();
+    }
+    return a.vpn < b.vpn;
+  });
+  if (out.size() > n) {
+    out.resize(n);
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Command implementations.
+// ---------------------------------------------------------------------------
+
+bool LoadFile(const std::string& path, JsonValue* out, std::string* error) {
+  std::ifstream in(path);
+  if (!in) {
+    *error = "cannot open " + path;
+    return false;
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  const std::string text = buf.str();
+  JsonParser parser(text);
+  if (!parser.Parse(out)) {
+    *error = path + ": " + parser.error();
+    return false;
+  }
+  return true;
+}
+
+void PrintSummary(const TraceDoc& doc, const Filter& filter) {
+  std::map<std::string, uint64_t> by_name;
+  std::map<uint64_t, uint64_t> by_tid;
+  double first = -1, last = -1;
+  uint64_t total = 0;
+  for (const TraceEvt& e : doc.events) {
+    if (!filter.Matches(e, doc)) {
+      continue;
+    }
+    total++;
+    by_name[e.name + (e.ph == "B" ? " (begin)" : e.ph == "E" ? " (end)" : "")]++;
+    by_tid[e.tid]++;
+    if (first < 0 || e.ts_us < first) {
+      first = e.ts_us;
+    }
+    last = std::max(last, e.ts_us);
+  }
+  std::cout << "events: " << total;
+  if (total > 0) {
+    std::cout << "  window: [" << first << " us, " << last << " us]";
+  }
+  std::cout << "\n";
+  for (const auto& [name, count] : by_name) {
+    std::cout << "  " << name << ": " << count << "\n";
+  }
+  std::cout << "actors:\n";
+  for (const auto& [tid, count] : by_tid) {
+    const auto it = doc.actor_names.find(tid);
+    std::cout << "  tid " << tid << " ("
+              << (it == doc.actor_names.end() ? std::string("?") : it->second)
+              << "): " << count << "\n";
+  }
+}
+
+struct PairReport {
+  uint64_t count = 0;
+  uint64_t p50 = 0;
+  uint64_t p90 = 0;
+  uint64_t p99 = 0;
+  uint64_t max = 0;
+};
+
+PairReport ReportPairs(const std::vector<uint64_t>& samples) {
+  Histogram h;
+  PairReport r;
+  for (const uint64_t s : samples) {
+    h.Record(s);
+  }
+  r.count = h.count();
+  r.p50 = h.Quantile(0.50);
+  r.p90 = h.Quantile(0.90);
+  r.p99 = h.Quantile(0.99);
+  r.max = h.Max();
+  return r;
+}
+
+// Width of the histogram bucket holding `value`: the agreement tolerance
+// when cross-checking a trace-derived percentile against the simulator's.
+uint64_t BucketWidthAt(uint64_t value) {
+  const int b = Histogram::BucketFor(value);
+  return Histogram::BucketHi(b) - Histogram::BucketLo(b);
+}
+
+// ---------------------------------------------------------------------------
+// Selftest: canned documents exercising the same functions the CLI uses.
+// ---------------------------------------------------------------------------
+
+int g_checks = 0;
+int g_failures = 0;
+
+void Check(bool ok, const std::string& what) {
+  g_checks++;
+  if (!ok) {
+    g_failures++;
+    std::cerr << "selftest FAIL: " << what << "\n";
+  }
+}
+
+// ghz=2: 1 us == 2000 cycles. Two committed tpm slices (2000 and 6000
+// cycles), one abort, one in-flight close, plus promote/demote/shadow_fault
+// instants for the thrash replay.
+const char* const kSelftestTrace = R"({
+  "displayTimeUnit": "ms",
+  "traceEvents": [
+    {"name": "thread_name", "ph": "M", "pid": 0, "tid": 3,
+     "args": {"name": "kpromote"}},
+    {"name": "thread_name", "ph": "M", "pid": 0, "tid": 1,
+     "args": {"name": "app-0"}},
+    {"name": "tpm", "ph": "B", "ts": 1.0, "pid": 0, "tid": 3,
+     "args": {"arg": 70, "value": 0}},
+    {"name": "tpm", "ph": "E", "ts": 2.0, "pid": 0, "tid": 3,
+     "args": {"outcome": "tpm_commit", "arg": 70}},
+    {"name": "tpm", "ph": "B", "ts": 4.5, "pid": 0, "tid": 3,
+     "args": {"arg": 71, "value": 0}},
+    {"name": "tpm", "ph": "E", "ts": 5.0, "pid": 0, "tid": 3,
+     "args": {"outcome": "tpm_abort", "arg": 71}},
+    {"name": "tpm", "ph": "B", "ts": 6.0, "pid": 0, "tid": 3,
+     "args": {"arg": 72, "value": 0}},
+    {"name": "tpm", "ph": "E", "ts": 9.0, "pid": 0, "tid": 3,
+     "args": {"outcome": "tpm_commit", "arg": 72}},
+    {"name": "shadow_fault", "ph": "i", "s": "t", "ts": 9.5, "pid": 0, "tid": 1,
+     "args": {"arg": 72, "value": 0}},
+    {"name": "demote", "ph": "i", "s": "t", "ts": 10.0, "pid": 0, "tid": 4,
+     "args": {"arg": 72, "value": 120}},
+    {"name": "promote", "ph": "i", "s": "t", "ts": 11.0, "pid": 0, "tid": 3,
+     "args": {"arg": 72, "value": 0}},
+    {"name": "demote", "ph": "i", "s": "t", "ts": 12.0, "pid": 0, "tid": 4,
+     "args": {"arg": 72, "value": 120}},
+    {"name": "tpm", "ph": "B", "ts": 13.0, "pid": 0, "tid": 3,
+     "args": {"arg": 73, "value": 0}},
+    {"name": "tpm", "ph": "E", "ts": 13.5, "pid": 0, "tid": 3,
+     "args": {"outcome": "in_flight_at_exit"}}
+  ]
+})";
+
+const char* const kSelftestMetrics = R"({
+  "schema": "nomad-metrics-v1",
+  "benchmark": "selftest",
+  "runs": [
+    {"label": "nomad", "ghz": 2.0,
+     "histograms": {
+       "migration.latency": {"count": 2, "mean": 4000.0, "p50": 1920,
+                             "p90": 1920, "p99": 1920, "max": 6000}
+     }}
+  ]
+})";
+
+void RunSelftest() {
+  // Parser basics: escapes, nesting, numbers.
+  {
+    JsonValue v;
+    JsonParser p(R"({"a": [1, 2.5, -3e2], "s": "x\"y\n", "t": true, "n": null})");
+    Check(p.Parse(&v), "parser accepts valid document");
+    const JsonValue* a = v.Get("a");
+    Check(a != nullptr && a->arr.size() == 3, "array parsed");
+    Check(a != nullptr && a->arr.size() == 3 && a->arr[2].number == -300.0,
+          "exponent parsed");
+    Check(v.Str("s") == "x\"y\n", "string escapes decoded");
+    Check(v.Get("t") != nullptr && v.Get("t")->boolean, "bool parsed");
+    Check(v.Get("n") != nullptr && v.Get("n")->kind == JsonValue::Kind::kNull,
+          "null parsed");
+  }
+  {
+    JsonValue v;
+    JsonParser p(R"({"a": })");
+    Check(!p.Parse(&v), "parser rejects malformed document");
+  }
+
+  JsonValue root;
+  std::string error;
+  {
+    JsonParser p(kSelftestTrace);
+    Check(p.Parse(&root), "selftest trace parses: " + p.error());
+  }
+  TraceDoc doc;
+  Check(LoadTrace(root, &doc, &error), "trace model loads");
+  Check(doc.actor_names.at(3) == "kpromote", "thread_name metadata mapped");
+
+  // Pairing: two commits survive; the abort and the dangling close do not.
+  {
+    const std::vector<uint64_t> samples = PairDurations(doc, Filter{}, "tpm", 2.0);
+    Check(samples.size() == 2, "pairing keeps committed slices only");
+    Check(samples.size() == 2 && samples[0] == 2000 && samples[1] == 6000,
+          "paired durations convert us to cycles");
+    const PairReport r = ReportPairs(samples);
+    Check(r.count == 2 && r.max == 6000, "pair report count/max");
+    // The estimator targets rank floor(q*(count-1)): with two samples every
+    // quantile below 1.0 resolves to the first sample's bucket floor.
+    Check(r.p99 == Histogram::BucketLo(Histogram::BucketFor(2000)),
+          "p99 matches the bucket estimator");
+  }
+
+  // Window and actor filters.
+  {
+    Filter f;
+    f.from_us = 5.5;
+    const std::vector<uint64_t> samples = PairDurations(doc, f, "tpm", 2.0);
+    Check(samples.size() == 1 && samples[0] == 6000, "from_us drops early slices");
+    Filter fa;
+    fa.actor = "app-0";
+    uint64_t matches = 0;
+    for (const TraceEvt& e : doc.events) {
+      matches += fa.Matches(e, doc) ? 1 : 0;
+    }
+    Check(matches == 1, "actor filter selects app events only");
+  }
+
+  // Thrash replay: page 72 promoted twice, demoted twice while live
+  // (2 ping-pongs), one shadow fault while promoted (1 re-dirty); page 71
+  // aborted once; page 70 promoted and kept (score 0, excluded).
+  {
+    const std::map<uint64_t, PageStats> pages = ReplayPages(doc, Filter{});
+    const PageStats& p72 = pages.at(72);
+    Check(p72.ping_pongs == 2 && p72.redirties == 1 && p72.Score() == 5,
+          "page 72 lifecycle replayed");
+    const std::vector<Thrasher> top = TopThrashers(pages, 10);
+    Check(top.size() == 2, "score-0 pages excluded from top list");
+    Check(top.size() == 2 && top[0].vpn == 72 && top[1].vpn == 71,
+          "thrashers ranked by score");
+  }
+
+  // Metrics cross-check: trace-derived p99 within one bucket of the
+  // exported histogram (the acceptance invariant, in miniature).
+  {
+    JsonValue metrics;
+    JsonParser p(kSelftestMetrics);
+    Check(p.Parse(&metrics), "selftest metrics parses");
+    const JsonValue* runs = metrics.Get("runs");
+    Check(runs != nullptr && !runs->arr.empty(), "metrics runs present");
+    if (runs != nullptr && !runs->arr.empty()) {
+      const double ghz = runs->arr[0].Num("ghz", 0);
+      Check(ghz == 2.0, "ghz read from metrics");
+      const JsonValue* h = runs->arr[0].Get("histograms");
+      const JsonValue* m = h != nullptr ? h->Get("migration.latency") : nullptr;
+      Check(m != nullptr, "histogram found in metrics");
+      if (m != nullptr) {
+        const uint64_t exported_p99 = static_cast<uint64_t>(m->Num("p99"));
+        const PairReport r = ReportPairs(PairDurations(doc, Filter{}, "tpm", ghz));
+        const uint64_t tol = BucketWidthAt(std::max(exported_p99, r.p99));
+        const uint64_t diff =
+            r.p99 > exported_p99 ? r.p99 - exported_p99 : exported_p99 - r.p99;
+        Check(diff <= tol, "trace p99 within one bucket of exported p99");
+      }
+    }
+  }
+}
+
+int Usage() {
+  std::cerr
+      << "usage: trace_query [--trace=PATH] [--metrics=PATH] [--event=NAME]\n"
+         "                   [--actor=NAME] [--from_us=T] [--to_us=T] [--pair=tpm]\n"
+         "                   [--ghz=G] [--run=LABEL] [--top=N] [--hist=NAME] [--check]\n"
+         "                   [--selftest]\n";
+  return 2;
+}
+
+int Main(int argc, char** argv) {
+  Flags flags(argc, argv);
+  const bool selftest = flags.GetBool("selftest");
+  const std::string trace_path = flags.GetString("trace");
+  const std::string metrics_path = flags.GetString("metrics");
+  const std::string pair = flags.GetString("pair");
+  const std::string run_label = flags.GetString("run");
+  const std::string hist_name = flags.GetString("hist");
+  const uint64_t top_n = flags.GetUint("top", 0);
+  const bool check = flags.GetBool("check");
+  Filter filter;
+  filter.event = flags.GetString("event");
+  filter.actor = flags.GetString("actor");
+  filter.from_us = flags.GetDouble("from_us", -1);
+  filter.to_us = flags.GetDouble("to_us", -1);
+  double ghz = flags.GetDouble("ghz", 0);
+  if (!flags.UnusedKeys().empty()) {
+    return Usage();
+  }
+
+  if (selftest) {
+    RunSelftest();
+    std::cout << "trace_query selftest: " << (g_checks - g_failures) << "/" << g_checks
+              << " checks passed\n";
+    return g_failures == 0 ? 0 : 1;
+  }
+  if (trace_path.empty() && metrics_path.empty()) {
+    return Usage();
+  }
+
+  std::string error;
+  JsonValue metrics;
+  const JsonValue* runs = nullptr;
+  const JsonValue* run = nullptr;  // the run a trace is compared against
+  if (!metrics_path.empty()) {
+    if (!LoadFile(metrics_path, &metrics, &error)) {
+      std::cerr << "error: " << error << "\n";
+      return 1;
+    }
+    runs = metrics.Get("runs");
+    if (runs == nullptr || runs->kind != JsonValue::Kind::kArray || runs->arr.empty()) {
+      std::cerr << "error: " << metrics_path << " has no runs\n";
+      return 1;
+    }
+    // --run selects by label; otherwise prefer the first run that actually
+    // booked migration latencies (multi-run documents lead with baselines
+    // that never migrate).
+    for (const JsonValue& r : runs->arr) {
+      if (!run_label.empty()) {
+        if (r.Str("label") == run_label) {
+          run = &r;
+          break;
+        }
+        continue;
+      }
+      const JsonValue* hists = r.Get("histograms");
+      const JsonValue* m = hists != nullptr ? hists->Get("migration.latency") : nullptr;
+      if (m != nullptr && m->Num("count") > 0) {
+        run = &r;
+        break;
+      }
+    }
+    if (run == nullptr) {
+      if (!run_label.empty()) {
+        std::cerr << "error: no run labeled '" << run_label << "' in " << metrics_path
+                  << "\n";
+        return 1;
+      }
+      run = &runs->arr[0];
+    }
+    if (ghz == 0) {
+      ghz = run->Num("ghz", 0);
+    }
+  }
+
+  if (runs != nullptr && !hist_name.empty()) {
+    for (const JsonValue& r : runs->arr) {
+      const JsonValue* hists = r.Get("histograms");
+      const JsonValue* h = hists != nullptr ? hists->Get(hist_name) : nullptr;
+      if (h == nullptr) {
+        continue;
+      }
+      std::cout << "run " << r.Str("label") << " " << hist_name
+                << ": count=" << h->Num("count") << " p50=" << h->Num("p50")
+                << " p90=" << h->Num("p90") << " p99=" << h->Num("p99")
+                << " max=" << h->Num("max") << "\n";
+    }
+  }
+
+  if (trace_path.empty()) {
+    return 0;
+  }
+  JsonValue root;
+  if (!LoadFile(trace_path, &root, &error)) {
+    std::cerr << "error: " << error << "\n";
+    return 1;
+  }
+  TraceDoc doc;
+  if (!LoadTrace(root, &doc, &error)) {
+    std::cerr << "error: " << trace_path << ": " << error << "\n";
+    return 1;
+  }
+
+  if (pair.empty() && top_n == 0) {
+    PrintSummary(doc, filter);
+    return 0;
+  }
+
+  int rc = 0;
+  if (!pair.empty()) {
+    if (ghz == 0) {
+      std::cerr << "error: --pair needs --ghz (or --metrics to read it from)\n";
+      return 1;
+    }
+    const std::vector<uint64_t> samples = PairDurations(doc, filter, pair, ghz);
+    const PairReport r = ReportPairs(samples);
+    std::cout << "paired '" << pair << "' slices (committed): count=" << r.count
+              << " p50=" << r.p50 << " p90=" << r.p90 << " p99=" << r.p99
+              << " max=" << r.max << " (cycles at " << ghz << " GHz)\n";
+    // Cross-check against the selected run's migration-latency histogram.
+    if (run != nullptr && pair == "tpm") {
+      const JsonValue* hists = run->Get("histograms");
+      const JsonValue* m = hists != nullptr ? hists->Get("migration.latency") : nullptr;
+      if (m != nullptr) {
+        const uint64_t exported = static_cast<uint64_t>(m->Num("p99"));
+        const uint64_t tol = BucketWidthAt(std::max(exported, r.p99));
+        const uint64_t diff = r.p99 > exported ? r.p99 - exported : exported - r.p99;
+        std::cout << "metrics migration.latency p99=" << exported << "  |trace-metrics|="
+                  << diff << "  bucket-width=" << tol
+                  << (diff <= tol ? "  (agree within one bucket)" : "  (MISMATCH)")
+                  << "\n";
+        if (check && diff > tol) {
+          rc = 1;
+        }
+      } else if (check) {
+        std::cerr << "error: --check: metrics run has no migration.latency histogram\n";
+        rc = 1;
+      }
+    }
+  }
+
+  if (top_n > 0) {
+    const std::map<uint64_t, PageStats> pages = ReplayPages(doc, filter);
+    const std::vector<Thrasher> top = TopThrashers(pages, top_n);
+    std::cout << "top " << top.size() << " thrashing pages (score = 2*ping_pong + "
+                 "redirty + abort):\n";
+    for (const Thrasher& t : top) {
+      std::cout << "  vpn " << t.vpn << ": score=" << t.stats.Score()
+                << " promotions=" << t.stats.promotions
+                << " demotions=" << t.stats.demotions
+                << " ping_pongs=" << t.stats.ping_pongs
+                << " redirties=" << t.stats.redirties << " aborts=" << t.stats.aborts
+                << "\n";
+    }
+  }
+  return rc;
+}
+
+}  // namespace
+}  // namespace nomad
+
+int main(int argc, char** argv) { return nomad::Main(argc, argv); }
