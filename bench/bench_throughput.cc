@@ -1,0 +1,121 @@
+// Wall-clock simulation-throughput benchmark: how many pages the simulator
+// pushes through per real second, NOT how fast the simulated machine is.
+// This is the gate for the engine's own performance work (arena page
+// tables, cached scheduling, the sharded parallel engine): simulated
+// results are bit-reproducible, so the only thing allowed to change run to
+// run is the wall clock, and this file measures exactly that.
+//
+// Each row runs a fixed workload and reports
+//   pages_per_sec = simulated page accesses / wall seconds.
+// For the micro workload one op is one page access, so ops double as
+// pages. Output goes to --out as schema nomad-throughput-v1, which
+// scripts/check_bench_regression.py compares against
+// bench/baselines/bench_throughput.json (higher is better, 20% gate).
+//
+// Flags (defaults in brackets):
+//   --ops=N     [2000000]  ops per row
+//   --quick     [off]      1/10 ops: CI smoke mode
+//   --out=PATH  [BENCH_throughput.json]
+#include <chrono>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "src/harness/flags.h"
+#include "src/harness/sharded_sim.h"
+
+using namespace nomad;
+
+namespace {
+
+struct Row {
+  std::string label;
+  uint64_t pages = 0;
+  double wall_seconds = 0;
+  double pages_per_sec = 0;
+};
+
+double WallSeconds(const std::chrono::steady_clock::time_point& t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+}
+
+Row TimeMicro(const char* label, PolicyKind policy, uint64_t ops) {
+  MicroRunConfig cfg;
+  cfg.policy = policy;
+  cfg.total_ops = ops;
+  const auto t0 = std::chrono::steady_clock::now();
+  RunMicroBench(cfg);
+  Row row{label, ops, WallSeconds(t0), 0};
+  row.pages_per_sec = static_cast<double>(ops) / row.wall_seconds;
+  return row;
+}
+
+Row TimeSharded(const char* label, PolicyKind policy, uint64_t ops, uint32_t shards,
+                uint32_t threads) {
+  ShardedRunConfig cfg;
+  cfg.base.policy = policy;
+  cfg.base.total_ops = ops;
+  cfg.shards = shards;
+  cfg.exec_threads = threads;
+  const auto t0 = std::chrono::steady_clock::now();
+  RunShardedMicro(cfg);
+  Row row{label, ops, WallSeconds(t0), 0};
+  row.pages_per_sec = static_cast<double>(ops) / row.wall_seconds;
+  return row;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Flags flags(argc, argv);
+  uint64_t ops = flags.GetUint("ops", 2000000);
+  if (flags.GetBool("quick", false)) {
+    ops /= 10;
+  }
+  const std::string out = flags.GetString("out", "BENCH_throughput.json");
+  const auto unused = flags.UnusedKeys();
+  if (!unused.empty()) {
+    std::cerr << "unknown flag(s):";
+    for (const auto& k : unused) {
+      std::cerr << " --" << k;
+    }
+    std::cerr << "\n";
+    return 2;
+  }
+
+  std::cout << "bench_throughput: wall-clock pages-simulated/sec, " << ops
+            << " ops per row\n\n";
+
+  std::vector<Row> rows;
+  rows.push_back(TimeMicro("micro.no-migration", PolicyKind::kNoMigration, ops));
+  rows.push_back(TimeMicro("micro.tpp", PolicyKind::kTpp, ops));
+  rows.push_back(TimeMicro("micro.nomad", PolicyKind::kNomad, ops));
+  rows.push_back(TimeSharded("sharded.nomad.s4t1", PolicyKind::kNomad, ops, 4, 1));
+
+  TablePrinter t({"row", "pages", "wall s", "pages/sec"});
+  for (const Row& r : rows) {
+    t.AddRow({r.label, FmtCount(r.pages), Fmt(r.wall_seconds, 3),
+              FmtCount(static_cast<uint64_t>(r.pages_per_sec))});
+  }
+  t.Print(std::cout);
+
+  std::ofstream f(out);
+  if (!f) {
+    std::cerr << "cannot write " << out << "\n";
+    return 1;
+  }
+  f << "{\n  \"schema\": \"nomad-throughput-v1\",\n  \"benchmark\": "
+       "\"bench_throughput\",\n  \"runs\": [\n";
+  for (size_t i = 0; i < rows.size(); i++) {
+    const Row& r = rows[i];
+    f << "    {\"label\": \"" << r.label << "\", \"pages\": " << r.pages
+      << ", \"wall_seconds\": " << r.wall_seconds
+      << ", \"report\": {\"pages_per_sec\": " << r.pages_per_sec << "}}"
+      << (i + 1 < rows.size() ? "," : "") << "\n";
+  }
+  f << "  ]\n}\n";
+  std::cout << "\nwrote " << out << "\n";
+  return 0;
+}

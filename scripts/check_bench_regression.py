@@ -16,6 +16,12 @@ from either side (reported, but only fatal with --strict-labels).
 The simulator is deterministic, so on an unchanged tree current == baseline
 exactly; the tolerance absorbs intentional small behavior shifts.
 
+Files with schema nomad-throughput-v1 (written by bench_throughput) are
+also accepted: their single report metric, pages_per_sec, is wall-clock
+simulation throughput and is gated higher-is-better at the same threshold.
+Wall clock is noisy where virtual time is not, so throughput gates should
+keep the default 20% headroom.
+
 Usage:
   check_bench_regression.py --current m.json --baseline bench/baselines/x.json
   check_bench_regression.py --current m.json   # baseline inferred from
@@ -27,8 +33,11 @@ import json
 import os
 import sys
 
-HIGHER_BETTER = ["transient_gbps", "stable_gbps", "overall_gbps", "ops_per_sec"]
+HIGHER_BETTER = ["transient_gbps", "stable_gbps", "overall_gbps", "ops_per_sec",
+                 "pages_per_sec"]
 LOWER_BETTER = ["mean_latency_cycles", "p99_latency_cycles"]
+
+KNOWN_SCHEMAS = ("nomad-metrics-v1", "nomad-throughput-v1")
 
 # Baselines below this are treated as "no signal" for relative comparison.
 EPSILON = 1e-9
@@ -37,7 +46,7 @@ EPSILON = 1e-9
 def load_runs(path):
     with open(path) as f:
         doc = json.load(f)
-    if doc.get("schema") != "nomad-metrics-v1":
+    if doc.get("schema") not in KNOWN_SCHEMAS:
         sys.exit(f"{path}: unexpected schema {doc.get('schema')!r}")
     return doc.get("benchmark", ""), {run["label"]: run for run in doc.get("runs", [])}
 

@@ -11,6 +11,14 @@ field is ever added).
   scripts/check_determinism.py ./build/bench/ablation_shadowing
   scripts/check_determinism.py --ignore=hostname ./build/bench/micro ...
 
+With --threads-compare=1,4 the command additionally runs once per listed
+worker-thread count (appending --threads=N) and every run's metrics must be
+byte-identical to the first: the sharded parallel engine's contract is that
+OS thread assignment never leaks into simulation results (src/sim/shard.h).
+
+  scripts/check_determinism.py --threads-compare=1,4 \
+      ./build/tools/nomadsim --policy=nomad --shards=4 --ops=400000
+
 Exit status: 0 identical, 1 diverged, 2 usage/run error.
 """
 
@@ -49,12 +57,38 @@ def first_divergence(a, b):
     return None
 
 
+def compare_thread_counts(cmd, counts, tmp):
+    """Byte-compare metrics across worker-thread counts; 0 ok, 1 diverged."""
+    runs = []
+    for n in counts:
+        out = os.path.join(tmp, "threads_%s.json" % n)
+        runs.append((n, run_once(cmd + ["--threads=%s" % n], out)))
+    base_n, base_raw = runs[0]
+    for n, raw in runs[1:]:
+        if raw != base_raw:
+            div = first_divergence(base_raw, raw)
+            sys.stderr.write(
+                "determinism: FAILED — --threads=%s diverged from --threads=%s\n"
+                % (n, base_n))
+            if div:
+                sys.stderr.write(
+                    "  first differing line %d:\n  threads=%s: %s\n  threads=%s: %s\n"
+                    % (div[0], base_n, div[1], n, div[2]))
+            return 1
+    print("determinism: OK across --threads={%s} (byte-identical metrics, %d bytes)"
+          % (",".join(counts), len(base_raw)))
+    return 0
+
+
 def main(argv):
     ignore = set(DEFAULT_IGNORE)
+    thread_counts = []
     cmd = []
     for arg in argv[1:]:
         if arg.startswith("--ignore="):
             ignore.update(arg.split("=", 1)[1].split(","))
+        elif arg.startswith("--threads-compare="):
+            thread_counts = [t for t in arg.split("=", 1)[1].split(",") if t]
         else:
             cmd.append(arg)
     if not cmd:
@@ -62,6 +96,11 @@ def main(argv):
         return 2
 
     with tempfile.TemporaryDirectory() as tmp:
+        if thread_counts:
+            rc = compare_thread_counts(cmd, thread_counts, tmp)
+            if rc != 0:
+                return rc
+
         a_path = os.path.join(tmp, "run_a.json")
         b_path = os.path.join(tmp, "run_b.json")
         raw_a = run_once(cmd, a_path)

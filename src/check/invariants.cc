@@ -245,6 +245,16 @@ std::vector<InvariantViolation> InvariantChecker::Check() const {
       if (!f.migrating && f.lru == LruList::kNone) {
         violate("lru.mapped_listed", "mapped frame on no LRU list: " + FrameDesc(pool, pfn));
       }
+      // Scanner bitmap: any frame the hint-fault scanner could still arm
+      // must have its scan-candidate bit set. The bitmap is conservative
+      // (bits may linger on non-armable frames) but a dropped bit means
+      // the scanner never samples that page again.
+      const Pte* pte = f.owner->table().Lookup(f.vpn);
+      if (pte != nullptr && pte->present && pte->pfn == pfn && !pte->prot_none &&
+          !pool.IsScanCandidate(pfn)) {
+        violate("scanner.candidate_bitmap",
+                "armable frame missing from scan-candidate bitmap: " + FrameDesc(pool, pfn));
+      }
     } else if (reserved.count(pfn) == 0) {
       transient++;
       if (f.lru != LruList::kNone) {

@@ -1,0 +1,334 @@
+#include "src/harness/sharded_sim.h"
+
+#include <algorithm>
+#include <iostream>
+#include <thread>
+
+#include "src/check/check.h"
+#include "src/check/invariants.h"
+
+namespace nomad {
+
+namespace {
+
+uint64_t OpsDone(const Sim& sim) {
+  uint64_t ops = 0;
+  for (const WorkloadActor* w : sim.workloads()) {
+    ops += w->ops_done();
+  }
+  return ops;
+}
+
+bool WorkloadsDone(const Sim& sim) {
+  for (const WorkloadActor* w : sim.workloads()) {
+    if (!w->done()) {
+      return false;
+    }
+  }
+  return true;
+}
+
+// Controller state, written by worker 0 between the two barrier phases of
+// an epoch and read by every worker after the second phase; the barrier's
+// mutex provides the happens-before edges.
+struct Control {
+  uint64_t total_ops = 0;
+  uint64_t messages = 0;
+  uint32_t done_shards = 0;
+  uint64_t epochs = 0;
+  bool stop = false;
+};
+
+// The lockstep epoch engine shared by every sharded benchmark. Each of T
+// worker threads owns the statically-assigned shards {t, t+T, t+2T, ...};
+// between epochs all threads meet at a double barrier while worker 0
+// drains the router. `on_epoch` runs after a shard's engine reaches the
+// epoch boundary and may inspect that shard only (benchmark-specific
+// snapshots live there).
+Control RunLockstep(std::vector<Sim*>& sims, uint32_t exec_threads, Cycles epoch_cycles,
+                    uint64_t max_epochs, ShardRouter& router,
+                    const std::function<void(uint32_t, uint64_t)>& on_epoch) {
+  const uint32_t S = static_cast<uint32_t>(sims.size());
+  const uint32_t T = std::max<uint32_t>(1, std::min<uint32_t>(exec_threads, S));
+  ShardBarrier barrier(T);
+  Control ctrl;
+  std::vector<uint64_t> last_reported(S, 0);
+  std::vector<char> done(S, 0);
+
+  auto worker = [&](uint32_t t) {
+    for (uint64_t epoch = 0;; epoch++) {
+      const Cycles epoch_end = (epoch + 1) * epoch_cycles;
+      for (uint32_t s = t; s < S; s += T) {
+        if (done[s]) {
+          continue;
+        }
+        Sim& sim = *sims[s];
+        sim.engine().Run(epoch_end);
+        if (on_epoch) {
+          on_epoch(s, epoch);
+        }
+        const uint64_t ops = OpsDone(sim);
+        if (ops > last_reported[s]) {
+          router.Send(s, 0, kShardMsgProgress, ops - last_reported[s], epoch_end);
+          last_reported[s] = ops;
+        }
+        if (WorkloadsDone(sim)) {
+          done[s] = 1;
+          router.Send(s, 0, kShardMsgDone, ops, sim.engine().now());
+        }
+      }
+      barrier.ArriveAndWait();
+      if (t == 0) {
+        router.Drain(0, [&](const ShardMsg& m) {
+          ctrl.messages++;
+          if (m.kind == kShardMsgProgress) {
+            ctrl.total_ops += m.a;
+          } else if (m.kind == kShardMsgDone) {
+            ctrl.done_shards++;
+          }
+        });
+        ctrl.epochs = epoch + 1;
+        NOMAD_CHECK(epoch < max_epochs, "sharded run exceeded max_epochs=", max_epochs,
+                    " done_shards=", ctrl.done_shards, " of ", S);
+        ctrl.stop = ctrl.done_shards == S;
+      }
+      barrier.ArriveAndWait();
+      if (ctrl.stop) {
+        return;
+      }
+    }
+  };
+
+  if (T == 1) {
+    worker(0);  // run inline: no thread spawn for the common CI case
+  } else {
+    std::vector<std::thread> pool;
+    pool.reserve(T);
+    for (uint32_t t = 0; t < T; t++) {
+      pool.emplace_back(worker, t);
+    }
+    for (std::thread& th : pool) {
+      th.join();
+    }
+  }
+  return ctrl;
+}
+
+// Everything one micro-benchmark shard owns. Worker threads touch only the
+// shards they were statically assigned; the main thread reads the states
+// after every worker has joined.
+struct MicroShardState {
+  MicroRunConfig cfg;  // the shard's 1/N slice of the machine
+  std::unique_ptr<ScrambledZipfian> zipf;
+  std::unique_ptr<Sim> sim;
+  std::vector<std::unique_ptr<MicroWorkload>> apps;
+  bool half_snapped = false;
+  CounterSet first_half;
+};
+
+}  // namespace
+
+ShardedRunResult RunShardedMicro(const ShardedRunConfig& cfg, MetricsCollector* collector,
+                                 const std::string& label) {
+  const uint32_t S = cfg.shards;
+  NOMAD_CHECK(S > 0, "sharded run needs at least one shard");
+
+  // --- partition: each shard is a 1/N machine running 1/N of the work ---
+  // Setup runs sequentially on the calling thread so allocation order (and
+  // thus every PFN layout) is independent of the worker count.
+  std::vector<MicroShardState> shards(S);
+  std::vector<Sim*> sims;
+  for (uint32_t s = 0; s < S; s++) {
+    MicroShardState& sh = shards[s];
+    sh.cfg = cfg.base;
+    sh.cfg.rss_gb /= S;
+    sh.cfg.wss_gb /= S;
+    sh.cfg.wss_fast_gb /= S;
+    sh.cfg.kernel_gb /= S;
+    sh.cfg.fast_gb /= S;
+    sh.cfg.slow_gb /= S;
+    sh.cfg.total_ops = cfg.base.total_ops / S;
+    // Distinct streams per shard; 7919 keeps seeds far apart without
+    // correlating with the +1000+thread offsets used inside a shard.
+    sh.cfg.seed = cfg.base.seed + 7919 * s;
+
+    const Scale scale{sh.cfg.scale_denom};
+    const PlatformSpec platform =
+        MakePlatform(sh.cfg.platform, scale, sh.cfg.fast_gb, sh.cfg.slow_gb);
+    sh.sim = std::make_unique<Sim>(platform, sh.cfg.policy, scale.Pages(sh.cfg.rss_gb) + 16);
+
+    MicroLayout layout;
+    layout.rss_pages = scale.Pages(sh.cfg.rss_gb);
+    layout.wss_pages = scale.Pages(sh.cfg.wss_gb);
+    layout.wss_fast_pages = scale.Pages(sh.cfg.wss_fast_gb);
+    layout.kernel_pages = scale.Pages(sh.cfg.kernel_gb);
+    layout.placement = sh.cfg.placement;
+    layout.seed = sh.cfg.seed;
+    sh.zipf = std::make_unique<ScrambledZipfian>(layout.wss_pages, 0.99, sh.cfg.seed);
+    const Vpn wss_start = SetupMicroLayout(*sh.sim, layout, *sh.zipf);
+
+    for (int t = 0; t < sh.cfg.threads; t++) {
+      MicroWorkload::Config wcfg;
+      wcfg.base.total_ops = sh.cfg.total_ops / static_cast<uint64_t>(sh.cfg.threads);
+      wcfg.base.seed = sh.cfg.seed + 1000 + static_cast<uint64_t>(t);
+      wcfg.wss_start = wss_start;
+      wcfg.wss_pages = layout.wss_pages;
+      wcfg.write_fraction = sh.cfg.write_fraction;
+      sh.apps.push_back(
+          std::make_unique<MicroWorkload>(&sh.sim->ms(), &sh.sim->as(), sh.zipf.get(), wcfg));
+      sh.sim->AddWorkload(sh.apps.back().get());
+    }
+    sims.push_back(sh.sim.get());
+  }
+
+  ShardRouter router(S);
+  const Control ctrl = RunLockstep(
+      sims, cfg.exec_threads, cfg.epoch_cycles, cfg.max_epochs, router,
+      [&](uint32_t s, uint64_t /*epoch*/) {
+        MicroShardState& sh = shards[s];
+        if (!sh.half_snapped && OpsDone(*sh.sim) * 2 >= sh.cfg.total_ops) {
+          // Phase snapshot at epoch granularity: deterministic because the
+          // epoch schedule is fixed.
+          sh.first_half = sh.sim->ms().counters();
+          sh.half_snapped = true;
+        }
+      });
+
+  // --- merge, strictly in shard-id order ---
+  ShardedRunResult result;
+  result.total_ops = ctrl.total_ops;
+  result.messages = ctrl.messages;
+  result.epochs = ctrl.epochs;
+  for (uint32_t s = 0; s < S; s++) {
+    MicroShardState& sh = shards[s];
+    MicroRunResult r;
+    r.report = Analyze(*sh.sim);
+    r.counters = sh.sim->ms().counters();
+    r.first_half = sh.half_snapped ? sh.first_half : r.counters;
+    r.fast_used = sh.sim->ms().pool().UsedFrames(Tier::kFast);
+    r.slow_used = sh.sim->ms().pool().UsedFrames(Tier::kSlow);
+    if (NomadPolicy* nomad = sh.sim->nomad()) {
+      r.shadow_pages = nomad->shadows().count();
+      r.tpm_commits = nomad->tpm_stats().commits;
+      r.tpm_aborts = nomad->tpm_stats().aborts;
+    }
+    result.max_virtual_time = std::max(result.max_virtual_time, sh.sim->engine().now());
+    result.aggregate_gbps += r.report.overall_gbps;
+    if (cfg.audit) {
+      // Quiescence audit: with every worker joined and the shard's engine
+      // drained, each shard must independently satisfy the full invariant
+      // suite — cross-shard messages must not have corrupted owned state.
+      InvariantChecker checker(&sh.sim->ms());
+      checker.AddSpace(&sh.sim->as());
+      if (NomadPolicy* nomad = sh.sim->nomad()) {
+        checker.set_shadows(&nomad->shadows());
+        checker.set_queues(&nomad->queues());
+      }
+      for (const InvariantViolation& v : checker.Check()) {
+        std::cerr << "shard " << s << " invariant [" << v.rule << "] " << v.detail << "\n";
+        result.invariant_violations++;
+      }
+    }
+    if (collector != nullptr) {
+      const std::string base_label =
+          label.empty() ? PolicyKindName(sh.cfg.policy) : label;
+      collector->Capture(base_label + ".shard" + std::to_string(s), *sh.sim, r.report);
+    }
+    result.per_shard.push_back(std::move(r));
+  }
+  return result;
+}
+
+ShardedAppResult RunShardedYcsb(const ShardedYcsbConfig& cfg, MetricsCollector* collector,
+                                const std::string& label) {
+  const uint32_t S = cfg.shards;
+  NOMAD_CHECK(S > 0, "sharded run needs at least one shard");
+
+  struct YcsbShardState {
+    YcsbRunConfig cfg;
+    std::unique_ptr<KvStore> store;
+    std::unique_ptr<Sim> sim;
+    std::unique_ptr<YcsbWorkload> app;
+  };
+
+  std::vector<YcsbShardState> shards(S);
+  std::vector<Sim*> sims;
+  for (uint32_t s = 0; s < S; s++) {
+    YcsbShardState& sh = shards[s];
+    sh.cfg = cfg.base;
+    sh.cfg.record_count = cfg.base.record_count / S;
+    sh.cfg.total_ops = cfg.base.total_ops / S;
+    sh.cfg.slow_gb /= S;
+    sh.cfg.kernel_gb /= S;
+    sh.cfg.seed = cfg.base.seed + 7919 * s;
+
+    const Scale scale{sh.cfg.scale_denom};
+    // RunYcsbBench's fast tier is the platform default 16 GB; the shard
+    // gets its 1/N slice of that too.
+    const PlatformSpec platform =
+        MakePlatform(sh.cfg.platform, scale, 16.0 / S, sh.cfg.slow_gb);
+
+    KvStore::Config kcfg;
+    kcfg.record_count = sh.cfg.record_count;
+    kcfg.record_size = sh.cfg.record_size;
+    sh.store = std::make_unique<KvStore>(kcfg);
+    const Vpn end = sh.store->Layout(0);
+
+    sh.sim = std::make_unique<Sim>(platform, sh.cfg.policy, end + 16);
+    sh.sim->ms().ReserveFastFrames(scale.Pages(sh.cfg.kernel_gb));
+    MapRange(sh.sim->ms(), sh.sim->as(), 0, end, Tier::kFast);
+    if (sh.cfg.demote_first) {
+      DemoteAll(sh.sim->ms(), sh.sim->as());
+    }
+
+    YcsbWorkload::Config wcfg;
+    wcfg.base.total_ops = sh.cfg.total_ops;
+    wcfg.base.seed = sh.cfg.seed;
+    wcfg.base.batch = 1;
+    sh.app = std::make_unique<YcsbWorkload>(&sh.sim->ms(), &sh.sim->as(), sh.store.get(),
+                                            wcfg);
+    sh.sim->AddWorkload(sh.app.get());
+    sims.push_back(sh.sim.get());
+  }
+
+  ShardRouter router(S);
+  const Control ctrl =
+      RunLockstep(sims, cfg.exec_threads, cfg.epoch_cycles, cfg.max_epochs, router, nullptr);
+
+  ShardedAppResult result;
+  result.total_ops = ctrl.total_ops;
+  result.messages = ctrl.messages;
+  result.epochs = ctrl.epochs;
+  uint64_t ops_sum = 0;
+  for (uint32_t s = 0; s < S; s++) {
+    YcsbShardState& sh = shards[s];
+    AppRunResult r;
+    const PhaseReport report = Analyze(*sh.sim);
+    r.ops_per_sec = report.ops_per_sec;
+    r.runtime_ms = CyclesToSeconds(report.total_cycles, sh.sim->platform().ghz) * 1e3;
+    r.promotions = Promotions(sh.sim->ms().counters());
+    r.demotions = Demotions(sh.sim->ms().counters());
+    if (NomadPolicy* nomad = sh.sim->nomad()) {
+      r.tpm_commits = nomad->tpm_stats().commits;
+      r.tpm_aborts = nomad->tpm_stats().aborts;
+    }
+    result.max_virtual_time = std::max(result.max_virtual_time, sh.sim->engine().now());
+    ops_sum += OpsDone(*sh.sim);
+    if (collector != nullptr) {
+      const std::string base_label =
+          label.empty() ? PolicyKindName(sh.cfg.policy) : label;
+      collector->Capture(base_label + ".shard" + std::to_string(s), *sh.sim, report);
+    }
+    result.per_shard.push_back(r);
+  }
+  // Shards run concurrently in virtual time, so the machine-level rate is
+  // the whole op count over the slowest shard's runtime.
+  if (result.max_virtual_time > 0) {
+    result.aggregate_ops_per_sec =
+        static_cast<double>(ops_sum) /
+        CyclesToSeconds(result.max_virtual_time, shards[0].sim->platform().ghz);
+  }
+  return result;
+}
+
+}  // namespace nomad

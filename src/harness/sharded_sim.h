@@ -1,0 +1,77 @@
+// Sharded parallel runner: N logical shards, each a complete Sim, advanced
+// in lockstep virtual-time epochs by a pool of OS worker threads.
+//
+// Shard = NUMA-node-pair partition. Each shard owns 1/N of both tiers'
+// capacity, its own address space, and its own shard-local daemon actors
+// (kswapd per tier, kpromote, the PCQ live inside the shard's policy
+// instance), exactly as a multi-socket machine partitions into per-socket
+// memory nodes. Shards communicate exclusively through the ShardRouter
+// (see src/sim/shard.h for the determinism argument); worker threads are
+// an execution detail — any --threads value produces byte-identical
+// metrics, which scripts/check_determinism.py --threads-compare enforces.
+#ifndef SRC_HARNESS_SHARDED_SIM_H_
+#define SRC_HARNESS_SHARDED_SIM_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "src/harness/experiment.h"
+#include "src/sim/shard.h"
+
+namespace nomad {
+
+struct ShardedRunConfig {
+  MicroRunConfig base;        // the full-machine workload, pre-partition
+  uint32_t shards = 4;        // logical partition count (affects results)
+  uint32_t exec_threads = 1;  // OS worker threads (must NOT affect results)
+  Cycles epoch_cycles = 500000;   // virtual-time barrier interval
+  uint64_t max_epochs = 1 << 22;  // safety net against stalled shards
+  bool audit = false;  // run InvariantChecker on every quiesced shard
+};
+
+struct ShardedRunResult {
+  std::vector<MicroRunResult> per_shard;  // in shard-id order
+  uint64_t total_ops = 0;      // controller's message-accumulated count
+  uint64_t epochs = 0;         // lockstep epochs executed
+  uint64_t messages = 0;       // cross-shard messages drained
+  Cycles max_virtual_time = 0; // slowest shard's final clock
+  double aggregate_gbps = 0;   // sum of per-shard overall bandwidth
+  uint64_t invariant_violations = 0;  // only populated when cfg.audit
+};
+
+// Runs cfg.base partitioned across cfg.shards shards on cfg.exec_threads
+// worker threads. Per-shard metrics are captured (in shard-id order) under
+// labels "<label>.shard<k>" when a collector is given.
+ShardedRunResult RunShardedMicro(const ShardedRunConfig& cfg,
+                                 MetricsCollector* collector = nullptr,
+                                 const std::string& label = "");
+
+// Same partitioning for the Redis/YCSB application benchmark: each shard
+// owns 1/N of the records, the capacity, and the op stream — the natural
+// analogue of running one Redis instance per NUMA node pair.
+struct ShardedYcsbConfig {
+  YcsbRunConfig base;
+  uint32_t shards = 4;
+  uint32_t exec_threads = 1;
+  Cycles epoch_cycles = 500000;
+  uint64_t max_epochs = 1 << 22;
+};
+
+struct ShardedAppResult {
+  std::vector<AppRunResult> per_shard;  // in shard-id order
+  uint64_t total_ops = 0;
+  uint64_t epochs = 0;
+  uint64_t messages = 0;
+  Cycles max_virtual_time = 0;
+  double aggregate_ops_per_sec = 0;  // total ops over the slowest shard's runtime
+};
+
+ShardedAppResult RunShardedYcsb(const ShardedYcsbConfig& cfg,
+                                MetricsCollector* collector = nullptr,
+                                const std::string& label = "");
+
+}  // namespace nomad
+
+#endif  // SRC_HARNESS_SHARDED_SIM_H_

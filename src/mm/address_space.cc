@@ -2,7 +2,7 @@
 
 namespace nomad {
 
-void AddressSpace::NoteCpu(ActorId cpu) {
+void AddressSpace::NoteCpuSlow(ActorId cpu) {
   if (cpu >= cpu_seen_.size()) {
     cpu_seen_.resize(cpu + 1, false);
   }

@@ -26,13 +26,21 @@ class AddressSpace {
   const PageTable& table() const { return table_; }
   uint64_t num_pages() const { return num_pages_; }
 
-  // Records that `cpu` holds (or held) translations of this space.
-  void NoteCpu(ActorId cpu);
+  // Records that `cpu` holds (or held) translations of this space. Inline
+  // fast path: after warm-up every Access() lands on the single-bit test.
+  void NoteCpu(ActorId cpu) {
+    if (cpu < cpu_seen_.size() && cpu_seen_[cpu]) {
+      return;
+    }
+    NoteCpuSlow(cpu);
+  }
 
   // CPUs a shootdown must target.
   const std::vector<ActorId>& cpus() const { return cpus_; }
 
  private:
+  void NoteCpuSlow(ActorId cpu);
+
   PageTable table_;
   uint64_t num_pages_;
   std::vector<ActorId> cpus_;

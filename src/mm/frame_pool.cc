@@ -9,6 +9,10 @@ FramePool::FramePool(const PlatformSpec& platform) {
   n_fast_ = platform.tiers[0].capacity_bytes / kPageSize;
   const uint64_t n_slow = platform.tiers[1].capacity_bytes / kPageSize;
   frames_.resize(n_fast_ + n_slow);
+  // Start with every bit set: the first scanner sweep then examines exactly
+  // the frames the pre-bitmap implementation would have, lazily clearing
+  // bits for frames it finds un-armable.
+  scan_candidate_.assign((frames_.size() + 63) / 64, ~uint64_t{0});
   free_[0].reserve(n_fast_);
   free_[1].reserve(n_slow);
   // Push in reverse so that allocation order is ascending PFN, which makes
@@ -58,6 +62,7 @@ Pfn FramePool::AllocOn(Tier tier) {
   NOMAD_CHECK(!f.in_use, "free-list frame already in use, pfn=", pfn, " vpn=", f.vpn,
               " tier=", static_cast<int>(f.tier));
   f.in_use = true;
+  NoteScanCandidate(pfn);
   return pfn;
 }
 

@@ -64,6 +64,32 @@ class FramePool {
     return FreeFrames(tier) < HighWatermark(tier);
   }
 
+  // --- Scan-candidate bitmap (struct-of-arrays sidecar) ---------------------
+  //
+  // One bit per frame, kept conservatively: if a frame could be armed by the
+  // hint-fault scanner (in use, mapped, non-shadow, PTE present and not yet
+  // prot_none), its bit MUST be set. The scanner clears bits only for states
+  // that cannot become armable again without passing through one of the
+  // NoteScanCandidate call sites (alloc, map install/repoint, prot_none
+  // clear, shadow detach). Extra set bits are harmless; a missing bit on an
+  // armable frame would silently stop hint faults, so InvariantChecker
+  // audits the superset property.
+  void NoteScanCandidate(Pfn pfn) {
+    if (pfn < frames_.size()) {
+      scan_candidate_[pfn >> 6] |= uint64_t{1} << (pfn & 63);
+    }
+  }
+  void ClearScanCandidate(Pfn pfn) {
+    scan_candidate_[pfn >> 6] &= ~(uint64_t{1} << (pfn & 63));
+  }
+  bool IsScanCandidate(Pfn pfn) const {
+    return (scan_candidate_[pfn >> 6] >> (pfn & 63)) & 1;
+  }
+  // Word-granular access for the scanner's window iteration.
+  uint64_t ScanCandidateWord(uint64_t word_index) const {
+    return scan_candidate_[word_index];
+  }
+
   void set_alloc_failure_hook(AllocFailureHook hook) { alloc_failure_hook_ = std::move(hook); }
 
   // Optional fault injector (owned by the MemorySystem): makes fast-tier
@@ -77,6 +103,7 @@ class FramePool {
 
  private:
   std::vector<PageFrame> frames_;
+  std::vector<uint64_t> scan_candidate_;  // 1 bit/frame, see NoteScanCandidate
   std::vector<Pfn> free_[kNumTiers];  // LIFO free lists
   uint64_t n_fast_ = 0;
   uint64_t low_wm_[kNumTiers] = {0, 0};

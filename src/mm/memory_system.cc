@@ -32,7 +32,10 @@ void MemorySystem::RegisterCpu(ActorId id) {
   // Real TLBs hold ~1.5K 4 KB entries against 16 GB of DRAM; scale the
   // entry count with the platform scale so reach ratios are preserved.
   size_t entries = std::max<uint64_t>(16, 1536 / platform_.scale.denom);
-  tlbs_.emplace(id, std::make_unique<Tlb>(entries));
+  if (tlbs_.size() <= id) {
+    tlbs_.resize(id + 1);
+  }
+  tlbs_[id] = std::make_unique<Tlb>(entries);
 }
 
 Pfn MemorySystem::MapNewPage(AddressSpace& as, Vpn vpn, Tier preferred, bool writable) {
@@ -49,6 +52,7 @@ Pfn MemorySystem::MapNewPage(AddressSpace& as, Vpn vpn, Tier preferred, bool wri
   pte.pfn = pfn;
   pte.present = true;
   pte.writable = writable;
+  pool_.NoteScanCandidate(pfn);
   lru(f.tier).AddInactive(pfn);
   if (kswapd_waker_ && pool_.BelowLowWatermark(f.tier)) {
     kswapd_waker_(f.tier);
@@ -65,6 +69,7 @@ void MemorySystem::InstallMappingSilent(AddressSpace& as, Vpn vpn, Pfn pfn, bool
   pte.pfn = pfn;
   pte.present = true;
   pte.writable = writable;
+  pool_.NoteScanCandidate(pfn);
   lru(f.tier).AddInactive(pfn);
 }
 
@@ -87,6 +92,7 @@ void MemorySystem::RepointMappingSilent(AddressSpace& as, Vpn vpn, Pfn new_pfn) 
     lru(new_frame.tier).AddInactive(new_pfn);
   }
   pte->pfn = new_pfn;
+  pool_.NoteScanCandidate(new_pfn);
   for (ActorId cpu : as.cpus()) {
     tlb(cpu).Invalidate(vpn);
   }
@@ -100,8 +106,10 @@ void MemorySystem::UnmapAndFree(AddressSpace& as, Vpn vpn) {
     return;
   }
   Pfn pfn = pte->pfn;
-  for (auto& [cpu, tlb] : tlbs_) {
-    tlb->Invalidate(vpn);
+  for (auto& tlb : tlbs_) {
+    if (tlb) {
+      tlb->Invalidate(vpn);
+    }
   }
   llc_.InvalidatePage(pfn);
   lru(pool_.TierOf(pfn)).Remove(pfn);
@@ -123,9 +131,8 @@ Cycles MemorySystem::TlbShootdown(AddressSpace& as, Vpn vpn) {
   const ActorId self = engine_ ? engine_->current() : ~ActorId{0};
   uint64_t remote_targets = 0;
   for (ActorId cpu : as.cpus()) {
-    auto it = tlbs_.find(cpu);
-    if (it != tlbs_.end()) {
-      it->second->Invalidate(vpn);
+    if (cpu < tlbs_.size() && tlbs_[cpu]) {
+      tlbs_[cpu]->Invalidate(vpn);
     }
     if (cpu != self) {
       remote_targets++;
@@ -249,6 +256,7 @@ Cycles MemorySystem::Access(ActorId cpu, AddressSpace& as, Vpn vpn, uint64_t off
         }
         pte->prot_none = false;
         pte->writable = true;
+        pool_.NoteScanCandidate(pte->pfn);
         break;
       }
       if (!pte || !pte->present) {
@@ -266,6 +274,7 @@ Cycles MemorySystem::Access(ActorId cpu, AddressSpace& as, Vpn vpn, uint64_t off
           total += hint_fault_(cpu, as, vpn);
         } else {
           pte->prot_none = false;
+          pool_.NoteScanCandidate(pte->pfn);
         }
         pte = as.table().Lookup(vpn);
         continue;

@@ -117,7 +117,7 @@ class MemorySystem {
 
   // Creates the TLB for a simulated CPU; id is the engine ActorId.
   void RegisterCpu(ActorId id);
-  Tlb& tlb(ActorId id) { return *tlbs_.at(id); }
+  Tlb& tlb(ActorId id) { return *tlbs_[id]; }
 
   // --- setup-time mapping (no cycle charging) ---------------------------
   // Allocates a frame (preferred tier, standard fallback) and maps vpn to
@@ -157,8 +157,12 @@ class MemorySystem {
 
   // Restores access after a NUMA-hint fault (the scanner set prot_none so
   // the next touch would fault). Policy layers call this instead of
-  // flipping PTE bits themselves (lint rule NL001).
-  void ResolveHintFault(Pte& pte) { pte.prot_none = false; }
+  // flipping PTE bits themselves (lint rule NL001). Re-arms the frame as a
+  // scan candidate: it just became armable again.
+  void ResolveHintFault(Pte& pte) {
+    pte.prot_none = false;
+    pool_.NoteScanCandidate(pte.pfn);
+  }
 
   // Invalidates vpn on every CPU in as's cpumask and charges the initiator;
   // remote CPUs get an IPI service penalty via the engine. Returns the
@@ -195,7 +199,10 @@ class MemorySystem {
   std::unique_ptr<LruLists> lru_[kNumTiers];
   MemoryDevice devices_[kNumTiers];
   LastLevelCache llc_;
-  std::map<ActorId, std::unique_ptr<Tlb>> tlbs_;
+  // Dense ActorId-indexed registry (ids are small engine indices); null for
+  // non-CPU actors. Replaced a std::map whose per-access .at() lookup showed
+  // up in the profile.
+  std::vector<std::unique_ptr<Tlb>> tlbs_;
   CounterSet counters_;
   TraceSink trace_;
   Profiler prof_;

@@ -52,6 +52,7 @@ class SyncHwImpl : public tpm::SyncHw {
     pte_.dirty = was_dirty_;
     pte_.prot_none = false;
     pte_.accessed = false;
+    ms_.pool().NoteScanCandidate(new_pfn_);
     cycles_ += ms_.platform().costs.pte_update;
 
     if (new_frame.active) {

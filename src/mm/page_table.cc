@@ -2,37 +2,42 @@
 
 namespace nomad {
 
-Pte* PageTable::Lookup(Vpn vpn) {
+Pte* PageTable::LookupSlow(Vpn vpn) {
   const size_t dir_idx = static_cast<size_t>(vpn / kEntriesPerLeaf);
-  if (dir_idx >= dir_.size() || !dir_[dir_idx]) {
+  if (dir_idx >= dir_.size() || dir_[dir_idx] == nullptr) {
     return nullptr;
   }
-  return &dir_[dir_idx]->entries[vpn % kEntriesPerLeaf];
+  cursor_idx_ = dir_idx;
+  cursor_leaf_ = dir_[dir_idx];
+  return &cursor_leaf_->entries[vpn % kEntriesPerLeaf];
 }
 
-const Pte* PageTable::Lookup(Vpn vpn) const {
-  const size_t dir_idx = static_cast<size_t>(vpn / kEntriesPerLeaf);
-  if (dir_idx >= dir_.size() || !dir_[dir_idx]) {
-    return nullptr;
+PageTable::Leaf* PageTable::NewLeaf() {
+  if (chunk_used_ == kLeavesPerChunk) {
+    // Value-initialized: every Pte in the chunk starts as Pte{}.
+    chunks_.push_back(std::make_unique<Leaf[]>(kLeavesPerChunk));
+    chunk_used_ = 0;
   }
-  return &dir_[dir_idx]->entries[vpn % kEntriesPerLeaf];
+  return &chunks_.back()[chunk_used_++];
 }
 
 Pte& PageTable::Ensure(Vpn vpn) {
   const size_t dir_idx = static_cast<size_t>(vpn / kEntriesPerLeaf);
   if (dir_idx >= dir_.size()) {
-    dir_.resize(dir_idx + 1);
+    dir_.resize(dir_idx + 1, nullptr);
   }
-  if (!dir_[dir_idx]) {
-    dir_[dir_idx] = std::make_unique<Leaf>();
+  if (dir_[dir_idx] == nullptr) {
+    dir_[dir_idx] = NewLeaf();
     num_leaves_++;
   }
-  return dir_[dir_idx]->entries[vpn % kEntriesPerLeaf];
+  cursor_idx_ = dir_idx;
+  cursor_leaf_ = dir_[dir_idx];
+  return cursor_leaf_->entries[vpn % kEntriesPerLeaf];
 }
 
 void PageTable::ForEachPresent(const std::function<void(Vpn, const Pte&)>& fn) const {
   for (size_t dir_idx = 0; dir_idx < dir_.size(); dir_idx++) {
-    if (!dir_[dir_idx]) {
+    if (dir_[dir_idx] == nullptr) {
       continue;
     }
     const Vpn base = static_cast<Vpn>(dir_idx) * kEntriesPerLeaf;

@@ -4,6 +4,12 @@
 // This keeps memory proportional to the mapped range while giving the same
 // semantics as the 4-level x86 table the kernel walks; the constant walk
 // cost lives in KernelCosts::page_walk.
+//
+// Leaves are carved out of chunked arenas (64 leaves per chunk) instead of
+// being individually heap-allocated: one malloc per 128 MB of mapped
+// address space, contiguous PTE storage for neighbouring leaves, and stable
+// leaf addresses (chunks never move), so Pte pointers handed out by
+// Lookup/Ensure stay valid for the table's lifetime exactly as before.
 #ifndef SRC_MM_PAGE_TABLE_H_
 #define SRC_MM_PAGE_TABLE_H_
 
@@ -24,8 +30,17 @@ class PageTable {
   PageTable& operator=(const PageTable&) = delete;
 
   // Returns the PTE for vpn, or nullptr when no leaf table exists yet.
-  Pte* Lookup(Vpn vpn);
-  const Pte* Lookup(Vpn vpn) const;
+  // Inline with a one-entry walk cursor: consecutive lookups inside the
+  // same 2 MB region (the common case for the access loop's walk + the
+  // fault handlers re-walking the same page) skip the directory load.
+  Pte* Lookup(Vpn vpn) {
+    const size_t dir_idx = static_cast<size_t>(vpn / kEntriesPerLeaf);
+    if (dir_idx == cursor_idx_) {
+      return &cursor_leaf_->entries[vpn % kEntriesPerLeaf];
+    }
+    return LookupSlow(vpn);
+  }
+  const Pte* Lookup(Vpn vpn) const { return const_cast<PageTable*>(this)->Lookup(vpn); }
 
   // Returns the PTE for vpn, materializing the leaf table if needed.
   Pte& Ensure(Vpn vpn);
@@ -42,8 +57,20 @@ class PageTable {
   struct Leaf {
     Pte entries[kEntriesPerLeaf];
   };
+  static constexpr size_t kLeavesPerChunk = 64;
 
-  std::vector<std::unique_ptr<Leaf>> dir_;
+  Pte* LookupSlow(Vpn vpn);
+  Leaf* NewLeaf();
+
+  // The cursor caches (dir index -> leaf) for the last hit. Leaf addresses
+  // are stable, and a directory slot never changes once populated, so the
+  // cursor can never go stale; it only ever points at a live leaf.
+  size_t cursor_idx_ = ~size_t{0};
+  Leaf* cursor_leaf_ = nullptr;
+
+  std::vector<Leaf*> dir_;  // nullptr = leaf not materialized
+  std::vector<std::unique_ptr<Leaf[]>> chunks_;
+  size_t chunk_used_ = kLeavesPerChunk;  // current chunk's high-water mark
   size_t num_leaves_ = 0;
 };
 

@@ -132,7 +132,7 @@ Cycles NomadPolicy::OnHintFault(ActorId /*cpu*/, AddressSpace& as, Vpn vpn) {
   ms.Trace(TraceEvent::kHintFault, vpn);
   // "Before migration commences, TPM clears the protection bit of the page
   // frame" - the page never hint-faults again while being considered.
-  pte->prot_none = false;
+  ms.ResolveHintFault(*pte);
 
   const Pfn pfn = pte->pfn;
   PageFrame& f = ms.pool().frame(pfn);
@@ -219,6 +219,9 @@ MigrateResult NomadPolicy::DemotePage(Pfn pfn) {
     s.vpn = vpn;
     s.referenced = false;
     s.active = false;
+    // The detached shadow is now a live, mapped slow-tier page the hint
+    // scanner must be able to re-arm.
+    ms.pool().NoteScanCandidate(shadow);
     ms.lru(Tier::kSlow).AddInactive(shadow);
 
     ms.lru(Tier::kFast).Remove(pfn);

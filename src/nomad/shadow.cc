@@ -33,6 +33,9 @@ Pfn ShadowManager::DetachShadow(Pfn master) {
   PageFrame& s = ms_->pool().frame(shadow);
   m.shadowed = false;
   s.is_shadow = false;
+  // No longer a shadow: if the caller keeps the frame alive (remap-only
+  // demotion) it is scannable again. Redundant when the caller frees it.
+  ms_->pool().NoteScanCandidate(shadow);
   return shadow;
 }
 

@@ -6,7 +6,8 @@ namespace nomad {
 
 ActorId Engine::AddActor(Actor* actor, Cycles start) {
   actors_.push_back(actor);
-  entries_.push_back(Entry{start, false});
+  entries_.push_back(Entry{start, false, actor->done()});
+  sched_dirty_ = true;
   return actors_.size() - 1;
 }
 
@@ -23,6 +24,7 @@ void Engine::Wake(ActorId id, Cycles when) {
   Entry& e = entries_[id];
   if (e.next_time > when) {
     e.next_time = when;
+    sched_dirty_ = true;
   }
 }
 
@@ -35,18 +37,23 @@ void Engine::Penalize(ActorId id, Cycles cycles) {
     return;  // Sleeping forever; the IPI cost is irrelevant to it.
   }
   e.next_time += cycles;
+  sched_dirty_ = true;
 }
 
 bool Engine::PickNext(ActorId* out) const {
+  // Tight scan over the entry table; the cached done bit avoids a virtual
+  // call per actor per scheduling pass. Ties break to the lowest id because
+  // the < comparison only replaces on strictly-smaller times.
   Cycles best = kNever;
   ActorId best_id = 0;
   bool found = false;
-  for (ActorId id = 0; id < actors_.size(); id++) {
-    if (actors_[id]->done() || entries_[id].next_time == kNever) {
+  for (ActorId id = 0; id < entries_.size(); id++) {
+    const Entry& e = entries_[id];
+    if (e.done || e.next_time == kNever) {
       continue;
     }
-    if (!found || entries_[id].next_time < best) {
-      best = entries_[id].next_time;
+    if (!found || e.next_time < best) {
+      best = e.next_time;
       best_id = id;
       found = true;
     }
@@ -66,23 +73,88 @@ void Engine::StepOne(ActorId id) {
   if (!e.slept) {
     e.next_time = now_ + std::max<Cycles>(used, 1);
   }
+  e.done = actors_[id]->done();
+}
+
+bool Engine::PickNext2(ActorId* out, Cycles* sec_time, ActorId* sec_id) const {
+  Cycles best = kNever;
+  ActorId best_id = 0;
+  Cycles sec = kNever;
+  ActorId sec_best_id = 0;
+  bool found = false;
+  for (ActorId id = 0; id < entries_.size(); id++) {
+    const Entry& e = entries_[id];
+    if (e.done || e.next_time == kNever) {
+      continue;
+    }
+    if (!found || e.next_time < best) {
+      sec = best;
+      sec_best_id = best_id;
+      best = e.next_time;
+      best_id = id;
+      found = true;
+    } else if (e.next_time < sec) {
+      sec = e.next_time;
+      sec_best_id = id;
+    }
+  }
+  if (found) {
+    *out = best_id;
+    *sec_time = sec;
+    *sec_id = sec_best_id;
+  }
+  return found;
 }
 
 Cycles Engine::Run(Cycles until) {
   ActorId id;
-  while (PickNext(&id)) {
+  Cycles sec_time;
+  ActorId sec_id;
+  while (PickNext2(&id, &sec_time, &sec_id)) {
     if (entries_[id].next_time > until) {
       break;
     }
-    StepOne(id);
+    // Re-step the same actor while it provably remains the schedule's
+    // minimum: nothing else's entry changed and it still beats the
+    // runner-up under the (time, id) order. Identical pick sequence to a
+    // full rescan per step, without the rescan.
+    for (;;) {
+      sched_dirty_ = false;
+      StepOne(id);
+      const Entry& e = entries_[id];
+      if (sched_dirty_ || e.done || e.next_time == kNever) {
+        break;
+      }
+      if (e.next_time > sec_time || (e.next_time == sec_time && sec_id < id)) {
+        break;
+      }
+      if (e.next_time > until) {
+        break;
+      }
+    }
   }
   return now_;
 }
 
 Cycles Engine::RunUntil(const std::function<bool()>& stop) {
   ActorId id;
-  while (!stop() && PickNext(&id)) {
-    StepOne(id);
+  Cycles sec_time;
+  ActorId sec_id;
+  while (!stop() && PickNext2(&id, &sec_time, &sec_id)) {
+    for (;;) {
+      sched_dirty_ = false;
+      StepOne(id);
+      const Entry& e = entries_[id];
+      if (sched_dirty_ || e.done || e.next_time == kNever) {
+        break;
+      }
+      if (e.next_time > sec_time || (e.next_time == sec_time && sec_id < id)) {
+        break;
+      }
+      if (stop()) {
+        return now_;  // checked between steps, exactly as before
+      }
+    }
   }
   return now_;
 }

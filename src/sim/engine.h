@@ -45,7 +45,9 @@ class Actor {
   // Display name for debugging and reports.
   virtual std::string name() const = 0;
 
-  // Once true, the engine never schedules the actor again.
+  // Once true, the engine never schedules the actor again. Contract: the
+  // value may only change during this actor's own Step() — the engine
+  // caches it per step instead of re-asking every scheduling pass.
   virtual bool done() const { return false; }
 };
 
@@ -98,11 +100,17 @@ class Engine {
   struct Entry {
     Cycles next_time = 0;
     bool slept = false;  // SleepUntil was called during the current Step.
+    bool done = false;   // cached Actor::done(), refreshed after each Step
   };
 
   // Picks the runnable actor with the minimum next_time; returns false when
   // none is runnable.
   bool PickNext(ActorId* out) const;
+
+  // Like PickNext, but also reports the runner-up's (time, id) so the run
+  // loop can re-step the winner without rescanning while it provably stays
+  // the minimum. With no runner-up, *sec_time is kNever.
+  bool PickNext2(ActorId* out, Cycles* sec_time, ActorId* sec_id) const;
 
   // Steps the chosen actor and applies its scheduling outcome.
   void StepOne(ActorId id);
@@ -111,6 +119,9 @@ class Engine {
   std::vector<Entry> entries_;
   Cycles now_ = 0;
   ActorId current_ = 0;
+  // Set whenever a step mutates another actor's schedule (Wake/Penalize) or
+  // the actor pool grows; invalidates the run loop's cached runner-up.
+  bool sched_dirty_ = false;
 };
 
 }  // namespace nomad

@@ -1,0 +1,55 @@
+#include "src/sim/shard.h"
+
+#include "src/check/check.h"
+
+namespace nomad {
+
+ShardRouter::ShardRouter(uint32_t num_shards)
+    : num_shards_(num_shards),
+      pairs_(static_cast<size_t>(num_shards) * num_shards) {
+  NOMAD_CHECK(num_shards > 0, "router needs at least one shard");
+}
+
+void ShardRouter::Send(uint32_t from, uint32_t to, uint32_t kind, uint64_t a, uint64_t b) {
+  NOMAD_CHECK(from < num_shards_ && to < num_shards_, "shard id out of range, from=", from,
+              " to=", to, " shards=", num_shards_);
+  Pair& p = pair(from, to);
+  std::lock_guard<std::mutex> lock(p.mu);
+  p.fifo.push_back(ShardMsg{from, kind, p.next_seq++, a, b});
+}
+
+void ShardRouter::Drain(uint32_t to, const std::function<void(const ShardMsg&)>& fn) {
+  NOMAD_CHECK(to < num_shards_, "shard id out of range, to=", to);
+  for (uint32_t from = 0; from < num_shards_; from++) {
+    Pair& p = pair(from, to);
+    std::lock_guard<std::mutex> lock(p.mu);
+    while (!p.fifo.empty()) {
+      fn(p.fifo.front());
+      p.fifo.pop_front();
+    }
+  }
+}
+
+uint64_t ShardRouter::PendingFor(uint32_t to) const {
+  uint64_t n = 0;
+  for (uint32_t from = 0; from < num_shards_; from++) {
+    const Pair& p = pair(from, to);
+    std::lock_guard<std::mutex> lock(p.mu);
+    n += p.fifo.size();
+  }
+  return n;
+}
+
+void ShardBarrier::ArriveAndWait() {
+  std::unique_lock<std::mutex> lock(mu_);
+  const uint64_t gen = generation_;
+  if (++waiting_ == parties_) {
+    waiting_ = 0;
+    generation_++;
+    cv_.notify_all();
+    return;
+  }
+  cv_.wait(lock, [&] { return generation_ != gen; });
+}
+
+}  // namespace nomad

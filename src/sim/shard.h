@@ -1,0 +1,111 @@
+// Deterministic sharding primitives for the parallel simulation engine.
+//
+// A sharded run partitions the machine into fixed logical shards (per-NUMA-
+// node or per-address-space), each owning a complete single-threaded Sim:
+// its own Engine, MemorySystem, frame pool, LRUs, and shard-local daemon
+// actors (kswapd, kpromote, the PCQ). Shards advance in lockstep epochs of
+// virtual time and exchange information ONLY through ShardRouter messages,
+// which are produced during an epoch and drained at the epoch barrier in a
+// fixed total order: (sender shard id, per-pair sequence number). Because
+//  - shard-local state evolves as a pure function of (config, seed, drained
+//    messages), and
+//  - the drain order and the epoch schedule are independent of how shards
+//    are assigned to OS threads,
+// the simulation output is byte-identical for any --threads value,
+// including 1. scripts/check_determinism.py enforces exactly this.
+//
+// The rule that no shard may touch another shard's owned state (page
+// tables, frame pools, LRU lists) outside these message APIs is enforced
+// statically by tools/nomad_lint rule NL008.
+#ifndef SRC_SIM_SHARD_H_
+#define SRC_SIM_SHARD_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <vector>
+
+namespace nomad {
+
+// One cross-shard message. Plain data: payloads with richer structure are
+// encoded into (kind, a, b) by the sender and decoded by the receiver.
+struct ShardMsg {
+  uint32_t from = 0;  // sender shard id
+  uint32_t kind = 0;  // application-defined discriminator
+  uint64_t seq = 0;   // per-(sender, receiver) FIFO sequence, from 0
+  uint64_t a = 0;
+  uint64_t b = 0;
+};
+
+// Message kinds used by the sharded harness. User code may define its own
+// kinds above kShardMsgUser.
+enum : uint32_t {
+  kShardMsgProgress = 1,  // a = ops completed this epoch, b = local time
+  kShardMsgDone = 2,      // a = total ops completed, b = final local time
+  kShardMsgUser = 100,
+};
+
+// S x S mailbox grid. Each (sender, receiver) pair has its own FIFO; a
+// sender only ever appends to its own row, a receiver drains its column at
+// an epoch barrier. Drain order is fixed — ascending sender id, then
+// sequence number — so the receiver observes an identical message stream
+// regardless of which OS threads ran the senders or in what real-time
+// order they arrived.
+class ShardRouter {
+ public:
+  explicit ShardRouter(uint32_t num_shards);
+
+  uint32_t num_shards() const { return num_shards_; }
+
+  // Enqueues a message from shard `from` to shard `to`. Thread-safe per
+  // pair; called from the sender shard's worker thread during an epoch.
+  void Send(uint32_t from, uint32_t to, uint32_t kind, uint64_t a = 0, uint64_t b = 0);
+
+  // Drains every message addressed to `to`, invoking fn in (sender id,
+  // seq) order. Called by the receiver at an epoch barrier; senders must
+  // be parked at the barrier (the mutexes still make the handoff safe and
+  // TSan-visible).
+  void Drain(uint32_t to, const std::function<void(const ShardMsg&)>& fn);
+
+  // Messages currently queued for `to` (diagnostics and tests).
+  uint64_t PendingFor(uint32_t to) const;
+
+ private:
+  struct Pair {
+    mutable std::mutex mu;
+    std::deque<ShardMsg> fifo;
+    uint64_t next_seq = 0;
+  };
+  Pair& pair(uint32_t from, uint32_t to) { return pairs_[from * num_shards_ + to]; }
+  const Pair& pair(uint32_t from, uint32_t to) const {
+    return pairs_[from * num_shards_ + to];
+  }
+
+  uint32_t num_shards_;
+  std::vector<Pair> pairs_;
+};
+
+// Reusable generation-counting barrier for the epoch lockstep. All
+// participants must arrive before any is released; the release establishes
+// the happens-before edge that makes one shard's epoch-N state safely
+// readable (via drained messages) in every shard's epoch N+1.
+class ShardBarrier {
+ public:
+  explicit ShardBarrier(uint32_t parties) : parties_(parties) {}
+
+  // Blocks until all `parties` threads have arrived at this generation.
+  void ArriveAndWait();
+
+ private:
+  std::mutex mu_;
+  std::condition_variable cv_;
+  uint32_t parties_;
+  uint32_t waiting_ = 0;
+  uint64_t generation_ = 0;
+};
+
+}  // namespace nomad
+
+#endif  // SRC_SIM_SHARD_H_

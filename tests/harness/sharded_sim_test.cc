@@ -1,0 +1,130 @@
+// End-to-end tests for the sharded parallel runner: worker-thread count
+// must never leak into simulation results, shards must quiesce cleanly
+// under the full invariant suite, and the lockstep accounting (epochs,
+// messages, ops) must be internally consistent.
+#include "src/harness/sharded_sim.h"
+
+#include <gtest/gtest.h>
+
+namespace nomad {
+namespace {
+
+ShardedRunConfig SmallConfig(PolicyKind policy) {
+  ShardedRunConfig cfg;
+  cfg.base.policy = policy;
+  cfg.base.total_ops = 40000;
+  cfg.shards = 4;
+  cfg.audit = true;
+  return cfg;
+}
+
+// Strict equality across results: the determinism contract is byte-level,
+// so even doubles must match exactly.
+void ExpectIdentical(const ShardedRunResult& a, const ShardedRunResult& b) {
+  EXPECT_EQ(a.total_ops, b.total_ops);
+  EXPECT_EQ(a.epochs, b.epochs);
+  EXPECT_EQ(a.messages, b.messages);
+  EXPECT_EQ(a.max_virtual_time, b.max_virtual_time);
+  EXPECT_EQ(a.aggregate_gbps, b.aggregate_gbps);
+  ASSERT_EQ(a.per_shard.size(), b.per_shard.size());
+  for (size_t s = 0; s < a.per_shard.size(); s++) {
+    const MicroRunResult& ra = a.per_shard[s];
+    const MicroRunResult& rb = b.per_shard[s];
+    EXPECT_EQ(ra.report.overall_gbps, rb.report.overall_gbps) << "shard " << s;
+    EXPECT_EQ(ra.report.mean_latency_cycles, rb.report.mean_latency_cycles)
+        << "shard " << s;
+    EXPECT_EQ(ra.fast_used, rb.fast_used) << "shard " << s;
+    EXPECT_EQ(ra.slow_used, rb.slow_used) << "shard " << s;
+    EXPECT_EQ(ra.tpm_commits, rb.tpm_commits) << "shard " << s;
+    EXPECT_EQ(ra.tpm_aborts, rb.tpm_aborts) << "shard " << s;
+    EXPECT_EQ(ra.counters.ToString(), rb.counters.ToString()) << "shard " << s;
+  }
+}
+
+TEST(ShardedSimTest, ThreadCountDoesNotChangeResults) {
+  // The tentpole contract: OS execution width is invisible to the
+  // simulation. Run the same partition on 1, 2, 3, and 4 workers.
+  const ShardedRunResult t1 = RunShardedMicro(SmallConfig(PolicyKind::kNomad));
+  for (uint32_t threads : {2u, 3u, 4u}) {
+    ShardedRunConfig cfg = SmallConfig(PolicyKind::kNomad);
+    cfg.exec_threads = threads;
+    const ShardedRunResult tn = RunShardedMicro(cfg);
+    SCOPED_TRACE(threads);
+    ExpectIdentical(t1, tn);
+  }
+}
+
+TEST(ShardedSimTest, RepeatRunsAreIdentical) {
+  const ShardedRunResult a = RunShardedMicro(SmallConfig(PolicyKind::kTpp));
+  const ShardedRunResult b = RunShardedMicro(SmallConfig(PolicyKind::kTpp));
+  ExpectIdentical(a, b);
+}
+
+TEST(ShardedSimTest, ShardsQuiesceWithoutInvariantViolations) {
+  for (PolicyKind policy :
+       {PolicyKind::kNoMigration, PolicyKind::kTpp, PolicyKind::kNomad}) {
+    ShardedRunConfig cfg = SmallConfig(policy);
+    cfg.exec_threads = 2;
+    const ShardedRunResult r = RunShardedMicro(cfg);
+    EXPECT_EQ(r.invariant_violations, 0u) << PolicyKindName(policy);
+  }
+}
+
+TEST(ShardedSimTest, LockstepAccountingIsConsistent) {
+  ShardedRunConfig cfg = SmallConfig(PolicyKind::kNomad);
+  const ShardedRunResult r = RunShardedMicro(cfg);
+
+  // Every shard finished all its ops and said so: the controller's
+  // message-accumulated total must equal the configured work.
+  const uint64_t per_shard_ops = cfg.base.total_ops / cfg.shards;
+  EXPECT_EQ(r.total_ops, per_shard_ops * cfg.shards);
+  EXPECT_EQ(r.per_shard.size(), cfg.shards);
+
+  // One done message per shard plus at least one progress message each.
+  EXPECT_GE(r.messages, 2u * cfg.shards);
+  EXPECT_GT(r.epochs, 0u);
+  // The run ends at the epoch after the last shard quiesces, so virtual
+  // time is bounded by the epoch count.
+  EXPECT_LE(r.max_virtual_time, (r.epochs + 1) * cfg.epoch_cycles);
+  EXPECT_GT(r.aggregate_gbps, 0.0);
+}
+
+TEST(ShardedSimTest, ShardCountChangesPartitionButRunsClean) {
+  // Different shard counts are different simulations (that is by design);
+  // both must complete and audit clean.
+  for (uint32_t shards : {1u, 2u, 8u}) {
+    ShardedRunConfig cfg = SmallConfig(PolicyKind::kNomad);
+    cfg.shards = shards;
+    cfg.exec_threads = 2;
+    const ShardedRunResult r = RunShardedMicro(cfg);
+    EXPECT_EQ(r.invariant_violations, 0u) << shards << " shards";
+    EXPECT_EQ(r.per_shard.size(), shards);
+    EXPECT_EQ(r.total_ops, (cfg.base.total_ops / shards) * shards);
+  }
+}
+
+TEST(ShardedYcsbTest, ThreadCountDoesNotChangeResults) {
+  ShardedYcsbConfig cfg;
+  cfg.base.policy = PolicyKind::kNomad;
+  cfg.base.record_count = 20000;
+  cfg.base.total_ops = 8000;
+  cfg.shards = 4;
+  const ShardedAppResult a = RunShardedYcsb(cfg);
+  cfg.exec_threads = 4;
+  const ShardedAppResult b = RunShardedYcsb(cfg);
+  EXPECT_EQ(a.total_ops, b.total_ops);
+  EXPECT_EQ(a.epochs, b.epochs);
+  EXPECT_EQ(a.messages, b.messages);
+  EXPECT_EQ(a.max_virtual_time, b.max_virtual_time);
+  EXPECT_EQ(a.aggregate_ops_per_sec, b.aggregate_ops_per_sec);
+  ASSERT_EQ(a.per_shard.size(), b.per_shard.size());
+  for (size_t s = 0; s < a.per_shard.size(); s++) {
+    EXPECT_EQ(a.per_shard[s].ops_per_sec, b.per_shard[s].ops_per_sec) << "shard " << s;
+    EXPECT_EQ(a.per_shard[s].promotions, b.per_shard[s].promotions) << "shard " << s;
+    EXPECT_EQ(a.per_shard[s].tpm_commits, b.per_shard[s].tpm_commits) << "shard " << s;
+  }
+  EXPECT_GT(a.total_ops, 0u);
+}
+
+}  // namespace
+}  // namespace nomad

@@ -1,0 +1,130 @@
+// Tests for the deterministic sharding primitives: the router's fixed
+// drain order and per-pair FIFO sequencing, and the reusable epoch
+// barrier. These are the two properties the parallel engine's whole
+// determinism argument rests on (src/sim/shard.h).
+#include "src/sim/shard.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+namespace nomad {
+namespace {
+
+TEST(ShardRouterTest, DrainsInSenderIdThenSequenceOrder) {
+  ShardRouter router(4);
+  // Interleave sends in an adversarial real-time order; the receiver must
+  // still observe ascending (sender id, seq).
+  router.Send(2, 0, kShardMsgUser, 20);
+  router.Send(1, 0, kShardMsgUser, 10);
+  router.Send(3, 0, kShardMsgUser, 30);
+  router.Send(1, 0, kShardMsgUser, 11);
+  router.Send(2, 0, kShardMsgUser, 21);
+  router.Send(0, 0, kShardMsgUser, 0);
+
+  std::vector<std::pair<uint32_t, uint64_t>> seen;
+  router.Drain(0, [&](const ShardMsg& m) { seen.push_back({m.from, m.seq}); });
+
+  const std::vector<std::pair<uint32_t, uint64_t>> want = {
+      {0, 0}, {1, 0}, {1, 1}, {2, 0}, {2, 1}, {3, 0}};
+  EXPECT_EQ(seen, want);
+}
+
+TEST(ShardRouterTest, PayloadsSurviveAndPairsAreIndependent) {
+  ShardRouter router(3);
+  router.Send(0, 1, kShardMsgProgress, 7, 99);
+  router.Send(0, 2, kShardMsgDone, 8, 100);
+  EXPECT_EQ(router.PendingFor(1), 1u);
+  EXPECT_EQ(router.PendingFor(2), 1u);
+  EXPECT_EQ(router.PendingFor(0), 0u);
+
+  // Each (sender, receiver) pair numbers its own FIFO from zero.
+  router.Drain(1, [&](const ShardMsg& m) {
+    EXPECT_EQ(m.from, 0u);
+    EXPECT_EQ(m.kind, kShardMsgProgress);
+    EXPECT_EQ(m.seq, 0u);
+    EXPECT_EQ(m.a, 7u);
+    EXPECT_EQ(m.b, 99u);
+  });
+  router.Drain(2, [&](const ShardMsg& m) {
+    EXPECT_EQ(m.kind, kShardMsgDone);
+    EXPECT_EQ(m.seq, 0u);
+  });
+  EXPECT_EQ(router.PendingFor(1), 0u);
+  EXPECT_EQ(router.PendingFor(2), 0u);
+}
+
+TEST(ShardRouterTest, DrainOrderIndependentOfSendingThread) {
+  // Concurrent senders on real threads; after all join, the drained stream
+  // must be the canonical order no matter how the OS scheduled them.
+  ShardRouter router(4);
+  std::vector<std::thread> senders;
+  for (uint32_t s = 1; s < 4; s++) {
+    senders.emplace_back([&router, s] {
+      for (uint64_t i = 0; i < 100; i++) {
+        router.Send(s, 0, kShardMsgUser, i);
+      }
+    });
+  }
+  for (std::thread& t : senders) {
+    t.join();
+  }
+
+  uint32_t last_from = 0;
+  uint64_t next_seq = 0;
+  uint64_t count = 0;
+  router.Drain(0, [&](const ShardMsg& m) {
+    if (m.from != last_from) {
+      EXPECT_GT(m.from, last_from);  // ascending sender ids
+      last_from = m.from;
+      next_seq = 0;
+    }
+    EXPECT_EQ(m.seq, next_seq);  // dense per-pair sequence
+    EXPECT_EQ(m.a, next_seq);    // FIFO per sender
+    next_seq++;
+    count++;
+  });
+  EXPECT_EQ(count, 300u);
+}
+
+TEST(ShardBarrierTest, ReleasesAllPartiesAndIsReusable) {
+  constexpr uint32_t kParties = 4;
+  constexpr int kEpochs = 50;
+  ShardBarrier barrier(kParties);
+  std::atomic<int> in_phase{0};
+  std::atomic<bool> overlap{false};
+
+  // Each thread alternates work/barrier; if the barrier ever released
+  // early, two threads would be in different epochs at once and the
+  // in_phase counter would exceed the party count mid-epoch.
+  std::vector<std::thread> pool;
+  for (uint32_t t = 0; t < kParties; t++) {
+    pool.emplace_back([&] {
+      for (int e = 0; e < kEpochs; e++) {
+        in_phase++;
+        barrier.ArriveAndWait();
+        if (in_phase.load() > static_cast<int>(kParties) * (e + 1)) {
+          overlap = true;
+        }
+        barrier.ArriveAndWait();
+      }
+    });
+  }
+  for (std::thread& t : pool) {
+    t.join();
+  }
+  EXPECT_FALSE(overlap.load());
+  EXPECT_EQ(in_phase.load(), static_cast<int>(kParties) * kEpochs);
+}
+
+TEST(ShardBarrierTest, SinglePartyNeverBlocks) {
+  ShardBarrier barrier(1);
+  for (int i = 0; i < 1000; i++) {
+    barrier.ArriveAndWait();
+  }
+}
+
+}  // namespace
+}  // namespace nomad

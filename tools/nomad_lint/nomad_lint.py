@@ -24,6 +24,12 @@ Enforced rules (see DESIGN.md "Verification tooling" for the rationale):
   NL007 io-in-core        no <iostream>/<fstream> outside the harness and
                           declared I/O endpoints; core layers report via
                           counters, traces, and return values.
+  NL008 shard-ownership   shard-owned state may only be mutated through the
+                          shard-message APIs: ShardRouter/ShardBarrier/
+                          ShardMsg and cross-shard `shards[i]` mutation are
+                          confined to the sharded runtime (src/sim/shard.*,
+                          src/harness/sharded_sim.*); everything else would
+                          bypass the deterministic drain order.
 
 Engines. The default engine is a pure-Python lexer (comments and string
 literals stripped, then per-line pattern rules): zero dependencies, runs
@@ -222,8 +228,13 @@ def rule_nl002(f):
                           "bare assert() compiles out of release builds; use NOMAD_CHECK")
 
 
+# The one benchmark whose entire job is wall-clock measurement: it times
+# the simulator itself (pages-simulated/sec), never simulated behavior.
+NL003_ALLOWLIST = ("bench/bench_throughput.cc",)
+
+
 def rule_nl003(f):
-    if not in_dirs(f.rel, ("src/", "tools/", "bench/")):
+    if not in_dirs(f.rel, ("src/", "tools/", "bench/")) or f.rel in NL003_ALLOWLIST:
         return
     for i, line in enumerate(f.lines, 1):
         for rx, what in DETERMINISM_RES:
@@ -308,6 +319,40 @@ def rule_nl007(f):
                 "I/O to src/harness" % m.group(1))
 
 
+# Files allowed to speak the cross-shard protocol. Everyone else consumes
+# the high-level RunSharded* entry points, so any other mention of the
+# shard primitives (or mutation through a shard-state array) is a bypass
+# of the deterministic (sender id, seq) drain order.
+SHARD_RUNTIME_ALLOWLIST = (
+    "src/sim/shard.h",
+    "src/sim/shard.cc",
+    "src/harness/sharded_sim.h",
+    "src/harness/sharded_sim.cc",
+)
+SHARD_PRIMITIVE_RE = re.compile(r"\b(ShardRouter|ShardBarrier|ShardMsg)\b")
+# `shards[i].done = true`, `shards[peer].sim->...Frob() = x`, `sims[i]->x = y`
+SHARD_MUT_RE = re.compile(
+    r"\b(shards|sims)\s*\[[^\]]+\]\s*(?:\.|->)[^;=<>!]*(?<![<>!=+\-*/|&^])=(?!=)")
+
+
+def rule_nl008(f):
+    if f.rel in SHARD_RUNTIME_ALLOWLIST:
+        return
+    if not in_dirs(f.rel, ("src/", "tools/", "bench/")):
+        return
+    for i, line in enumerate(f.lines, 1):
+        if SHARD_PRIMITIVE_RE.search(line):
+            yield Finding(
+                f.rel, i, "NL008",
+                "shard primitive used outside the sharded runtime; communicate "
+                "through RunShardedMicro/RunShardedYcsb (src/harness/sharded_sim.h)")
+        elif SHARD_MUT_RE.search(line):
+            yield Finding(
+                f.rel, i, "NL008",
+                "mutation of shard-owned state outside the shard-message APIs; "
+                "only the sharded runtime may write another shard's state")
+
+
 TOKEN_RULES = [
     ("NL001", "PTE bit mutation outside the mechanism layers", rule_nl001),
     ("NL002", "bare assert() instead of NOMAD_CHECK", rule_nl002),
@@ -316,6 +361,7 @@ TOKEN_RULES = [
     ("NL005", "naked new/delete", rule_nl005),
     ("NL006", "include guard must spell the file path", rule_nl006),
     ("NL007", "<iostream>/<fstream> outside declared I/O endpoints", rule_nl007),
+    ("NL008", "shard-owned state mutated outside the shard-message APIs", rule_nl008),
 ]
 
 
@@ -473,6 +519,21 @@ SELFTEST_CASES = [
     ("NL007", "src/mm/bad.cc", "#include <iostream>", True),
     ("NL007", "src/harness/ok.cc", "#include <iostream>", False),
     ("NL007", "src/mm/ok.cc", "#include <sstream>", False),
+    ("NL008", "src/policy/bad_router.cc",
+     "void f(ShardRouter& r) { r.Send(0, 1, kShardMsgUser); }", True),
+    ("NL008", "src/sim/shard.cc",
+     "void ShardRouter::Send(uint32_t from, uint32_t to, uint32_t kind) {}", False),
+    ("NL008", "src/harness/sharded_sim.cc",
+     "void f(ShardBarrier& b) { b.ArriveAndWait(); }", False),
+    ("NL008", "src/nomad/bad_mut.cc",
+     "void f(std::vector<S>& shards, int peer) { shards[peer].done = true; }", True),
+    ("NL008", "src/policy/bad_mut2.cc",
+     "void f(std::vector<Sim*>& sims, int peer) { sims[peer]->stop = 1; }", True),
+    ("NL008", "src/policy/ok_read.cc",
+     "bool f(const std::vector<S>& shards, int s) { return shards[s].done == true; }",
+     False),
+    ("NL008", "bench/ok_highlevel.cc",
+     "void f() { ShardedRunConfig cfg; RunShardedMicro(cfg); }", False),
 ]
 
 

@@ -17,17 +17,28 @@
 //   --placement=freq|random [random]
 //   --write_fraction=F   [0]
 //   --ops=N              [2000000]
-//   --threads=N          [2]
+//   --threads=N          [2]      legacy mode: simulated app threads;
+//                                 sharded mode: OS worker threads
 //   --seed=N             [42]
 //   --governor           [off]    enable the sec. 5 thrash governor (nomad)
 //   --counters           [off]    dump raw event counters after each run
 //   --metrics_out=PATH   []       write machine-readable metrics.json
 //   --trace_out=PATH     []       write chrome://tracing event timeline(s)
+//
+// Sharded parallel mode (see src/harness/sharded_sim.h):
+//   --shards=N           [0]      0 = legacy single-Sim run; N>0 partitions
+//                                 the machine into N per-NUMA-node shards
+//                                 advanced in lockstep virtual-time epochs.
+//                                 Results depend on N but NOT on --threads.
+//   --app_threads=N      [2]      simulated app threads per shard
+//   --epoch=CYCLES       [500000] virtual-time barrier interval
+#include <algorithm>
 #include <iostream>
 #include <memory>
 
 #include "bench/bench_common.h"
 #include "src/harness/flags.h"
+#include "src/harness/sharded_sim.h"
 
 using namespace nomad;
 
@@ -70,6 +81,9 @@ int main(int argc, char** argv) {
   cfg.total_ops = flags.GetUint("ops", 2000000);
   cfg.threads = static_cast<int>(flags.GetUint("threads", 2));
   cfg.seed = flags.GetUint("seed", 42);
+  const uint32_t shards = static_cast<uint32_t>(flags.GetUint("shards", 0));
+  const uint32_t app_threads = static_cast<uint32_t>(flags.GetUint("app_threads", 2));
+  const Cycles epoch_cycles = flags.GetUint("epoch", 500000);
   const bool governor = flags.GetBool("governor", false);
   const bool dump_counters = flags.GetBool("counters", false);
   const std::string policy_arg = flags.GetString("policy", "");
@@ -95,6 +109,54 @@ int main(int argc, char** argv) {
     policies.push_back(kind);
   } else {
     policies = PoliciesFor(cfg.platform, /*include_no_migration=*/true);
+  }
+
+  if (shards > 0) {
+    if (governor) {
+      std::cerr << "--governor is not supported in sharded mode\n";
+      return 2;
+    }
+    PrintHeader("nomadsim", "sharded parallel micro-benchmark run", cfg.platform,
+                cfg.scale_denom);
+    std::cout << "RSS " << cfg.rss_gb << " GB, WSS " << cfg.wss_gb << " GB ("
+              << cfg.wss_fast_gb << " GB starting fast), " << cfg.total_ops
+              << " ops across " << shards << " shard(s) x " << app_threads
+              << " app thread(s), " << cfg.threads << " worker thread(s), epoch "
+              << epoch_cycles << " cycles\n\n";
+    TablePrinter st({"policy", "agg GB/s", "ops", "epochs", "msgs", "promos",
+                     "demos", "tpm aborts"});
+    for (PolicyKind kind : policies) {
+      const PlatformSpec platform_spec = MakePlatform(cfg.platform);
+      if (!PolicySupported(kind, platform_spec)) {
+        continue;
+      }
+      ShardedRunConfig scfg;
+      scfg.base = cfg;
+      scfg.base.policy = kind;
+      scfg.base.threads = static_cast<int>(app_threads);
+      scfg.shards = shards;
+      scfg.exec_threads = static_cast<uint32_t>(std::max(1, cfg.threads));
+      scfg.epoch_cycles = epoch_cycles;
+      const ShardedRunResult r = RunShardedMicro(scfg, &collector);
+      uint64_t promos = 0, demos = 0, aborts = 0;
+      for (const MicroRunResult& shard : r.per_shard) {
+        promos += Promotions(shard.counters);
+        demos += Demotions(shard.counters);
+        aborts += shard.tpm_aborts;
+      }
+      st.AddRow({PolicyKindName(kind), Fmt(r.aggregate_gbps), FmtCount(r.total_ops),
+                 FmtCount(r.epochs), FmtCount(r.messages), FmtCount(promos),
+                 FmtCount(demos), FmtCount(aborts)});
+      if (dump_counters) {
+        for (size_t s = 0; s < r.per_shard.size(); s++) {
+          std::cout << "--- counters (" << PolicyKindName(kind) << " shard " << s
+                    << ") ---\n"
+                    << r.per_shard[s].counters.ToString();
+        }
+      }
+    }
+    st.Print(std::cout);
+    return 0;
   }
 
   PrintHeader("nomadsim", "one-off micro-benchmark run", cfg.platform, cfg.scale_denom);
