@@ -104,6 +104,7 @@ MicroRunResult RunMicroBench(const MicroRunConfig& config, MetricsCollector* col
     MicroWorkload::Config wcfg;
     wcfg.base.total_ops = config.total_ops / config.threads;
     wcfg.base.seed = config.seed + 1000 + t;
+    wcfg.base.batch = config.batch;
     wcfg.wss_start = wss_start;
     wcfg.wss_pages = layout.wss_pages;
     wcfg.write_fraction = config.write_fraction;

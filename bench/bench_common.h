@@ -82,6 +82,7 @@ struct MicroRunConfig {
   uint64_t total_ops = 1200000;
   int threads = 2;
   uint64_t seed = 42;
+  unsigned batch = 8;  // accesses per engine step (WorkloadActor batching)
 };
 
 struct MicroRunResult {

@@ -27,14 +27,14 @@ void Show(MemorySystem& ms, AddressSpace& as, Vpn vpn, const char* stage) {
     std::cout << "    vpn " << vpn << ": not mapped\n";
     return;
   }
-  const PageFrame& f = ms.pool().frame(pte->pfn);
-  std::cout << "    vpn " << vpn << " -> pfn " << pte->pfn << " (" << TierName(f.tier)
+  const PageFrame f = ms.pool().frame(pte->pfn);
+  std::cout << "    vpn " << vpn << " -> pfn " << pte->pfn << " (" << TierName(f.tier())
             << " tier)\n"
             << "    PTE: writable=" << pte->writable << " dirty=" << pte->dirty
             << " accessed=" << pte->accessed << " prot_none=" << pte->prot_none
             << " shadow_rw=" << pte->shadow_rw << "\n"
-            << "    frame: shadowed=" << f.shadowed << " active=" << f.active
-            << " referenced=" << f.referenced << "\n";
+            << "    frame: shadowed=" << f.shadowed() << " active=" << f.active()
+            << " referenced=" << f.referenced() << "\n";
 }
 
 }  // namespace
@@ -60,7 +60,7 @@ int main() {
   Show(ms, as, vpn, "2. hint-fault armed by the scanner (prot_none set)");
 
   ms.Access(cpu, as, vpn, 0, false);  // fault -> nomination
-  for (int i = 0; i < 40 && !ms.pool().frame(ms.PteOf(as, vpn)->pfn).shadowed; i++) {
+  for (int i = 0; i < 40 && !ms.pool().frame(ms.PteOf(as, vpn)->pfn).shadowed(); i++) {
     ms.Access(cpu, as, vpn, 64, false);  // keep it hot
     sim.engine().Run(sim.engine().now() + 100000);
   }
@@ -78,7 +78,7 @@ int main() {
   MovePageSilent(ms, as, vpn, Tier::kSlow);
   sim.engine().Run(sim.engine().now() + 300000);  // re-arm
   ms.Access(cpu, as, vpn, 0, false);
-  for (int i = 0; i < 40 && !ms.pool().frame(ms.PteOf(as, vpn)->pfn).shadowed; i++) {
+  for (int i = 0; i < 40 && !ms.pool().frame(ms.PteOf(as, vpn)->pfn).shadowed(); i++) {
     ms.Access(cpu, as, vpn, 64, false);
     sim.engine().Run(sim.engine().now() + 100000);
   }

@@ -22,19 +22,19 @@ const char* LruListName(LruList l) {
 }
 
 std::string FrameDesc(const FramePool& pool, Pfn pfn) {
-  const PageFrame& f = pool.frame(pfn);
+  const PageFrame f = pool.frame(pfn);
   std::ostringstream os;
-  os << "pfn=" << pfn << "{tier=" << TierName(f.tier) << " in_use=" << f.in_use
-     << " owner=" << (f.owner != nullptr) << " vpn=";
-  if (f.vpn == kInvalidVpn) {
+  os << "pfn=" << pfn << "{tier=" << TierName(f.tier()) << " in_use=" << f.in_use()
+     << " owner=" << (f.owner() != nullptr) << " vpn=";
+  if (f.vpn() == kInvalidVpn) {
     os << "-";
   } else {
-    os << f.vpn;
+    os << f.vpn();
   }
-  os << " lru=" << LruListName(f.lru) << " active=" << f.active
-     << " shadowed=" << f.shadowed << " is_shadow=" << f.is_shadow
-     << " migrating=" << f.migrating << " in_pcq=" << f.in_pcq
-     << " in_pending=" << f.in_pending << " gen=" << f.generation << "}";
+  os << " lru=" << LruListName(f.lru()) << " active=" << f.active()
+     << " shadowed=" << f.shadowed() << " is_shadow=" << f.is_shadow()
+     << " migrating=" << f.migrating() << " in_pcq=" << f.in_pcq()
+     << " in_pending=" << f.in_pending() << " gen=" << f.generation() << "}";
   return os.str();
 }
 
@@ -63,12 +63,12 @@ std::vector<InvariantViolation> InvariantChecker::Check() const {
         return;
       }
       pte_refs[pte.pfn]++;
-      const PageFrame& f = pool.frame(pte.pfn);
-      if (!f.in_use || f.is_shadow || f.owner != as || f.vpn != vpn) {
+      const PageFrame f = pool.frame(pte.pfn);
+      if (!f.in_use() || f.is_shadow() || f.owner() != as || f.vpn() != vpn) {
         std::ostringstream os;
         os << "vpn=" << vpn << " maps " << FrameDesc(pool, pte.pfn)
-           << (f.in_use ? "" : " [frame is free]")
-           << (f.is_shadow ? " [frame is a shadow]" : "");
+           << (f.in_use() ? "" : " [frame is free]")
+           << (f.is_shadow() ? " [frame is a shadow]" : "");
         violate("pte.frame_identity", os.str());
       }
     });
@@ -96,33 +96,33 @@ std::vector<InvariantViolation> InvariantChecker::Check() const {
           violate("lru.link", os.str());
           break;
         }
-        const PageFrame& f = pool.frame(cur);
+        const PageFrame f = pool.frame(cur);
         if (on_list[cur] != 0) {
           violate("lru.link", "frame on two lists: " + FrameDesc(pool, cur));
           break;
         }
         on_list[cur] = active_list ? 2 : 1;
-        if (f.lru != want || f.tier != tier || !f.in_use) {
+        if (f.lru() != want || f.tier() != tier || !f.in_use()) {
           std::ostringstream os;
           os << "on " << TierName(tier) << ' ' << LruListName(want) << " list but "
              << FrameDesc(pool, cur);
           violate("lru.membership", os.str());
         }
-        if (f.active != active_list) {
+        if (f.active() != active_list) {
           std::ostringstream os;
-          os << "PG_active=" << f.active << " on " << LruListName(want)
+          os << "PG_active=" << f.active() << " on " << LruListName(want)
              << " list: " << FrameDesc(pool, cur);
           violate("lru.active_flag", os.str());
         }
-        if (f.lru_next != came_from) {
+        if (f.lru_next() != came_from) {
           std::ostringstream os;
           os << "asymmetric links at " << FrameDesc(pool, cur) << " lru_next="
-             << static_cast<int64_t>(f.lru_next == kInvalidPfn ? -1
-                                                               : static_cast<int64_t>(f.lru_next));
+             << static_cast<int64_t>(f.lru_next() == kInvalidPfn ? -1
+                                                               : static_cast<int64_t>(f.lru_next()));
           violate("lru.link", os.str());
         }
         came_from = cur;
-        cur = f.lru_prev;
+        cur = f.lru_prev();
         n++;
       }
       if (n != expect) {
@@ -152,8 +152,8 @@ std::vector<InvariantViolation> InvariantChecker::Check() const {
   // shadow-frame sub-pass below can detect orphans.
   if (shadows_ != nullptr) {
     for (Pfn pfn = 0; pfn < total; pfn++) {
-      const PageFrame& f = pool.frame(pfn);
-      if (!f.in_use || !f.shadowed) {
+      const PageFrame f = pool.frame(pfn);
+      if (!f.in_use() || !f.shadowed()) {
         continue;
       }
       masters_with_shadow++;
@@ -163,18 +163,18 @@ std::vector<InvariantViolation> InvariantChecker::Check() const {
         continue;
       }
       shadow_claims[shadow]++;
-      const PageFrame& s = pool.frame(shadow);
-      if (!s.in_use || !s.is_shadow) {
+      const PageFrame s = pool.frame(shadow);
+      if (!s.in_use() || !s.is_shadow()) {
         violate("shadow.index",
                 "master " + FrameDesc(pool, pfn) + " claims non-shadow " + FrameDesc(pool, shadow));
       }
-      if (f.tier != Tier::kFast) {
+      if (f.tier() != Tier::kFast) {
         violate("shadow.master_fast", "shadowed master off the fast tier: " + FrameDesc(pool, pfn));
       }
       // Clean-only: the master must still carry the write protection that
       // guards shadow coherence, and must never have been dirtied under it.
-      if (f.owner != nullptr) {
-        const Pte* pte = f.owner->table().Lookup(f.vpn);
+      if (f.owner() != nullptr) {
+        const Pte* pte = f.owner()->table().Lookup(f.vpn());
         if (pte != nullptr && pte->present && pte->pfn == pfn &&
             (pte->writable || pte->dirty)) {
           std::ostringstream os;
@@ -187,46 +187,46 @@ std::vector<InvariantViolation> InvariantChecker::Check() const {
   }
 
   for (Pfn pfn = 0; pfn < total; pfn++) {
-    const PageFrame& f = pool.frame(pfn);
-    if (!f.in_use) {
-      if (f.lru != LruList::kNone || on_list[pfn] != 0) {
+    const PageFrame f = pool.frame(pfn);
+    if (!f.in_use()) {
+      if (f.lru() != LruList::kNone || on_list[pfn] != 0) {
         violate("pool.free_state", "free frame on an LRU list: " + FrameDesc(pool, pfn));
       }
-      if (f.owner != nullptr || f.is_shadow) {
+      if (f.owner() != nullptr || f.is_shadow()) {
         violate("pool.free_state", "free frame retains state: " + FrameDesc(pool, pfn));
       }
       continue;
     }
-    in_use_count[TierIndex(f.tier)]++;
-    if (f.in_pcq) {
+    in_use_count[TierIndex(f.tier())]++;
+    if (f.in_pcq()) {
       flagged_in_pcq++;
     }
-    if (f.in_pending) {
+    if (f.in_pending()) {
       flagged_in_pending++;
     }
-    if (f.migrating) {
+    if (f.migrating()) {
       migrating++;
-      if (f.owner == nullptr) {
+      if (f.owner() == nullptr) {
         violate("tpm.migrating_mapped", "migrating frame unmapped: " + FrameDesc(pool, pfn));
       }
     }
     // LRU flag vs walk agreement (both directions).
-    const uint8_t want_list = f.lru == LruList::kNone ? 0 : (f.lru == LruList::kInactive ? 1 : 2);
+    const uint8_t want_list = f.lru() == LruList::kNone ? 0 : (f.lru() == LruList::kInactive ? 1 : 2);
     if (want_list != on_list[pfn]) {
       violate("lru.link", "frame list flag disagrees with list walk: " + FrameDesc(pool, pfn));
     }
-    if (f.is_shadow) {
+    if (f.is_shadow()) {
       shadow_frames++;
-      if (f.owner != nullptr || pte_refs[pfn] > 0) {
+      if (f.owner() != nullptr || pte_refs[pfn] > 0) {
         violate("shadow.unmapped", "shadow frame is mapped: " + FrameDesc(pool, pfn));
       }
-      if (f.lru != LruList::kNone) {
+      if (f.lru() != LruList::kNone) {
         violate("shadow.off_lru", "shadow frame on an LRU list: " + FrameDesc(pool, pfn));
       }
-      if (f.tier != Tier::kSlow) {
+      if (f.tier() != Tier::kSlow) {
         violate("shadow.slow_tier", "shadow frame off the slow tier: " + FrameDesc(pool, pfn));
       }
-      if (f.shadowed) {
+      if (f.shadowed()) {
         violate("shadow.unmapped", "frame is both master and shadow: " + FrameDesc(pool, pfn));
       }
       if (shadows_ != nullptr && shadow_claims[pfn] != 1) {
@@ -235,21 +235,21 @@ std::vector<InvariantViolation> InvariantChecker::Check() const {
            << " masters: " << FrameDesc(pool, pfn);
         violate("shadow.index", os.str());
       }
-    } else if (f.owner != nullptr) {
+    } else if (f.owner() != nullptr) {
       if (pte_refs[pfn] != 1) {
         std::ostringstream os;
         os << "mapped frame referenced by " << pte_refs[pfn]
            << " present PTEs: " << FrameDesc(pool, pfn);
         violate("pte.unique_mapping", os.str());
       }
-      if (!f.migrating && f.lru == LruList::kNone) {
+      if (!f.migrating() && f.lru() == LruList::kNone) {
         violate("lru.mapped_listed", "mapped frame on no LRU list: " + FrameDesc(pool, pfn));
       }
       // Scanner bitmap: any frame the hint-fault scanner could still arm
       // must have its scan-candidate bit set. The bitmap is conservative
       // (bits may linger on non-armable frames) but a dropped bit means
       // the scanner never samples that page again.
-      const Pte* pte = f.owner->table().Lookup(f.vpn);
+      const Pte* pte = f.owner()->table().Lookup(f.vpn());
       if (pte != nullptr && pte->present && pte->pfn == pfn && !pte->prot_none &&
           !pool.IsScanCandidate(pfn)) {
         violate("scanner.candidate_bitmap",
@@ -257,7 +257,7 @@ std::vector<InvariantViolation> InvariantChecker::Check() const {
       }
     } else if (reserved.count(pfn) == 0) {
       transient++;
-      if (f.lru != LruList::kNone) {
+      if (f.lru() != LruList::kNone) {
         violate("lru.unmapped_listed", "unmapped frame on an LRU list: " + FrameDesc(pool, pfn));
       }
     }

@@ -109,8 +109,8 @@ bool MovePageSilent(MemorySystem& ms, AddressSpace& as, Vpn vpn, Tier tier) {
     return false;
   }
   const Pfn old_pfn = pte->pfn;
-  PageFrame& old_frame = ms.pool().frame(old_pfn);
-  if (old_frame.tier == tier || old_frame.migrating || old_frame.shadowed) {
+  PageFrame old_frame = ms.pool().frame(old_pfn);
+  if (old_frame.tier() == tier || old_frame.migrating() || old_frame.shadowed()) {
     return false;
   }
   const Pfn new_pfn = ms.pool().AllocOn(tier);

@@ -28,9 +28,9 @@ bool WorkloadsDone(const Sim& sim) {
   return true;
 }
 
-// Controller state, written by worker 0 between the two barrier phases of
-// an epoch and read by every worker after the second phase; the barrier's
-// mutex provides the happens-before edges.
+// Controller state, written by the epoch barrier's completion callback and
+// read by every worker after release; the barrier's mutex provides the
+// happens-before edges in both directions.
 struct Control {
   uint64_t total_ops = 0;
   uint64_t messages = 0;
@@ -40,9 +40,13 @@ struct Control {
 };
 
 // The lockstep epoch engine shared by every sharded benchmark. Each of T
-// worker threads owns the statically-assigned shards {t, t+T, t+2T, ...};
-// between epochs all threads meet at a double barrier while worker 0
-// drains the router. `on_epoch` runs after a shard's engine reaches the
+// worker threads owns the statically-assigned shards {t, t+T, t+2T, ...}.
+// An epoch ends at ONE phase-flip barrier: whichever worker arrives last
+// drains the router and updates the controller inside the barrier's
+// completion callback (under the barrier mutex, before any waiter is
+// released), so no second barrier crossing is needed. Messages are staged
+// lock-free per sender during the epoch and flushed per (sender, dest) run
+// before arriving. `on_epoch` runs after a shard's engine reaches the
 // epoch boundary and may inspect that shard only (benchmark-specific
 // snapshots live there).
 Control RunLockstep(std::vector<Sim*>& sims, uint32_t exec_threads, Cycles epoch_cycles,
@@ -69,16 +73,21 @@ Control RunLockstep(std::vector<Sim*>& sims, uint32_t exec_threads, Cycles epoch
         }
         const uint64_t ops = OpsDone(sim);
         if (ops > last_reported[s]) {
-          router.Send(s, 0, kShardMsgProgress, ops - last_reported[s], epoch_end);
+          router.Stage(s, 0, kShardMsgProgress, ops - last_reported[s], epoch_end);
           last_reported[s] = ops;
         }
         if (WorkloadsDone(sim)) {
           done[s] = 1;
-          router.Send(s, 0, kShardMsgDone, ops, sim.engine().now());
+          router.Stage(s, 0, kShardMsgDone, ops, sim.engine().now());
         }
+        router.FlushSends(s);
       }
-      barrier.ArriveAndWait();
-      if (t == 0) {
+      barrier.ArriveAndWait([&] {
+        // Runs exactly once per epoch, by the last arriver, under the
+        // barrier mutex: every worker's sends happen-before this, and the
+        // control update happens-before every worker's post-barrier read.
+        // Drain order is (sender id, seq), independent of which thread
+        // runs this or how shards were assigned to threads.
         router.Drain(0, [&](const ShardMsg& m) {
           ctrl.messages++;
           if (m.kind == kShardMsgProgress) {
@@ -91,8 +100,7 @@ Control RunLockstep(std::vector<Sim*>& sims, uint32_t exec_threads, Cycles epoch
         NOMAD_CHECK(epoch < max_epochs, "sharded run exceeded max_epochs=", max_epochs,
                     " done_shards=", ctrl.done_shards, " of ", S);
         ctrl.stop = ctrl.done_shards == S;
-      }
-      barrier.ArriveAndWait();
+      });
       if (ctrl.stop) {
         return;
       }

@@ -1,21 +1,4 @@
 #include "src/mem/device.h"
 
-#include <algorithm>
-
-namespace nomad {
-
-Cycles DeviceChannel::Access(Cycles now, uint64_t bytes) {
-  bytes_total_ += bytes;
-  // Serialization at the rate an isolated requester would see.
-  Cycles service = static_cast<Cycles>(static_cast<double>(bytes) / bw_single_);
-  // Channel occupancy advances at the peak (aggregate) rate: concurrent
-  // requesters share peak bandwidth, so each holds the channel only for
-  // bytes / bw_peak.
-  Cycles occupancy = static_cast<Cycles>(static_cast<double>(bytes) / bw_peak_);
-  Cycles start = std::max(now, next_free_);
-  Cycles queue_delay = start - now;
-  next_free_ = start + std::max<Cycles>(occupancy, 1);
-  return queue_delay + latency_ + std::max<Cycles>(service, 1);
-}
-
-}  // namespace nomad
+// DeviceChannel::Access is defined inline in the header (access fast path);
+// this translation unit intentionally has no out-of-line definitions.

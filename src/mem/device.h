@@ -20,13 +20,44 @@ namespace nomad {
 // One direction (read or write) of a device channel.
 class DeviceChannel {
  public:
-  DeviceChannel() = default;
+  DeviceChannel() { CacheLineCosts(); }
   DeviceChannel(Cycles latency, double bw_single, double bw_peak)
-      : latency_(latency), bw_single_(bw_single), bw_peak_(bw_peak) {}
+      : latency_(latency), bw_single_(bw_single), bw_peak_(bw_peak) {
+    CacheLineCosts();
+  }
 
   // Issues a transfer of `bytes` at time `now` and returns its completion
-  // latency (queueing + device latency + serialization).
-  Cycles Access(Cycles now, uint64_t bytes);
+  // latency (queueing + device latency + serialization). Inline: this sits
+  // on the per-access fast path (MemorySystem::AccessBatch). Single-line
+  // transfers (by far the most frequent request size) use service and
+  // occupancy values precomputed by CacheLineCosts() with the identical
+  // expression, so the fast path is division-free and byte-identical.
+  Cycles Access(Cycles now, uint64_t bytes) {
+    bytes_total_ += bytes;
+    Cycles service;
+    Cycles occupancy;
+    if (bytes == kLineBytes) {
+      service = line_service_;
+      occupancy = line_occupancy_;
+    } else if (bytes == kPageBytes) {
+      // Whole-page transfers are the second common size (one read + one
+      // write per migration copy); same precomputed-identical-expression
+      // treatment as single lines.
+      service = page_service_;
+      occupancy = page_occupancy_;
+    } else {
+      // Serialization at the rate an isolated requester would see.
+      service = static_cast<Cycles>(static_cast<double>(bytes) / bw_single_);
+      // Channel occupancy advances at the peak (aggregate) rate: concurrent
+      // requesters share peak bandwidth, so each holds the channel only for
+      // bytes / bw_peak.
+      occupancy = static_cast<Cycles>(static_cast<double>(bytes) / bw_peak_);
+    }
+    const Cycles start = now > next_free_ ? now : next_free_;
+    const Cycles queue_delay = start - now;
+    next_free_ = start + (occupancy > 1 ? occupancy : 1);
+    return queue_delay + latency_ + (service > 1 ? service : 1);
+  }
 
   // Total bytes moved through this channel.
   uint64_t bytes_total() const { return bytes_total_; }
@@ -35,9 +66,23 @@ class DeviceChannel {
   double bw_peak() const { return bw_peak_; }
 
  private:
+  static constexpr uint64_t kLineBytes = 64;     // == nomad::kCacheLineSize
+  static constexpr uint64_t kPageBytes = 4096;   // == nomad::kPageSize
+
+  void CacheLineCosts() {
+    line_service_ = static_cast<Cycles>(static_cast<double>(kLineBytes) / bw_single_);
+    line_occupancy_ = static_cast<Cycles>(static_cast<double>(kLineBytes) / bw_peak_);
+    page_service_ = static_cast<Cycles>(static_cast<double>(kPageBytes) / bw_single_);
+    page_occupancy_ = static_cast<Cycles>(static_cast<double>(kPageBytes) / bw_peak_);
+  }
+
   Cycles latency_ = 300;
   double bw_single_ = 0.01;
   double bw_peak_ = 0.02;
+  Cycles line_service_ = 0;
+  Cycles line_occupancy_ = 0;
+  Cycles page_service_ = 0;
+  Cycles page_occupancy_ = 0;
   Cycles next_free_ = 0;
   uint64_t bytes_total_ = 0;
 };

@@ -8,21 +8,21 @@ namespace nomad {
 FramePool::FramePool(const PlatformSpec& platform) {
   n_fast_ = platform.tiers[0].capacity_bytes / kPageSize;
   const uint64_t n_slow = platform.tiers[1].capacity_bytes / kPageSize;
-  frames_.resize(n_fast_ + n_slow);
+  table_.Resize(n_fast_ + n_slow);
   // Start with every bit set: the first scanner sweep then examines exactly
   // the frames the pre-bitmap implementation would have, lazily clearing
   // bits for frames it finds un-armable.
-  scan_candidate_.assign((frames_.size() + 63) / 64, ~uint64_t{0});
+  scan_candidate_.assign((table_.size() + 63) / 64, ~uint64_t{0});
   free_[0].reserve(n_fast_);
   free_[1].reserve(n_slow);
   // Push in reverse so that allocation order is ascending PFN, which makes
   // tests and placement deterministic and easy to reason about.
   for (Pfn p = n_fast_; p-- > 0;) {
-    frames_[p].tier = Tier::kFast;
+    frame(p).set_tier(Tier::kFast);
     free_[0].push_back(p);
   }
   for (Pfn p = n_fast_ + n_slow; p-- > n_fast_;) {
-    frames_[p].tier = Tier::kSlow;
+    frame(p).set_tier(Tier::kSlow);
     free_[1].push_back(p);
   }
   // Linux-like defaults: low watermark at ~1/128 of the node, high at 3x low.
@@ -58,10 +58,10 @@ Pfn FramePool::AllocOn(Tier tier) {
   }
   Pfn pfn = list.back();
   list.pop_back();
-  PageFrame& f = frames_[pfn];
-  NOMAD_CHECK(!f.in_use, "free-list frame already in use, pfn=", pfn, " vpn=", f.vpn,
-              " tier=", static_cast<int>(f.tier));
-  f.in_use = true;
+  PageFrame f = frame(pfn);
+  NOMAD_CHECK(!f.in_use(), "free-list frame already in use, pfn=", pfn, " vpn=", f.vpn(),
+              " tier=", static_cast<int>(f.tier()));
+  f.set_in_use(true);
   NoteScanCandidate(pfn);
   return pfn;
 }
@@ -80,14 +80,14 @@ Pfn FramePool::Alloc(Tier preferred) {
 }
 
 void FramePool::Free(Pfn pfn) {
-  PageFrame& f = frames_[pfn];
-  NOMAD_CHECK(f.in_use, "double free, pfn=", pfn, " vpn=", f.vpn);
-  NOMAD_CHECK(f.lru == LruList::kNone, "freeing a frame still on an LRU list, pfn=", pfn,
-              " vpn=", f.vpn, " list=", static_cast<int>(f.lru));
-  f.in_use = false;
-  f.generation++;
+  PageFrame f = frame(pfn);
+  NOMAD_CHECK(f.in_use(), "double free, pfn=", pfn, " vpn=", f.vpn());
+  NOMAD_CHECK(f.lru() == LruList::kNone, "freeing a frame still on an LRU list, pfn=", pfn,
+              " vpn=", f.vpn(), " list=", static_cast<int>(f.lru()));
+  f.set_in_use(false);
+  f.bump_generation();
   f.ResetState();
-  free_[TierIndex(f.tier)].push_back(pfn);
+  free_[TierIndex(f.tier())].push_back(pfn);
 }
 
 }  // namespace nomad

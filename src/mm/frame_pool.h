@@ -42,14 +42,23 @@ class FramePool {
 
   void Free(Pfn pfn);
 
-  PageFrame& frame(Pfn pfn) { return frames_[pfn]; }
-  const PageFrame& frame(Pfn pfn) const { return frames_[pfn]; }
+  // Handle over one frame's SoA slots. Returned by value; declare the
+  // result `const PageFrame` for read-only access (setters are non-const).
+  PageFrame frame(Pfn pfn) { return PageFrame(&table_, pfn); }
+  PageFrame frame(Pfn pfn) const {
+    // The handle is the mutation API; constness is expressed at the call
+    // site by binding to `const PageFrame`.
+    return PageFrame(const_cast<FrameTable*>(&table_), pfn);
+  }
+
+  // Bulk read-only view of the SoA table (invariant audits, benches).
+  const FrameTable& table() const { return table_; }
 
   Tier TierOf(Pfn pfn) const { return pfn < n_fast_ ? Tier::kFast : Tier::kSlow; }
 
   uint64_t FreeFrames(Tier tier) const { return free_[TierIndex(tier)].size(); }
   uint64_t TotalFrames(Tier tier) const {
-    return tier == Tier::kFast ? n_fast_ : frames_.size() - n_fast_;
+    return tier == Tier::kFast ? n_fast_ : table_.size() - n_fast_;
   }
   uint64_t UsedFrames(Tier tier) const { return TotalFrames(tier) - FreeFrames(tier); }
 
@@ -75,7 +84,7 @@ class FramePool {
   // armable frame would silently stop hint faults, so InvariantChecker
   // audits the superset property.
   void NoteScanCandidate(Pfn pfn) {
-    if (pfn < frames_.size()) {
+    if (pfn < table_.size()) {
       scan_candidate_[pfn >> 6] |= uint64_t{1} << (pfn & 63);
     }
   }
@@ -102,7 +111,7 @@ class FramePool {
   uint64_t oom_count() const { return oom_count_; }
 
  private:
-  std::vector<PageFrame> frames_;
+  FrameTable table_;
   std::vector<uint64_t> scan_candidate_;  // 1 bit/frame, see NoteScanCandidate
   std::vector<Pfn> free_[kNumTiers];  // LIFO free lists
   uint64_t n_fast_ = 0;

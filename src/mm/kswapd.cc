@@ -13,13 +13,13 @@ std::string Kswapd::name() const {
 }
 
 MigrateResult Kswapd::DefaultReclaimPage(Pfn pfn) {
-  PageFrame& f = ms_->pool().frame(pfn);
+  PageFrame f = ms_->pool().frame(pfn);
   if (config_.tier == Tier::kSlow || !f.mapped()) {
     // Nothing generic to do on the slow node (no swap device is modelled);
     // policies plug shadow reclaim in via pre_reclaim_fn.
     return MigrateResult{};
   }
-  return MigratePageSync(*ms_, *f.owner, f.vpn, Tier::kSlow);
+  return MigratePageSync(*ms_, *f.owner(), f.vpn(), Tier::kSlow);
 }
 
 Cycles Kswapd::ReclaimRound() {
@@ -51,8 +51,8 @@ Cycles Kswapd::ReclaimRound() {
     bool any = false;
     for (uint64_t i = 0; i < config_.scan_batch && lru.ActiveTail() != kInvalidPfn; i++) {
       const Pfn pfn = lru.ActiveTail();
-      PageFrame& f = pool.frame(pfn);
-      Pte* pte = f.mapped() ? ms_->PteOf(*f.owner, f.vpn) : nullptr;
+      PageFrame f = pool.frame(pfn);
+      Pte* pte = f.mapped() ? ms_->PteOf(*f.owner(), f.vpn()) : nullptr;
       if (pte != nullptr) {
         pte->accessed = false;
         spent += costs.pte_update;
@@ -64,9 +64,9 @@ Cycles Kswapd::ReclaimRound() {
       any = true;
     }
     if (any && lru.InactiveTail() != kInvalidPfn) {
-      PageFrame& f = pool.frame(lru.InactiveTail());
+      PageFrame f = pool.frame(lru.InactiveTail());
       if (f.mapped()) {
-        const Cycles c = ms_->TlbShootdown(*f.owner, f.vpn);
+        const Cycles c = ms_->TlbShootdown(*f.owner(), f.vpn());
         spent += c;
         lru_cost += c;
       }
@@ -84,7 +84,7 @@ Cycles Kswapd::ReclaimRound() {
       break;
     }
     scanned++;
-    PageFrame& f = pool.frame(pfn);
+    PageFrame f = pool.frame(pfn);
     if (!f.mapped()) {
       // Stray unmapped frame on the LRU; drop it.
       lru.Remove(pfn);
@@ -93,23 +93,23 @@ Cycles Kswapd::ReclaimRound() {
       lru_cost += costs.lru_op;
       continue;
     }
-    if (f.migrating) {
+    if (f.migrating()) {
       // A TPM transaction owns this frame; leave it alone.
       lru.RotateInactive(pfn);
       spent += costs.lru_op;
       lru_cost += costs.lru_op;
       continue;
     }
-    Pte* pte = ms_->PteOf(*f.owner, f.vpn);
+    Pte* pte = ms_->PteOf(*f.owner(), f.vpn());
     spent += costs.lru_op + costs.pte_update;
     lru_cost += costs.lru_op + costs.pte_update;
     if (pte != nullptr && pte->accessed) {
       // Referenced since the last scan: second chance.
       pte->accessed = false;
-      if (f.referenced) {
+      if (f.referenced()) {
         lru.ActivateNow(pfn);
       } else {
-        f.referenced = true;
+        f.set_referenced(true);
         lru.RotateInactive(pfn);
       }
       continue;

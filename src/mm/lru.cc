@@ -5,14 +5,14 @@
 namespace nomad {
 
 void LruLists::PushHead(List* list, LruList which, Pfn pfn) {
-  PageFrame& f = pool_->frame(pfn);
-  NOMAD_CHECK(f.lru == LruList::kNone, "double list insertion, pfn=", pfn, " vpn=", f.vpn,
-              " on=", static_cast<int>(f.lru), " adding_to=", static_cast<int>(which));
-  f.lru = which;
-  f.lru_prev = kInvalidPfn;
-  f.lru_next = list->head;
+  PageFrame f = pool_->frame(pfn);
+  NOMAD_CHECK(f.lru() == LruList::kNone, "double list insertion, pfn=", pfn, " vpn=", f.vpn(),
+              " on=", static_cast<int>(f.lru()), " adding_to=", static_cast<int>(which));
+  f.set_lru(which);
+  f.set_lru_prev(kInvalidPfn);
+  f.set_lru_next(list->head);
   if (list->head != kInvalidPfn) {
-    pool_->frame(list->head).lru_prev = pfn;
+    pool_->frame(list->head).set_lru_prev(pfn);
   }
   list->head = pfn;
   if (list->tail == kInvalidPfn) {
@@ -22,48 +22,48 @@ void LruLists::PushHead(List* list, LruList which, Pfn pfn) {
 }
 
 void LruLists::Unlink(List* list, Pfn pfn) {
-  PageFrame& f = pool_->frame(pfn);
-  if (f.lru_prev != kInvalidPfn) {
-    pool_->frame(f.lru_prev).lru_next = f.lru_next;
+  PageFrame f = pool_->frame(pfn);
+  if (f.lru_prev() != kInvalidPfn) {
+    pool_->frame(f.lru_prev()).set_lru_next(f.lru_next());
   } else {
-    list->head = f.lru_next;
+    list->head = f.lru_next();
   }
-  if (f.lru_next != kInvalidPfn) {
-    pool_->frame(f.lru_next).lru_prev = f.lru_prev;
+  if (f.lru_next() != kInvalidPfn) {
+    pool_->frame(f.lru_next()).set_lru_prev(f.lru_prev());
   } else {
-    list->tail = f.lru_prev;
+    list->tail = f.lru_prev();
   }
-  f.lru = LruList::kNone;
-  f.lru_prev = kInvalidPfn;
-  f.lru_next = kInvalidPfn;
-  NOMAD_CHECK(list->size > 0, "unlink from empty list, pfn=", pfn, " vpn=", f.vpn);
+  f.set_lru(LruList::kNone);
+  f.set_lru_prev(kInvalidPfn);
+  f.set_lru_next(kInvalidPfn);
+  NOMAD_CHECK(list->size > 0, "unlink from empty list, pfn=", pfn, " vpn=", f.vpn());
   list->size--;
 }
 
 void LruLists::AddInactive(Pfn pfn) {
-  PageFrame& f = pool_->frame(pfn);
-  f.active = false;
+  PageFrame f = pool_->frame(pfn);
+  f.set_active(false);
   PushHead(&ListFor(LruList::kInactive), LruList::kInactive, pfn);
 }
 
 void LruLists::AddActive(Pfn pfn) {
-  PageFrame& f = pool_->frame(pfn);
-  f.active = true;
+  PageFrame f = pool_->frame(pfn);
+  f.set_active(true);
   PushHead(&ListFor(LruList::kActive), LruList::kActive, pfn);
 }
 
 void LruLists::MarkAccessed(Pfn pfn) {
-  PageFrame& f = pool_->frame(pfn);
-  if (f.lru == LruList::kNone) {
+  PageFrame f = pool_->frame(pfn);
+  if (f.lru() == LruList::kNone) {
     return;  // isolated (migrating or being freed); nothing to record
   }
-  if (f.lru == LruList::kActive) {
-    f.referenced = true;
+  if (f.lru() == LruList::kActive) {
+    f.set_referenced(true);
     return;
   }
   // Inactive list.
-  if (!f.referenced) {
-    f.referenced = true;
+  if (!f.referenced()) {
+    f.set_referenced(true);
     return;
   }
   // Second touch: request activation through the pagevec. Duplicate
@@ -77,13 +77,13 @@ void LruLists::MarkAccessed(Pfn pfn) {
 size_t LruLists::DrainPagevec() {
   size_t activated = 0;
   for (Pfn pfn : pagevec_) {
-    PageFrame& f = pool_->frame(pfn);
-    if (f.lru != LruList::kInactive) {
+    PageFrame f = pool_->frame(pfn);
+    if (f.lru() != LruList::kInactive) {
       continue;  // duplicate request, already activated, or isolated
     }
     Unlink(&ListFor(LruList::kInactive), pfn);
-    f.active = true;
-    f.referenced = false;
+    f.set_active(true);
+    f.set_referenced(false);
     PushHead(&ListFor(LruList::kActive), LruList::kActive, pfn);
     activated++;
   }
@@ -92,39 +92,39 @@ size_t LruLists::DrainPagevec() {
 }
 
 void LruLists::RotateInactive(Pfn pfn) {
-  PageFrame& f = pool_->frame(pfn);
-  NOMAD_CHECK(f.lru == LruList::kInactive, "rotate of non-inactive page, pfn=", pfn,
-              " vpn=", f.vpn, " on=", static_cast<int>(f.lru));
+  PageFrame f = pool_->frame(pfn);
+  NOMAD_CHECK(f.lru() == LruList::kInactive, "rotate of non-inactive page, pfn=", pfn,
+              " vpn=", f.vpn(), " on=", static_cast<int>(f.lru()));
   Unlink(&ListFor(LruList::kInactive), pfn);
   PushHead(&ListFor(LruList::kInactive), LruList::kInactive, pfn);
 }
 
 void LruLists::Deactivate(Pfn pfn) {
-  PageFrame& f = pool_->frame(pfn);
-  NOMAD_CHECK(f.lru == LruList::kActive, "deactivate of non-active page, pfn=", pfn,
-              " vpn=", f.vpn, " on=", static_cast<int>(f.lru));
+  PageFrame f = pool_->frame(pfn);
+  NOMAD_CHECK(f.lru() == LruList::kActive, "deactivate of non-active page, pfn=", pfn,
+              " vpn=", f.vpn(), " on=", static_cast<int>(f.lru()));
   Unlink(&ListFor(LruList::kActive), pfn);
-  f.active = false;
-  f.referenced = false;
+  f.set_active(false);
+  f.set_referenced(false);
   PushHead(&ListFor(LruList::kInactive), LruList::kInactive, pfn);
 }
 
 void LruLists::ActivateNow(Pfn pfn) {
-  PageFrame& f = pool_->frame(pfn);
-  NOMAD_CHECK(f.lru == LruList::kInactive, "activate of non-inactive page, pfn=", pfn,
-              " vpn=", f.vpn, " on=", static_cast<int>(f.lru));
+  PageFrame f = pool_->frame(pfn);
+  NOMAD_CHECK(f.lru() == LruList::kInactive, "activate of non-inactive page, pfn=", pfn,
+              " vpn=", f.vpn(), " on=", static_cast<int>(f.lru()));
   Unlink(&ListFor(LruList::kInactive), pfn);
-  f.active = true;
-  f.referenced = false;
+  f.set_active(true);
+  f.set_referenced(false);
   PushHead(&ListFor(LruList::kActive), LruList::kActive, pfn);
 }
 
 void LruLists::Remove(Pfn pfn) {
-  PageFrame& f = pool_->frame(pfn);
-  if (f.lru == LruList::kNone) {
+  PageFrame f = pool_->frame(pfn);
+  if (f.lru() == LruList::kNone) {
     return;
   }
-  Unlink(&ListFor(f.lru), pfn);
+  Unlink(&ListFor(f.lru()), pfn);
 }
 
 }  // namespace nomad

@@ -44,33 +44,33 @@ Pfn MemorySystem::MapNewPage(AddressSpace& as, Vpn vpn, Tier preferred, bool wri
     counters_.Add(cnt::kOom, 1);
     return kInvalidPfn;
   }
-  PageFrame& f = pool_.frame(pfn);
-  f.owner = &as;
-  f.vpn = vpn;
+  PageFrame f = pool_.frame(pfn);
+  f.set_owner(&as);
+  f.set_vpn(vpn);
   Pte& pte = as.table().Ensure(vpn);
   pte = Pte{};
   pte.pfn = pfn;
   pte.present = true;
   pte.writable = writable;
   pool_.NoteScanCandidate(pfn);
-  lru(f.tier).AddInactive(pfn);
-  if (kswapd_waker_ && pool_.BelowLowWatermark(f.tier)) {
-    kswapd_waker_(f.tier);
+  lru(f.tier()).AddInactive(pfn);
+  if (kswapd_waker_ && pool_.BelowLowWatermark(f.tier())) {
+    kswapd_waker_(f.tier());
   }
   return pfn;
 }
 
 void MemorySystem::InstallMappingSilent(AddressSpace& as, Vpn vpn, Pfn pfn, bool writable) {
-  PageFrame& f = pool_.frame(pfn);
-  f.owner = &as;
-  f.vpn = vpn;
+  PageFrame f = pool_.frame(pfn);
+  f.set_owner(&as);
+  f.set_vpn(vpn);
   Pte& pte = as.table().Ensure(vpn);
   pte = Pte{};
   pte.pfn = pfn;
   pte.present = true;
   pte.writable = writable;
   pool_.NoteScanCandidate(pfn);
-  lru(f.tier).AddInactive(pfn);
+  lru(f.tier()).AddInactive(pfn);
 }
 
 void MemorySystem::RepointMappingSilent(AddressSpace& as, Vpn vpn, Pfn new_pfn) {
@@ -79,17 +79,17 @@ void MemorySystem::RepointMappingSilent(AddressSpace& as, Vpn vpn, Pfn new_pfn) 
     return;
   }
   const Pfn old_pfn = pte->pfn;
-  PageFrame& old_frame = pool_.frame(old_pfn);
-  PageFrame& new_frame = pool_.frame(new_pfn);
-  new_frame.owner = &as;
-  new_frame.vpn = vpn;
-  new_frame.referenced = old_frame.referenced;
-  new_frame.active = old_frame.active;
-  lru(old_frame.tier).Remove(old_pfn);
-  if (new_frame.active) {
-    lru(new_frame.tier).AddActive(new_pfn);
+  PageFrame old_frame = pool_.frame(old_pfn);
+  PageFrame new_frame = pool_.frame(new_pfn);
+  new_frame.set_owner(&as);
+  new_frame.set_vpn(vpn);
+  new_frame.set_referenced(old_frame.referenced());
+  new_frame.set_active(old_frame.active());
+  lru(old_frame.tier()).Remove(old_pfn);
+  if (new_frame.active()) {
+    lru(new_frame.tier()).AddActive(new_pfn);
   } else {
-    lru(new_frame.tier).AddInactive(new_pfn);
+    lru(new_frame.tier()).AddInactive(new_pfn);
   }
   pte->pfn = new_pfn;
   pool_.NoteScanCandidate(new_pfn);
@@ -141,8 +141,8 @@ Cycles MemorySystem::TlbShootdown(AddressSpace& as, Vpn vpn) {
       }
     }
   }
-  counters_.Add(cnt::kTlbShootdown, 1);
-  counters_.Add(cnt::kTlbShootdownIpis, remote_targets);
+  ++FaultSlot(cnt_tlb_shootdown_, cnt::kTlbShootdown);
+  FaultSlot(cnt_tlb_shootdown_ipis_, cnt::kTlbShootdownIpis) += remote_targets;
   Cycles cost = platform_.costs.tlb_shootdown_base +
                 platform_.costs.tlb_shootdown_per_cpu * remote_targets;
   if constexpr (kFaultInjectionEnabled) {
@@ -191,12 +191,18 @@ void MemorySystem::BeginMigrationWindow(AddressSpace& as, Vpn vpn, Cycles end) {
                        window_fifo_.begin() + static_cast<long>(window_fifo_head_));
     window_fifo_head_ = 0;
   }
+  // The membership filter can only shed stale bits wholesale; pruning makes
+  // the empty state common enough for that to keep it sparse.
+  if (migration_windows_.empty()) {
+    window_filter_ = 0;
+  }
   migration_windows_[{&as, vpn}] = end;
+  window_filter_ |= WindowFilterBit(vpn);
   window_fifo_.emplace_back(end, WindowKey{&as, vpn});
 }
 
 Cycles MemorySystem::DemandFault(ActorId /*cpu*/, AddressSpace& as, Vpn vpn) {
-  counters_.Add(cnt::kFaultDemand, 1);
+  ++FaultSlot(cnt_fault_demand_, cnt::kFaultDemand);
   MapNewPage(as, vpn, Tier::kFast, /*writable=*/true);
   return platform_.costs.pte_update;
 }
@@ -205,126 +211,7 @@ Cycles MemorySystem::Access(ActorId cpu, AddressSpace& as, Vpn vpn, uint64_t off
                             bool is_write, unsigned mlp, AccessInfo* info) {
   as.NoteCpu(cpu);
   Tlb& tlb = *tlbs_.at(cpu);
-  const KernelCosts& costs = platform_.costs;
-  Cycles total = 0;
-  bool tlb_hit = false;
-  bool took_fault = false;
-  Pfn pfn = kInvalidPfn;
-
-  Tlb::Entry* entry = tlb.Lookup(vpn);
-  if (entry && (!is_write || entry->writable)) {
-    tlb_hit = true;
-    pfn = entry->pfn;
-    if (is_write && !entry->dirty) {
-      // Microcode A/D assist: set the PTE dirty bit on first store through
-      // a clean cached translation.
-      Pte* pte = as.table().Lookup(vpn);
-      NOMAD_CHECK(pte != nullptr, "tlb entry with no pte, vpn=", vpn, " pfn=", entry->pfn);
-      pte->dirty = true;
-      pte->accessed = true;
-      entry->dirty = true;
-      total += costs.pte_update;
-    }
-  } else {
-    // TLB miss (or a store through a read-only cached entry): walk.
-    total += costs.page_walk;
-    // A migration in flight on this page blocks the walk until it ends;
-    // the unmap's shootdown guarantees concurrent users take this path.
-    if (!migration_windows_.empty()) {
-      auto it = migration_windows_.find({&as, vpn});
-      if (it != migration_windows_.end()) {
-        const Cycles now = Now() + total;
-        if (it->second > now) {
-          total += it->second - now;
-          total += costs.page_fault;  // discovered via a fault on the locked page
-          counters_.Add(cnt::kFaultMigrationBlock, 1);
-          took_fault = true;
-        }
-        migration_windows_.erase(it);
-      }
-    }
-    Pte* pte = as.table().Lookup(vpn);
-    int guard = 0;
-    while (true) {
-      if (guard++ > 6) {
-        // A fault handler failed to make progress; force-map to keep the
-        // simulation alive and count the anomaly.
-        counters_.Add(cnt::kFaultUnresolved, 1);
-        if (!pte || !pte->present) {
-          DemandFault(cpu, as, vpn);
-          pte = as.table().Lookup(vpn);
-        }
-        pte->prot_none = false;
-        pte->writable = true;
-        pool_.NoteScanCandidate(pte->pfn);
-        break;
-      }
-      if (!pte || !pte->present) {
-        took_fault = true;
-        total += costs.page_fault;
-        total += DemandFault(cpu, as, vpn);
-        pte = as.table().Lookup(vpn);
-        continue;
-      }
-      if (pte->prot_none) {
-        took_fault = true;
-        total += costs.page_fault;
-        counters_.Add(cnt::kFaultHint, 1);
-        if (hint_fault_) {
-          total += hint_fault_(cpu, as, vpn);
-        } else {
-          pte->prot_none = false;
-          pool_.NoteScanCandidate(pte->pfn);
-        }
-        pte = as.table().Lookup(vpn);
-        continue;
-      }
-      if (is_write && !pte->writable) {
-        took_fault = true;
-        total += costs.page_fault;
-        counters_.Add(cnt::kFaultWriteProtect, 1);
-        if (write_fault_) {
-          total += write_fault_(cpu, as, vpn);
-        } else {
-          pte->writable = true;
-        }
-        continue;
-      }
-      break;
-    }
-    pte->accessed = true;
-    if (is_write) {
-      pte->dirty = true;
-    }
-    pfn = pte->pfn;
-    entry = &tlb.Fill(vpn, pfn, pte->writable, pte->dirty);
-  }
-
-  // Physical access: LLC, then the tier device on a miss.
-  const Tier tier = pool_.TierOf(pfn);
-  const uint64_t paddr = pfn * kPageSize + (offset % kPageSize);
-  const bool llc_hit = llc_.Access(paddr);
-  if (llc_hit) {
-    total += costs.llc_hit;
-  } else {
-    const Cycles now = Now() + total;
-    Cycles dev = is_write ? device(tier).Write(now, kCacheLineSize)
-                          : device(tier).Read(now, kCacheLineSize);
-    total += std::max<Cycles>(1, dev / std::max(1u, mlp));
-  }
-  user_bytes_ += kCacheLineSize;
-
-  for (const AccessObserver& obs : observers_) {
-    obs(cpu, as, vpn, offset % kPageSize, is_write, !llc_hit, !tlb_hit, tier);
-  }
-  if (info) {
-    info->latency = total;
-    info->tier = tier;
-    info->llc_hit = llc_hit;
-    info->tlb_hit = tlb_hit;
-    info->took_fault = took_fault;
-  }
-  return total;
+  return AccessResolved(cpu, as, tlb, tlb.Lookup(vpn), vpn, offset, is_write, mlp, info);
 }
 
 }  // namespace nomad

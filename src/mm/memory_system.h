@@ -23,6 +23,7 @@
 #include <memory>
 #include <vector>
 
+#include "src/check/check.h"
 #include "src/fault/fault_injector.h"
 #include "src/mem/device.h"
 #include "src/mem/platform.h"
@@ -151,6 +152,25 @@ class MemorySystem {
   Cycles Access(ActorId cpu, AddressSpace& as, Vpn vpn, uint64_t offset, bool is_write,
                 unsigned mlp = 4, AccessInfo* info = nullptr);
 
+  // One queued access of an AccessBatch submission.
+  struct BatchAccess {
+    Vpn vpn = 0;
+    uint64_t offset = 0;
+    bool is_write = false;
+  };
+
+  // Executes `n` accesses in order for one CPU — exactly equivalent to n
+  // Access() calls (same state mutations in the same order, so metrics are
+  // byte-identical) — writing each access's latency into lat_out[i] and
+  // returning the sum. The common case (TLB hit, no dirty-bit assist, no
+  // PEBS observers) resolves fully inline: TLB probe, LLC lookup, device
+  // charge. Everything else — walks, faults, migration windows, policy
+  // hooks, observers — falls out to the out-of-line resolver per access.
+  // Non-virtual and header-inline so workload Step loops amortize engine
+  // dispatch over the whole batch.
+  Cycles AccessBatch(ActorId cpu, AddressSpace& as, const BatchAccess* ops, size_t n,
+                     unsigned mlp, Cycles* lat_out);
+
   // --- kernel primitives (used by migrate.cc, nomad/tpm.cc, kswapd) -----
   // Direct PTE access (the "kernel" manipulates entries it owns).
   Pte* PteOf(AddressSpace& as, Vpn vpn) { return as.table().Lookup(vpn); }
@@ -193,6 +213,16 @@ class MemorySystem {
   // Demand-zero fault: first touch of an unmapped page.
   Cycles DemandFault(ActorId cpu, AddressSpace& as, Vpn vpn);
 
+  // Everything past the TLB probe: dirty-bit assists, page walks, faults,
+  // migration-window blocking, the physical access, observers. `entry` is
+  // the probe's result (possibly null); the probe is NOT repeated here —
+  // TLB ticks advance exactly once per access. Defined inline below: with
+  // ~80% of micro-workload accesses missing the TLB, this IS the hot path,
+  // and the cross-TU call (plus the out-of-line Tlb::Fill it prevented the
+  // compiler from inlining) was measurable.
+  Cycles AccessResolved(ActorId cpu, AddressSpace& as, Tlb& tlb, Tlb::Entry* entry, Vpn vpn,
+                        uint64_t offset, bool is_write, unsigned mlp, AccessInfo* info);
+
   PlatformSpec platform_;
   Engine* engine_;
   FramePool pool_;
@@ -220,10 +250,246 @@ class MemorySystem {
   std::map<WindowKey, Cycles> migration_windows_;
   std::vector<std::pair<Cycles, WindowKey>> window_fifo_;
   size_t window_fifo_head_ = 0;
+  // 64-bit membership summary over the live windows' VPNs. Every TLB miss
+  // used to probe the window map; under tpp that was ~1.8M tree finds per
+  // 2M ops, nearly all misses. A lookup whose filter bit is clear cannot be
+  // in the map (bits are set on insert and the filter is only zeroed when
+  // the map empties — which the pruning keeps frequent), so the common case
+  // is one multiply and an AND. False positives just fall through to find.
+  uint64_t window_filter_ = 0;
+  static uint64_t WindowFilterBit(Vpn vpn) {
+    return uint64_t{1} << ((vpn * uint64_t{0x9e3779b97f4a7c15}) >> 58);
+  }
+
+  // Counter slots charged on the access fast path, resolved on first use
+  // instead of per-event string lookups (CounterSet references are stable
+  // and this set is never Reset()). Lazy on purpose: creating them eagerly
+  // would add zero-valued counters to runs that never take such a fault,
+  // changing exported metrics bytes.
+  uint64_t& FaultSlot(uint64_t*& slot, std::string_view name) {
+    if (slot == nullptr) {
+      slot = &counters_.At(name);
+    }
+    return *slot;
+  }
+  uint64_t* cnt_fault_demand_ = nullptr;
+  uint64_t* cnt_tlb_shootdown_ = nullptr;
+  uint64_t* cnt_tlb_shootdown_ipis_ = nullptr;
+  uint64_t* cnt_fault_hint_ = nullptr;
+  uint64_t* cnt_fault_write_protect_ = nullptr;
+  uint64_t* cnt_fault_migration_block_ = nullptr;
+  uint64_t* cnt_fault_unresolved_ = nullptr;
 
   std::vector<Pfn> reserved_;
   uint64_t user_bytes_ = 0;
 };
+
+inline Cycles MemorySystem::AccessResolved(ActorId cpu, AddressSpace& as, Tlb& tlb,
+                                           Tlb::Entry* entry, Vpn vpn, uint64_t offset,
+                                           bool is_write, unsigned mlp, AccessInfo* info) {
+  const KernelCosts& costs = platform_.costs;
+  Cycles total = 0;
+  bool tlb_hit = false;
+  bool took_fault = false;
+  Pfn pfn = kInvalidPfn;
+
+  if (entry && (!is_write || entry->writable)) {
+    tlb_hit = true;
+    pfn = entry->pfn;
+    if (is_write && !entry->dirty) {
+      // Microcode A/D assist: set the PTE dirty bit on first store through
+      // a clean cached translation.
+      Pte* pte = as.table().Lookup(vpn);
+      NOMAD_CHECK(pte != nullptr, "tlb entry with no pte, vpn=", vpn, " pfn=", entry->pfn);
+      pte->dirty = true;
+      pte->accessed = true;
+      entry->dirty = true;
+      total += costs.pte_update;
+    }
+  } else {
+    // TLB miss (or a store through a read-only cached entry): walk.
+    total += costs.page_walk;
+    // A migration in flight on this page blocks the walk until it ends;
+    // the unmap's shootdown guarantees concurrent users take this path.
+    if ((window_filter_ & WindowFilterBit(vpn)) != 0) {
+      auto it = migration_windows_.find({&as, vpn});
+      if (it != migration_windows_.end()) {
+        const Cycles now = Now() + total;
+        if (it->second > now) {
+          total += it->second - now;
+          total += costs.page_fault;  // discovered via a fault on the locked page
+          ++FaultSlot(cnt_fault_migration_block_, cnt::kFaultMigrationBlock);
+          took_fault = true;
+        }
+        migration_windows_.erase(it);
+        if (migration_windows_.empty()) {
+          window_filter_ = 0;
+        }
+      }
+    }
+    Pte* pte = as.table().Lookup(vpn);
+    int guard = 0;
+    while (true) {
+      if (guard++ > 6) {
+        // A fault handler failed to make progress; force-map to keep the
+        // simulation alive and count the anomaly.
+        ++FaultSlot(cnt_fault_unresolved_, cnt::kFaultUnresolved);
+        if (!pte || !pte->present) {
+          DemandFault(cpu, as, vpn);
+          pte = as.table().Lookup(vpn);
+        }
+        pte->prot_none = false;
+        pte->writable = true;
+        pool_.NoteScanCandidate(pte->pfn);
+        break;
+      }
+      if (!pte || !pte->present) {
+        took_fault = true;
+        total += costs.page_fault;
+        total += DemandFault(cpu, as, vpn);
+        pte = as.table().Lookup(vpn);
+        continue;
+      }
+      if (pte->prot_none) {
+        took_fault = true;
+        total += costs.page_fault;
+        ++FaultSlot(cnt_fault_hint_, cnt::kFaultHint);
+        if (hint_fault_) {
+          total += hint_fault_(cpu, as, vpn);
+        } else {
+          pte->prot_none = false;
+          pool_.NoteScanCandidate(pte->pfn);
+        }
+        pte = as.table().Lookup(vpn);
+        continue;
+      }
+      if (is_write && !pte->writable) {
+        took_fault = true;
+        total += costs.page_fault;
+        ++FaultSlot(cnt_fault_write_protect_, cnt::kFaultWriteProtect);
+        if (write_fault_) {
+          total += write_fault_(cpu, as, vpn);
+        } else {
+          pte->writable = true;
+        }
+        continue;
+      }
+      break;
+    }
+    pte->accessed = true;
+    if (is_write) {
+      pte->dirty = true;
+    }
+    pfn = pte->pfn;
+    entry = &tlb.Fill(vpn, pfn, pte->writable, pte->dirty);
+  }
+
+  // Physical access: LLC, then the tier device on a miss.
+  const Tier tier = pool_.TierOf(pfn);
+  const uint64_t paddr = pfn * kPageSize + (offset % kPageSize);
+  const bool llc_hit = llc_.Access(paddr);
+  if (llc_hit) {
+    total += costs.llc_hit;
+  } else {
+    const Cycles now = Now() + total;
+    const Cycles dev = is_write ? device(tier).Write(now, kCacheLineSize)
+                                : device(tier).Read(now, kCacheLineSize);
+    const unsigned mlp_div = mlp < 1 ? 1 : mlp;
+    Cycles c = dev / mlp_div;
+    if (c < 1) {
+      c = 1;
+    }
+    total += c;
+  }
+  user_bytes_ += kCacheLineSize;
+
+  for (const AccessObserver& obs : observers_) {
+    obs(cpu, as, vpn, offset % kPageSize, is_write, !llc_hit, !tlb_hit, tier);
+  }
+  if (info) {
+    info->latency = total;
+    info->tier = tier;
+    info->llc_hit = llc_hit;
+    info->tlb_hit = tlb_hit;
+    info->took_fault = took_fault;
+  }
+  return total;
+}
+
+inline Cycles MemorySystem::AccessBatch(ActorId cpu, AddressSpace& as, const BatchAccess* ops,
+                                        size_t n, unsigned mlp, Cycles* lat_out) {
+  as.NoteCpu(cpu);
+  Tlb& tlb = *tlbs_.at(cpu);
+  const Cycles llc_hit_cost = platform_.costs.llc_hit;
+  const bool slow_observers = !observers_.empty();
+  const unsigned mlp_div = mlp < 1 ? 1 : mlp;
+  const PageTable& table = as.table();
+  // Batched execution lets us overlap the host-memory latency of the model
+  // structures for upcoming accesses with the work of the current one, in
+  // two stages: a far stage pulls in the TLB set and PTE leaf, and a near
+  // stage peeks the (by now cached) PTE to prefetch the physically-indexed
+  // LLC set and frame-flags word behind the likely translation. A peek that
+  // turns out stale (an earlier access in the batch remapped the page) only
+  // wastes a prefetch. Prefetching touches no simulated state, so results
+  // are bit-for-bit those of unbatched execution.
+  constexpr size_t kFarAhead = 8;
+  constexpr size_t kNearAhead = 3;
+  const uint32_t* flag_words = pool_.table().flags_data();
+  const auto near_prefetch = [&](size_t j) {
+    const Pte* pte = table.PeekPte(ops[j].vpn);
+    if (pte != nullptr && pte->present) {
+      const Pfn pf = pte->pfn;
+      llc_.PrefetchSet(pf * kPageSize + (ops[j].offset % kPageSize));
+      __builtin_prefetch(flag_words + pf);
+    }
+  };
+  for (size_t i = 0, e = n < kFarAhead ? n : kFarAhead; i < e; i++) {
+    tlb.PrefetchSet(ops[i].vpn);
+    table.PrefetchPte(ops[i].vpn);
+  }
+  for (size_t i = 0, e = n < kNearAhead ? n : kNearAhead; i < e; i++) {
+    near_prefetch(i);
+  }
+  Cycles total = 0;
+  for (size_t i = 0; i < n; i++) {
+    if (i + kFarAhead < n) {
+      tlb.PrefetchSet(ops[i + kFarAhead].vpn);
+      table.PrefetchPte(ops[i + kFarAhead].vpn);
+    }
+    if (i + kNearAhead < n) {
+      near_prefetch(i + kNearAhead);
+    }
+    const Vpn vpn = ops[i].vpn;
+    const bool is_write = ops[i].is_write;
+    Cycles c;
+    Tlb::Entry* entry = tlb.Lookup(vpn);
+    if (entry != nullptr && (!is_write || (entry->writable && entry->dirty)) &&
+        !slow_observers) {
+      // Fast path: cached translation needing no PTE update. Identical
+      // state mutations, in identical order, to the hit path of
+      // AccessResolved — LLC set, device channel, user-byte count.
+      const Pfn pfn = entry->pfn;
+      const uint64_t paddr = pfn * kPageSize + (ops[i].offset % kPageSize);
+      if (llc_.Access(paddr)) {
+        c = llc_hit_cost;
+      } else {
+        const Tier tier = pool_.TierOf(pfn);
+        const Cycles dev = is_write ? devices_[TierIndex(tier)].Write(Now(), kCacheLineSize)
+                                    : devices_[TierIndex(tier)].Read(Now(), kCacheLineSize);
+        c = dev / mlp_div;
+        if (c < 1) {
+          c = 1;
+        }
+      }
+      user_bytes_ += kCacheLineSize;
+    } else {
+      c = AccessResolved(cpu, as, tlb, entry, vpn, ops[i].offset, is_write, mlp, nullptr);
+    }
+    lat_out[i] = c;
+    total += c;
+  }
+  return total;
+}
 
 }  // namespace nomad
 

@@ -20,8 +20,8 @@ class SyncHwImpl : public tpm::SyncHw {
   void Unmap() override {
     // Isolate from the LRU and unmap; permissions and dirty state are
     // carried across to the remap.
-    PageFrame& old_frame = ms_.pool().frame(old_pfn_);
-    ms_.lru(old_frame.tier).Remove(old_pfn_);
+    PageFrame old_frame = ms_.pool().frame(old_pfn_);
+    ms_.lru(old_frame.tier()).Remove(old_pfn_);
     was_writable_ = pte_.writable || pte_.shadow_rw;
     was_dirty_ = pte_.dirty;
     pte_.present = false;
@@ -32,19 +32,19 @@ class SyncHwImpl : public tpm::SyncHw {
 
   // Copy the page; the page is unreachable for this whole window.
   void Copy() override {
-    cycles_ += ms_.CopyPageCost(ms_.pool().frame(old_pfn_).tier, dst_);
+    cycles_ += ms_.CopyPageCost(ms_.pool().frame(old_pfn_).tier(), dst_);
   }
 
   void Remap() override {
     // Remap to the new frame, preserving permissions and dirty state.
-    PageFrame& old_frame = ms_.pool().frame(old_pfn_);
-    PageFrame& new_frame = ms_.pool().frame(new_pfn_);
-    new_frame.owner = &as_;
-    new_frame.vpn = vpn_;
-    new_frame.referenced = old_frame.referenced;
-    new_frame.active = old_frame.active;
-    new_frame.extra_mappers = old_frame.extra_mappers;
-    new_frame.promoted = dst_ == Tier::kFast;
+    PageFrame old_frame = ms_.pool().frame(old_pfn_);
+    PageFrame new_frame = ms_.pool().frame(new_pfn_);
+    new_frame.set_owner(&as_);
+    new_frame.set_vpn(vpn_);
+    new_frame.set_referenced(old_frame.referenced());
+    new_frame.set_active(old_frame.active());
+    new_frame.set_extra_mappers(old_frame.extra_mappers());
+    new_frame.set_promoted(dst_ == Tier::kFast);
     pte_.pfn = new_pfn_;
     pte_.present = true;
     pte_.writable = was_writable_;
@@ -55,7 +55,7 @@ class SyncHwImpl : public tpm::SyncHw {
     ms_.pool().NoteScanCandidate(new_pfn_);
     cycles_ += ms_.platform().costs.pte_update;
 
-    if (new_frame.active) {
+    if (new_frame.active()) {
       ms_.lru(dst_).AddActive(new_pfn_);
     } else {
       ms_.lru(dst_).AddInactive(new_pfn_);
@@ -95,8 +95,8 @@ MigrateResult MigratePageSync(MemorySystem& ms, AddressSpace& as, Vpn vpn, Tier 
     return r;
   }
   const Pfn old_pfn = pte->pfn;
-  PageFrame& old_frame = ms.pool().frame(old_pfn);
-  if (old_frame.tier == dst) {
+  PageFrame old_frame = ms.pool().frame(old_pfn);
+  if (old_frame.tier() == dst) {
     return r;  // already there
   }
 

@@ -1,13 +1,24 @@
-// Page frame metadata: the simulator's `struct page`.
+// Page frame metadata: the simulator's `struct page`, stored struct-of-arrays.
 //
 // Frames carry no 4 KB payload - only the state the paper's mechanisms
 // read and write: LRU membership and temperature flags (PG_referenced /
 // PG_active), the shadow flag NOMAD adds (sec. 3.2), reverse-map info for
 // unmapping during migration, and intrusive LRU links.
+//
+// Layout: all frame state lives in a FrameTable, split into a *hot* packed
+// uint32_t flags word per frame (tier/in_use/temperature/NOMAD flags/LRU
+// list id/TPM abort count as bit fields, indexed by PFN) and *cold*
+// parallel arrays (owner/vpn/generation/extra_mappers/LRU links). LRU
+// scans, the scan-candidate bitmap, and invariant audits walk contiguous
+// 4-byte words instead of 64B+ structs, so a cache line covers 16 frames.
+// `PageFrame` is a cheap value-type handle over one PFN's slots; accessor
+// inlines keep call sites readable, and outside src/mm they are the ONLY
+// sanctioned way to mutate frame flags (lint rule NL009).
 #ifndef SRC_MM_PAGE_H_
 #define SRC_MM_PAGE_H_
 
 #include <cstdint>
+#include <vector>
 
 #include "src/mem/tier.h"
 
@@ -26,68 +37,176 @@ class AddressSpace;
 // Which LRU list a frame currently sits on.
 enum class LruList : uint8_t { kNone = 0, kInactive = 1, kActive = 2 };
 
-// Per-frame metadata (struct page equivalent).
-struct PageFrame {
+// Bit assignments inside FrameTable's hot flags word. mm-internal: code
+// outside src/mm must go through the PageFrame accessors below (NL009).
+namespace frame_flags {
+inline constexpr uint32_t kTierSlow = 1u << 0;    // 0 = fast tier, 1 = slow
+inline constexpr uint32_t kInUse = 1u << 1;
+inline constexpr uint32_t kReferenced = 1u << 2;  // Linux PG_referenced
+inline constexpr uint32_t kActive = 1u << 3;      // Linux PG_active
+inline constexpr uint32_t kPromoted = 1u << 4;    // landed fast by promotion
+inline constexpr uint32_t kShadowed = 1u << 5;    // shadow copy exists (slow)
+inline constexpr uint32_t kIsShadow = 1u << 6;    // frame *is* a shadow copy
+inline constexpr uint32_t kInPcq = 1u << 7;       // in promotion candidate q
+inline constexpr uint32_t kPcqPrimed = 1u << 8;   // next A-bit hit = hot
+inline constexpr uint32_t kInPending = 1u << 9;   // in migration pending q
+inline constexpr uint32_t kMigrating = 1u << 10;  // TPM txn in flight
+inline constexpr uint32_t kLruShift = 12;         // 2 bits: LruList
+inline constexpr uint32_t kLruMask = 3u << kLruShift;
+inline constexpr uint32_t kTpmAbortsShift = 16;   // 8 bits: abort count
+inline constexpr uint32_t kTpmAbortsMask = 0xFFu << kTpmAbortsShift;
+// Identity bits that survive ResetState() across free/realloc.
+inline constexpr uint32_t kIdentityMask = kTierSlow | kInUse;
+}  // namespace frame_flags
+
+class PageFrame;
+
+// Struct-of-arrays backing store for every frame's metadata. Owned by
+// FramePool; sized once at platform construction.
+class FrameTable {
+ public:
+  void Resize(uint64_t n) {
+    flags_.assign(n, 0);
+    owner_.assign(n, nullptr);
+    vpn_.assign(n, kInvalidVpn);
+    generation_.assign(n, 0);
+    extra_mappers_.assign(n, 0);
+    lru_prev_.assign(n, kInvalidPfn);
+    lru_next_.assign(n, kInvalidPfn);
+  }
+  uint64_t size() const { return flags_.size(); }
+
+  // Read-only bulk view of the hot words for word-granular scans and
+  // audits; mutation goes through PageFrame handles only.
+  const uint32_t* flags_data() const { return flags_.data(); }
+
+  // Metadata bytes the table holds per frame, for the bytes-of-metadata-
+  // per-simulated-page report in bench_throughput.
+  static constexpr uint64_t BytesPerFrame() {
+    return sizeof(uint32_t)          // flags
+           + sizeof(AddressSpace*)   // owner
+           + sizeof(Vpn)             // vpn
+           + sizeof(uint32_t)        // generation
+           + sizeof(uint32_t)        // extra_mappers
+           + 2 * sizeof(Pfn);        // lru links
+  }
+
+ private:
+  friend class PageFrame;
+  std::vector<uint32_t> flags_;
+  std::vector<AddressSpace*> owner_;
+  std::vector<Vpn> vpn_;
+  // generation is bumped on every free; queues that park PFNs (PCQ, pending
+  // queue, shadow-reclaim FIFO) snapshot it to detect stale entries.
+  std::vector<uint32_t> generation_;
+  // Simulated additional mappings (from other page tables). Nonzero means
+  // multi-mapped; NOMAD falls back to sync migration for those (sec. 3.3).
+  std::vector<uint32_t> extra_mappers_;
+  std::vector<Pfn> lru_prev_;  // intrusive links, kInvalidPfn = list end
+  std::vector<Pfn> lru_next_;
+};
+
+// Per-frame metadata handle (struct page equivalent). A 16-byte value type:
+// copy freely, pass by value; `const PageFrame` is a read-only view (the
+// setters are non-const). All accessors compile to one indexed load/store
+// into the FrameTable arrays.
+class PageFrame {
+ public:
+  PageFrame(FrameTable* t, Pfn pfn) : t_(t), pfn_(pfn) {}
+
+  Pfn pfn() const { return pfn_; }
+
   // --- identity / allocation ---
-  Tier tier = Tier::kFast;
-  bool in_use = false;
-  // Bumped on every free; queues that park PFNs (PCQ, pending queue,
-  // shadow-reclaim FIFO) snapshot it to detect stale entries after reuse.
-  uint32_t generation = 0;
+  Tier tier() const {
+    return Test(frame_flags::kTierSlow) ? Tier::kSlow : Tier::kFast;
+  }
+  void set_tier(Tier t) { Put(frame_flags::kTierSlow, t == Tier::kSlow); }
+  bool in_use() const { return Test(frame_flags::kInUse); }
+  void set_in_use(bool v) { Put(frame_flags::kInUse, v); }
+  uint32_t generation() const { return t_->generation_[pfn_]; }
+  void bump_generation() { t_->generation_[pfn_]++; }
 
   // --- reverse map: who maps this frame ---
   // The simulator supports one mapping per frame (NOMAD falls back to
   // synchronous migration for multi-mapped pages, sec. 3.3; we model the
-  // multi-mapped case by flagging frames, see `extra_mappers`).
-  AddressSpace* owner = nullptr;
-  Vpn vpn = kInvalidVpn;
-  // Simulated additional mappings (from other page tables). When nonzero,
-  // the page counts as multi-mapped.
-  uint32_t extra_mappers = 0;
+  // multi-mapped case by flagging frames via extra_mappers).
+  AddressSpace* owner() const { return t_->owner_[pfn_]; }
+  void set_owner(AddressSpace* as) { t_->owner_[pfn_] = as; }
+  Vpn vpn() const { return t_->vpn_[pfn_]; }
+  void set_vpn(Vpn v) { t_->vpn_[pfn_] = v; }
+  uint32_t extra_mappers() const { return t_->extra_mappers_[pfn_]; }
+  void set_extra_mappers(uint32_t v) { t_->extra_mappers_[pfn_] = v; }
 
   // --- temperature flags (Linux PG_referenced / PG_active) ---
-  bool referenced = false;
-  bool active = false;
+  bool referenced() const { return Test(frame_flags::kReferenced); }
+  void set_referenced(bool v) { Put(frame_flags::kReferenced, v); }
+  bool active() const { return Test(frame_flags::kActive); }
+  void set_active(bool v) { Put(frame_flags::kActive, v); }
 
   // --- NOMAD state ---
-  bool promoted = false;     // landed on the fast tier by promotion (sticky
-                             // until freed; feeds the thrash governor)
-  bool shadowed = false;     // a shadow copy exists on the slow tier
-  bool is_shadow = false;    // this frame *is* a shadow copy (unmapped)
-  bool in_pcq = false;       // sits in the promotion candidate queue
-  bool pcq_primed = false;   // PCQ entry examined once; next A-bit hit = hot
-  bool in_pending = false;   // sits in the migration pending queue
-  bool migrating = false;    // a TPM transaction is in flight on this frame
-  uint8_t tpm_aborts = 0;    // consecutive TPM aborts on this page; drives
-                             // kpromote's backoff and give-up decisions
+  bool promoted() const { return Test(frame_flags::kPromoted); }
+  void set_promoted(bool v) { Put(frame_flags::kPromoted, v); }
+  bool shadowed() const { return Test(frame_flags::kShadowed); }
+  void set_shadowed(bool v) { Put(frame_flags::kShadowed, v); }
+  bool is_shadow() const { return Test(frame_flags::kIsShadow); }
+  void set_is_shadow(bool v) { Put(frame_flags::kIsShadow, v); }
+  bool in_pcq() const { return Test(frame_flags::kInPcq); }
+  void set_in_pcq(bool v) { Put(frame_flags::kInPcq, v); }
+  bool pcq_primed() const { return Test(frame_flags::kPcqPrimed); }
+  void set_pcq_primed(bool v) { Put(frame_flags::kPcqPrimed, v); }
+  bool in_pending() const { return Test(frame_flags::kInPending); }
+  void set_in_pending(bool v) { Put(frame_flags::kInPending, v); }
+  bool migrating() const { return Test(frame_flags::kMigrating); }
+  void set_migrating(bool v) { Put(frame_flags::kMigrating, v); }
+  // Consecutive TPM aborts on this page; drives kpromote's backoff and
+  // give-up decisions.
+  uint8_t tpm_aborts() const {
+    return static_cast<uint8_t>(word() >> frame_flags::kTpmAbortsShift);
+  }
+  void set_tpm_aborts(uint8_t v) {
+    word() = (word() & ~frame_flags::kTpmAbortsMask) |
+             (uint32_t{v} << frame_flags::kTpmAbortsShift);
+  }
+  void bump_tpm_aborts() { set_tpm_aborts(static_cast<uint8_t>(tpm_aborts() + 1)); }
 
   // --- LRU bookkeeping ---
-  LruList lru = LruList::kNone;
-  Pfn lru_prev = kInvalidPfn;  // intrusive links, kInvalidPfn = list end
-  Pfn lru_next = kInvalidPfn;
-
-  bool mapped() const { return owner != nullptr; }
-  bool multi_mapped() const { return extra_mappers > 0; }
-
-  // Resets everything except identity, for frame free/realloc.
-  void ResetState() {
-    owner = nullptr;
-    vpn = kInvalidVpn;
-    extra_mappers = 0;
-    referenced = false;
-    active = false;
-    promoted = false;
-    shadowed = false;
-    is_shadow = false;
-    in_pcq = false;
-    pcq_primed = false;
-    in_pending = false;
-    migrating = false;
-    tpm_aborts = 0;
-    lru = LruList::kNone;
-    lru_prev = kInvalidPfn;
-    lru_next = kInvalidPfn;
+  LruList lru() const {
+    return static_cast<LruList>((word() >> frame_flags::kLruShift) & 3u);
   }
+  void set_lru(LruList l) {
+    word() = (word() & ~frame_flags::kLruMask)
+             | (static_cast<uint32_t>(l) << frame_flags::kLruShift);
+  }
+  Pfn lru_prev() const { return t_->lru_prev_[pfn_]; }
+  void set_lru_prev(Pfn p) { t_->lru_prev_[pfn_] = p; }
+  Pfn lru_next() const { return t_->lru_next_[pfn_]; }
+  void set_lru_next(Pfn p) { t_->lru_next_[pfn_] = p; }
+
+  bool mapped() const { return owner() != nullptr; }
+  bool multi_mapped() const { return extra_mappers() > 0; }
+
+  // Resets everything except identity (tier/in_use/generation), for frame
+  // free/realloc.
+  void ResetState() {
+    word() &= frame_flags::kIdentityMask;
+    t_->owner_[pfn_] = nullptr;
+    t_->vpn_[pfn_] = kInvalidVpn;
+    t_->extra_mappers_[pfn_] = 0;
+    t_->lru_prev_[pfn_] = kInvalidPfn;
+    t_->lru_next_[pfn_] = kInvalidPfn;
+  }
+
+ private:
+  uint32_t word() const { return t_->flags_[pfn_]; }
+  uint32_t& word() { return t_->flags_[pfn_]; }
+  bool Test(uint32_t bit) const { return (word() & bit) != 0; }
+  void Put(uint32_t bit, bool v) {
+    uint32_t& w = t_->flags_[pfn_];
+    w = v ? (w | bit) : (w & ~bit);
+  }
+
+  FrameTable* t_;
+  Pfn pfn_;
 };
 
 }  // namespace nomad

@@ -2,16 +2,6 @@
 
 namespace nomad {
 
-Pte* PageTable::LookupSlow(Vpn vpn) {
-  const size_t dir_idx = static_cast<size_t>(vpn / kEntriesPerLeaf);
-  if (dir_idx >= dir_.size() || dir_[dir_idx] == nullptr) {
-    return nullptr;
-  }
-  cursor_idx_ = dir_idx;
-  cursor_leaf_ = dir_[dir_idx];
-  return &cursor_leaf_->entries[vpn % kEntriesPerLeaf];
-}
-
 PageTable::Leaf* PageTable::NewLeaf() {
   if (chunk_used_ == kLeavesPerChunk) {
     // Value-initialized: every Pte in the chunk starts as Pte{}.

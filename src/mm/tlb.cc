@@ -9,48 +9,6 @@ Tlb::Tlb(size_t num_entries) {
   entries_.resize(num_sets_ * kWays);
 }
 
-Tlb::Entry* Tlb::Lookup(Vpn vpn) {
-  tick_++;
-  const size_t base = SetOf(vpn);
-  for (size_t w = 0; w < kWays; w++) {
-    Entry& e = entries_[base + w];
-    if (e.valid && e.vpn == vpn) {
-      e.last_use = tick_;
-      hits_++;
-      return &e;
-    }
-  }
-  misses_++;
-  return nullptr;
-}
-
-Tlb::Entry& Tlb::Fill(Vpn vpn, Pfn pfn, bool writable, bool dirty) {
-  const size_t base = SetOf(vpn);
-  size_t victim = base;
-  for (size_t w = 0; w < kWays; w++) {
-    Entry& e = entries_[base + w];
-    if (e.valid && e.vpn == vpn) {
-      victim = base + w;  // refresh a stale entry in place (e.g. after a
-      break;              // permission upgrade) instead of duplicating it
-    }
-    if (!e.valid) {
-      victim = base + w;
-      continue;
-    }
-    if (entries_[victim].valid && e.last_use < entries_[victim].last_use) {
-      victim = base + w;
-    }
-  }
-  Entry& e = entries_[victim];
-  e.vpn = vpn;
-  e.pfn = pfn;
-  e.valid = true;
-  e.writable = writable;
-  e.dirty = dirty;
-  e.last_use = ++tick_;
-  return e;
-}
-
 void Tlb::Invalidate(Vpn vpn) {
   const size_t base = SetOf(vpn);
   for (size_t w = 0; w < kWays; w++) {

@@ -35,11 +35,56 @@ class Tlb {
   // num_entries is rounded up to a multiple of kWays.
   explicit Tlb(size_t num_entries);
 
-  // Returns the cached translation or nullptr on miss.
-  Entry* Lookup(Vpn vpn);
+  // Returns the cached translation or nullptr on miss. Inline: this sits
+  // on the per-access fast path (MemorySystem::AccessBatch).
+  Entry* Lookup(Vpn vpn) {
+    tick_++;
+    const size_t base = SetOf(vpn);
+    for (size_t w = 0; w < kWays; w++) {
+      Entry& e = entries_[base + w];
+      if (e.valid && e.vpn == vpn) {
+        e.last_use = tick_;
+        hits_++;
+        return &e;
+      }
+    }
+    misses_++;
+    return nullptr;
+  }
 
   // Installs a translation after a walk, evicting the set's LRU victim.
-  Entry& Fill(Vpn vpn, Pfn pfn, bool writable, bool dirty);
+  // Inline: every TLB miss on the access fast path ends in a Fill.
+  Entry& Fill(Vpn vpn, Pfn pfn, bool writable, bool dirty) {
+    const size_t base = SetOf(vpn);
+    size_t victim = base;
+    for (size_t w = 0; w < kWays; w++) {
+      Entry& e = entries_[base + w];
+      if (e.valid && e.vpn == vpn) {
+        victim = base + w;  // refresh a stale entry in place (e.g. after a
+        break;              // permission upgrade) instead of duplicating it
+      }
+      if (!e.valid) {
+        victim = base + w;
+        continue;
+      }
+      if (entries_[victim].valid && e.last_use < entries_[victim].last_use) {
+        victim = base + w;
+      }
+    }
+    Entry& e = entries_[victim];
+    e.vpn = vpn;
+    e.pfn = pfn;
+    e.valid = true;
+    e.writable = writable;
+    e.dirty = dirty;
+    e.last_use = ++tick_;
+    return e;
+  }
+
+  // Hints the host CPU to pull vpn's set into cache ahead of a Lookup.
+  // Pure prefetch: touches no simulator state, so issuing (or dropping) it
+  // cannot change simulated results.
+  void PrefetchSet(Vpn vpn) const { __builtin_prefetch(&entries_[SetOf(vpn)], 1); }
 
   // Single-page invalidation (one INVLPG / one shootdown target page).
   void Invalidate(Vpn vpn);

@@ -63,13 +63,13 @@ class KpromoteActor::ProtocolHw : public tpm::Hw {
 
   void CommitRemap(bool retain_shadow) override {
     MemorySystem& ms = *k_.ms_;
-    PageFrame& old_frame = ms.pool().frame(t_.old_pfn);
-    PageFrame& new_frame = ms.pool().frame(t_.new_pfn);
-    new_frame.owner = t_.as;
-    new_frame.vpn = t_.vpn;
-    new_frame.referenced = true;
-    new_frame.active = true;
-    new_frame.promoted = true;
+    PageFrame old_frame = ms.pool().frame(t_.old_pfn);
+    PageFrame new_frame = ms.pool().frame(t_.new_pfn);
+    new_frame.set_owner(t_.as);
+    new_frame.set_vpn(t_.vpn);
+    new_frame.set_referenced(true);
+    new_frame.set_active(true);
+    new_frame.set_promoted(true);
 
     pte_.pfn = t_.new_pfn;
     pte_.present = true;
@@ -83,14 +83,14 @@ class KpromoteActor::ProtocolHw : public tpm::Hw {
     // The retry histogram books the aborts this page ate on its way to an
     // eventual commit; the counter resets below so the next transaction on
     // this frame starts clean.
-    ms.hists().Record(hist::kTpmRetries, old_frame.tpm_aborts);
+    ms.hists().Record(hist::kTpmRetries, old_frame.tpm_aborts());
 
     ms.lru(Tier::kSlow).Remove(t_.old_pfn);
-    old_frame.owner = nullptr;
-    old_frame.in_pending = false;
-    old_frame.in_pcq = false;
-    old_frame.migrating = false;
-    old_frame.tpm_aborts = 0;
+    old_frame.set_owner(nullptr);
+    old_frame.set_in_pending(false);
+    old_frame.set_in_pcq(false);
+    old_frame.set_migrating(false);
+    old_frame.set_tpm_aborts(0);
     ms.lru(Tier::kFast).AddActive(t_.new_pfn);
     if (retain_shadow) {
       k_.shadows_->AddShadow(t_.new_pfn, t_.old_pfn);
@@ -122,7 +122,7 @@ class KpromoteActor::ProtocolHw : public tpm::Hw {
     // later.
     k_.stats_.aborts++;
     k_.ms_->counters().Add(cnt::kNomadTpmAbort, 1);
-    k_.ms_->pool().frame(t_.old_pfn).tpm_aborts++;
+    k_.ms_->pool().frame(t_.old_pfn).bump_tpm_aborts();
     k_.NoteAbortForStorm();
     k_.AbortCleanup(/*requeue=*/true);
     spent_ += costs().pte_update;
@@ -180,12 +180,12 @@ Cycles KpromoteActor::BeginNext(Engine& engine) {
     return spent;
   }
 
-  PageFrame& f = ms_->pool().frame(pfn);
-  AddressSpace& as = *f.owner;
-  const Vpn vpn = f.vpn;
+  PageFrame f = ms_->pool().frame(pfn);
+  AddressSpace& as = *f.owner();
+  const Vpn vpn = f.vpn();
   Pte* pte = ms_->PteOf(as, vpn);
   if (pte == nullptr || !pte->present || pte->pfn != pfn) {
-    f.in_pending = false;
+    f.set_in_pending(false);
     return spent + costs.lru_op;
   }
 
@@ -196,7 +196,7 @@ Cycles KpromoteActor::BeginNext(Engine& engine) {
   // path unmaps before copying, so concurrent stores cannot abort it).
   const bool storm_degraded = degraded_until_ != 0;
   if (f.multi_mapped() || !config_.transactional || storm_degraded) {
-    f.in_pending = false;
+    f.set_in_pending(false);
     MigrateResult r = MigratePageWithRetry(*ms_, as, vpn, Tier::kFast);
     if (storm_degraded && !f.multi_mapped()) {
       stats_.degraded_migrations++;
@@ -231,9 +231,9 @@ Cycles KpromoteActor::BeginNext(Engine& engine) {
 
   // --- TPM steps 1-3 (clear dirty, shootdown #1, copy while mapped),
   // driven through the protocol seam. ---
-  f.migrating = true;
+  f.set_migrating(true);
   txn_ = Txn{&as,     vpn,
-             pfn,     f.generation,
+             pfn,     f.generation(),
              new_pfn, pte->writable || pte->shadow_rw,
              /*begin_time=*/engine.now(), queues_->popped_hot_since()};
   machine_.emplace(config_.shadowing);
@@ -254,25 +254,25 @@ void KpromoteActor::AbortCleanup(bool requeue) {
   ms_->Trace(TraceEvent::kTpmAbort, t.vpn);
   ms_->provenance().OnAbort(t.vpn, ms_->Now());
   ms_->pool().Free(t.new_pfn);
-  PageFrame& f = ms_->pool().frame(t.old_pfn);
-  if (f.generation == t.old_gen) {
-    f.migrating = false;
+  PageFrame f = ms_->pool().frame(t.old_pfn);
+  if (f.generation() == t.old_gen) {
+    f.set_migrating(false);
     if (!requeue) {
-      f.in_pending = false;
-    } else if (f.tpm_aborts >= config_.max_txn_retries) {
+      f.set_in_pending(false);
+    } else if (f.tpm_aborts() >= config_.max_txn_retries) {
       // Bounded retry: a page that keeps getting written mid-copy is too
       // hot-and-dirty for TPM right now. Drop its candidacy; the PCQ aging
       // machinery can re-nominate it once it cools down.
       stats_.giveups++;
       ms_->counters().Add(cnt::kNomadTpmGiveup, 1);
-      ms_->Trace(TraceEvent::kTpmGiveUp, t.vpn, f.tpm_aborts);
-      f.tpm_aborts = 0;
-      f.in_pending = false;
+      ms_->Trace(TraceEvent::kTpmGiveUp, t.vpn, f.tpm_aborts());
+      f.set_tpm_aborts(0);
+      f.set_in_pending(false);
     } else {
       // Exponential backoff: each consecutive abort doubles the park time,
       // giving the writer a progressively wider window to go quiet.
       const Cycles delay = config_.abort_backoff_base
-                           << (f.tpm_aborts > 0 ? f.tpm_aborts - 1 : 0);
+                           << (f.tpm_aborts() > 0 ? f.tpm_aborts() - 1 : 0);
       stats_.backoffs++;
       ms_->counters().Add(cnt::kNomadTpmBackoff, 1);
       ms_->Trace(TraceEvent::kTpmBackoff, t.vpn, delay);
@@ -301,8 +301,8 @@ Cycles KpromoteActor::Commit(Engine& /*engine*/) {
   const KernelCosts& costs = ms_->platform().costs;
   Txn t = *txn_;
 
-  PageFrame& old_frame = ms_->pool().frame(t.old_pfn);
-  if (old_frame.generation != t.old_gen || !old_frame.mapped()) {
+  PageFrame old_frame = ms_->pool().frame(t.old_pfn);
+  if (old_frame.generation() != t.old_gen || !old_frame.mapped()) {
     // The page vanished during the copy (unmapped by the workload).
     AbortCleanup(/*requeue=*/false);
     machine_.reset();

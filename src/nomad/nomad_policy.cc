@@ -30,11 +30,11 @@ void NomadPolicy::Install(MemorySystem& ms, Engine& engine) {
     // First choice: the oldest shadowed page that currently sits on the
     // inactive list and is clean - its demotion is a pure remap.
     const Pfn remappable = shadows_->OldestRemappableMaster(64, [this, &ms](Pfn m) {
-      const PageFrame& f = ms.pool().frame(m);
-      if (!f.mapped() || f.migrating || f.lru != LruList::kInactive) {
+      const PageFrame f = ms.pool().frame(m);
+      if (!f.mapped() || f.migrating() || f.lru() != LruList::kInactive) {
         return false;
       }
-      const Pte* pte = ms_->PteOf(*f.owner, f.vpn);
+      const Pte* pte = ms_->PteOf(*f.owner(), f.vpn());
       return pte != nullptr && pte->present && pte->pfn == m && !pte->dirty;
     });
     if (remappable != kInvalidPfn) {
@@ -43,14 +43,14 @@ void NomadPolicy::Install(MemorySystem& ms, Engine& engine) {
     // Second choice: a remappable page near the inactive tail.
     Pfn pfn = ms.lru(Tier::kFast).InactiveTail();
     for (int i = 0; i < 64 && pfn != kInvalidPfn; i++) {
-      const PageFrame& f = ms.pool().frame(pfn);
-      if (f.shadowed && f.mapped() && !f.migrating) {
-        const Pte* pte = ms.PteOf(*f.owner, f.vpn);
+      const PageFrame f = ms.pool().frame(pfn);
+      if (f.shadowed() && f.mapped() && !f.migrating()) {
+        const Pte* pte = ms.PteOf(*f.owner(), f.vpn());
         if (pte != nullptr && pte->present && pte->pfn == pfn && !pte->dirty) {
           return pfn;
         }
       }
-      pfn = f.lru_prev;
+      pfn = f.lru_prev();
     }
     return kInvalidPfn;  // no remappable victim; default to the tail
   });
@@ -135,8 +135,8 @@ Cycles NomadPolicy::OnHintFault(ActorId /*cpu*/, AddressSpace& as, Vpn vpn) {
   ms.ResolveHintFault(*pte);
 
   const Pfn pfn = pte->pfn;
-  PageFrame& f = ms.pool().frame(pfn);
-  if (f.tier == Tier::kFast) {
+  PageFrame f = ms.pool().frame(pfn);
+  if (f.tier() == Tier::kFast) {
     return cost;
   }
 
@@ -171,8 +171,8 @@ Cycles NomadPolicy::OnWriteProtectFault(ActorId /*cpu*/, AddressSpace& as, Vpn v
     // Not shadow-protected (shouldn't normally happen): plain restore.
     pte->writable = true;
   }
-  PageFrame& f = ms.pool().frame(pte->pfn);
-  if (f.shadowed) {
+  PageFrame f = ms.pool().frame(pte->pfn);
+  if (f.shadowed()) {
     shadows_->DiscardShadow(pte->pfn);
     cost += costs.lru_op;
     ms.counters().Add(cnt::kNomadShadowFault, 1);
@@ -187,18 +187,18 @@ Cycles NomadPolicy::OnWriteProtectFault(ActorId /*cpu*/, AddressSpace& as, Vpn v
 MigrateResult NomadPolicy::DemotePage(Pfn pfn) {
   MemorySystem& ms = *ms_;
   const KernelCosts& costs = ms.platform().costs;
-  PageFrame& f = ms.pool().frame(pfn);
-  if (!f.mapped() || f.migrating) {
+  PageFrame f = ms.pool().frame(pfn);
+  if (!f.mapped() || f.migrating()) {
     return MigrateResult{};
   }
-  AddressSpace& as = *f.owner;
-  const Vpn vpn = f.vpn;
+  AddressSpace& as = *f.owner();
+  const Vpn vpn = f.vpn();
   Pte* pte = ms.PteOf(as, vpn);
   if (pte == nullptr || !pte->present || pte->pfn != pfn) {
     return MigrateResult{};
   }
 
-  if (f.shadowed && !pte->dirty) {
+  if (f.shadowed() && !pte->dirty) {
     // Remap-only demotion: the shadow copy is still identical, so demotion
     // is a PTE update - no copy, no allocation on the slow node.
     MigrateResult r;
@@ -214,11 +214,11 @@ MigrateResult NomadPolicy::DemotePage(Pfn pfn) {
     pte->dirty = false;
     r.cycles += costs.pte_update;
 
-    PageFrame& s = ms.pool().frame(shadow);
-    s.owner = &as;
-    s.vpn = vpn;
-    s.referenced = false;
-    s.active = false;
+    PageFrame s = ms.pool().frame(shadow);
+    s.set_owner(&as);
+    s.set_vpn(vpn);
+    s.set_referenced(false);
+    s.set_active(false);
     // The detached shadow is now a live, mapped slow-tier page the hint
     // scanner must be able to re-arm.
     ms.pool().NoteScanCandidate(shadow);
@@ -242,10 +242,10 @@ MigrateResult NomadPolicy::DemotePage(Pfn pfn) {
 
   // Demoting a page that arrived by promotion recycles that promotion -
   // the thrash governor's signal. Cold never-promoted victims are warm-up.
-  if (f.promoted) {
+  if (f.promoted()) {
     ms.counters().Add(cnt::kNomadDemoteRecent, 1);
   }
-  if (f.shadowed) {
+  if (f.shadowed()) {
     // Dirty master: the shadow is stale. Free it first (which also makes
     // room on the slow node for the copy), then demote by copying.
     shadows_->DiscardShadow(pfn);

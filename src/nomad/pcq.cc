@@ -7,14 +7,14 @@
 namespace nomad {
 
 bool PromotionQueues::ValidCandidate(Pfn pfn, uint32_t gen) const {
-  const PageFrame& f = ms_->pool().frame(pfn);
-  return f.generation == gen && f.in_use && f.mapped() && f.tier == Tier::kSlow &&
-         !f.migrating;
+  const PageFrame f = ms_->pool().frame(pfn);
+  return f.generation() == gen && f.in_use() && f.mapped() && f.tier() == Tier::kSlow &&
+         !f.migrating();
 }
 
 void PromotionQueues::EnqueueCandidate(Pfn pfn) {
-  PageFrame& f = ms_->pool().frame(pfn);
-  if (f.in_pcq || f.in_pending || f.migrating) {
+  PageFrame f = ms_->pool().frame(pfn);
+  if (f.in_pcq() || f.in_pending() || f.migrating()) {
     return;
   }
   bool overflow = pcq_.size() >= config_.pcq_capacity;
@@ -30,18 +30,18 @@ void PromotionQueues::EnqueueCandidate(Pfn pfn) {
     // Overflow: forget the oldest candidate.
     const Entry old = pcq_.front();
     pcq_.pop_front();
-    PageFrame& of = ms_->pool().frame(old.pfn);
-    if (of.generation == old.gen) {
-      of.in_pcq = false;
-      of.pcq_primed = false;
+    PageFrame of = ms_->pool().frame(old.pfn);
+    if (of.generation() == old.gen) {
+      of.set_in_pcq(false);
+      of.set_pcq_primed(false);
     }
     ms_->counters().Add(cnt::kNomadPcqOverflow, 1);
     overflow_count_++;
     ms_->Trace(TraceEvent::kPcqOverflow, old.pfn, pcq_.size());
   }
-  f.in_pcq = true;
-  f.pcq_primed = false;
-  pcq_.push_back(Entry{pfn, f.generation, ms_->Now()});
+  f.set_in_pcq(true);
+  f.set_pcq_primed(false);
+  pcq_.push_back(Entry{pfn, f.generation(), ms_->Now()});
   pcq_hwm_ = std::max(pcq_hwm_, pcq_.size());
   ms_->Trace(TraceEvent::kPcqEnqueue, pfn);
 }
@@ -63,25 +63,25 @@ std::pair<size_t, Cycles> PromotionQueues::ScanPcq(size_t limit) {
     if (!ValidCandidate(pfn, gen)) {
       continue;  // dropped: page freed, promoted or mid-transaction
     }
-    PageFrame& f = ms_->pool().frame(pfn);
-    Pte* pte = ms_->PteOf(*f.owner, f.vpn);
+    PageFrame f = ms_->pool().frame(pfn);
+    Pte* pte = ms_->PteOf(*f.owner(), f.vpn());
     if (pte == nullptr || !pte->present) {
-      f.in_pcq = false;
-      f.pcq_primed = false;
+      f.set_in_pcq(false);
+      f.set_pcq_primed(false);
       continue;
     }
-    const bool hot = f.pcq_primed && pte->accessed && (f.referenced || f.active);
+    const bool hot = f.pcq_primed() && pte->accessed && (f.referenced() || f.active());
     if (hot) {
-      f.in_pcq = false;
-      f.pcq_primed = false;
-      f.in_pending = true;
+      f.set_in_pcq(false);
+      f.set_pcq_primed(false);
+      f.set_in_pending(true);
       ms_->hists().Record(hist::kPcqResidence, ms_->Now() - e.since);
-      pending_.push_back(Entry{pfn, f.generation, ms_->Now()});
+      pending_.push_back(Entry{pfn, f.generation(), ms_->Now()});
       pending_hwm_ = std::max(pending_hwm_, pending_.size() + deferred_.size());
       moved++;
       continue;
     }
-    if (f.pcq_primed) {
+    if (f.pcq_primed()) {
       // Primed but untouched for a whole queue cycle: decay the candidacy
       // (two-hand-clock aging). The page stays in the PCQ - and crucially
       // stays unprotected, so it never faults again - but must now be
@@ -89,14 +89,14 @@ std::pair<size_t, Cycles> PromotionQueues::ScanPcq(size_t limit) {
       // decay, pages touched once per epoch (streaming data) eventually
       // collect two touches across arbitrary gaps and get promoted, which
       // floods the pending queue with pages that are not actually hot.
-      f.pcq_primed = false;
+      f.set_pcq_primed(false);
       ms_->counters().Add(cnt::kNomadPcqDecay, 1);
-      pcq_.push_back(Entry{pfn, f.generation, e.since});
+      pcq_.push_back(Entry{pfn, f.generation(), e.since});
       continue;
     }
     if (!pte->accessed) {
       // Untouched and unprimed: just keep cycling. No PTE work needed.
-      pcq_.push_back(Entry{pfn, f.generation, e.since});
+      pcq_.push_back(Entry{pfn, f.generation(), e.since});
       continue;
     }
     // Touched since the last exam: clear the A-bit and prime, so the page
@@ -105,15 +105,15 @@ std::pair<size_t, Cycles> PromotionQueues::ScanPcq(size_t limit) {
     // clock. Clearing A needs the stale translations gone.
     pte->accessed = false;
     spent += costs.pte_update;
-    for (ActorId cpu : f.owner->cpus()) {
-      ms_->tlb(cpu).Invalidate(f.vpn);
+    for (ActorId cpu : f.owner()->cpus()) {
+      ms_->tlb(cpu).Invalidate(f.vpn());
     }
     if (!cleared_any_abit) {
       spent += costs.tlb_shootdown_base;  // one batched flush per scan round
       cleared_any_abit = true;
     }
-    f.pcq_primed = true;
-    pcq_.push_back(Entry{pfn, f.generation, e.since});
+    f.set_pcq_primed(true);
+    pcq_.push_back(Entry{pfn, f.generation(), e.since});
   }
   if (examine > 0) {
     ms_->Trace(TraceEvent::kPcqDrain, examine, moved);
@@ -134,12 +134,12 @@ Pfn PromotionQueues::PopPending() {
   while (!pending_.empty()) {
     const Entry e = pending_.front();
     pending_.pop_front();
-    PageFrame& f = ms_->pool().frame(e.pfn);
-    if (f.generation != e.gen || !f.in_pending) {
+    PageFrame f = ms_->pool().frame(e.pfn);
+    if (f.generation() != e.gen || !f.in_pending()) {
       continue;
     }
-    if (!f.in_use || !f.mapped() || f.tier != Tier::kSlow || f.migrating) {
-      f.in_pending = false;
+    if (!f.in_use() || !f.mapped() || f.tier() != Tier::kSlow || f.migrating()) {
+      f.set_in_pending(false);
       continue;
     }
     popped_hot_since_ = e.since;
@@ -149,16 +149,16 @@ Pfn PromotionQueues::PopPending() {
 }
 
 void PromotionQueues::RequeuePending(Pfn pfn, Cycles hot_since) {
-  PageFrame& f = ms_->pool().frame(pfn);
-  f.in_pending = true;
-  pending_.push_back(Entry{pfn, f.generation, hot_since == kNever ? ms_->Now() : hot_since});
+  PageFrame f = ms_->pool().frame(pfn);
+  f.set_in_pending(true);
+  pending_.push_back(Entry{pfn, f.generation(), hot_since == kNever ? ms_->Now() : hot_since});
   pending_hwm_ = std::max(pending_hwm_, pending_.size() + deferred_.size());
 }
 
 void PromotionQueues::DeferPending(Pfn pfn, Cycles ready, Cycles hot_since) {
-  PageFrame& f = ms_->pool().frame(pfn);
-  f.in_pending = true;
-  deferred_.emplace(ready, Entry{pfn, f.generation, hot_since == kNever ? ms_->Now() : hot_since});
+  PageFrame f = ms_->pool().frame(pfn);
+  f.set_in_pending(true);
+  deferred_.emplace(ready, Entry{pfn, f.generation(), hot_since == kNever ? ms_->Now() : hot_since});
   pending_hwm_ = std::max(pending_hwm_, pending_.size() + deferred_.size());
 }
 

@@ -6,15 +6,15 @@
 namespace nomad {
 
 void ShadowManager::AddShadow(Pfn master, Pfn shadow) {
-  PageFrame& m = ms_->pool().frame(master);
-  PageFrame& s = ms_->pool().frame(shadow);
-  NOMAD_CHECK(!m.shadowed, "master already shadowed, master=", master, " vpn=", m.vpn,
+  PageFrame m = ms_->pool().frame(master);
+  PageFrame s = ms_->pool().frame(shadow);
+  NOMAD_CHECK(!m.shadowed(), "master already shadowed, master=", master, " vpn=", m.vpn(),
               " new_shadow=", shadow);
-  NOMAD_CHECK(s.in_use, "shadow frame not in use, master=", master, " shadow=", shadow);
-  m.shadowed = true;
-  s.is_shadow = true;
+  NOMAD_CHECK(s.in_use(), "shadow frame not in use, master=", master, " shadow=", shadow);
+  m.set_shadowed(true);
+  s.set_is_shadow(true);
   index_.Insert(master, shadow);
-  reclaim_fifo_.emplace_back(master, m.generation);
+  reclaim_fifo_.emplace_back(master, m.generation());
 }
 
 Pfn ShadowManager::ShadowOf(Pfn master) const {
@@ -29,10 +29,10 @@ Pfn ShadowManager::DetachShadow(Pfn master) {
   }
   const Pfn shadow = *found;
   index_.Erase(master);
-  PageFrame& m = ms_->pool().frame(master);
-  PageFrame& s = ms_->pool().frame(shadow);
-  m.shadowed = false;
-  s.is_shadow = false;
+  PageFrame m = ms_->pool().frame(master);
+  PageFrame s = ms_->pool().frame(shadow);
+  m.set_shadowed(false);
+  s.set_is_shadow(false);
   // No longer a shadow: if the caller keeps the frame alive (remap-only
   // demotion) it is scannable again. Redundant when the caller frees it.
   ms_->pool().NoteScanCandidate(shadow);
@@ -44,7 +44,7 @@ bool ShadowManager::DiscardShadow(Pfn master) {
   if (shadow == kInvalidPfn) {
     return false;
   }
-  ms_->provenance().OnShadowFree(ms_->pool().frame(master).vpn, ms_->Now());
+  ms_->provenance().OnShadowFree(ms_->pool().frame(master).vpn(), ms_->Now());
   ms_->pool().Free(shadow);
   ms_->counters().Add(cnt::kNomadShadowDiscard, 1);
   return true;
@@ -62,8 +62,8 @@ uint64_t ShadowManager::ReclaimShadows(uint64_t target, Cycles* cost) {
     const auto [master, gen] = reclaim_fifo_.back();
     reclaim_fifo_.pop_back();
     *cost += costs.lru_op;
-    PageFrame& m = ms_->pool().frame(master);
-    if (m.generation != gen || !m.shadowed) {
+    PageFrame m = ms_->pool().frame(master);
+    if (m.generation() != gen || !m.shadowed()) {
       continue;  // master was freed or the shadow already discarded
     }
     if (DiscardShadow(master)) {
@@ -86,8 +86,8 @@ Pfn ShadowManager::OldestRemappableMaster(uint64_t limit,
   // Prune stale entries off the front so repeated calls stay cheap.
   while (!reclaim_fifo_.empty()) {
     const auto [master, gen] = reclaim_fifo_.front();
-    const PageFrame& m = ms_->pool().frame(master);
-    if (m.generation == gen && m.shadowed) {
+    const PageFrame m = ms_->pool().frame(master);
+    if (m.generation() == gen && m.shadowed()) {
       break;
     }
     reclaim_fifo_.pop_front();
@@ -97,8 +97,8 @@ Pfn ShadowManager::OldestRemappableMaster(uint64_t limit,
     if (probed++ >= limit) {
       break;
     }
-    const PageFrame& m = ms_->pool().frame(master);
-    if (m.generation != gen || !m.shadowed) {
+    const PageFrame m = ms_->pool().frame(master);
+    if (m.generation() != gen || !m.shadowed()) {
       continue;
     }
     if (demotable(master)) {

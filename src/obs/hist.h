@@ -65,10 +65,25 @@ class Histogram {
 // Named histograms, keyed by the hist:: constants in event_registry.h.
 class HistogramSet {
  public:
-  // Books one sample. Compiles to nothing when tracing is off.
+  // Books one sample. Compiles to nothing when tracing is off. Callers
+  // pass the hist:: registry constants, so the same `name` pointer recurs
+  // per site; a tiny pointer-keyed memo skips the validating map lookup
+  // after the first sample (a migration-heavy run records hundreds of
+  // thousands of samples). An unrecognized pointer just takes the At()
+  // path, so the memo can never change which histogram is hit.
   void Record(const char* name, uint64_t value) {
     if constexpr (kTracingEnabled) {
-      At(name).Record(value);
+      for (int i = 0; i < memo_used_; i++) {
+        if (memo_[i].name == name) {
+          memo_[i].hist->Record(value);
+          return;
+        }
+      }
+      Histogram& h = At(name);
+      if (memo_used_ < kMemoSlots) {
+        memo_[memo_used_++] = Memo{name, &h};
+      }
+      h.Record(value);
     } else {
       (void)name;
       (void)value;
@@ -81,10 +96,21 @@ class HistogramSet {
 
   const std::map<std::string, Histogram>& All() const { return hists_; }
 
-  void Reset() { hists_.clear(); }
+  void Reset() {
+    memo_used_ = 0;
+    hists_.clear();
+  }
 
  private:
+  static constexpr int kMemoSlots = 8;
+  struct Memo {
+    const char* name = nullptr;
+    Histogram* hist = nullptr;  // std::map references are stable
+  };
+
   std::map<std::string, Histogram> hists_;
+  Memo memo_[kMemoSlots];
+  int memo_used_ = 0;
 };
 
 }  // namespace nomad

@@ -35,6 +35,8 @@ void Profiler::Reset() {
   std::fill(std::begin(total_), std::end(total_), 0);
   unattributed_ = 0;
   paths_.clear();
+  memo_key_ = 0;
+  memo_slot_ = nullptr;
 }
 
 }  // namespace nomad

@@ -76,7 +76,15 @@ class Profiler {
           total_[static_cast<size_t>(n)] += c;
         }
       }
-      paths_[key] += c;
+      // Consecutive charges overwhelmingly repeat the same stack (one tree
+      // descent per distinct path, then pointer hits; std::map references
+      // survive unrelated inserts, and Reset() clears the memo with the
+      // map).
+      if (key != memo_key_ || memo_slot_ == nullptr) {
+        memo_key_ = key;
+        memo_slot_ = &paths_[key];
+      }
+      *memo_slot_ += c;
     } else {
       (void)c;
     }
@@ -116,6 +124,9 @@ class Profiler {
   uint64_t total_[kNumProfNodes] = {};
   uint64_t unattributed_ = 0;
   std::map<uint64_t, uint64_t> paths_;
+  // Last charged path and its slot; see Charge().
+  uint64_t memo_key_ = 0;
+  uint64_t* memo_slot_ = nullptr;
 };
 
 // RAII span. Compiles away with the profiler when tracing is off.

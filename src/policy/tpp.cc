@@ -41,8 +41,8 @@ Cycles TppPolicy::OnHintFault(ActorId /*cpu*/, AddressSpace& as, Vpn vpn) {
   ms.ResolveHintFault(*pte);  // restore access so the faulting load can retire
 
   const Pfn pfn = pte->pfn;
-  PageFrame& f = ms.pool().frame(pfn);
-  if (f.tier == Tier::kFast) {
+  PageFrame f = ms.pool().frame(pfn);
+  if (f.tier() == Tier::kFast) {
     return cost;  // raced with another promotion; nothing to do
   }
 
@@ -53,7 +53,7 @@ Cycles TppPolicy::OnHintFault(ActorId /*cpu*/, AddressSpace& as, Vpn vpn) {
   cost += costs.lru_op;
   ms.prof().Charge(costs.lru_op);
 
-  if (!f.active) {
+  if (!f.active()) {
     ms.counters().Add(cnt::kTppFaultNotActive, 1);
     return cost;
   }

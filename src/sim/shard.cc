@@ -6,7 +6,8 @@ namespace nomad {
 
 ShardRouter::ShardRouter(uint32_t num_shards)
     : num_shards_(num_shards),
-      pairs_(static_cast<size_t>(num_shards) * num_shards) {
+      pairs_(static_cast<size_t>(num_shards) * num_shards),
+      rows_(num_shards) {
   NOMAD_CHECK(num_shards > 0, "router needs at least one shard");
 }
 
@@ -18,15 +19,48 @@ void ShardRouter::Send(uint32_t from, uint32_t to, uint32_t kind, uint64_t a, ui
   p.fifo.push_back(ShardMsg{from, kind, p.next_seq++, a, b});
 }
 
-void ShardRouter::Drain(uint32_t to, const std::function<void(const ShardMsg&)>& fn) {
-  NOMAD_CHECK(to < num_shards_, "shard id out of range, to=", to);
-  for (uint32_t from = 0; from < num_shards_; from++) {
+void ShardRouter::Stage(uint32_t from, uint32_t to, uint32_t kind, uint64_t a, uint64_t b) {
+  NOMAD_CHECK(from < num_shards_ && to < num_shards_, "shard id out of range, from=", from,
+              " to=", to, " shards=", num_shards_);
+  rows_[from].staged.push_back(StagedMsg{to, kind, a, b});
+}
+
+void ShardRouter::FlushSends(uint32_t from) {
+  NOMAD_CHECK(from < num_shards_, "shard id out of range, from=", from);
+  std::vector<StagedMsg>& staged = rows_[from].staged;
+  // Coalesce each run of consecutive same-destination messages into one
+  // lock acquisition. Staging order fixes the per-pair sequence numbers,
+  // so the drained stream is identical to per-message Send.
+  size_t i = 0;
+  while (i < staged.size()) {
+    const uint32_t to = staged[i].to;
+    size_t j = i;
+    while (j < staged.size() && staged[j].to == to) {
+      j++;
+    }
     Pair& p = pair(from, to);
     std::lock_guard<std::mutex> lock(p.mu);
-    while (!p.fifo.empty()) {
-      fn(p.fifo.front());
-      p.fifo.pop_front();
+    for (size_t k = i; k < j; k++) {
+      p.fifo.push_back(ShardMsg{from, staged[k].kind, p.next_seq++, staged[k].a, staged[k].b});
     }
+    i = j;
+  }
+  staged.clear();
+}
+
+void ShardRouter::Drain(uint32_t to, const std::function<void(const ShardMsg&)>& fn) {
+  NOMAD_CHECK(to < num_shards_, "shard id out of range, to=", to);
+  std::vector<ShardMsg> batch;
+  for (uint32_t from = 0; from < num_shards_; from++) {
+    Pair& p = pair(from, to);
+    {
+      std::lock_guard<std::mutex> lock(p.mu);
+      batch.swap(p.fifo);
+    }
+    for (const ShardMsg& m : batch) {
+      fn(m);
+    }
+    batch.clear();
   }
 }
 
@@ -40,10 +74,13 @@ uint64_t ShardRouter::PendingFor(uint32_t to) const {
   return n;
 }
 
-void ShardBarrier::ArriveAndWait() {
+void ShardBarrier::ArriveAndWait(const std::function<void()>& on_complete) {
   std::unique_lock<std::mutex> lock(mu_);
   const uint64_t gen = generation_;
   if (++waiting_ == parties_) {
+    if (on_complete) {
+      on_complete();
+    }
     waiting_ = 0;
     generation_++;
     cv_.notify_all();

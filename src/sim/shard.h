@@ -22,7 +22,6 @@
 
 #include <condition_variable>
 #include <cstdint>
-#include <deque>
 #include <functional>
 #include <mutex>
 #include <vector>
@@ -63,20 +62,46 @@ class ShardRouter {
   // pair; called from the sender shard's worker thread during an epoch.
   void Send(uint32_t from, uint32_t to, uint32_t kind, uint64_t a = 0, uint64_t b = 0);
 
+  // Stages a message from shard `from` without taking any lock. Staging
+  // rows are sender-owned: only the worker thread driving shard `from` may
+  // Stage for it, and it must call FlushSends(from) before the epoch
+  // barrier. Staged messages reach the mailboxes in staging order, so the
+  // (sender, seq) drain order is exactly what per-message Send would have
+  // produced.
+  void Stage(uint32_t from, uint32_t to, uint32_t kind, uint64_t a = 0, uint64_t b = 0);
+
+  // Moves shard `from`'s staged messages into the mailbox grid, taking each
+  // (from, dest) pair lock once per run of messages instead of once per
+  // message. Sequence numbers are assigned here, in staging order.
+  void FlushSends(uint32_t from);
+
   // Drains every message addressed to `to`, invoking fn in (sender id,
   // seq) order. Called by the receiver at an epoch barrier; senders must
   // be parked at the barrier (the mutexes still make the handoff safe and
-  // TSan-visible).
+  // TSan-visible). The pair lock is held only to swap the mailbox out, not
+  // across fn.
   void Drain(uint32_t to, const std::function<void(const ShardMsg&)>& fn);
 
-  // Messages currently queued for `to` (diagnostics and tests).
+  // Messages currently queued for `to` (diagnostics and tests). Staged but
+  // unflushed messages are not counted.
   uint64_t PendingFor(uint32_t to) const;
 
  private:
   struct Pair {
     mutable std::mutex mu;
-    std::deque<ShardMsg> fifo;
+    std::vector<ShardMsg> fifo;
     uint64_t next_seq = 0;
+  };
+  struct StagedMsg {
+    uint32_t to;
+    uint32_t kind;
+    uint64_t a;
+    uint64_t b;
+  };
+  // One staging row per sender, owned by the worker thread driving that
+  // shard; no lock needed until FlushSends.
+  struct SenderRow {
+    std::vector<StagedMsg> staged;
   };
   Pair& pair(uint32_t from, uint32_t to) { return pairs_[from * num_shards_ + to]; }
   const Pair& pair(uint32_t from, uint32_t to) const {
@@ -85,6 +110,7 @@ class ShardRouter {
 
   uint32_t num_shards_;
   std::vector<Pair> pairs_;
+  std::vector<SenderRow> rows_;
 };
 
 // Reusable generation-counting barrier for the epoch lockstep. All
@@ -96,7 +122,14 @@ class ShardBarrier {
   explicit ShardBarrier(uint32_t parties) : parties_(parties) {}
 
   // Blocks until all `parties` threads have arrived at this generation.
-  void ArriveAndWait();
+  // The last thread to arrive runs `on_complete` (if given) while holding
+  // the barrier mutex, before any waiter is released: everything the
+  // callback reads happens-after every participant's pre-barrier writes,
+  // and everything it writes happens-before every participant's
+  // post-barrier reads. This is what lets a lockstep epoch run its drain +
+  // control update inside ONE barrier crossing instead of a drain phase
+  // sandwiched between two.
+  void ArriveAndWait(const std::function<void()>& on_complete = {});
 
  private:
   std::mutex mu_;

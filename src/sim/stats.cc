@@ -14,23 +14,6 @@ std::string CounterSet::ToString() const {
   return out.str();
 }
 
-namespace {
-int BucketFor(Cycles latency) {
-  if (latency == 0) {
-    return 0;
-  }
-  int b = 64 - std::countl_zero(static_cast<uint64_t>(latency));
-  return std::min(b, LatencyHistogram::kBuckets - 1);
-}
-}  // namespace
-
-void LatencyHistogram::Record(Cycles latency) {
-  buckets_[BucketFor(latency)]++;
-  count_++;
-  sum_ += latency;
-  max_ = std::max(max_, latency);
-}
-
 Cycles LatencyHistogram::Quantile(double q) const {
   if (count_ == 0) {
     return 0;

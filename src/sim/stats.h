@@ -11,9 +11,12 @@
 #ifndef SRC_SIM_STATS_H_
 #define SRC_SIM_STATS_H_
 
+#include <bit>
 #include <cstdint>
 #include <map>
 #include <string>
+#include <string_view>
+#include <unordered_map>
 #include <vector>
 
 #include "src/sim/clock.h"
@@ -21,29 +24,67 @@
 namespace nomad {
 
 // A named set of monotonically increasing counters keyed by string.
-// Lookup is by map; hot paths should cache a Counter reference.
+// Lookups are heterogeneous (std::less<> map): the registry names in
+// src/obs/event_registry.h are `const char[]` constants longer than the
+// small-string buffer, so a std::string-keyed interface would heap-allocate
+// a temporary on every Add — and migration-heavy runs Add counters hundreds
+// of thousands of times. The map only materializes a std::string once, when
+// a name is first seen. Hot paths should still cache a reference from At().
 class CounterSet {
  public:
   // Returns a stable reference to the named counter, creating it at zero.
-  uint64_t& At(const std::string& name) { return counters_[name]; }
+  // (std::map references stay valid across later inserts and erases.)
+  uint64_t& At(std::string_view name) { return Slot(name); }
 
   // Value of the counter, or 0 when it was never touched.
-  uint64_t Get(const std::string& name) const {
+  uint64_t Get(std::string_view name) const {
     auto it = counters_.find(name);
     return it == counters_.end() ? 0 : it->second;
   }
 
-  void Add(const std::string& name, uint64_t delta) { counters_[name] += delta; }
+  void Add(std::string_view name, uint64_t delta) { Slot(name) += delta; }
 
-  void Reset() { counters_.clear(); }
+  void Reset() {
+    index_.clear();
+    counters_.clear();
+  }
 
-  const std::map<std::string, uint64_t>& All() const { return counters_; }
+  const std::map<std::string, uint64_t, std::less<>>& All() const { return counters_; }
 
   // Renders "name=value" lines, sorted by name.
   std::string ToString() const;
 
  private:
-  std::map<std::string, uint64_t> counters_;
+  // Heterogeneous hash/eq so index_ lookups take a string_view directly.
+  struct SvHash {
+    using is_transparent = void;
+    size_t operator()(std::string_view s) const { return std::hash<std::string_view>{}(s); }
+  };
+  struct SvEq {
+    using is_transparent = void;
+    bool operator()(std::string_view a, std::string_view b) const { return a == b; }
+  };
+
+  uint64_t& Slot(std::string_view name) {
+    auto hit = index_.find(name);
+    if (hit != index_.end()) {
+      return *hit->second;
+    }
+    auto it = counters_.find(name);
+    if (it == counters_.end()) {
+      it = counters_.emplace(std::string(name), 0).first;
+    }
+    index_.emplace(it->first, &it->second);
+    return it->second;
+  }
+
+  // Source of truth, ordered so All()/ToString() render sorted bytes.
+  std::map<std::string, uint64_t, std::less<>> counters_;
+  // Hash index over the same slots: one hash + memcmp instead of a tree
+  // walk per Add. Keys view the map's stable node strings; values point at
+  // its stable mapped values, so the index survives unrelated inserts and
+  // is rebuilt implicitly (cleared) on Reset().
+  std::unordered_map<std::string_view, uint64_t*, SvHash, SvEq> index_;
 };
 
 // Log2-bucketed histogram of latencies in cycles. Records exact sums so the
@@ -52,7 +93,15 @@ class LatencyHistogram {
  public:
   static constexpr int kBuckets = 40;
 
-  void Record(Cycles latency);
+  // Inline: recorded once per simulated access (MemorySystem::AccessBatch).
+  void Record(Cycles latency) {
+    buckets_[BucketFor(latency)]++;
+    count_++;
+    sum_ += latency;
+    if (latency > max_) {
+      max_ = latency;
+    }
+  }
 
   uint64_t count() const { return count_; }
   double Mean() const {
@@ -70,6 +119,14 @@ class LatencyHistogram {
   void Merge(const LatencyHistogram& other);
 
  private:
+  static int BucketFor(Cycles latency) {
+    if (latency == 0) {
+      return 0;
+    }
+    const int b = 64 - std::countl_zero(static_cast<uint64_t>(latency));
+    return b < kBuckets - 1 ? b : kBuckets - 1;
+  }
+
   uint64_t buckets_[kBuckets] = {};
   uint64_t count_ = 0;
   uint64_t sum_ = 0;

@@ -47,18 +47,18 @@ Cycles HintFaultScanner::Step(Engine& engine) {
       while (bits != 0) {
         const Pfn pfn = word_base + static_cast<Pfn>(std::countr_zero(bits));
         bits &= bits - 1;
-        PageFrame& f = pool.frame(pfn);
-        if (!f.in_use || !f.mapped() || f.is_shadow) {
+        PageFrame f = pool.frame(pfn);
+        if (!f.in_use() || !f.mapped() || f.is_shadow()) {
           // Stable non-armable states: becoming armable again passes
           // through a NoteScanCandidate site (alloc / map install /
           // shadow detach), so the bit can be dropped.
           pool.ClearScanCandidate(pfn);
           continue;
         }
-        if (f.migrating || f.in_pcq || f.in_pending) {
+        if (f.migrating() || f.in_pcq() || f.in_pending()) {
           continue;  // transient: revisit next sweep, keep the bit
         }
-        Pte* pte = ms_->PteOf(*f.owner, f.vpn);
+        Pte* pte = ms_->PteOf(*f.owner(), f.vpn());
         if (pte == nullptr || !pte->present || pte->prot_none) {
           // Absent PTEs come back via map installs; armed pages come back
           // via ResolveHintFault / remap. Both re-set the bit.
@@ -74,11 +74,11 @@ Cycles HintFaultScanner::Step(Engine& engine) {
           // Arming downgrades permissions, so stale TLB entries must go.
           // Linux batches these flushes; we charge one shootdown per armed
           // batch.
-          spent += ms_->TlbShootdown(*f.owner, f.vpn);
+          spent += ms_->TlbShootdown(*f.owner(), f.vpn());
           any_shootdown = true;
         } else {
-          for (ActorId cpu : f.owner->cpus()) {
-            ms_->tlb(cpu).Invalidate(f.vpn);
+          for (ActorId cpu : f.owner()->cpus()) {
+            ms_->tlb(cpu).Invalidate(f.vpn());
           }
         }
       }

@@ -52,12 +52,17 @@ class WorkloadActor : public Actor {
   // number.
   virtual Cycles RunOp(uint64_t op_index) = 0;
 
-  // One user access charged against this actor, with measurement.
+  // One user access charged against this actor. Accesses are batched: the
+  // request is queued here and the whole step's queue executes through the
+  // non-virtual MemorySystem::AccessBatch fast path at the end of Step(),
+  // which records the same per-access latencies and window-bandwidth bytes
+  // as immediate execution did. Contract: RunOp implementations only SUM
+  // this return value — address generation must never depend on an access's
+  // outcome (that is what makes deferred execution byte-identical; see
+  // DESIGN.md "Data layout & batched execution").
   Cycles TouchLine(Vpn vpn, uint64_t offset, bool is_write) {
-    const Cycles c = ms_->Access(actor_id_, *as_, vpn, offset, is_write, base_.mlp);
-    bandwidth_.Record(ms_->Now(), kCacheLineSize);
-    latency_.Record(c);
-    return c;
+    pending_.push_back(MemorySystem::BatchAccess{vpn, offset, is_write});
+    return 0;
   }
 
   MemorySystem* ms_;
@@ -71,13 +76,32 @@ class WorkloadActor : public Actor {
   LatencyHistogram latency_;
   uint64_t ops_done_ = 0;
   Cycles finish_time_ = 0;
+  // Step-local access queue and latency scratch; members so capacity is
+  // reused across the run's millions of steps.
+  std::vector<MemorySystem::BatchAccess> pending_;
+  std::vector<Cycles> lat_;
 };
 
 inline Cycles WorkloadActor::Step(Engine& engine) {
   Cycles spent = 0;
+  // Phase 1: generate. RunOp draws addresses from op_index/rng/local state
+  // only; its TouchLine calls queue into pending_.
   for (unsigned i = 0; i < base_.batch && ops_done_ < base_.total_ops; i++) {
     spent += RunOp(ops_done_);
     ops_done_++;
+  }
+  // Phase 2: execute the queued accesses in submission order. Virtual time
+  // is constant within a step, so the coalesced bandwidth record lands in
+  // the same window as per-access records did.
+  if (!pending_.empty()) {
+    lat_.resize(pending_.size());
+    spent += ms_->AccessBatch(actor_id_, *as_, pending_.data(), pending_.size(), base_.mlp,
+                              lat_.data());
+    for (const Cycles c : lat_) {
+      latency_.Record(c);
+    }
+    bandwidth_.Record(ms_->Now(), pending_.size() * kCacheLineSize);
+    pending_.clear();
   }
   if (done()) {
     finish_time_ = engine.now() + spent;

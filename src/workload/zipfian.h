@@ -36,6 +36,8 @@ class ZipfianRanks {
   double zetan_;
   double alpha_;
   double eta_;
+  double second_rank_cut_;  // 1 + 0.5^theta, hoisted out of Draw (it is
+                            // loop-invariant; pow dominated the draw cost)
 };
 
 // Scrambled Zipfian over a page (or item) range: hotness ranks are
@@ -73,6 +75,7 @@ inline ZipfianRanks::ZipfianRanks(uint64_t n, double theta) : n_(n), theta_(thet
   alpha_ = 1.0 / (1.0 - theta_);
   const double zeta2 = 1.0 + 1.0 / std::pow(2.0, theta_);
   eta_ = (1.0 - std::pow(2.0 / static_cast<double>(n_), 1.0 - theta_)) / (1.0 - zeta2 / zetan_);
+  second_rank_cut_ = 1.0 + std::pow(0.5, theta_);
 }
 
 inline uint64_t ZipfianRanks::Draw(Rng& rng) const {
@@ -81,7 +84,7 @@ inline uint64_t ZipfianRanks::Draw(Rng& rng) const {
   if (uz < 1.0) {
     return 0;
   }
-  if (uz < 1.0 + std::pow(0.5, theta_)) {
+  if (uz < second_rank_cut_) {
     return 1;
   }
   const auto r = static_cast<uint64_t>(static_cast<double>(n_) *

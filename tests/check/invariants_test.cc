@@ -60,7 +60,7 @@ class InvariantsTest : public ::testing::Test {
   // Promotes vpn through a full TPM commit, creating a shadow.
   void Promote(Vpn vpn) {
     const Pfn pfn = ms_.MapNewPage(as_, vpn, Tier::kSlow, true);
-    ms_.pool().frame(pfn).referenced = true;
+    ms_.pool().frame(pfn).set_referenced(true);
     queues_.RequeuePending(pfn);
     engine_.Run(engine_.NextTimeOf(kpromote_.actor_id()));  // Begin
     engine_.Run(engine_.NextTimeOf(kpromote_.actor_id()));  // Commit
@@ -113,7 +113,7 @@ TEST_F(InvariantsTest, DetectsLruSizeCorruption) {
   ms_.MapNewPage(as_, 0, Tier::kFast);
   const Pfn pfn = ms_.PteOf(as_, 0)->pfn;
   // Clear the frame's list flag without unlinking it.
-  ms_.pool().frame(pfn).lru = LruList::kNone;
+  ms_.pool().frame(pfn).set_lru(LruList::kNone);
   const auto vs = checker_.Check();
   EXPECT_FALSE(vs.empty());
   EXPECT_TRUE(HasRule(vs, "lru.membership") || HasRule(vs, "lru.link"));
@@ -147,7 +147,7 @@ TEST_F(InvariantsTest, DetectsShadowIndexLeak) {
   Promote(0);
   const Pfn master = ms_.PteOf(as_, 0)->pfn;
   // Corrupt: clear the master's flag but leave the index entry.
-  ms_.pool().frame(master).shadowed = false;
+  ms_.pool().frame(master).set_shadowed(false);
   const auto vs = checker_.Check();
   EXPECT_TRUE(HasRule(vs, "shadow.index_count"));
 }
@@ -156,17 +156,17 @@ TEST_F(InvariantsTest, DetectsAccountingMismatch) {
   // Corrupt: mark a free frame in_use without taking it off the free list.
   // (Pick the highest slow pfn; nothing else touches it.)
   const Pfn last = ms_.pool().TotalFrames(Tier::kFast) + ms_.pool().TotalFrames(Tier::kSlow) - 1;
-  ms_.pool().frame(last).in_use = true;
+  ms_.pool().frame(last).set_in_use(true);
   const auto vs = checker_.Check();
   EXPECT_TRUE(HasRule(vs, "pool.accounting"));
 }
 
 TEST_F(InvariantsTest, InFlightTransactionIsTransientNotViolation) {
   const Pfn pfn = ms_.MapNewPage(as_, 0, Tier::kSlow, true);
-  ms_.pool().frame(pfn).referenced = true;
+  ms_.pool().frame(pfn).set_referenced(true);
   queues_.RequeuePending(pfn);
   engine_.Run(engine_.NextTimeOf(kpromote_.actor_id()));  // Begin only
-  ASSERT_TRUE(ms_.pool().frame(pfn).migrating);
+  ASSERT_TRUE(ms_.pool().frame(pfn).migrating());
   // Mid-transaction: the destination frame is in use but unmapped. That is
   // the one legal transient state.
   EXPECT_TRUE(checker_.Check().empty());

@@ -72,11 +72,11 @@ TEST_P(PolicySweep, RunsToCompletionWithInvariants) {
       continue;
     }
     mapped++;
-    const PageFrame& f = ms.pool().frame(pte->pfn);
-    EXPECT_TRUE(f.in_use);
-    EXPECT_EQ(f.owner, &sim.as());
-    EXPECT_EQ(f.vpn, v);
-    EXPECT_FALSE(f.is_shadow);
+    const PageFrame f = ms.pool().frame(pte->pfn);
+    EXPECT_TRUE(f.in_use());
+    EXPECT_EQ(f.owner(), &sim.as());
+    EXPECT_EQ(f.vpn(), v);
+    EXPECT_FALSE(f.is_shadow());
   }
   EXPECT_EQ(mapped, layout.rss_pages);
   // 4. Used = mapped + kernel + shadows (+ in-flight TPM copies).
@@ -142,18 +142,18 @@ TEST_F(NomadIntegration, ShadowConsistencyUnderThrashing) {
     if (pte == nullptr || !pte->present) {
       continue;
     }
-    const PageFrame& f = ms.pool().frame(pte->pfn);
-    if (!f.shadowed) {
+    const PageFrame f = ms.pool().frame(pte->pfn);
+    if (!f.shadowed()) {
       continue;
     }
     checked++;
     const Pfn shadow = nomad.shadows().ShadowOf(pte->pfn);
     ASSERT_NE(shadow, kInvalidPfn);
-    const PageFrame& s = ms.pool().frame(shadow);
-    EXPECT_TRUE(s.in_use);
-    EXPECT_TRUE(s.is_shadow);
-    EXPECT_EQ(s.tier, Tier::kSlow);
-    EXPECT_EQ(s.lru, LruList::kNone);  // shadows are off the LRU
+    const PageFrame s = ms.pool().frame(shadow);
+    EXPECT_TRUE(s.in_use());
+    EXPECT_TRUE(s.is_shadow());
+    EXPECT_EQ(s.tier(), Tier::kSlow);
+    EXPECT_EQ(s.lru(), LruList::kNone);  // shadows are off the LRU
     // A shadowed master must not be writable (writes must trap).
     EXPECT_FALSE(pte->writable);
   }

@@ -71,20 +71,20 @@ TEST(FramePoolTest, FreeMakesFrameReusable) {
 TEST(FramePoolTest, FreeBumpsGeneration) {
   FramePool pool(SmallPlatform());
   const Pfn pfn = pool.AllocOn(Tier::kFast);
-  const uint32_t gen = pool.frame(pfn).generation;
+  const uint32_t gen = pool.frame(pfn).generation();
   pool.Free(pfn);
-  EXPECT_EQ(pool.frame(pfn).generation, gen + 1);
+  EXPECT_EQ(pool.frame(pfn).generation(), gen + 1);
 }
 
 TEST(FramePoolTest, FreeResetsState) {
   FramePool pool(SmallPlatform());
   const Pfn pfn = pool.AllocOn(Tier::kFast);
-  pool.frame(pfn).referenced = true;
-  pool.frame(pfn).shadowed = true;
+  pool.frame(pfn).set_referenced(true);
+  pool.frame(pfn).set_shadowed(true);
   pool.Free(pfn);
-  EXPECT_FALSE(pool.frame(pfn).referenced);
-  EXPECT_FALSE(pool.frame(pfn).shadowed);
-  EXPECT_FALSE(pool.frame(pfn).in_use);
+  EXPECT_FALSE(pool.frame(pfn).referenced());
+  EXPECT_FALSE(pool.frame(pfn).shadowed());
+  EXPECT_FALSE(pool.frame(pfn).in_use());
 }
 
 TEST(FramePoolTest, WatermarkPredicates) {

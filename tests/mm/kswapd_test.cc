@@ -88,8 +88,8 @@ TEST_F(KswapdTest, ReclaimPageHookOverridesDemotion) {
   k.set_reclaim_page_fn([&](Pfn pfn) {
     hook_calls++;
     // Free outright instead of demoting (a policy could do remap tricks).
-    PageFrame& f = ms_.pool().frame(pfn);
-    ms_.UnmapAndFree(*f.owner, f.vpn);
+    PageFrame f = ms_.pool().frame(pfn);
+    ms_.UnmapAndFree(*f.owner(), f.vpn());
     MigrateResult r;
     r.success = true;
     r.cycles = 100;

@@ -32,16 +32,16 @@ class LruTest : public ::testing::Test {
 
 TEST_F(LruTest, NewPagesGoInactive) {
   const Pfn pfn = NewPage();
-  EXPECT_EQ(pool_.frame(pfn).lru, LruList::kInactive);
-  EXPECT_FALSE(pool_.frame(pfn).active);
+  EXPECT_EQ(pool_.frame(pfn).lru(), LruList::kInactive);
+  EXPECT_FALSE(pool_.frame(pfn).active());
   EXPECT_EQ(lru_.inactive_size(), 1u);
 }
 
 TEST_F(LruTest, FirstTouchSetsReferencedOnly) {
   const Pfn pfn = NewPage();
   lru_.MarkAccessed(pfn);
-  EXPECT_TRUE(pool_.frame(pfn).referenced);
-  EXPECT_EQ(pool_.frame(pfn).lru, LruList::kInactive);
+  EXPECT_TRUE(pool_.frame(pfn).referenced());
+  EXPECT_EQ(pool_.frame(pfn).lru(), LruList::kInactive);
 }
 
 TEST_F(LruTest, SecondTouchQueuesActivationInPagevec) {
@@ -49,8 +49,8 @@ TEST_F(LruTest, SecondTouchQueuesActivationInPagevec) {
   lru_.MarkAccessed(pfn);
   lru_.MarkAccessed(pfn);
   // Still inactive: the activation sits in the pagevec.
-  EXPECT_EQ(pool_.frame(pfn).lru, LruList::kInactive);
-  EXPECT_FALSE(pool_.frame(pfn).active);
+  EXPECT_EQ(pool_.frame(pfn).lru(), LruList::kInactive);
+  EXPECT_FALSE(pool_.frame(pfn).active());
   EXPECT_EQ(lru_.pagevec_fill(), 1u);
 }
 
@@ -59,9 +59,9 @@ TEST_F(LruTest, DrainActivates) {
   lru_.MarkAccessed(pfn);
   lru_.MarkAccessed(pfn);
   EXPECT_EQ(lru_.DrainPagevec(), 1u);
-  EXPECT_EQ(pool_.frame(pfn).lru, LruList::kActive);
-  EXPECT_TRUE(pool_.frame(pfn).active);
-  EXPECT_FALSE(pool_.frame(pfn).referenced);  // cleared on activation
+  EXPECT_EQ(pool_.frame(pfn).lru(), LruList::kActive);
+  EXPECT_TRUE(pool_.frame(pfn).active());
+  EXPECT_FALSE(pool_.frame(pfn).referenced());  // cleared on activation
 }
 
 TEST_F(LruTest, PagevecAutoDrainsAtFifteen) {
@@ -72,11 +72,11 @@ TEST_F(LruTest, PagevecAutoDrainsAtFifteen) {
   lru_.MarkAccessed(pfn);  // sets referenced
   for (size_t i = 0; i < kPagevecSize - 1; i++) {
     lru_.MarkAccessed(pfn);
-    EXPECT_FALSE(pool_.frame(pfn).active);
+    EXPECT_FALSE(pool_.frame(pfn).active());
     EXPECT_EQ(lru_.pagevec_fill(), i + 1);
   }
   lru_.MarkAccessed(pfn);  // 15th request: auto-drain
-  EXPECT_TRUE(pool_.frame(pfn).active);
+  EXPECT_TRUE(pool_.frame(pfn).active());
   EXPECT_EQ(lru_.pagevec_fill(), 0u);
 }
 
@@ -98,8 +98,8 @@ TEST_F(LruTest, ActiveTouchSetsReferenced) {
   lru_.MarkAccessed(pfn);
   lru_.DrainPagevec();
   lru_.MarkAccessed(pfn);
-  EXPECT_TRUE(pool_.frame(pfn).referenced);
-  EXPECT_EQ(pool_.frame(pfn).lru, LruList::kActive);
+  EXPECT_TRUE(pool_.frame(pfn).referenced());
+  EXPECT_EQ(pool_.frame(pfn).lru(), LruList::kActive);
 }
 
 TEST_F(LruTest, InactiveTailIsOldest) {
@@ -123,15 +123,15 @@ TEST_F(LruTest, DeactivateMovesActiveToInactive) {
   lru_.MarkAccessed(pfn);
   lru_.DrainPagevec();
   lru_.Deactivate(pfn);
-  EXPECT_EQ(pool_.frame(pfn).lru, LruList::kInactive);
-  EXPECT_FALSE(pool_.frame(pfn).active);
-  EXPECT_FALSE(pool_.frame(pfn).referenced);
+  EXPECT_EQ(pool_.frame(pfn).lru(), LruList::kInactive);
+  EXPECT_FALSE(pool_.frame(pfn).active());
+  EXPECT_FALSE(pool_.frame(pfn).referenced());
 }
 
 TEST_F(LruTest, ActivateNowBypassesPagevec) {
   const Pfn pfn = NewPage();
   lru_.ActivateNow(pfn);
-  EXPECT_EQ(pool_.frame(pfn).lru, LruList::kActive);
+  EXPECT_EQ(pool_.frame(pfn).lru(), LruList::kActive);
   EXPECT_EQ(lru_.pagevec_fill(), 0u);
 }
 
@@ -140,11 +140,11 @@ TEST_F(LruTest, RemoveIsolatesPage) {
   const Pfn b = NewPage();
   const Pfn c = NewPage();
   lru_.Remove(b);
-  EXPECT_EQ(pool_.frame(b).lru, LruList::kNone);
+  EXPECT_EQ(pool_.frame(b).lru(), LruList::kNone);
   EXPECT_EQ(lru_.inactive_size(), 2u);
   // List links survive around the removed node.
   EXPECT_EQ(lru_.InactiveTail(), a);
-  EXPECT_EQ(pool_.frame(a).lru_prev, c);
+  EXPECT_EQ(pool_.frame(a).lru_prev(), c);
 }
 
 TEST_F(LruTest, RemoveUnlistedIsNoop) {
@@ -165,7 +165,7 @@ TEST_F(LruTest, MarkAccessedOnIsolatedPageIsNoop) {
   const Pfn pfn = NewPage();
   lru_.Remove(pfn);
   lru_.MarkAccessed(pfn);
-  EXPECT_FALSE(pool_.frame(pfn).referenced);
+  EXPECT_FALSE(pool_.frame(pfn).referenced());
 }
 
 TEST_F(LruTest, InactiveIsLowHeuristic) {
@@ -193,7 +193,7 @@ TEST_F(LruTest, ManyPagesKeepListConsistent) {
   }
   EXPECT_EQ(lru_.inactive_size(), pages.size() - removed);
   size_t walked = 0;
-  for (Pfn p = lru_.InactiveTail(); p != kInvalidPfn; p = pool_.frame(p).lru_prev) {
+  for (Pfn p = lru_.InactiveTail(); p != kInvalidPfn; p = pool_.frame(p).lru_prev()) {
     walked++;
   }
   EXPECT_EQ(walked, pages.size() - removed);

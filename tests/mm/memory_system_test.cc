@@ -37,8 +37,8 @@ TEST_F(MemorySystemTest, MapNewPagePrefersFastTier) {
   EXPECT_TRUE(pte->present);
   EXPECT_TRUE(pte->writable);
   EXPECT_EQ(pte->pfn, pfn);
-  EXPECT_EQ(ms_.pool().frame(pfn).owner, &as_);
-  EXPECT_EQ(ms_.pool().frame(pfn).lru, LruList::kInactive);
+  EXPECT_EQ(ms_.pool().frame(pfn).owner(), &as_);
+  EXPECT_EQ(ms_.pool().frame(pfn).lru(), LruList::kInactive);
 }
 
 TEST_F(MemorySystemTest, MapNewPageSpillsWhenFastFull) {
@@ -238,7 +238,7 @@ TEST_F(MemorySystemTest, UnmapAndFreeReleasesFrame) {
   EXPECT_EQ(ms_.pool().FreeFrames(Tier::kFast), free_before + 1);
   EXPECT_FALSE(ms_.PteOf(as_, 0)->present);
   EXPECT_EQ(ms_.tlb(kCpu).Lookup(0), nullptr);
-  EXPECT_EQ(ms_.pool().frame(pfn).lru, LruList::kNone);
+  EXPECT_EQ(ms_.pool().frame(pfn).lru(), LruList::kNone);
 }
 
 TEST_F(MemorySystemTest, ReserveFastFramesShrinksFreePool) {

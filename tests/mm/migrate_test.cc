@@ -46,7 +46,7 @@ TEST_F(MigrateTest, OldFrameIsFreed) {
   const uint64_t slow_free = ms_.pool().FreeFrames(Tier::kSlow);
   MigratePageSync(ms_, as_, 0, Tier::kFast);
   EXPECT_EQ(ms_.pool().FreeFrames(Tier::kSlow), slow_free + 1);
-  EXPECT_FALSE(ms_.pool().frame(old_pfn).in_use);
+  EXPECT_FALSE(ms_.pool().frame(old_pfn).in_use());
 }
 
 TEST_F(MigrateTest, PreservesPermissionsAndDirty) {
@@ -63,8 +63,8 @@ TEST_F(MigrateTest, PreservesLruTemperature) {
   ms_.lru(Tier::kSlow).ActivateNow(pfn);
   MigratePageSync(ms_, as_, 0, Tier::kFast);
   const Pfn new_pfn = ms_.PteOf(as_, 0)->pfn;
-  EXPECT_TRUE(ms_.pool().frame(new_pfn).active);
-  EXPECT_EQ(ms_.pool().frame(new_pfn).lru, LruList::kActive);
+  EXPECT_TRUE(ms_.pool().frame(new_pfn).active());
+  EXPECT_EQ(ms_.pool().frame(new_pfn).lru(), LruList::kActive);
 }
 
 TEST_F(MigrateTest, ClearsProtNone) {
@@ -142,8 +142,8 @@ TEST_F(MigrateTest, NewFrameCarriesReverseMap) {
   ms_.MapNewPage(as_, 3, Tier::kSlow);
   MigratePageSync(ms_, as_, 3, Tier::kFast);
   const Pfn new_pfn = ms_.PteOf(as_, 3)->pfn;
-  EXPECT_EQ(ms_.pool().frame(new_pfn).owner, &as_);
-  EXPECT_EQ(ms_.pool().frame(new_pfn).vpn, 3u);
+  EXPECT_EQ(ms_.pool().frame(new_pfn).owner(), &as_);
+  EXPECT_EQ(ms_.pool().frame(new_pfn).vpn(), 3u);
 }
 
 }  // namespace

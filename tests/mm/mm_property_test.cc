@@ -33,12 +33,12 @@ void CheckInvariants(MemorySystem& ms, AddressSpace& as, uint64_t num_vpns) {
       continue;
     }
     mapped++;
-    const PageFrame& f = ms.pool().frame(pte->pfn);
-    ASSERT_TRUE(f.in_use) << "vpn " << v;
-    ASSERT_EQ(f.owner, &as) << "vpn " << v;
-    ASSERT_EQ(f.vpn, v) << "vpn " << v;
+    const PageFrame f = ms.pool().frame(pte->pfn);
+    ASSERT_TRUE(f.in_use()) << "vpn " << v;
+    ASSERT_EQ(f.owner(), &as) << "vpn " << v;
+    ASSERT_EQ(f.vpn(), v) << "vpn " << v;
     // PTE-tier agreement.
-    ASSERT_EQ(f.tier, ms.pool().TierOf(pte->pfn));
+    ASSERT_EQ(f.tier(), ms.pool().TierOf(pte->pfn));
   }
   // 2. Used frames = mapped frames (this fuzz never creates shadows or
   //    reservations).
@@ -53,9 +53,9 @@ void CheckInvariants(MemorySystem& ms, AddressSpace& as, uint64_t num_vpns) {
     uint64_t walked = 0;
     Pfn prev = kInvalidPfn;
     for (Pfn p = ms.lru(tier).InactiveTail(); p != kInvalidPfn;
-         p = ms.pool().frame(p).lru_prev) {
-      ASSERT_EQ(ms.pool().frame(p).lru, LruList::kInactive);
-      ASSERT_EQ(ms.pool().frame(p).lru_next, prev);
+         p = ms.pool().frame(p).lru_prev()) {
+      ASSERT_EQ(ms.pool().frame(p).lru(), LruList::kInactive);
+      ASSERT_EQ(ms.pool().frame(p).lru_next(), prev);
       prev = p;
       walked++;
       ASSERT_LE(walked, mapped) << "cycle in inactive list";

@@ -102,7 +102,7 @@ TEST_F(NomadPolicyTest, WriteToMasterTakesShadowFaultAndDiscardsShadow) {
   AddApp({0});
   engine_.Run(50000000);
   const Pfn master = ms_.PteOf(as_, 0)->pfn;
-  ASSERT_TRUE(ms_.pool().frame(master).shadowed);
+  ASSERT_TRUE(ms_.pool().frame(master).shadowed());
   ASSERT_FALSE(ms_.PteOf(as_, 0)->writable);
 
   // First write: shadow page fault restores write permission and frees the
@@ -112,7 +112,7 @@ TEST_F(NomadPolicyTest, WriteToMasterTakesShadowFaultAndDiscardsShadow) {
   EXPECT_TRUE(info.took_fault);
   EXPECT_TRUE(ms_.PteOf(as_, 0)->writable);
   EXPECT_FALSE(ms_.PteOf(as_, 0)->shadow_rw);
-  EXPECT_FALSE(ms_.pool().frame(master).shadowed);
+  EXPECT_FALSE(ms_.pool().frame(master).shadowed());
   EXPECT_EQ(policy_.shadows().count(), 0u);
   EXPECT_EQ(ms_.counters().Get("nomad.shadow_fault"), 1u);
 
@@ -160,8 +160,8 @@ TEST_F(NomadPolicyTest, CleanMasterDemotesByRemap) {
   EXPECT_EQ(pte->pfn, shadow);  // remapped onto the shadow copy
   EXPECT_TRUE(pte->writable);   // permission restored
   EXPECT_GE(ms_.counters().Get("nomad.demote_remap"), 1u);
-  EXPECT_FALSE(pool.frame(shadow).is_shadow);
-  EXPECT_EQ(pool.frame(shadow).owner, &as_);
+  EXPECT_FALSE(pool.frame(shadow).is_shadow());
+  EXPECT_EQ(pool.frame(shadow).owner(), &as_);
 }
 
 TEST_F(NomadPolicyTest, AllocFailureReclaimsShadows) {
@@ -194,7 +194,7 @@ TEST_F(NomadPolicyTest, WriteWorkloadAbortsSomeTransactions) {
 
 TEST_F(NomadPolicyTest, MultiMappedPagePromotesViaSyncFallbackWithoutShadow) {
   const Pfn pfn = ms_.MapNewPage(as_, 0, Tier::kSlow);
-  ms_.pool().frame(pfn).extra_mappers = 2;  // shared with other page tables
+  ms_.pool().frame(pfn).set_extra_mappers(2);  // shared with other page tables
   AddApp({0});
   engine_.Run(50000000);
   const Pte* pte = ms_.PteOf(as_, 0);
@@ -202,7 +202,7 @@ TEST_F(NomadPolicyTest, MultiMappedPagePromotesViaSyncFallbackWithoutShadow) {
   EXPECT_GE(ms_.counters().Get("nomad.sync_fallback"), 1u);
   EXPECT_EQ(policy_.tpm_stats().commits, 0u);  // TPM was deactivated
   // Exclusive migration: no shadow, page stays writable.
-  EXPECT_FALSE(ms_.pool().frame(pte->pfn).shadowed);
+  EXPECT_FALSE(ms_.pool().frame(pte->pfn).shadowed());
   EXPECT_TRUE(pte->writable);
   EXPECT_EQ(policy_.shadows().count(), 0u);
 }

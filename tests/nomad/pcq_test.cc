@@ -29,7 +29,7 @@ class PcqTest : public ::testing::Test {
   void Heat(Vpn vpn) {
     Pte* pte = ms_.PteOf(as_, vpn);
     pte->accessed = true;
-    ms_.pool().frame(pte->pfn).referenced = true;
+    ms_.pool().frame(pte->pfn).set_referenced(true);
   }
 
   Engine engine_;
@@ -41,7 +41,7 @@ class PcqTest : public ::testing::Test {
 TEST_F(PcqTest, EnqueueSetsFlag) {
   const Pfn pfn = SlowPage(0);
   queues_->EnqueueCandidate(pfn);
-  EXPECT_TRUE(ms_.pool().frame(pfn).in_pcq);
+  EXPECT_TRUE(ms_.pool().frame(pfn).in_pcq());
   EXPECT_EQ(queues_->pcq_size(), 1u);
 }
 
@@ -59,7 +59,7 @@ TEST_F(PcqTest, FirstScanPrimesAndClearsAbit) {
   auto [moved, cost] = queues_->ScanPcq(10);
   EXPECT_EQ(moved, 0u);
   EXPECT_GT(cost, 0u);
-  EXPECT_TRUE(ms_.pool().frame(pfn).pcq_primed);
+  EXPECT_TRUE(ms_.pool().frame(pfn).pcq_primed());
   EXPECT_FALSE(ms_.PteOf(as_, 0)->accessed);
   EXPECT_EQ(queues_->pcq_size(), 1u);  // rotated, still a candidate
 }
@@ -72,8 +72,8 @@ TEST_F(PcqTest, SecondTouchAfterPrimeMovesToPending) {
   ms_.PteOf(as_, 0)->accessed = true;   // the decisive second touch
   auto [moved, cost] = queues_->ScanPcq(10);
   EXPECT_EQ(moved, 1u);
-  EXPECT_TRUE(ms_.pool().frame(pfn).in_pending);
-  EXPECT_FALSE(ms_.pool().frame(pfn).in_pcq);
+  EXPECT_TRUE(ms_.pool().frame(pfn).in_pending());
+  EXPECT_FALSE(ms_.pool().frame(pfn).in_pcq());
   EXPECT_EQ(queues_->pending_size(), 1u);
 }
 
@@ -86,7 +86,7 @@ TEST_F(PcqTest, UntouchedCandidateKeepsCycling) {
     EXPECT_EQ(moved, 0u);
   }
   EXPECT_EQ(queues_->pcq_size(), 1u);
-  EXPECT_TRUE(ms_.pool().frame(pfn).in_pcq);
+  EXPECT_TRUE(ms_.pool().frame(pfn).in_pcq());
 }
 
 TEST_F(PcqTest, ScanDoesNotReexamineSameEntryInOneCall) {
@@ -95,7 +95,7 @@ TEST_F(PcqTest, ScanDoesNotReexamineSameEntryInOneCall) {
   queues_->EnqueueCandidate(pfn);
   // Even with a huge limit, the snapshot prevents prime+expire in one call.
   queues_->ScanPcq(1000);
-  EXPECT_TRUE(ms_.pool().frame(pfn).in_pcq);
+  EXPECT_TRUE(ms_.pool().frame(pfn).in_pcq());
 }
 
 TEST_F(PcqTest, ColdPageWithoutReferencedNeverPromotes) {
@@ -103,7 +103,7 @@ TEST_F(PcqTest, ColdPageWithoutReferencedNeverPromotes) {
   queues_->EnqueueCandidate(pfn);
   queues_->ScanPcq(10);
   ms_.PteOf(as_, 0)->accessed = true;  // touched, but never referenced
-  ms_.pool().frame(pfn).referenced = false;
+  ms_.pool().frame(pfn).set_referenced(false);
   queues_->ScanPcq(10);
   EXPECT_EQ(queues_->pending_size(), 0u);
 }
@@ -115,8 +115,8 @@ TEST_F(PcqTest, OverflowDropsOldest) {
     queues_->EnqueueCandidate(pages.back());
   }
   EXPECT_EQ(queues_->pcq_size(), 8u);
-  EXPECT_FALSE(ms_.pool().frame(pages[0]).in_pcq);  // oldest dropped
-  EXPECT_TRUE(ms_.pool().frame(pages[8]).in_pcq);
+  EXPECT_FALSE(ms_.pool().frame(pages[0]).in_pcq());  // oldest dropped
+  EXPECT_TRUE(ms_.pool().frame(pages[8]).in_pcq());
   EXPECT_EQ(ms_.counters().Get("nomad.pcq_overflow"), 1u);
 }
 
@@ -156,17 +156,17 @@ TEST_F(PcqTest, PopPendingSkipsStaleEntries) {
 TEST_F(PcqTest, RequeuePendingForRetry) {
   const Pfn pfn = SlowPage(0);
   queues_->RequeuePending(pfn);
-  EXPECT_TRUE(ms_.pool().frame(pfn).in_pending);
+  EXPECT_TRUE(ms_.pool().frame(pfn).in_pending());
   EXPECT_EQ(queues_->PopPending(), pfn);
 }
 
 TEST_F(PcqTest, EnqueueRejectedWhilePendingOrMigrating) {
   const Pfn pfn = SlowPage(0);
-  ms_.pool().frame(pfn).in_pending = true;
+  ms_.pool().frame(pfn).set_in_pending(true);
   queues_->EnqueueCandidate(pfn);
   EXPECT_EQ(queues_->pcq_size(), 0u);
-  ms_.pool().frame(pfn).in_pending = false;
-  ms_.pool().frame(pfn).migrating = true;
+  ms_.pool().frame(pfn).set_in_pending(false);
+  ms_.pool().frame(pfn).set_migrating(true);
   queues_->EnqueueCandidate(pfn);
   EXPECT_EQ(queues_->pcq_size(), 0u);
 }
@@ -174,7 +174,7 @@ TEST_F(PcqTest, EnqueueRejectedWhilePendingOrMigrating) {
 TEST_F(PcqTest, ScanClearsAbitThroughTlb) {
   const Pfn pfn = SlowPage(0);
   ms_.Access(0, as_, 0, 0, false);  // loads the TLB + sets A
-  ms_.pool().frame(pfn).referenced = true;
+  ms_.pool().frame(pfn).set_referenced(true);
   queues_->EnqueueCandidate(pfn);
   queues_->ScanPcq(10);
   // The cached translation must be gone so the next touch re-walks and
@@ -219,7 +219,7 @@ TEST_F(PcqTest, DeferPendingSurfacesAfterReadyTime) {
   engine_.AddActor(&ticker);
   const Pfn pfn = SlowPage(0);
   queues_->DeferPending(pfn, 5000);
-  EXPECT_TRUE(ms_.pool().frame(pfn).in_pending);
+  EXPECT_TRUE(ms_.pool().frame(pfn).in_pending());
   EXPECT_EQ(queues_->deferred_size(), 1u);
   EXPECT_EQ(queues_->NextDeferredReady(), 5000u);
   // Not due yet: PopPending returns nothing (engine time is 0).

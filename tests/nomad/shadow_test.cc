@@ -36,8 +36,8 @@ class ShadowTest : public ::testing::Test {
 
 TEST_F(ShadowTest, AddShadowSetsFlagsAndIndex) {
   const auto [master, shadow] = MakePair(0);
-  EXPECT_TRUE(ms_.pool().frame(master).shadowed);
-  EXPECT_TRUE(ms_.pool().frame(shadow).is_shadow);
+  EXPECT_TRUE(ms_.pool().frame(master).shadowed());
+  EXPECT_TRUE(ms_.pool().frame(shadow).is_shadow());
   EXPECT_EQ(shadows_.ShadowOf(master), shadow);
   EXPECT_EQ(shadows_.count(), 1u);
   EXPECT_EQ(shadows_.bytes(), kPageSize);
@@ -52,7 +52,7 @@ TEST_F(ShadowTest, DiscardFreesShadowFrame) {
   const uint64_t free_before = ms_.pool().FreeFrames(Tier::kSlow);
   EXPECT_TRUE(shadows_.DiscardShadow(master));
   EXPECT_EQ(ms_.pool().FreeFrames(Tier::kSlow), free_before + 1);
-  EXPECT_FALSE(ms_.pool().frame(master).shadowed);
+  EXPECT_FALSE(ms_.pool().frame(master).shadowed());
   EXPECT_EQ(shadows_.ShadowOf(master), kInvalidPfn);
   EXPECT_EQ(shadows_.count(), 0u);
 }
@@ -67,8 +67,8 @@ TEST_F(ShadowTest, DetachKeepsFrameAllocated) {
   const uint64_t free_before = ms_.pool().FreeFrames(Tier::kSlow);
   EXPECT_EQ(shadows_.DetachShadow(master), shadow);
   EXPECT_EQ(ms_.pool().FreeFrames(Tier::kSlow), free_before);  // not freed
-  EXPECT_FALSE(ms_.pool().frame(shadow).is_shadow);
-  EXPECT_FALSE(ms_.pool().frame(master).shadowed);
+  EXPECT_FALSE(ms_.pool().frame(shadow).is_shadow());
+  EXPECT_FALSE(ms_.pool().frame(master).shadowed());
 }
 
 TEST_F(ShadowTest, ReclaimFreesNewestFirst) {
@@ -79,9 +79,9 @@ TEST_F(ShadowTest, ReclaimFreesNewestFirst) {
   EXPECT_EQ(shadows_.ReclaimShadows(2, &cost), 2u);
   EXPECT_GT(cost, 0u);
   // Newest (m3, m2) reclaimed; oldest (m1) survives.
-  EXPECT_TRUE(ms_.pool().frame(m1).shadowed);
-  EXPECT_FALSE(ms_.pool().frame(m2).shadowed);
-  EXPECT_FALSE(ms_.pool().frame(m3).shadowed);
+  EXPECT_TRUE(ms_.pool().frame(m1).shadowed());
+  EXPECT_FALSE(ms_.pool().frame(m2).shadowed());
+  EXPECT_FALSE(ms_.pool().frame(m3).shadowed());
   (void)s1;
   (void)s2;
   (void)s3;
@@ -113,7 +113,7 @@ TEST_F(ShadowTest, ReclaimSkipsRecycledMasters) {
   EXPECT_EQ(again, m1);  // LIFO free list gives it right back
   Cycles cost = 0;
   EXPECT_EQ(shadows_.ReclaimShadows(10, &cost), 0u);
-  EXPECT_TRUE(ms_.pool().frame(again).in_use);
+  EXPECT_TRUE(ms_.pool().frame(again).in_use());
   (void)s1;
 }
 

@@ -32,7 +32,7 @@ class TpmTest : public ::testing::Test {
   // Maps a slow page and queues it for promotion directly.
   Pfn QueueSlowPage(Vpn vpn, bool writable = true) {
     const Pfn pfn = ms_.MapNewPage(as_, vpn, Tier::kSlow, writable);
-    ms_.pool().frame(pfn).referenced = true;
+    ms_.pool().frame(pfn).set_referenced(true);
     queues_.RequeuePending(pfn);
     return pfn;
   }
@@ -54,7 +54,7 @@ class TpmTest : public ::testing::Test {
 TEST_F(TpmTest, CommitPromotesAndCreatesShadow) {
   const Pfn old_pfn = QueueSlowPage(0);
   StepOnce();  // Begin: clear dirty, shootdown, copy
-  EXPECT_TRUE(ms_.pool().frame(old_pfn).migrating);
+  EXPECT_TRUE(ms_.pool().frame(old_pfn).migrating());
   StepOnce();  // Commit
   EXPECT_EQ(kpromote_.stats().commits, 1u);
   const Pte* pte = ms_.PteOf(as_, 0);
@@ -66,12 +66,12 @@ TEST_F(TpmTest, CommitPromotesAndCreatesShadow) {
   EXPECT_TRUE(pte->shadow_rw);
   EXPECT_FALSE(pte->dirty);
   // The old frame is the shadow.
-  EXPECT_TRUE(ms_.pool().frame(new_pfn).shadowed);
+  EXPECT_TRUE(ms_.pool().frame(new_pfn).shadowed());
   EXPECT_EQ(shadows_.ShadowOf(new_pfn), old_pfn);
-  EXPECT_TRUE(ms_.pool().frame(old_pfn).is_shadow);
-  EXPECT_EQ(ms_.pool().frame(old_pfn).lru, LruList::kNone);
+  EXPECT_TRUE(ms_.pool().frame(old_pfn).is_shadow());
+  EXPECT_EQ(ms_.pool().frame(old_pfn).lru(), LruList::kNone);
   // The master lands on the fast active list.
-  EXPECT_EQ(ms_.pool().frame(new_pfn).lru, LruList::kActive);
+  EXPECT_EQ(ms_.pool().frame(new_pfn).lru(), LruList::kActive);
 }
 
 TEST_F(TpmTest, ReadOnlyPagePromotesWithoutShadowRw) {
@@ -106,14 +106,14 @@ TEST_F(TpmTest, WriteDuringCopyAbortsTransaction) {
   const Pte* pte = ms_.PteOf(as_, 0);
   EXPECT_EQ(pte->pfn, old_pfn);
   EXPECT_TRUE(pte->writable);
-  EXPECT_FALSE(ms_.pool().frame(old_pfn).migrating);
+  EXPECT_FALSE(ms_.pool().frame(old_pfn).migrating());
   // No fast frame was leaked.
   EXPECT_EQ(ms_.pool().UsedFrames(Tier::kFast), 0u);
   // The page was parked for a backed-off retry, still flagged pending.
   EXPECT_EQ(kpromote_.stats().backoffs, 1u);
   EXPECT_EQ(queues_.deferred_size(), 1u);
-  EXPECT_TRUE(ms_.pool().frame(old_pfn).in_pending);
-  EXPECT_EQ(ms_.pool().frame(old_pfn).tpm_aborts, 1u);
+  EXPECT_TRUE(ms_.pool().frame(old_pfn).in_pending());
+  EXPECT_EQ(ms_.pool().frame(old_pfn).tpm_aborts(), 1u);
 }
 
 TEST_F(TpmTest, AbortedTransactionRetriesAndCommits) {
@@ -130,7 +130,7 @@ TEST_F(TpmTest, AbortedTransactionRetriesAndCommits) {
   EXPECT_EQ(kpromote_.stats().commits, 1u);
   EXPECT_EQ(ms_.pool().TierOf(ms_.PteOf(as_, 0)->pfn), Tier::kFast);
   // A successful commit clears the abort history.
-  EXPECT_EQ(ms_.pool().frame(ms_.PteOf(as_, 0)->pfn).tpm_aborts, 0u);
+  EXPECT_EQ(ms_.pool().frame(ms_.PteOf(as_, 0)->pfn).tpm_aborts(), 0u);
 }
 
 TEST_F(TpmTest, ReadDuringCopyDoesNotAbort) {
@@ -143,13 +143,13 @@ TEST_F(TpmTest, ReadDuringCopyDoesNotAbort) {
 
 TEST_F(TpmTest, MultiMappedPageFallsBackToSyncMigration) {
   const Pfn pfn = QueueSlowPage(0);
-  ms_.pool().frame(pfn).extra_mappers = 1;
+  ms_.pool().frame(pfn).set_extra_mappers(1);
   StepOnce();
   EXPECT_EQ(kpromote_.stats().sync_fallbacks, 1u);
   EXPECT_EQ(kpromote_.stats().commits, 0u);
   EXPECT_EQ(ms_.pool().TierOf(ms_.PteOf(as_, 0)->pfn), Tier::kFast);
   // Sync migration is exclusive: no shadow.
-  EXPECT_FALSE(ms_.pool().frame(ms_.PteOf(as_, 0)->pfn).shadowed);
+  EXPECT_FALSE(ms_.pool().frame(ms_.PteOf(as_, 0)->pfn).shadowed());
 }
 
 TEST_F(TpmTest, UnmappedPendingPageIsSkipped) {
@@ -188,14 +188,14 @@ TEST_F(TpmTest, DoubleAbortSameVpnBacksOffEachTime) {
   for (int round = 1; round <= 2; round++) {
     // Step until the next transaction begins on this page (the retry is
     // parked behind an exponential backoff).
-    for (int i = 0; i < 20 && !ms_.pool().frame(pfn).migrating; i++) {
+    for (int i = 0; i < 20 && !ms_.pool().frame(pfn).migrating(); i++) {
       StepOnce();
     }
-    ASSERT_TRUE(ms_.pool().frame(pfn).migrating) << "round " << round;
+    ASSERT_TRUE(ms_.pool().frame(pfn).migrating()) << "round " << round;
     ms_.Access(0, as_, 0, 0, true);  // store during the copy window
     StepOnce();                      // Commit -> abort
     EXPECT_EQ(kpromote_.stats().aborts, static_cast<uint64_t>(round));
-    EXPECT_EQ(ms_.pool().frame(pfn).tpm_aborts, round);
+    EXPECT_EQ(ms_.pool().frame(pfn).tpm_aborts(), round);
   }
   EXPECT_EQ(kpromote_.stats().backoffs, 2u);
   EXPECT_EQ(queues_.deferred_size(), 1u);
@@ -236,7 +236,7 @@ TEST_F(TpmTest, CommitThenShadowReclaimThenWriteIsSafe) {
   // fault restores writability without touching freed memory.
   ms_.Access(0, as_, 0, 0, true);
   EXPECT_TRUE(ms_.PteOf(as_, 0)->writable);
-  EXPECT_FALSE(ms_.pool().frame(ms_.PteOf(as_, 0)->pfn).shadowed);
+  EXPECT_FALSE(ms_.pool().frame(ms_.PteOf(as_, 0)->pfn).shadowed());
 }
 
 // Degradation-focused fixture: tiny backoff so retries come due quickly,
@@ -266,7 +266,7 @@ class TpmDegradeTest : public ::testing::Test {
 
   Pfn QueueSlowPage(Vpn vpn) {
     const Pfn pfn = ms_.MapNewPage(as_, vpn, Tier::kSlow, true);
-    ms_.pool().frame(pfn).referenced = true;
+    ms_.pool().frame(pfn).set_referenced(true);
     queues_.RequeuePending(pfn);
     return pfn;
   }
@@ -277,7 +277,7 @@ class TpmDegradeTest : public ::testing::Test {
   void ForceAborts(Pfn pfn, Vpn vpn, uint64_t n) {
     const uint64_t start = kpromote_.stats().aborts;
     for (int i = 0; i < 200 && kpromote_.stats().aborts < start + n; i++) {
-      if (ms_.pool().frame(pfn).migrating) {
+      if (ms_.pool().frame(pfn).migrating()) {
         ms_.Access(0, as_, vpn, 0, true);
       }
       StepOnce();
@@ -300,8 +300,8 @@ TEST_F(TpmDegradeTest, GivesUpAfterMaxConsecutiveAborts) {
   EXPECT_EQ(kpromote_.stats().backoffs, 1u);  // first abort backed off
   // Candidacy dropped entirely; abort history reset for a future
   // re-nomination.
-  EXPECT_FALSE(ms_.pool().frame(pfn).in_pending);
-  EXPECT_EQ(ms_.pool().frame(pfn).tpm_aborts, 0u);
+  EXPECT_FALSE(ms_.pool().frame(pfn).in_pending());
+  EXPECT_EQ(ms_.pool().frame(pfn).tpm_aborts(), 0u);
   EXPECT_EQ(queues_.deferred_size(), 0u);
   EXPECT_EQ(queues_.pending_size(), 0u);
   // The page itself is intact on the slow tier.
@@ -330,7 +330,7 @@ TEST_F(TpmDegradeTest, AbortStormDegradesToSyncMigrationAndRecovers) {
   EXPECT_GE(kpromote_.stats().degraded_migrations, 1u);
   const Pte* pte = ms_.PteOf(as_, 3);
   ASSERT_EQ(ms_.pool().TierOf(pte->pfn), Tier::kFast);
-  EXPECT_FALSE(ms_.pool().frame(pte->pfn).shadowed);
+  EXPECT_FALSE(ms_.pool().frame(pte->pfn).shadowed());
 
   // After sync_degrade_duration the actor re-enables TPM.
   for (int i = 0; i < 100 && kpromote_.degraded(); i++) {
@@ -344,7 +344,7 @@ TEST_F(TpmDegradeTest, AbortStormDegradesToSyncMigrationAndRecovers) {
     StepOnce();
   }
   EXPECT_GT(kpromote_.stats().commits, commits_before);
-  EXPECT_TRUE(ms_.pool().frame(ms_.PteOf(as_, 4)->pfn).shadowed);
+  EXPECT_TRUE(ms_.pool().frame(ms_.PteOf(as_, 4)->pfn).shadowed());
 }
 
 class TpmNoMemTest : public TpmTest {

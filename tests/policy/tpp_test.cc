@@ -82,7 +82,7 @@ TEST_F(TppTest, PromotionIsExclusiveNoShadow) {
   }
   const Pfn pfn = ms_.PteOf(as_, 0)->pfn;
   ASSERT_EQ(ms_.pool().TierOf(pfn), Tier::kFast);
-  EXPECT_FALSE(ms_.pool().frame(pfn).shadowed);
+  EXPECT_FALSE(ms_.pool().frame(pfn).shadowed());
   EXPECT_TRUE(ms_.PteOf(as_, 0)->writable);  // no write-protection games
   // Old slow frame was freed (exclusive tiering).
   EXPECT_EQ(ms_.pool().UsedFrames(Tier::kSlow), 0u);

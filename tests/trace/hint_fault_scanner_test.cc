@@ -57,9 +57,9 @@ TEST_F(ScannerTest, SkipsQueuedAndMigratingPages) {
   const Pfn a = ms_.MapNewPage(as_, 0, Tier::kSlow);
   const Pfn b = ms_.MapNewPage(as_, 1, Tier::kSlow);
   const Pfn c = ms_.MapNewPage(as_, 2, Tier::kSlow);
-  ms_.pool().frame(a).in_pcq = true;
-  ms_.pool().frame(b).in_pending = true;
-  ms_.pool().frame(c).migrating = true;
+  ms_.pool().frame(a).set_in_pcq(true);
+  ms_.pool().frame(b).set_in_pending(true);
+  ms_.pool().frame(c).set_migrating(true);
   HintFaultScanner scanner(&ms_, FastConfig());
   engine_.AddActor(&scanner);
   engine_.Run(100);
@@ -70,7 +70,7 @@ TEST_F(ScannerTest, SkipsQueuedAndMigratingPages) {
 
 TEST_F(ScannerTest, SkipsShadowFrames) {
   const Pfn a = ms_.MapNewPage(as_, 0, Tier::kSlow);
-  ms_.pool().frame(a).is_shadow = true;
+  ms_.pool().frame(a).set_is_shadow(true);
   HintFaultScanner scanner(&ms_, FastConfig());
   engine_.AddActor(&scanner);
   engine_.Run(100);

@@ -125,7 +125,7 @@ class CorruptorActor : public Actor {
     for (Vpn v = 0; v < kAsPages; v++) {
       const Pte* pte = ms_->PteOf(*as_, v);
       if (pte != nullptr && pte->present &&
-          !ms_->pool().frame(pte->pfn).migrating) {
+          !ms_->pool().frame(pte->pfn).migrating()) {
         ms_->lru(ms_->pool().TierOf(pte->pfn)).Remove(pte->pfn);
         ms_->pool().Free(pte->pfn);
         fired_ = true;

@@ -30,6 +30,13 @@ Enforced rules (see DESIGN.md "Verification tooling" for the rationale):
                           confined to the sharded runtime (src/sim/shard.*,
                           src/harness/sharded_sim.*); everything else would
                           bypass the deterministic drain order.
+  NL009 frame-flags       frame metadata is a packed flags word (struct-of-
+                          arrays FrameTable, src/mm/page.h); outside src/mm
+                          it may only be touched through the PageFrame
+                          accessors. Raw frame_flags:: bit constants and
+                          writes to a flags_ word are mm-internal: a raw
+                          bitmask write would silently clobber neighboring
+                          bit fields (LRU list id, TPM abort count).
 
 Engines. The default engine is a pure-Python lexer (comments and string
 literals stripped, then per-line pattern rules): zero dependencies, runs
@@ -353,6 +360,34 @@ def rule_nl008(f):
                 "only the sharded runtime may write another shard's state")
 
 
+# The packed frame-flags word is mm-internal. frame_flags:: constants name
+# raw bit positions, and `flags_[pfn] |= ...` style writes bypass the
+# PageFrame accessors that keep the multi-bit fields (LRU id, TPM abort
+# count) consistent. Reads outside src/mm go through the accessors too, so
+# any mention of the raw machinery is a finding.
+FRAME_FLAGS_RE = re.compile(r"\bframe_flags\s*::")
+FRAME_WORD_MUT_RE = re.compile(r"\bflags_\s*\[[^\]]*\]\s*(?:\|=|&=|\^=|=(?!=))")
+
+
+def rule_nl009(f):
+    if in_dirs(f.rel, ("src/mm/",)):
+        return
+    if not in_dirs(f.rel, ("src/", "tools/", "bench/")):
+        return
+    for i, line in enumerate(f.lines, 1):
+        if FRAME_FLAGS_RE.search(line):
+            yield Finding(
+                f.rel, i, "NL009",
+                "raw frame_flags:: bit constant outside src/mm; use the "
+                "PageFrame accessors (src/mm/page.h)")
+        elif FRAME_WORD_MUT_RE.search(line):
+            yield Finding(
+                f.rel, i, "NL009",
+                "raw write to a packed frame-flags word outside src/mm; a "
+                "bitmask write can clobber neighboring bit fields - use the "
+                "PageFrame accessors (src/mm/page.h)")
+
+
 TOKEN_RULES = [
     ("NL001", "PTE bit mutation outside the mechanism layers", rule_nl001),
     ("NL002", "bare assert() instead of NOMAD_CHECK", rule_nl002),
@@ -362,6 +397,7 @@ TOKEN_RULES = [
     ("NL006", "include guard must spell the file path", rule_nl006),
     ("NL007", "<iostream>/<fstream> outside declared I/O endpoints", rule_nl007),
     ("NL008", "shard-owned state mutated outside the shard-message APIs", rule_nl008),
+    ("NL009", "frame flags touched outside the PageFrame accessors", rule_nl009),
 ]
 
 
@@ -534,6 +570,18 @@ SELFTEST_CASES = [
      False),
     ("NL008", "bench/ok_highlevel.cc",
      "void f() { ShardedRunConfig cfg; RunShardedMicro(cfg); }", False),
+    ("NL009", "src/policy/bad_flags.cc",
+     "uint32_t m() { return frame_flags::kActive | frame_flags::kReferenced; }", True),
+    ("NL009", "src/nomad/bad_word.cc",
+     "void f(FrameTable& t, Pfn p) { t.flags_[p] |= 4u; }", True),
+    ("NL009", "src/policy/bad_word2.cc",
+     "void f(std::vector<uint32_t>& flags_, Pfn p) { flags_[p] = 0; }", True),
+    ("NL009", "src/mm/ok_flags.cc",
+     "void f(FrameTable& t, Pfn p) { t.flags_[p] |= frame_flags::kActive; }", False),
+    ("NL009", "src/policy/ok_accessor.cc",
+     "void f(PageFrame f) { f.set_active(true); bool a = f.active(); (void)a; }", False),
+    ("NL009", "src/check/ok_read.cc",
+     "uint32_t f(const FrameTable& t) { return t.flags_data()[0]; }", False),
 ]
 
 
