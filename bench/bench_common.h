@@ -94,6 +94,12 @@ struct MicroRunResult {
   uint64_t tpm_aborts = 0;
   uint64_t fast_used = 0;
   uint64_t slow_used = 0;
+  // Queue pressure (NOMAD runs; 0 otherwise). The chaos soak byte-compares
+  // these across thread counts as part of the recovery record.
+  uint64_t pcq_hwm = 0;
+  uint64_t pending_hwm = 0;
+  uint64_t pcq_overflows = 0;
+  std::string injector;  // FaultInjector::Describe() when one is installed
 };
 
 // Runs the micro-benchmark and gathers phase reports + counters. When a

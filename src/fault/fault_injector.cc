@@ -16,6 +16,12 @@ const char* FaultKindName(FaultKind k) {
       return "pcq_overflow";
     case FaultKind::kTlbDelay:
       return "tlb_delay";
+    case FaultKind::kShardDelay:
+      return "shard_delay";
+    case FaultKind::kShardStall:
+      return "shard_stall";
+    case FaultKind::kAllocFailWave:
+      return "alloc_fail_wave";
     case FaultKind::kNumKinds:
       break;
   }

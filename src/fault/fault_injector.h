@@ -39,9 +39,15 @@ inline constexpr bool kFaultInjectionEnabled = NOMAD_FAULTS != 0;
 enum class FaultKind : uint8_t {
   kAllocFail = 0,   // fast-tier frame allocation transiently fails
   kDirtyWrite,      // a store lands mid-copy: forces the TPM abort path
-  kLatencySpike,    // device contention: a page copy takes extra cycles
+  kLatencySpike,    // device contention: a copy or demand access slows down
   kPcqOverflow,     // queue pressure: PCQ behaves as if at capacity
   kTlbDelay,        // a shootdown ack straggles: extra initiator-side wait
+  // Shard-aware kinds, consulted once per (shard, epoch) by the lockstep
+  // harness from the shard's own injector, so decisions stay independent
+  // of the worker-thread count.
+  kShardDelay,      // cross-shard message delivery slips one epoch
+  kShardStall,      // the shard stalls at the barrier: no virtual progress
+  kAllocFailWave,   // arms a burst window of kAllocFail on this shard
   kNumKinds,
 };
 

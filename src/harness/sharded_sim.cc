@@ -6,6 +6,7 @@
 
 #include "src/check/check.h"
 #include "src/check/invariants.h"
+#include "src/obs/event_registry.h"
 
 namespace nomad {
 
@@ -36,6 +37,7 @@ struct Control {
   uint64_t messages = 0;
   uint32_t done_shards = 0;
   uint64_t epochs = 0;
+  uint64_t watchdog_stalls = 0;
   bool stop = false;
 };
 
@@ -51,13 +53,21 @@ struct Control {
 // snapshots live there).
 Control RunLockstep(std::vector<Sim*>& sims, uint32_t exec_threads, Cycles epoch_cycles,
                     uint64_t max_epochs, ShardRouter& router,
-                    const std::function<void(uint32_t, uint64_t)>& on_epoch) {
+                    const std::function<void(uint32_t, uint64_t)>& on_epoch,
+                    uint64_t watchdog_stall_epochs = 0) {
   const uint32_t S = static_cast<uint32_t>(sims.size());
   const uint32_t T = std::max<uint32_t>(1, std::min<uint32_t>(exec_threads, S));
   ShardBarrier barrier(T);
   Control ctrl;
   std::vector<uint64_t> last_reported(S, 0);
   std::vector<char> done(S, 0);
+  // Watchdog state. last_progress / stalled are written only inside the
+  // barrier callback; stall_pending[s] is written there and cleared by the
+  // worker that owns shard s after the barrier releases — the barrier
+  // mutex provides both happens-before edges.
+  std::vector<uint64_t> last_progress(S, 0);
+  std::vector<char> stalled(S, 0);
+  std::vector<uint64_t> stall_pending(S, 0);
 
   auto worker = [&](uint32_t t) {
     for (uint64_t epoch = 0;; epoch++) {
@@ -67,6 +77,47 @@ Control RunLockstep(std::vector<Sim*>& sims, uint32_t exec_threads, Cycles epoch
           continue;
         }
         Sim& sim = *sims[s];
+        // Surface last epoch's watchdog verdict from the owning shard so
+        // the trace record carries the shard's own virtual clock and the
+        // counter lands in the shard's own CounterSet (deterministic for
+        // any T: the verdict was computed from drained messages only).
+        if (stall_pending[s] != 0) {
+          sim.ms().Trace(TraceEvent::kWatchdogStall, epoch, stall_pending[s]);
+          sim.ms().counters().Add(cnt::kWatchdogStall, 1);
+          stall_pending[s] = 0;
+        }
+        // Shard-aware chaos, one consult per (shard, epoch) from the
+        // shard's OWN injector: the decision stream depends only on the
+        // shard's seed and epoch count, never on thread assignment.
+        bool stall = false;
+        bool delay_sends = false;
+        if constexpr (kFaultInjectionEnabled) {
+          if (FaultInjector* fi = sim.ms().faults(); fi != nullptr) {
+            if (fi->ShouldInject(FaultKind::kShardStall)) {
+              stall = true;
+              sim.ms().counters().Add(cnt::kFaultInjShardStall, 1);
+            }
+            if (fi->ShouldInject(FaultKind::kShardDelay)) {
+              delay_sends = true;
+              sim.ms().counters().Add(cnt::kFaultInjShardDelay, 1);
+            }
+            if (fi->ShouldInject(FaultKind::kAllocFailWave)) {
+              // Arm a burst window of allocation failures starting at the
+              // shard's NEXT alloc opportunity: a whole wave of fast-tier
+              // pressure, as opposed to kAllocFail's isolated misses.
+              FaultSchedule wave = fi->schedule(FaultKind::kAllocFail);
+              wave.trigger_start = fi->opportunities(FaultKind::kAllocFail);
+              wave.trigger_count = 64;
+              fi->set_schedule(FaultKind::kAllocFail, wave);
+              sim.ms().counters().Add(cnt::kFaultInjAllocFailWave, 1);
+            }
+          }
+        }
+        if (stall) {
+          // The shard parks at the barrier without advancing virtual time
+          // this epoch — the livelock shape the watchdog exists to flag.
+          continue;
+        }
         sim.engine().Run(epoch_end);
         if (on_epoch) {
           on_epoch(s, epoch);
@@ -76,11 +127,20 @@ Control RunLockstep(std::vector<Sim*>& sims, uint32_t exec_threads, Cycles epoch
           router.Stage(s, 0, kShardMsgProgress, ops - last_reported[s], epoch_end);
           last_reported[s] = ops;
         }
+        bool finished = false;
         if (WorkloadsDone(sim)) {
           done[s] = 1;
+          finished = true;
           router.Stage(s, 0, kShardMsgDone, ops, sim.engine().now());
         }
-        router.FlushSends(s);
+        // kShardDelay: staged messages sit in the sender row one extra
+        // epoch (staging rows are persistent, so they flush — in staging
+        // order, keeping (sender, seq) intact — on the next pass). A shard
+        // finishing this epoch is skipped forever after, so its sends must
+        // flush now regardless or they would never be delivered.
+        if (!delay_sends || finished) {
+          router.FlushSends(s);
+        }
       }
       barrier.ArriveAndWait([&] {
         // Runs exactly once per epoch, by the last arriver, under the
@@ -92,11 +152,29 @@ Control RunLockstep(std::vector<Sim*>& sims, uint32_t exec_threads, Cycles epoch
           ctrl.messages++;
           if (m.kind == kShardMsgProgress) {
             ctrl.total_ops += m.a;
+            last_progress[m.from] = epoch + 1;
+            stalled[m.from] = 0;
           } else if (m.kind == kShardMsgDone) {
             ctrl.done_shards++;
+            last_progress[m.from] = epoch + 1;
+            stalled[m.from] = 0;
           }
         });
         ctrl.epochs = epoch + 1;
+        if (watchdog_stall_epochs > 0) {
+          // Livelock detection on the drained stream only: a live shard
+          // whose last progress report is too old is stalled. Edge-
+          // triggered — one verdict per stall episode, re-armed by the
+          // next progress message.
+          for (uint32_t s = 0; s < S; s++) {
+            const uint64_t quiet = epoch + 1 - last_progress[s];
+            if (!done[s] && !stalled[s] && quiet >= watchdog_stall_epochs) {
+              stalled[s] = 1;
+              stall_pending[s] = quiet;
+              ctrl.watchdog_stalls++;
+            }
+          }
+        }
         NOMAD_CHECK(epoch < max_epochs, "sharded run exceeded max_epochs=", max_epochs,
                     " done_shards=", ctrl.done_shards, " of ", S);
         ctrl.stop = ctrl.done_shards == S;
@@ -164,6 +242,9 @@ ShardedRunResult RunShardedMicro(const ShardedRunConfig& cfg, MetricsCollector* 
     const PlatformSpec platform =
         MakePlatform(sh.cfg.platform, scale, sh.cfg.fast_gb, sh.cfg.slow_gb);
     sh.sim = std::make_unique<Sim>(platform, sh.cfg.policy, scale.Pages(sh.cfg.rss_gb) + 16);
+    if (cfg.fault_factory) {
+      sh.sim->ms().set_fault_injector(cfg.fault_factory(s));
+    }
 
     MicroLayout layout;
     layout.rss_pages = scale.Pages(sh.cfg.rss_gb);
@@ -200,13 +281,15 @@ ShardedRunResult RunShardedMicro(const ShardedRunConfig& cfg, MetricsCollector* 
           sh.first_half = sh.sim->ms().counters();
           sh.half_snapped = true;
         }
-      });
+      },
+      cfg.watchdog_stall_epochs);
 
   // --- merge, strictly in shard-id order ---
   ShardedRunResult result;
   result.total_ops = ctrl.total_ops;
   result.messages = ctrl.messages;
   result.epochs = ctrl.epochs;
+  result.watchdog_stalls = ctrl.watchdog_stalls;
   for (uint32_t s = 0; s < S; s++) {
     MicroShardState& sh = shards[s];
     MicroRunResult r;
@@ -219,9 +302,16 @@ ShardedRunResult RunShardedMicro(const ShardedRunConfig& cfg, MetricsCollector* 
       r.shadow_pages = nomad->shadows().count();
       r.tpm_commits = nomad->tpm_stats().commits;
       r.tpm_aborts = nomad->tpm_stats().aborts;
+      r.pcq_hwm = nomad->queues().pcq_hwm();
+      r.pending_hwm = nomad->queues().pending_hwm();
+      r.pcq_overflows = nomad->queues().overflow_count();
     }
     result.max_virtual_time = std::max(result.max_virtual_time, sh.sim->engine().now());
     result.aggregate_gbps += r.report.overall_gbps;
+    if (const FaultInjector* fi = sh.sim->ms().faults()) {
+      r.injector = fi->Describe();
+      result.faults_injected += fi->total_injected();
+    }
     if (cfg.audit) {
       // Quiescence audit: with every worker joined and the shard's engine
       // drained, each shard must independently satisfy the full invariant

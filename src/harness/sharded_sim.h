@@ -12,11 +12,13 @@
 #ifndef SRC_HARNESS_SHARDED_SIM_H_
 #define SRC_HARNESS_SHARDED_SIM_H_
 
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
 
 #include "bench/bench_common.h"
+#include "src/fault/fault_injector.h"
 #include "src/harness/experiment.h"
 #include "src/sim/shard.h"
 
@@ -29,6 +31,20 @@ struct ShardedRunConfig {
   Cycles epoch_cycles = 500000;   // virtual-time barrier interval
   uint64_t max_epochs = 1 << 22;  // safety net against stalled shards
   bool audit = false;  // run InvariantChecker on every quiesced shard
+  // Chaos seam: when set, every shard gets its own FaultInjector (built
+  // from the shard id, so schedules can differ per shard) installed into
+  // its MemorySystem before the run. The lockstep loop additionally
+  // consults the shard-aware kinds (kShardStall, kShardDelay,
+  // kAllocFailWave) once per (shard, epoch) from the shard's OWN injector,
+  // which keeps every fault decision a pure function of (shard seed,
+  // epoch) — independent of exec_threads.
+  std::function<std::unique_ptr<FaultInjector>(uint32_t shard)> fault_factory;
+  // Deterministic livelock watchdog: a live shard that reports no progress
+  // for this many consecutive epochs is declared stalled — the detection
+  // runs in the barrier's drain callback on the drained message stream
+  // only, and the verdict is surfaced by the owning shard as a
+  // kWatchdogStall trace event plus the watchdog.stall counter. 0 = off.
+  uint64_t watchdog_stall_epochs = 0;
 };
 
 struct ShardedRunResult {
@@ -39,6 +55,8 @@ struct ShardedRunResult {
   Cycles max_virtual_time = 0; // slowest shard's final clock
   double aggregate_gbps = 0;   // sum of per-shard overall bandwidth
   uint64_t invariant_violations = 0;  // only populated when cfg.audit
+  uint64_t faults_injected = 0;   // sum over shard injectors (0 if none)
+  uint64_t watchdog_stalls = 0;   // stall transitions the watchdog flagged
 };
 
 // Runs cfg.base partitioned across cfg.shards shards on cfg.exec_threads

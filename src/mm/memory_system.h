@@ -261,6 +261,25 @@ class MemorySystem {
     return uint64_t{1} << ((vpn * uint64_t{0x9e3779b97f4a7c15}) >> 58);
   }
 
+  // Device-contention fault opportunity, consulted once per LLC-miss
+  // device access. This is THE per-access fault decision point, and it is
+  // deliberately a single shared helper: the scalar path (AccessResolved)
+  // and the batched fast path (AccessBatch) must consult the injector at
+  // exactly the same opportunities, in the same order, or a K=1 and a K=8
+  // execution of the same access stream would draw different fault
+  // schedules (tests/mm/batch_fault_test.cc proves they do not). Compiles
+  // to nothing with -DNOMAD_ENABLE_FAULTS=OFF and costs one predictable
+  // null check when no injector is installed.
+  Cycles AccessFaultLatency() {
+    if constexpr (kFaultInjectionEnabled) {
+      if (faults_ != nullptr && faults_->ShouldInject(FaultKind::kLatencySpike)) {
+        counters_.Add(cnt::kFaultInjLatencySpike, 1);
+        return faults_->LatencyFor(FaultKind::kLatencySpike);
+      }
+    }
+    return 0;
+  }
+
   // Counter slots charged on the access fast path, resolved on first use
   // instead of per-event string lookups (CounterSet references are stable
   // and this set is never Reset()). Lazy on purpose: creating them eagerly
@@ -399,6 +418,9 @@ inline Cycles MemorySystem::AccessResolved(ActorId cpu, AddressSpace& as, Tlb& t
     if (c < 1) {
       c = 1;
     }
+    // Demand-traffic contention spike (same decision point as the batched
+    // fast path — see AccessFaultLatency).
+    c += AccessFaultLatency();
     total += c;
   }
   user_bytes_ += kCacheLineSize;
@@ -480,6 +502,10 @@ inline Cycles MemorySystem::AccessBatch(ActorId cpu, AddressSpace& as, const Bat
         if (c < 1) {
           c = 1;
         }
+        // Same fault decision point as the scalar path: without this, a
+        // batched run would skip the injector exactly on its fast-path
+        // accesses and the fault schedule would depend on K.
+        c += AccessFaultLatency();
       }
       user_bytes_ += kCacheLineSize;
     } else {

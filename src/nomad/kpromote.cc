@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "src/mm/migrate.h"
+#include "src/nomad/admission.h"
 #include "src/obs/event_registry.h"
 
 namespace nomad {
@@ -189,16 +190,40 @@ Cycles KpromoteActor::BeginNext(Engine& engine) {
     return spent + costs.lru_op;
   }
 
+  // Migration control plane: ask for an admission verdict before any
+  // bandwidth is committed to this page. Deferred pages park in the PCQ's
+  // deferred queue (bounded backpressure); rejected pages lose their
+  // candidacy; storm-downgraded pages fall through to the sync path below.
+  bool admission_downgrade = false;
+  if (admission_ != nullptr) {
+    Cycles retry_at = 0;
+    const uint64_t backlog = queues_->pending_size() + queues_->deferred_size();
+    switch (admission_->AdmitPromotion(pfn, vpn, backlog, &retry_at)) {
+      case AdmissionVerdict::kReject:
+        f.set_in_pending(false);
+        return spent + costs.lru_op;
+      case AdmissionVerdict::kDefer:
+        queues_->DeferPending(pfn, retry_at, queues_->popped_hot_since());
+        return spent + costs.lru_op;
+      case AdmissionVerdict::kDowngradeSync:
+        admission_downgrade = true;
+        break;
+      case AdmissionVerdict::kAccept:
+        break;
+    }
+  }
+
   // Multi-mapped pages would need simultaneous shootdowns per mapping;
   // NOMAD deactivates TPM for them and uses the default synchronous path
-  // (sec. 3.3). The ablation switch forces this path for every page, and
-  // an abort storm forces it temporarily (graceful degradation: the sync
-  // path unmaps before copying, so concurrent stores cannot abort it).
+  // (sec. 3.3). The ablation switch forces this path for every page, an
+  // abort storm forces it temporarily, and the admission controller forces
+  // it per page (graceful degradation: the sync path unmaps before copying,
+  // so concurrent stores cannot abort it).
   const bool storm_degraded = degraded_until_ != 0;
-  if (f.multi_mapped() || !config_.transactional || storm_degraded) {
+  if (f.multi_mapped() || !config_.transactional || storm_degraded || admission_downgrade) {
     f.set_in_pending(false);
     MigrateResult r = MigratePageWithRetry(*ms_, as, vpn, Tier::kFast);
-    if (storm_degraded && !f.multi_mapped()) {
+    if ((storm_degraded || admission_downgrade) && !f.multi_mapped()) {
       stats_.degraded_migrations++;
       ms_->counters().Add(cnt::kNomadDegradedSyncMigration, 1);
     } else {

@@ -33,6 +33,8 @@
 
 namespace nomad {
 
+class AdmissionController;
+
 class KpromoteActor : public Actor {
  public:
   struct Config {
@@ -80,6 +82,9 @@ class KpromoteActor : public Actor {
   // Optional promotion gate (thrash governor): when it returns false, no
   // new transactions start; an in-flight one still commits or aborts.
   void set_enabled_fn(std::function<bool()> fn) { enabled_ = std::move(fn); }
+  // Optional migration control plane: every popped pending page asks for an
+  // admission verdict before any bandwidth is committed (not owned).
+  void set_admission(AdmissionController* a) { admission_ = a; }
 
   Cycles Step(Engine& engine) override;
   std::string name() const override { return "kpromote"; }
@@ -126,6 +131,7 @@ class KpromoteActor : public Actor {
   Stats stats_;
   Cycles last_scan_ = 0;
   std::function<bool()> enabled_;
+  AdmissionController* admission_ = nullptr;
 
   // Abort-storm tracking: aborts land in a coarse sliding window; tripping
   // the threshold sets degraded_until_ (0 = not degraded).

@@ -11,9 +11,14 @@ void NomadPolicy::Install(MemorySystem& ms, Engine& engine) {
   ms_ = &ms;
   shadows_ = std::make_unique<ShadowManager>(&ms);
   queues_ = std::make_unique<PromotionQueues>(&ms, config_.pcq);
+  if (config_.enable_admission) {
+    admission_ = std::make_unique<AdmissionController>(&ms, config_.admission);
+    queues_->set_admission(admission_.get());
+  }
 
   kpromote_ = std::make_unique<KpromoteActor>(&ms, queues_.get(), shadows_.get(),
                                               config_.kpromote);
+  kpromote_->set_admission(admission_.get());
   const ActorId kpromote_id = engine.AddActor(kpromote_.get());
   kpromote_->set_actor_id(kpromote_id);
 
@@ -189,6 +194,15 @@ MigrateResult NomadPolicy::DemotePage(Pfn pfn) {
   const KernelCosts& costs = ms.platform().costs;
   PageFrame f = ms.pool().frame(pfn);
   if (!f.mapped() || f.migrating()) {
+    return MigrateResult{};
+  }
+  // Demotion credits: non-urgent background demotion draws from its own
+  // token bucket so a demotion burst is paced like promotions are. Urgent
+  // reclaim — the node is below its low watermark — must never block
+  // behind a throttle (promotion headroom depends on it), so it bypasses
+  // admission entirely.
+  if (admission_ != nullptr && !ms.pool().BelowLowWatermark(Tier::kFast) &&
+      !admission_->AdmitDemotion()) {
     return MigrateResult{};
   }
   AddressSpace& as = *f.owner();

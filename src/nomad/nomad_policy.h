@@ -15,6 +15,7 @@
 #include <memory>
 
 #include "src/mm/kswapd.h"
+#include "src/nomad/admission.h"
 #include "src/nomad/governor.h"
 #include "src/nomad/kpromote.h"
 #include "src/nomad/pcq.h"
@@ -45,6 +46,13 @@ class NomadPolicy : public TieringPolicy {
     // evaluated system does not include it.
     bool enable_governor = false;
     ThrashGovernor::Config governor;
+    // Migration control plane (src/nomad/admission.h): token-bucket
+    // bandwidth budget, backlog caps and the per-page abort-storm
+    // downgrade. Off by default: the paper's evaluated system has no
+    // admission control, and the fixed-seed goldens are captured without
+    // it.
+    bool enable_admission = false;
+    AdmissionController::Config admission;
   };
 
   NomadPolicy() : NomadPolicy(Config{}) {}
@@ -60,6 +68,8 @@ class NomadPolicy : public TieringPolicy {
   bool promotion_gate_open() const { return gate_.open; }
   const PromotionQueues& queues() const { return *queues_; }
   const KpromoteActor& kpromote() const { return *kpromote_; }
+  // Migration control plane; nullptr unless config.enable_admission.
+  const AdmissionController* admission() const { return admission_.get(); }
   // Consecutive fruitless alloc-failure reclaim attempts (for tests).
   uint32_t alloc_fail_streak() const { return alloc_fail_streak_; }
 
@@ -71,6 +81,7 @@ class NomadPolicy : public TieringPolicy {
   Config config_;
   MemorySystem* ms_ = nullptr;
   std::unique_ptr<ShadowManager> shadows_;
+  std::unique_ptr<AdmissionController> admission_;
   std::unique_ptr<PromotionQueues> queues_;
   std::unique_ptr<KpromoteActor> kpromote_;
   std::unique_ptr<Kswapd> kswapd_fast_;

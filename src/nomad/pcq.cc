@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "src/nomad/admission.h"
 #include "src/obs/event_registry.h"
 
 namespace nomad {
@@ -51,6 +52,7 @@ std::pair<size_t, Cycles> PromotionQueues::ScanPcq(size_t limit) {
   size_t moved = 0;
   Cycles spent = 0;
   bool cleared_any_abit = false;
+  bool throttled_this_pass = false;
   // Snapshot the queue length: entries primed and re-queued by this call
   // must not be re-examined until the application had time to touch them.
   const size_t examine = std::min(limit, pcq_.size());
@@ -72,6 +74,18 @@ std::pair<size_t, Cycles> PromotionQueues::ScanPcq(size_t limit) {
     }
     const bool hot = f.pcq_primed() && pte->accessed && (f.referenced() || f.active());
     if (hot) {
+      if (admission_ != nullptr &&
+          admission_->PcqFeedThrottled(pending_.size() + deferred_.size())) {
+        // Admission backpressure: the pending backlog is at its cap. The
+        // page stays in the PCQ, still primed, and moves on a later pass
+        // once the backlog drains — instead of growing the queue.
+        if (!throttled_this_pass) {
+          throttled_this_pass = true;
+          ms_->counters().Add(cnt::kAdmissionPcqThrottle, 1);
+        }
+        pcq_.push_back(Entry{pfn, f.generation(), e.since});
+        continue;
+      }
       f.set_in_pcq(false);
       f.set_pcq_primed(false);
       f.set_in_pending(true);

@@ -22,6 +22,8 @@
 
 namespace nomad {
 
+class AdmissionController;
+
 class PromotionQueues {
  public:
   struct Config {
@@ -34,6 +36,11 @@ class PromotionQueues {
 
   explicit PromotionQueues(MemorySystem* ms) : PromotionQueues(ms, Config{}) {}
   PromotionQueues(MemorySystem* ms, const Config& config) : ms_(ms), config_(config) {}
+
+  // Optional migration control plane (not owned): when set, ScanPcq stops
+  // feeding the pending queue while the backlog is at its admission cap, so
+  // overload shows up as bounded backpressure instead of queue growth.
+  void set_admission(AdmissionController* a) { admission_ = a; }
 
   // Adds a freshly faulted slow-tier page to the PCQ. No-op when the page
   // is already queued, pending or migrating.
@@ -92,6 +99,7 @@ class PromotionQueues {
 
   MemorySystem* ms_;
   Config config_;
+  AdmissionController* admission_ = nullptr;
   std::deque<Entry> pcq_;
   std::deque<Entry> pending_;
   // ready time -> entry, drained front-first by PopPending().

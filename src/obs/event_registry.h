@@ -47,6 +47,8 @@
 //   kSyncDegrade     1=enter, 0=exit         abort streak / cycles in mode
 //   kReclaimEscalate reclaim target          frames actually freed
 //   kInvariantFail   violations found        0
+//   kAdmissionVerdict vpn                    verdict | (source << 8)
+//   kWatchdogStall   lockstep epoch          epochs without progress
 #ifndef SRC_OBS_EVENT_REGISTRY_H_
 #define SRC_OBS_EVENT_REGISTRY_H_
 
@@ -76,7 +78,9 @@ namespace nomad {
   X(TpmGiveUp, "tpm_give_up")          \
   X(SyncDegrade, "sync_degrade")       \
   X(ReclaimEscalate, "reclaim_escalate") \
-  X(InvariantFail, "invariant_fail")
+  X(InvariantFail, "invariant_fail")     \
+  X(AdmissionVerdict, "admission_verdict") \
+  X(WatchdogStall, "watchdog_stall")
 
 // Every traced kernel mechanism (see the arg/value table above).
 enum class TraceEvent : uint8_t {
@@ -202,10 +206,26 @@ inline constexpr const char kMemtisPromoteSkippedNomem[] = "memtis.promote_skipp
 inline constexpr const char kGovernorThrottle[] = "governor.throttle";
 inline constexpr const char kGovernorReopen[] = "governor.reopen";
 
+// --- admission control (migration control plane) -----------------------
+inline constexpr const char kAdmissionAccept[] = "admission.accept";
+inline constexpr const char kAdmissionDefer[] = "admission.defer";
+inline constexpr const char kAdmissionReject[] = "admission.reject";
+inline constexpr const char kAdmissionDowngradeSync[] = "admission.downgrade_sync";
+inline constexpr const char kAdmissionReadmit[] = "admission.readmit";
+inline constexpr const char kAdmissionDemoteAccept[] = "admission.demote_accept";
+inline constexpr const char kAdmissionDemoteDefer[] = "admission.demote_defer";
+inline constexpr const char kAdmissionPcqThrottle[] = "admission.pcq_throttle";
+
+// --- sharded-engine watchdog -------------------------------------------
+inline constexpr const char kWatchdogStall[] = "watchdog.stall";
+
 // --- fault injection ---------------------------------------------------
 inline constexpr const char kFaultInjDirtyWrite[] = "fault.dirty_write";
 inline constexpr const char kFaultInjLatencySpike[] = "fault.latency_spike";
 inline constexpr const char kFaultInjTlbDelay[] = "fault.tlb_delay";
+inline constexpr const char kFaultInjShardDelay[] = "fault.shard_delay";
+inline constexpr const char kFaultInjShardStall[] = "fault.shard_stall";
+inline constexpr const char kFaultInjAllocFailWave[] = "fault.alloc_fail_wave";
 
 }  // namespace cnt
 

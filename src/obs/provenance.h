@@ -37,6 +37,12 @@ struct PageProvenance {
   uint32_t redirties = 0;     // shadow faults after a promotion
   uint32_t shadow_frees = 0;  // shadow copies reclaimed or discarded
   uint32_t ping_pongs = 0;    // demotions that undid a live promotion
+  // Admission-control verdicts this page drew from the migration control
+  // plane (src/nomad/admission.h): deferred for bandwidth, rejected under
+  // backlog, or downgraded to sync migration by the abort-storm detector.
+  uint32_t admit_defers = 0;
+  uint32_t admit_rejects = 0;
+  uint32_t admit_downgrades = 0;
   Cycles first_event = 0;
   Cycles last_event = 0;
   // True between a promotion and the next demotion: the page occupies the
@@ -106,6 +112,42 @@ class ProvenanceLedger {
     }
   }
 
+  void OnAdmitDefer(uint64_t vpn, Cycles now) {
+    if constexpr (kTracingEnabled) {
+      PageProvenance* rec = Touch(vpn, now);
+      if (rec != nullptr) {
+        rec->admit_defers++;
+        admit_defers_++;
+      }
+    } else {
+      Unused(vpn, now);
+    }
+  }
+
+  void OnAdmitReject(uint64_t vpn, Cycles now) {
+    if constexpr (kTracingEnabled) {
+      PageProvenance* rec = Touch(vpn, now);
+      if (rec != nullptr) {
+        rec->admit_rejects++;
+        admit_rejects_++;
+      }
+    } else {
+      Unused(vpn, now);
+    }
+  }
+
+  void OnAdmitDowngrade(uint64_t vpn, Cycles now) {
+    if constexpr (kTracingEnabled) {
+      PageProvenance* rec = Touch(vpn, now);
+      if (rec != nullptr) {
+        rec->admit_downgrades++;
+        admit_downgrades_++;
+      }
+    } else {
+      Unused(vpn, now);
+    }
+  }
+
   void OnShadowFree(uint64_t vpn, Cycles now) {
     if constexpr (kTracingEnabled) {
       PageProvenance* rec = Touch(vpn, now);
@@ -127,6 +169,9 @@ class ProvenanceLedger {
   uint64_t redirty_events() const { return redirty_events_; }
   uint64_t ping_pong_events() const { return ping_pong_events_; }
   uint64_t shadow_frees() const { return shadow_frees_; }
+  uint64_t admit_defers() const { return admit_defers_; }
+  uint64_t admit_rejects() const { return admit_rejects_; }
+  uint64_t admit_downgrades() const { return admit_downgrades_; }
 
   // Pages with at least one ping-pong.
   uint64_t ping_pong_pages() const;
@@ -176,6 +221,9 @@ class ProvenanceLedger {
   uint64_t redirty_events_ = 0;
   uint64_t ping_pong_events_ = 0;
   uint64_t shadow_frees_ = 0;
+  uint64_t admit_defers_ = 0;
+  uint64_t admit_rejects_ = 0;
+  uint64_t admit_downgrades_ = 0;
 };
 
 }  // namespace nomad

@@ -3,6 +3,8 @@
 
 #include <gtest/gtest.h>
 
+#include "src/fault/fault_injector.h"
+
 namespace nomad {
 namespace {
 
@@ -230,6 +232,100 @@ TEST_F(PcqTest, DeferPendingSurfacesAfterReadyTime) {
   EXPECT_EQ(queues_->PopPending(), pfn);
   EXPECT_EQ(queues_->deferred_size(), 0u);
   EXPECT_EQ(queues_->NextDeferredReady(), kNever);
+}
+
+// --- PCQ overflow under injected queue pressure -------------------------
+//
+// The kPcqOverflow fault makes EnqueueCandidate behave as if the PCQ were
+// at capacity. These tests pin down why no retry can be lost through that
+// seam: an overflow eviction only ever touches pcq_.front(), and every
+// deferred/pending page carries in_pending, which makes EnqueueCandidate a
+// no-op for it — so a page awaiting its deferred-promotion retry can
+// neither be evicted by the storm nor double-queued by the scanner while
+// it waits.
+
+TEST_F(PcqTest, ForcedOverflowEvictsOnlyOldestCandidate) {
+  if (!kFaultInjectionEnabled) {
+    GTEST_SKIP() << "fault injection compiled out";
+  }
+  auto fi = std::make_unique<FaultInjector>(7);
+  FaultSchedule storm;
+  storm.probability = 1.0;
+  fi->set_schedule(FaultKind::kPcqOverflow, storm);
+  ms_.set_fault_injector(std::move(fi));
+  const Pfn a = SlowPage(0);
+  const Pfn b = SlowPage(1);
+  const Pfn c = SlowPage(2);
+  queues_->EnqueueCandidate(a);  // empty queue: no fault consult, admitted
+  queues_->EnqueueCandidate(b);  // forced overflow evicts a
+  queues_->EnqueueCandidate(c);  // forced overflow evicts b
+  EXPECT_EQ(queues_->pcq_size(), 1u);
+  EXPECT_FALSE(ms_.pool().frame(a).in_pcq());
+  EXPECT_FALSE(ms_.pool().frame(b).in_pcq());
+  EXPECT_TRUE(ms_.pool().frame(c).in_pcq());
+  EXPECT_EQ(queues_->overflow_count(), 2u);
+  EXPECT_EQ(ms_.counters().Get("nomad.pcq_overflow"), 2u);
+}
+
+TEST_F(PcqTest, DeferredRetrySurvivesForcedOverflowStorm) {
+  if (!kFaultInjectionEnabled) {
+    GTEST_SKIP() << "fault injection compiled out";
+  }
+  TickerActor ticker;
+  engine_.AddActor(&ticker);
+  auto fi = std::make_unique<FaultInjector>(7);
+  FaultSchedule storm;
+  storm.probability = 1.0;
+  fi->set_schedule(FaultKind::kPcqOverflow, storm);
+  ms_.set_fault_injector(std::move(fi));
+  const Pfn retry = SlowPage(0);
+  queues_->DeferPending(retry, 2000);  // a deferred promotion retry in flight
+  // A storm of new candidates, every one forcing an eviction.
+  for (Vpn v = 1; v <= 6; v++) {
+    queues_->EnqueueCandidate(SlowPage(v));
+  }
+  // The scanner re-notices the hot page mid-storm: in_pending makes this a
+  // no-op instead of a second queue entry that the storm could evict.
+  queues_->EnqueueCandidate(retry);
+  EXPECT_FALSE(ms_.pool().frame(retry).in_pcq());
+  EXPECT_TRUE(ms_.pool().frame(retry).in_pending());
+  EXPECT_EQ(queues_->deferred_size(), 1u);
+  EXPECT_GT(queues_->overflow_count(), 0u);
+  // The retry still fires once due, storm notwithstanding.
+  engine_.Run(3000);
+  EXPECT_EQ(queues_->PopPending(), retry);
+}
+
+TEST_F(PcqTest, ForcedOverflowPreservesFifoOrderOfSurvivors) {
+  if (!kFaultInjectionEnabled) {
+    GTEST_SKIP() << "fault injection compiled out";
+  }
+  auto fi = std::make_unique<FaultInjector>(7);
+  FaultSchedule once;
+  once.trigger_start = 0;  // window-only (no probability): exactly the
+  once.trigger_count = 1;  // first consult fires
+  fi->set_schedule(FaultKind::kPcqOverflow, once);
+  ms_.set_fault_injector(std::move(fi));
+  std::vector<Pfn> pages;
+  for (Vpn v = 0; v < 4; v++) {
+    pages.push_back(SlowPage(v));
+    Heat(v);
+    queues_->EnqueueCandidate(pages.back());  // v==1 forces out v==0
+  }
+  EXPECT_FALSE(ms_.pool().frame(pages[0]).in_pcq());
+  EXPECT_EQ(queues_->pcq_size(), 3u);
+  // Promote the survivors through the usual two-touch protocol; pending
+  // (and thus migration) order must still be their enqueue order.
+  queues_->ScanPcq(10);  // prime
+  for (Vpn v = 1; v < 4; v++) {
+    ms_.PteOf(as_, v)->accessed = true;
+  }
+  auto [moved, cost] = queues_->ScanPcq(10);
+  (void)cost;
+  EXPECT_EQ(moved, 3u);
+  EXPECT_EQ(queues_->PopPending(), pages[1]);
+  EXPECT_EQ(queues_->PopPending(), pages[2]);
+  EXPECT_EQ(queues_->PopPending(), pages[3]);
 }
 
 TEST_F(PcqTest, DeferPendingDrainsInReadyOrder) {

@@ -10,10 +10,21 @@
 // finishes with one last full audit. Any violation prints a one-line
 // reproducer (the seed fully determines the run) and exits nonzero.
 //
+// A second mode, --soak, runs the *sharded* campaign: every (seed, fault
+// focus) cell is a 4-shard lockstep run with per-shard injectors driving
+// the shard-aware fault kinds (barrier stalls, delivery delays, alloc-fail
+// waves) plus the stalled-epoch watchdog, a post-run quiescence audit on
+// every shard, and a byte-compare of the recovery record across
+// exec_threads=1 and =4 (src/harness/chaos.h). A cell fails on any
+// invariant violation, on a thread-count-dependent recovery record, or
+// when the faults produced no observable degradation at all.
+//
 // Examples:
 //   ./chaos_sim --seeds=50                       # CI campaign
 //   ./chaos_sim --seed=1337 --workloads=micro    # replay one reproducer
 //   ./chaos_sim --selftest                       # prove detection works
+//   ./chaos_sim --soak --soak_seeds=32           # sharded soak campaign
+//   ./chaos_sim --soak --seed=7 --focus=shard_stall --threads=4
 //
 // Flags (defaults in brackets):
 //   --seeds=N          [50]     seeds 1..N (ignored when --seed given)
@@ -22,6 +33,16 @@
 //   --workloads=a,b    [micro,chase,scan]
 //   --selftest         [off]    corrupt state mid-run; succeed iff caught
 //   --verbose          [off]    per-run summary lines
+// Soak-mode flags:
+//   --soak             [off]    run the sharded soak campaign
+//   --soak_seeds=N     [32]     seeds soak_seed_start..+N-1 (ignored w/ --seed)
+//   --soak_seed_start=N [1]     first seed (CI shards the range)
+//   --soak_ops=N       [24000]  whole-machine ops per cell
+//   --focus=a,b        [all]    shard_stall,alloc_fail_wave,pcq_overflow
+//   --threads=N        [0]      0: run threads=1 and =4, byte-compare the
+//                               recovery records; else run exactly N
+//   --metrics_out=path []       append one summary line per cell
+#include <fstream>
 #include <iostream>
 #include <memory>
 #include <sstream>
@@ -30,6 +51,7 @@
 
 #include "src/check/invariants.h"
 #include "src/fault/fault_injector.h"
+#include "src/harness/chaos.h"
 #include "src/harness/experiment.h"
 #include "src/harness/flags.h"
 #include "src/workload/micro.h"
@@ -253,6 +275,131 @@ std::vector<std::string> SplitList(const std::string& s) {
   return out;
 }
 
+// The sharded soak campaign (--soak). Returns the process exit code.
+int RunSoak(const Flags& flags, uint64_t one_seed, bool verbose) {
+  const uint64_t seeds = flags.GetUint("soak_seeds", 32);
+  const uint64_t seed_start = flags.GetUint("soak_seed_start", 1);
+  const uint64_t ops = flags.GetUint("soak_ops", 24000);
+  const uint64_t threads = flags.GetUint("threads", 0);
+  const std::string focus_arg = flags.GetString("focus", "");
+  const std::string metrics_out = flags.GetString("metrics_out", "");
+
+  std::vector<ChaosFocus> focuses;
+  if (focus_arg.empty()) {
+    focuses.assign(std::begin(kChaosFocuses), std::end(kChaosFocuses));
+  } else {
+    for (const std::string& name : SplitList(focus_arg)) {
+      ChaosFocus f;
+      if (!ChaosFocusFromName(name, &f)) {
+        std::cerr << "unknown --focus value: " << name << "\n";
+        return 2;
+      }
+      focuses.push_back(f);
+    }
+  }
+
+  const auto unused = flags.UnusedKeys();
+  if (!unused.empty()) {
+    std::cerr << "unknown flag(s):";
+    for (const auto& k : unused) {
+      std::cerr << " --" << k;
+    }
+    std::cerr << "\n";
+    return 2;
+  }
+
+  std::vector<uint64_t> seed_list;
+  if (one_seed != 0) {
+    seed_list.push_back(one_seed);
+  } else {
+    for (uint64_t s = 0; s < seeds; s++) {
+      seed_list.push_back(seed_start + s);
+    }
+  }
+
+  std::ofstream metrics;
+  if (!metrics_out.empty()) {
+    metrics.open(metrics_out, std::ios::app);
+    if (!metrics) {
+      std::cerr << "cannot open --metrics_out=" << metrics_out << "\n";
+      return 2;
+    }
+  }
+
+  uint64_t cells = 0, failures = 0, total_faults = 0, total_stalls = 0,
+           total_degradations = 0;
+  for (const uint64_t seed : seed_list) {
+    for (const ChaosFocus focus : focuses) {
+      ChaosCellConfig cfg;
+      cfg.seed = seed;
+      cfg.focus = focus;
+      cfg.total_ops = ops;
+      cells++;
+
+      bool ok = true;
+      std::string why;
+      ChaosCellResult r;
+      if (threads != 0) {
+        cfg.exec_threads = static_cast<uint32_t>(threads);
+        r = RunChaosCell(cfg);
+        ok = r.ok;
+        if (!ok) {
+          why = "invariant violation";
+        }
+      } else {
+        std::string diff;
+        if (!ChaosCellDeterministic(cfg, &diff)) {
+          ok = false;
+          why = "recovery record differs across exec_threads";
+          std::cerr << diff;
+        }
+        cfg.exec_threads = 1;
+        r = RunChaosCell(cfg);
+        if (ok && !r.ok) {
+          ok = false;
+          why = "invariant violation";
+        }
+      }
+      if (ok && kFaultInjectionEnabled && r.degradations == 0) {
+        // The cell's faults left no trace in any degradation counter: the
+        // schedules are not reaching the resilience paths.
+        ok = false;
+        why = "no degradation observed";
+      }
+      total_faults += r.faults_injected;
+      total_stalls += r.watchdog_stalls;
+      total_degradations += r.degradations;
+      if (!ok) {
+        failures++;
+        std::cerr << "SOAK FAILURE seed=" << seed
+                  << " focus=" << ChaosFocusName(focus) << ": " << why << "\n";
+        std::cerr << "reproduce: chaos_sim --soak --seed=" << seed
+                  << " --focus=" << ChaosFocusName(focus) << " --soak_ops=" << ops
+                  << "\n";
+      } else if (verbose) {
+        std::cout << "ok seed=" << seed << " focus=" << ChaosFocusName(focus)
+                  << " epochs=" << r.epochs << " faults=" << r.faults_injected
+                  << " stalls=" << r.watchdog_stalls
+                  << " degradations=" << r.degradations << "\n";
+      }
+      if (metrics) {
+        metrics << "seed=" << seed << " focus=" << ChaosFocusName(focus)
+                << " ok=" << (ok ? 1 : 0) << " epochs=" << r.epochs
+                << " faults=" << r.faults_injected << " stalls=" << r.watchdog_stalls
+                << " degradations=" << r.degradations
+                << " violations=" << r.invariant_violations << "\n";
+      }
+    }
+  }
+
+  std::cout << "chaos_sim --soak: " << cells << " cells, " << total_faults
+            << " faults injected, " << total_stalls << " watchdog stalls, "
+            << total_degradations << " degradations, " << failures << " failures"
+            << (kFaultInjectionEnabled ? "" : " [fault injection compiled out]")
+            << "\n";
+  return failures == 0 ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -264,6 +411,10 @@ int main(int argc, char** argv) {
       SplitList(flags.GetString("workloads", "micro,chase,scan"));
   const bool selftest = flags.GetBool("selftest", false);
   const bool verbose = flags.GetBool("verbose", false);
+
+  if (flags.GetBool("soak", false)) {
+    return RunSoak(flags, one_seed, verbose);
+  }
 
   const auto unused = flags.UnusedKeys();
   if (!unused.empty()) {

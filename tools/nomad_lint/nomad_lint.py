@@ -37,6 +37,14 @@ Enforced rules (see DESIGN.md "Verification tooling" for the rationale):
                           writes to a flags_ word are mm-internal: a raw
                           bitmask write would silently clobber neighboring
                           bit fields (LRU list id, TPM abort count).
+  NL010 silent-degrade    every degrading admission decision (returning or
+                          assigning AdmissionVerdict kDefer/kReject/
+                          kDowngradeSync) must be observable: a registry-
+                          named counter or trace emission - or the
+                          RecordVerdict helper wrapping both - within 10
+                          lines. Overload shedding that leaves no metric
+                          behind is indistinguishable from a hang when
+                          operators debug a soak failure.
 
 Engines. The default engine is a pure-Python lexer (comments and string
 literals stripped, then per-line pattern rules): zero dependencies, runs
@@ -388,6 +396,42 @@ def rule_nl009(f):
                 "PageFrame accessors (src/mm/page.h)")
 
 
+# A degrading admission decision: `return AdmissionVerdict::kDefer;` or an
+# assignment `verdict = AdmissionVerdict::kReject`. Comparisons (==, !=,
+# <=, >=) and `case` labels are uses of a verdict, not decisions.
+NL010_WINDOW = 10
+DEGRADE_DECISION_RE = re.compile(
+    r"(?:\breturn\s+|(?<![=!<>])=\s*)"
+    r"AdmissionVerdict\s*::\s*k(?:Defer|Reject|DowngradeSync)\b")
+# Evidence that the decision is observable: a registry-named counter bump,
+# a registry-named trace emission, or the RecordVerdict helper (which does
+# both and is itself linted here).
+NL010_EMIT_RE = re.compile(
+    r"(?:counters\s*\(\s*\)|counters_)\s*\.\s*Add\s*\(\s*cnt\s*::\s*k"
+    r"|\bTrace\s*\(\s*TraceEvent\s*::\s*k"
+    r"|\bEmit\s*\(\s*TraceEvent\s*::\s*k"
+    r"|\bRecordVerdict\s*\(")
+
+
+def rule_nl010(f):
+    if not in_dirs(f.rel, ("src/",)):
+        return
+    for i, line in enumerate(f.lines, 1):
+        if line.lstrip().startswith("case"):
+            continue
+        if not DEGRADE_DECISION_RE.search(line):
+            continue
+        lo = max(0, i - 1 - NL010_WINDOW)
+        hi = min(len(f.lines), i + NL010_WINDOW)
+        if any(NL010_EMIT_RE.search(f.lines[j]) for j in range(lo, hi)):
+            continue
+        yield Finding(
+            f.rel, i, "NL010",
+            "degrading admission decision with no counter/trace emission "
+            "nearby; shed load observably (cnt::/TraceEvent:: registries, "
+            "see RecordVerdict in src/nomad/admission.cc)")
+
+
 TOKEN_RULES = [
     ("NL001", "PTE bit mutation outside the mechanism layers", rule_nl001),
     ("NL002", "bare assert() instead of NOMAD_CHECK", rule_nl002),
@@ -398,6 +442,7 @@ TOKEN_RULES = [
     ("NL007", "<iostream>/<fstream> outside declared I/O endpoints", rule_nl007),
     ("NL008", "shard-owned state mutated outside the shard-message APIs", rule_nl008),
     ("NL009", "frame flags touched outside the PageFrame accessors", rule_nl009),
+    ("NL010", "degrading admission decisions must emit a counter/trace", rule_nl010),
 ]
 
 
@@ -582,6 +627,27 @@ SELFTEST_CASES = [
      "void f(PageFrame f) { f.set_active(true); bool a = f.active(); (void)a; }", False),
     ("NL009", "src/check/ok_read.cc",
      "uint32_t f(const FrameTable& t) { return t.flags_data()[0]; }", False),
+    ("NL010", "src/nomad/bad_admit.cc",
+     "AdmissionVerdict f() {\n  return AdmissionVerdict::kReject;\n}", True),
+    ("NL010", "src/nomad/bad_assign.cc",
+     "void f(AdmissionVerdict& v) { v = AdmissionVerdict::kDowngradeSync; }", True),
+    ("NL010", "src/nomad/ok_counted.cc",
+     "AdmissionVerdict f(C& c) {\n  c.counters().Add(cnt::kAdmissionReject, 1);\n"
+     "  return AdmissionVerdict::kReject;\n}", False),
+    ("NL010", "src/nomad/ok_recorded.cc",
+     "AdmissionVerdict f() {\n"
+     "  RecordVerdict(AdmissionVerdict::kDefer, AdmissionSource::kPromotion, 0);\n"
+     "  return AdmissionVerdict::kDefer;\n}", False),
+    ("NL010", "src/nomad/ok_traced.cc",
+     "AdmissionVerdict f(M& ms) {\n  ms.Trace(TraceEvent::kAdmissionVerdict, 0, 1);\n"
+     "  return AdmissionVerdict::kDefer;\n}", False),
+    ("NL010", "src/nomad/ok_case.cc",
+     "void f(AdmissionVerdict v) {\n  switch (v) {\n"
+     "    case AdmissionVerdict::kDefer:\n      break;\n  }\n}", False),
+    ("NL010", "src/nomad/ok_compare.cc",
+     "bool f(AdmissionVerdict v) { return v == AdmissionVerdict::kReject; }", False),
+    ("NL010", "src/policy/ok_outside.cc",
+     "int f() { return 0; }", False),
 ]
 
 
