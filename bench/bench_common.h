@@ -12,6 +12,7 @@
 #include <string>
 #include <vector>
 
+#include "src/base/annotations.h"
 #include "src/harness/experiment.h"
 #include "src/harness/flags.h"
 #include "src/harness/table.h"
@@ -26,7 +27,7 @@ namespace nomad {
 // a metrics.json document with one entry per captured run, and one
 // chrome://tracing file per run. Inactive (all methods no-ops) when both
 // output paths are empty, so binaries can pass it unconditionally.
-class MetricsCollector {
+class NOMAD_SHARD_CONFINED MetricsCollector {
  public:
   MetricsCollector(std::string bench_id, std::string metrics_path, std::string trace_path,
                    std::string profile_path = "")

@@ -1,16 +1,34 @@
 #!/usr/bin/env bash
-# Runs nomad_lint over the tree — the same entry point CI's `lint` job uses,
-# so a clean local run means a clean CI run.
+# Runs the static-analysis suite — the same entry points CI's `lint` and
+# `analyze` jobs use, so a clean local run means a clean CI run.
 #
-#   scripts/run_lint.sh                 # token engine (no dependencies)
-#   scripts/run_lint.sh --backend=clang # AST backend (needs python3-clang
-#                                       # and build/compile_commands.json)
+#   scripts/run_lint.sh                 # nomad_lint, token engine (no deps)
+#   scripts/run_lint.sh --backend=clang # nomad_lint AST backend (needs
+#                                       # python3-clang and
+#                                       # build/compile_commands.json)
+#   scripts/run_lint.sh --analyze       # full suite: nomad_lint + the
+#                                       # nomad_analyze ownership/escape
+#                                       # analyzer (selftests first)
 #
-# Extra arguments are passed through to nomad_lint.py.
+# Other arguments are passed through to nomad_lint.py.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-# The linter's own detection logic is validated before its verdict counts.
-python3 tools/nomad_lint/nomad_lint.py --selftest >/dev/null
+ANALYZE=0
+ARGS=()
+for arg in "$@"; do
+  if [[ "$arg" == "--analyze" ]]; then
+    ANALYZE=1
+  else
+    ARGS+=("$arg")
+  fi
+done
 
-exec python3 tools/nomad_lint/nomad_lint.py --root=. "$@"
+# Each tool's own detection logic is validated before its verdict counts.
+python3 tools/nomad_lint/nomad_lint.py --selftest >/dev/null
+python3 tools/nomad_lint/nomad_lint.py --root=. "${ARGS[@]+"${ARGS[@]}"}"
+
+if [[ "$ANALYZE" == "1" ]]; then
+  python3 tools/nomad_analyze/nomad_analyze.py --selftest >/dev/null
+  python3 tools/nomad_analyze/nomad_analyze.py --root=.
+fi

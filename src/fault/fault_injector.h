@@ -20,6 +20,7 @@
 #include <cstdint>
 #include <string>
 
+#include "src/base/annotations.h"
 #include "src/obs/trace.h"
 #include "src/sim/clock.h"
 #include "src/sim/engine.h"
@@ -68,7 +69,7 @@ struct FaultSchedule {
   bool armed() const { return probability > 0.0 || trigger_count > 0; }
 };
 
-class FaultInjector {
+class NOMAD_SHARD_CONFINED FaultInjector {
  public:
   explicit FaultInjector(uint64_t seed);
 

@@ -9,6 +9,7 @@
 #include <string>
 #include <vector>
 
+#include "src/base/annotations.h"
 #include "src/mm/memory_system.h"
 #include "src/obs/json.h"
 #include "src/nomad/nomad_policy.h"
@@ -35,7 +36,7 @@ std::unique_ptr<TieringPolicy> MakePolicy(PolicyKind kind);
 bool PolicySupported(PolicyKind kind, const PlatformSpec& platform);
 
 // A fully wired simulation instance.
-class Sim {
+class NOMAD_SHARD_CONFINED Sim {
  public:
   Sim(const PlatformSpec& platform, PolicyKind kind, uint64_t as_pages);
   // Custom-policy variant (ablation benches build hand-configured

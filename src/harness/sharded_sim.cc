@@ -4,6 +4,7 @@
 #include <iostream>
 #include <thread>
 
+#include "src/base/annotations.h"
 #include "src/check/check.h"
 #include "src/check/invariants.h"
 #include "src/obs/event_registry.h"
@@ -31,8 +32,10 @@ bool WorkloadsDone(const Sim& sim) {
 
 // Controller state, written by the epoch barrier's completion callback and
 // read by every worker after release; the barrier's mutex provides the
-// happens-before edges in both directions.
-struct Control {
+// happens-before edges in both directions. Confined to the barrier
+// callback (shard 0's logical owner), not lock-annotated: the protecting
+// mutex is ShardBarrier's private internals.
+struct NOMAD_SHARD_CONFINED Control {
   uint64_t total_ops = 0;
   uint64_t messages = 0;
   uint32_t done_shards = 0;
@@ -203,7 +206,7 @@ Control RunLockstep(std::vector<Sim*>& sims, uint32_t exec_threads, Cycles epoch
 // Everything one micro-benchmark shard owns. Worker threads touch only the
 // shards they were statically assigned; the main thread reads the states
 // after every worker has joined.
-struct MicroShardState {
+struct NOMAD_SHARD_CONFINED MicroShardState {
   MicroRunConfig cfg;  // the shard's 1/N slice of the machine
   std::unique_ptr<ScrambledZipfian> zipf;
   std::unique_ptr<Sim> sim;
@@ -342,7 +345,7 @@ ShardedAppResult RunShardedYcsb(const ShardedYcsbConfig& cfg, MetricsCollector* 
   const uint32_t S = cfg.shards;
   NOMAD_CHECK(S > 0, "sharded run needs at least one shard");
 
-  struct YcsbShardState {
+  struct NOMAD_SHARD_CONFINED YcsbShardState {
     YcsbRunConfig cfg;
     std::unique_ptr<KvStore> store;
     std::unique_ptr<Sim> sim;

@@ -23,6 +23,7 @@
 #include <memory>
 #include <vector>
 
+#include "src/base/annotations.h"
 #include "src/check/check.h"
 #include "src/fault/fault_injector.h"
 #include "src/mem/device.h"
@@ -50,7 +51,7 @@ struct AccessInfo {
   bool took_fault = false;
 };
 
-class MemorySystem {
+class NOMAD_SHARD_CONFINED MemorySystem {
  public:
   // Handles a hint (prot_none) fault. Must leave the PTE accessible (clear
   // prot_none or remap) before returning; returns cycles spent on top of

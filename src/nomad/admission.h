@@ -34,6 +34,7 @@
 #include <cstdint>
 #include <unordered_map>
 
+#include "src/base/annotations.h"
 #include "src/mm/memory_system.h"
 
 namespace nomad {
@@ -57,7 +58,7 @@ enum class AdmissionSource : uint8_t {
   kDemotion = 1,
 };
 
-class AdmissionController {
+class NOMAD_SHARD_CONFINED AdmissionController {
  public:
   struct Config {
     // Promotion token bucket: sustained rate of one page per

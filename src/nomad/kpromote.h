@@ -26,6 +26,7 @@
 #include <functional>
 #include <optional>
 
+#include "src/base/annotations.h"
 #include "src/mm/memory_system.h"
 #include "src/nomad/pcq.h"
 #include "src/nomad/shadow.h"
@@ -35,7 +36,7 @@ namespace nomad {
 
 class AdmissionController;
 
-class KpromoteActor : public Actor {
+class NOMAD_SHARD_CONFINED KpromoteActor : public Actor {
  public:
   struct Config {
     Cycles idle_poll = 25000;     // re-check period when the queues are empty

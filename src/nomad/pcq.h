@@ -18,13 +18,14 @@
 #include <map>
 #include <utility>
 
+#include "src/base/annotations.h"
 #include "src/mm/memory_system.h"
 
 namespace nomad {
 
 class AdmissionController;
 
-class PromotionQueues {
+class NOMAD_SHARD_CONFINED PromotionQueues {
  public:
   struct Config {
     // Large enough to hold every slow-tier page of a scaled working set:

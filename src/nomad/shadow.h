@@ -15,12 +15,13 @@
 #include <functional>
 #include <utility>
 
+#include "src/base/annotations.h"
 #include "src/mm/memory_system.h"
 #include "src/nomad/radix_tree.h"
 
 namespace nomad {
 
-class ShadowManager {
+class NOMAD_SHARD_CONFINED ShadowManager {
  public:
   explicit ShadowManager(MemorySystem* ms) : ms_(ms) {}
 

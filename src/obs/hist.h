@@ -20,6 +20,7 @@
 #include <map>
 #include <string>
 
+#include "src/base/annotations.h"
 #include "src/obs/trace.h"
 
 namespace nomad {
@@ -63,7 +64,7 @@ class Histogram {
 };
 
 // Named histograms, keyed by the hist:: constants in event_registry.h.
-class HistogramSet {
+class NOMAD_SHARD_CONFINED HistogramSet {
  public:
   // Books one sample. Compiles to nothing when tracing is off. Callers
   // pass the hist:: registry constants, so the same `name` pointer recurs

@@ -19,6 +19,7 @@
 #include <map>
 #include <vector>
 
+#include "src/base/annotations.h"
 #include "src/check/check.h"
 #include "src/obs/event_registry.h"
 #include "src/obs/trace.h"
@@ -26,7 +27,7 @@
 
 namespace nomad {
 
-class Profiler {
+class NOMAD_SHARD_CONFINED Profiler {
  public:
   // Deep enough for every real nesting (deepest today is 3: hint_fault ->
   // sync_migrate -> inner spans); the packed path key spends one byte per

@@ -25,6 +25,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "src/base/annotations.h"
 #include "src/obs/trace.h"
 #include "src/sim/clock.h"
 
@@ -50,7 +51,7 @@ struct PageProvenance {
   bool promoted_live = false;
 };
 
-class ProvenanceLedger {
+class NOMAD_SHARD_CONFINED ProvenanceLedger {
  public:
   static constexpr size_t kDefaultMaxPages = size_t{1} << 16;
 

@@ -19,6 +19,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "src/base/annotations.h"
 #include "src/obs/event_registry.h"
 #include "src/sim/clock.h"
 
@@ -40,7 +41,7 @@ struct TraceEventRecord {
   TraceEvent type = TraceEvent::kNumEvents;
 };
 
-class TraceSink {
+class NOMAD_SHARD_CONFINED TraceSink {
  public:
   static constexpr size_t kDefaultCapacity = size_t{1} << 16;
 

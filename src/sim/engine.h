@@ -21,6 +21,7 @@
 #include <string>
 #include <vector>
 
+#include "src/base/annotations.h"
 #include "src/sim/clock.h"
 
 namespace nomad {
@@ -53,7 +54,7 @@ class Actor {
 
 // Owner-agnostic scheduler. Actors are registered once and stepped until a
 // stop condition holds; the engine does not own actor storage.
-class Engine {
+class NOMAD_SHARD_CONFINED Engine {
  public:
   Engine() = default;
   Engine(const Engine&) = delete;

@@ -15,7 +15,7 @@ void ShardRouter::Send(uint32_t from, uint32_t to, uint32_t kind, uint64_t a, ui
   NOMAD_CHECK(from < num_shards_ && to < num_shards_, "shard id out of range, from=", from,
               " to=", to, " shards=", num_shards_);
   Pair& p = pair(from, to);
-  std::lock_guard<std::mutex> lock(p.mu);
+  MutexLock lock(p.mu);
   p.fifo.push_back(ShardMsg{from, kind, p.next_seq++, a, b});
 }
 
@@ -39,7 +39,7 @@ void ShardRouter::FlushSends(uint32_t from) {
       j++;
     }
     Pair& p = pair(from, to);
-    std::lock_guard<std::mutex> lock(p.mu);
+    MutexLock lock(p.mu);
     for (size_t k = i; k < j; k++) {
       p.fifo.push_back(ShardMsg{from, staged[k].kind, p.next_seq++, staged[k].a, staged[k].b});
     }
@@ -54,7 +54,7 @@ void ShardRouter::Drain(uint32_t to, const std::function<void(const ShardMsg&)>&
   for (uint32_t from = 0; from < num_shards_; from++) {
     Pair& p = pair(from, to);
     {
-      std::lock_guard<std::mutex> lock(p.mu);
+      MutexLock lock(p.mu);
       batch.swap(p.fifo);
     }
     for (const ShardMsg& m : batch) {
@@ -68,14 +68,14 @@ uint64_t ShardRouter::PendingFor(uint32_t to) const {
   uint64_t n = 0;
   for (uint32_t from = 0; from < num_shards_; from++) {
     const Pair& p = pair(from, to);
-    std::lock_guard<std::mutex> lock(p.mu);
+    MutexLock lock(p.mu);
     n += p.fifo.size();
   }
   return n;
 }
 
 void ShardBarrier::ArriveAndWait(const std::function<void()>& on_complete) {
-  std::unique_lock<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   const uint64_t gen = generation_;
   if (++waiting_ == parties_) {
     if (on_complete) {
@@ -83,10 +83,15 @@ void ShardBarrier::ArriveAndWait(const std::function<void()>& on_complete) {
     }
     waiting_ = 0;
     generation_++;
-    cv_.notify_all();
+    cv_.NotifyAll();
     return;
   }
-  cv_.wait(lock, [&] { return generation_ != gen; });
+  // Explicit predicate loop (not cv_.wait(lock, pred)): the guarded read of
+  // generation_ stays in this function, where -Wthread-safety can see the
+  // lock is held; a predicate lambda would be analyzed lock-blind.
+  while (generation_ == gen) {
+    cv_.Wait(mu_);
+  }
 }
 
 }  // namespace nomad

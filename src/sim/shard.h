@@ -16,15 +16,20 @@
 //
 // The rule that no shard may touch another shard's owned state (page
 // tables, frame pools, LRU lists) outside these message APIs is enforced
-// statically by tools/nomad_lint rule NL008.
+// statically at two levels: tools/nomad_lint rule NL008 (token heuristics)
+// and tools/nomad_analyze (AST ownership/escape analysis over the
+// NOMAD_SHARD_CONFINED object graph). The mailbox and barrier internals
+// here carry Clang thread-safety capability annotations, checked by the
+// -Wthread-safety -Werror clang CI build.
 #ifndef SRC_SIM_SHARD_H_
 #define SRC_SIM_SHARD_H_
 
-#include <condition_variable>
 #include <cstdint>
 #include <functional>
-#include <mutex>
 #include <vector>
+
+#include "src/base/annotations.h"
+#include "src/base/mutex.h"
 
 namespace nomad {
 
@@ -88,9 +93,9 @@ class ShardRouter {
 
  private:
   struct Pair {
-    mutable std::mutex mu;
-    std::vector<ShardMsg> fifo;
-    uint64_t next_seq = 0;
+    mutable Mutex mu;
+    std::vector<ShardMsg> fifo NOMAD_GUARDED_BY(mu);
+    uint64_t next_seq NOMAD_GUARDED_BY(mu) = 0;
   };
   struct StagedMsg {
     uint32_t to;
@@ -99,8 +104,10 @@ class ShardRouter {
     uint64_t b;
   };
   // One staging row per sender, owned by the worker thread driving that
-  // shard; no lock needed until FlushSends.
-  struct SenderRow {
+  // shard; no lock needed until FlushSends. Confinement (not a lock) is
+  // the protection, so the marking is NOMAD_SHARD_CONFINED and the
+  // checker is nomad_analyze, not -Wthread-safety.
+  struct NOMAD_SHARD_CONFINED SenderRow {
     std::vector<StagedMsg> staged;
   };
   Pair& pair(uint32_t from, uint32_t to) { return pairs_[from * num_shards_ + to]; }
@@ -132,11 +139,11 @@ class ShardBarrier {
   void ArriveAndWait(const std::function<void()>& on_complete = {});
 
  private:
-  std::mutex mu_;
-  std::condition_variable cv_;
-  uint32_t parties_;
-  uint32_t waiting_ = 0;
-  uint64_t generation_ = 0;
+  Mutex mu_;
+  CondVar cv_;
+  uint32_t parties_;  // immutable after construction
+  uint32_t waiting_ NOMAD_GUARDED_BY(mu_) = 0;
+  uint64_t generation_ NOMAD_GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace nomad

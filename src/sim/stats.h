@@ -19,6 +19,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "src/base/annotations.h"
 #include "src/sim/clock.h"
 
 namespace nomad {
@@ -30,7 +31,7 @@ namespace nomad {
 // a temporary on every Add — and migration-heavy runs Add counters hundreds
 // of thousands of times. The map only materializes a std::string once, when
 // a name is first seen. Hot paths should still cache a reference from At().
-class CounterSet {
+class NOMAD_SHARD_CONFINED CounterSet {
  public:
   // Returns a stable reference to the named counter, creating it at zero.
   // (std::map references stay valid across later inserts and erases.)

@@ -45,6 +45,16 @@ Enforced rules (see DESIGN.md "Verification tooling" for the rationale):
                           lines. Overload shedding that leaves no metric
                           behind is indistinguishable from a hang when
                           operators debug a soak failure.
+  NL011 unannotated-sync  any class in src/ holding a std::mutex /
+                          std::condition_variable / std::atomic member (or
+                          the annotated Mutex/CondVar wrappers) or a
+                          ShardRouter/ShardBarrier member must carry
+                          thread-safety annotations (NOMAD_GUARDED_BY /
+                          NOMAD_CAPABILITY / NOMAD_SHARD_CONFINED, see
+                          src/base/annotations.h) somewhere in its span:
+                          unannotated concurrency state is invisible to
+                          both -Wthread-safety and nomad_analyze.
+                          src/base/ itself (the vocabulary) is exempt.
 
 Engines. The default engine is a pure-Python lexer (comments and string
 literals stripped, then per-line pattern rules): zero dependencies, runs
@@ -52,8 +62,11 @@ anywhere. When the libclang Python bindings are importable (CI installs
 python3-clang), `--backend=clang` re-checks NL001 and NL005 on the real
 AST — member writes are matched by the base expression's *type* (Pte)
 rather than the variable's name, and new/delete by expression kind — and
-any extra findings are reported with the same rule IDs. `--backend=auto`
-(default) uses clang when available, silently falling back otherwise.
+any extra findings are reported with the same rule IDs. The clang backend
+is strict: a translation unit the parser cannot load, or that produces
+fatal diagnostics, fails the run (exit 2) instead of silently degrading
+to token-only coverage — CI requires it. `--backend=auto` (default) uses
+clang when available, silently falling back otherwise.
 
 Usage:
   python3 tools/nomad_lint/nomad_lint.py [--root=DIR] [--backend=auto|token|clang]
@@ -432,6 +445,58 @@ def rule_nl010(f):
             "see RecordVerdict in src/nomad/admission.cc)")
 
 
+# A concurrency-bearing member: synchronization primitive or a shard seam
+# object. `mutable` is common on mutexes; std::atomic carries template args.
+NL011_MEMBER_RE = re.compile(
+    r"(?:^|\n)[ \t]*(?:mutable\s+)?"
+    r"(std::mutex|std::condition_variable|std::atomic\s*<[^;]*>|"
+    r"Mutex|CondVar|ShardRouter|ShardBarrier)\s+\w+\s*(?:=[^;]*|\{[^;]*\})?;")
+NL011_CLASS_RE = re.compile(r"\b(?:class|struct)\s+(?:NOMAD_SHARD_CONFINED\s+)?"
+                            r"([A-Za-z_]\w*)\s*(?::[^;{]*)?\{")
+NL011_ANNOTATION_RE = re.compile(
+    r"\bNOMAD_(?:CAPABILITY|SCOPED_CAPABILITY|GUARDED_BY|PT_GUARDED_BY|"
+    r"REQUIRES|ACQUIRE|RELEASE|TRY_ACQUIRE|EXCLUDES|ACQUIRED_(?:BEFORE|AFTER)|"
+    r"RETURN_CAPABILITY|SHARD_CONFINED|NO_THREAD_SAFETY_ANALYSIS)\b")
+
+
+def nl011_class_span(stripped, open_idx):
+    depth = 0
+    for i in range(open_idx, len(stripped)):
+        if stripped[i] == "{":
+            depth += 1
+        elif stripped[i] == "}":
+            depth -= 1
+            if depth == 0:
+                return stripped[open_idx:i + 1]
+    return stripped[open_idx:]
+
+
+def rule_nl011(f):
+    if not in_dirs(f.rel, ("src/",)) or in_dirs(f.rel, ("src/base/",)):
+        return
+    stripped = "\n".join(f.lines)
+    for m in NL011_CLASS_RE.finditer(stripped):
+        name = m.group(1)
+        open_idx = stripped.index("{", m.end() - 1)
+        span = nl011_class_span(stripped, open_idx)
+        member = NL011_MEMBER_RE.search(span)
+        if member is None:
+            continue
+        # The annotation may sit on the class head (NOMAD_SHARD_CONFINED)
+        # or on members/methods inside the span.
+        head = stripped[m.start():open_idx]
+        if NL011_ANNOTATION_RE.search(span) or NL011_ANNOTATION_RE.search(head):
+            continue
+        line = stripped.count("\n", 0, open_idx + member.start()) + 2
+        yield Finding(
+            f.rel, line, "NL011",
+            "class %s holds concurrency state (%s) but carries no "
+            "thread-safety annotation; add NOMAD_GUARDED_BY/NOMAD_CAPABILITY "
+            "for lock-protected fields or NOMAD_SHARD_CONFINED for "
+            "shard-confined objects (src/base/annotations.h)"
+            % (name, member.group(1).split("<")[0].strip()))
+
+
 TOKEN_RULES = [
     ("NL001", "PTE bit mutation outside the mechanism layers", rule_nl001),
     ("NL002", "bare assert() instead of NOMAD_CHECK", rule_nl002),
@@ -443,6 +508,8 @@ TOKEN_RULES = [
     ("NL008", "shard-owned state mutated outside the shard-message APIs", rule_nl008),
     ("NL009", "frame flags touched outside the PageFrame accessors", rule_nl009),
     ("NL010", "degrading admission decisions must emit a counter/trace", rule_nl010),
+    ("NL011", "concurrency-bearing classes must carry thread-safety annotations",
+     rule_nl011),
 ]
 
 
@@ -483,7 +550,11 @@ def clang_compile_args(compdb_dir, path, cindex):
 
 
 def clang_findings(files, compdb_dir, cindex):
-    """NL001/NL005 on the real AST. Member writes are matched by base type."""
+    """NL001/NL005 on the real AST. Member writes are matched by base type.
+
+    Strict: a TU that fails to parse, or parses with fatal diagnostics,
+    aborts the run with exit 2 — required AST coverage must not silently
+    degrade to token-only checking."""
     findings = []
     kind = cindex.CursorKind
     index = cindex.Index.create()
@@ -495,8 +566,15 @@ def clang_findings(files, compdb_dir, cindex):
             continue
         try:
             tu = index.parse(f.path, args=clang_compile_args(compdb_dir, f.path, cindex))
-        except Exception:
-            continue
+        except Exception as e:
+            print("nomad_lint: clang backend failed to parse %s: %s" % (f.rel, e),
+                  file=sys.stderr)
+            sys.exit(2)
+        fatal = [d for d in tu.diagnostics if d.severity >= 4]
+        if fatal:
+            for d in fatal:
+                print("nomad_lint: clang backend: %s" % d, file=sys.stderr)
+            sys.exit(2)
 
         def visit(node):
             if node.location.file is None or node.location.file.name != f.path:
@@ -648,6 +726,25 @@ SELFTEST_CASES = [
      "bool f(AdmissionVerdict v) { return v == AdmissionVerdict::kReject; }", False),
     ("NL010", "src/policy/ok_outside.cc",
      "int f() { return 0; }", False),
+    ("NL011", "src/nomad/bad_mutex.h",
+     "class Queue {\n public:\n  void Push(int v);\n private:\n"
+     "  std::mutex mu_;\n  std::vector<int> items_;\n};", True),
+    ("NL011", "src/obs/bad_atomic.h",
+     "class Gauge {\n private:\n  std::atomic<uint64_t> value_ = 0;\n};", True),
+    ("NL011", "src/harness/bad_barrier.h",
+     "struct Phase {\n  ShardBarrier barrier;\n  uint64_t epoch = 0;\n};", True),
+    ("NL011", "src/nomad/bad_condvar.h",
+     "class Waiter {\n  Mutex mu_;\n  CondVar cv_;\n  bool ready_ = false;\n};", True),
+    ("NL011", "src/nomad/ok_guarded.h",
+     "class Queue {\n private:\n  Mutex mu_;\n"
+     "  std::vector<int> items_ NOMAD_GUARDED_BY(mu_);\n};", False),
+    ("NL011", "src/obs/ok_confined.h",
+     "class NOMAD_SHARD_CONFINED Gauge {\n private:\n"
+     "  std::atomic<uint64_t> value_ = 0;\n};", False),
+    ("NL011", "src/base/ok_vocabulary.h",
+     "class Mutex {\n private:\n  std::mutex mu_;\n};", False),
+    ("NL011", "src/nomad/ok_plain.h",
+     "class Plain {\n private:\n  uint64_t value_ = 0;\n};", False),
 ]
 
 
