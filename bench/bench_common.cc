@@ -28,7 +28,8 @@ std::string PathWithLabel(const std::string& path, const std::string& label) {
 MetricsCollector MetricsCollector::FromFlags(const std::string& bench_id, const Flags& flags) {
   return MetricsCollector(bench_id, flags.GetString("metrics_out", ""),
                           flags.GetString("trace_out", ""),
-                          flags.GetString("profile_out", ""));
+                          flags.GetString("profile_out", ""),
+                          flags.GetString("timeline_out", ""));
 }
 
 void MetricsCollector::Capture(const std::string& label, Sim& sim, const PhaseReport& report) {
@@ -53,6 +54,15 @@ void MetricsCollector::Capture(const std::string& label, Sim& sim, const PhaseRe
         captures_ == 0 ? profile_path_ : PathWithLabel(profile_path_, label);
     if (!WriteProfileFile(sim, path)) {
       std::cerr << "warning: could not write profile to " << path << "\n";
+    }
+  }
+  // Only runs that actually sampled a timeline write one; the collector
+  // cannot enable sampling retroactively.
+  if (!timeline_path_.empty() && sim.timeline_sampler() != nullptr) {
+    const std::string path =
+        captures_ == 0 ? timeline_path_ : PathWithLabel(timeline_path_, label);
+    if (!WriteTimelineFile(sim, path)) {
+      std::cerr << "warning: could not write timeline to " << path << "\n";
     }
   }
   captures_++;
@@ -88,6 +98,12 @@ MicroRunResult RunMicroBench(const MicroRunConfig& config, MetricsCollector* col
       MakePlatform(config.platform, scale, config.fast_gb, config.slow_gb);
 
   Sim sim(platform, config.policy, scale.Pages(config.rss_gb) + 16);
+  if (config.enable_spans) {
+    sim.ms().set_span_tracing(true);
+  }
+  if (config.timeline_interval > 0) {
+    sim.EnableTimeline({config.timeline_interval, config.timeline_capacity});
+  }
 
   MicroLayout layout;
   layout.rss_pages = scale.Pages(config.rss_gb);
@@ -223,6 +239,12 @@ AppRunResult RunYcsbBench(const YcsbRunConfig& config, MetricsCollector* collect
   const Vpn end = store.Layout(0);
 
   Sim sim(platform, config.policy, end + 16);
+  if (config.enable_spans) {
+    sim.ms().set_span_tracing(true);
+  }
+  if (config.timeline_interval > 0) {
+    sim.EnableTimeline({config.timeline_interval, config.timeline_capacity});
+  }
   sim.ms().ReserveFastFrames(scale.Pages(config.kernel_gb));
   // Pre-load the dataset with the default placement (fast-first).
   MapRange(sim.ms(), sim.as(), 0, end, Tier::kFast);

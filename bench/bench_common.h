@@ -30,19 +30,24 @@ namespace nomad {
 class NOMAD_SHARD_CONFINED MetricsCollector {
  public:
   MetricsCollector(std::string bench_id, std::string metrics_path, std::string trace_path,
-                   std::string profile_path = "")
+                   std::string profile_path = "", std::string timeline_path = "")
       : bench_id_(std::move(bench_id)),
         metrics_path_(std::move(metrics_path)),
         trace_path_(std::move(trace_path)),
-        profile_path_(std::move(profile_path)) {}
+        profile_path_(std::move(profile_path)),
+        timeline_path_(std::move(timeline_path)) {}
 
-  // Reads --metrics_out / --trace_out / --profile_out. Call before
-  // Flags::UnusedKeys().
+  // Reads --metrics_out / --trace_out / --profile_out / --timeline_out.
+  // Call before Flags::UnusedKeys().
   static MetricsCollector FromFlags(const std::string& bench_id, const Flags& flags);
 
   bool active() const {
-    return !metrics_path_.empty() || !trace_path_.empty() || !profile_path_.empty();
+    return !metrics_path_.empty() || !trace_path_.empty() || !profile_path_.empty() ||
+           !timeline_path_.empty();
   }
+  // Whether --timeline_out was given: benches consult this to enable
+  // timeline sampling on the runs they capture.
+  bool timeline_requested() const { return !timeline_path_.empty(); }
 
   // Records one finished run. The first capture's trace goes to the exact
   // --trace_out path; later captures get the label inserted before the
@@ -62,6 +67,7 @@ class NOMAD_SHARD_CONFINED MetricsCollector {
   std::string metrics_path_;
   std::string trace_path_;
   std::string profile_path_;  // collapsed-stack cycle profiles (flamegraph input)
+  std::string timeline_path_;  // telemetry timeline CSVs (timeline_report input)
   std::vector<std::string> run_json_;  // pre-rendered run objects
   size_t captures_ = 0;
   bool flushed_ = false;
@@ -84,6 +90,13 @@ struct MicroRunConfig {
   int threads = 2;
   uint64_t seed = 42;
   unsigned batch = 8;  // accesses per engine step (WorkloadActor batching)
+  // Time-resolved telemetry (src/obs/timeline.h): sampling cadence in
+  // virtual cycles, 0 = off. Off by default — goldens are timeline-free.
+  Cycles timeline_interval = 0;
+  size_t timeline_capacity = 4096;
+  // Migration-lifecycle span records (mig_* trace events, trace_query
+  // --span input). Off by default for the same golden-stability reason.
+  bool enable_spans = false;
 };
 
 struct MicroRunResult {
@@ -156,6 +169,10 @@ struct YcsbRunConfig {
   double slow_gb = 16.0;
   double kernel_gb = 3.5;
   uint64_t seed = 42;
+  // Telemetry timeline / migration spans, as in MicroRunConfig.
+  Cycles timeline_interval = 0;
+  size_t timeline_capacity = 4096;
+  bool enable_spans = false;
 };
 AppRunResult RunYcsbBench(const YcsbRunConfig& config, MetricsCollector* collector = nullptr,
                           const std::string& label = "");

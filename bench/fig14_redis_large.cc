@@ -17,6 +17,10 @@
 //   --policy=...         [all]   restrict to one policy
 //   --placement=thrashing|normal|both  [both]
 //   --metrics_out=PATH   []      machine-readable metrics.json
+//   --timeline_out=PATH  []      telemetry timeline CSV per run (the CI
+//                                anomaly gate runs timeline_report --check
+//                                on these)
+//   --timeline_interval=CYCLES [500000] sampling cadence
 #include <iostream>
 #include <string>
 
@@ -40,6 +44,7 @@ int main(int argc, char** argv) {
   const std::string policy_arg = flags.GetString("policy", "");
   const std::string placement_arg = flags.GetString("placement", "both");
   MetricsCollector collector = MetricsCollector::FromFlags("fig14_redis_large", flags);
+  const Cycles timeline_interval = flags.GetUint("timeline_interval", 500000);
 
   const auto unused = flags.UnusedKeys();
   if (!unused.empty()) {
@@ -95,6 +100,7 @@ int main(int argc, char** argv) {
         cfg.demote_first = thrashing;
         cfg.slow_gb = 64.0;  // large capacity tier (256 GB-class devices)
         cfg.total_ops = total_ops;
+        cfg.timeline_interval = collector.timeline_requested() ? timeline_interval : 0;
 
         const std::string label = std::string(PlatformName(platform)) + "." +
                                   (thrashing ? "thrashing" : "normal") + "." +
@@ -107,6 +113,7 @@ int main(int argc, char** argv) {
           scfg.shards = shards;
           scfg.exec_threads = threads;
           scfg.epoch_cycles = epoch_cycles;
+          scfg.timeline_interval = cfg.timeline_interval;
           const ShardedAppResult r = RunShardedYcsb(scfg, &collector, label);
           kops = r.aggregate_ops_per_sec / 1e3;
           for (const AppRunResult& shard : r.per_shard) {

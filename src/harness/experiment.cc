@@ -61,6 +61,18 @@ Sim::Sim(const PlatformSpec& platform, std::unique_ptr<TieringPolicy> policy, Po
   policy_->Install(ms_, engine_);
 }
 
+void Sim::EnableTimeline(const Timeline::Config& config, bool engine_driven) {
+  NOMAD_CHECK(timeline_ == nullptr, "timeline already enabled");
+  timeline_ = std::make_unique<TimelineSampler>(this, config);
+  if (engine_driven) {
+    timeline_actor_ = std::make_unique<TimelineActor>(timeline_.get());
+    // First sample at t=interval: the t=0 state is all zeros/setup noise,
+    // and skipping it keeps sample times aligned with the sharded driver's
+    // epoch boundaries.
+    engine_.AddActor(timeline_actor_.get(), config.interval);
+  }
+}
+
 void Sim::AddWorkload(WorkloadActor* w) {
   const ActorId id = engine_.AddActor(w);
   w->set_actor_id(id);
@@ -299,6 +311,12 @@ void AppendRunMetrics(JsonWriter& jw, Sim& sim, const PhaseReport& report,
   AppendHistogramsJson(jw, ms.hists());
   jw.Key("provenance");
   AppendProvenanceJson(jw, ms.provenance());
+  // Only when sampling ran: the goldens are captured timeline-off and must
+  // stay byte-identical.
+  if (const TimelineSampler* t = sim.timeline_sampler()) {
+    jw.Key("timeline");
+    t->timeline().AppendJson(jw);
+  }
   jw.EndObject();
 
   // A trace that silently overflowed its ring buffer would make every
@@ -348,6 +366,19 @@ bool WriteProfileFile(Sim& sim, const std::string& path) {
     return false;
   }
   WriteCollapsedStacks(sim.ms().prof(), out);
+  return out.good();
+}
+
+bool WriteTimelineFile(Sim& sim, const std::string& path) {
+  const TimelineSampler* t = sim.timeline_sampler();
+  if (t == nullptr) {
+    return false;
+  }
+  std::ofstream out(path);
+  if (!out) {
+    return false;
+  }
+  t->timeline().WriteCsv(out);
   return out.good();
 }
 

@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "src/base/annotations.h"
+#include "src/harness/timeline_sampler.h"
 #include "src/mm/memory_system.h"
 #include "src/obs/json.h"
 #include "src/nomad/nomad_policy.h"
@@ -57,6 +58,22 @@ class NOMAD_SHARD_CONFINED Sim {
   // Registers a workload actor as a simulated CPU and schedules it.
   void AddWorkload(WorkloadActor* w);
 
+  // Turns on time-resolved telemetry (src/obs/timeline.h). Engine-driven
+  // mode registers a TimelineActor sampling every config.interval cycles;
+  // the sharded harness passes engine_driven=false and drives
+  // SampleTimeline from lockstep epoch boundaries instead. Off by default:
+  // the fixed-seed goldens are captured without a timeline.
+  void EnableTimeline(const Timeline::Config& config, bool engine_driven = true);
+  // The sampler, or nullptr when the timeline is off.
+  TimelineSampler* timeline_sampler() { return timeline_.get(); }
+  const TimelineSampler* timeline_sampler() const { return timeline_.get(); }
+  // Records one sample now (external drivers only; no-op when off).
+  void SampleTimeline(uint64_t shard_ops_done, uint64_t shard_epoch) {
+    if (timeline_ != nullptr) {
+      timeline_->SampleSharded(shard_ops_done, shard_epoch);
+    }
+  }
+
   // Runs until every registered workload finished (bounded by hard_cap
   // virtual cycles as a safety net). Returns final virtual time.
   Cycles Run(Cycles hard_cap = Cycles{1} << 42);
@@ -75,6 +92,8 @@ class NOMAD_SHARD_CONFINED Sim {
   AddressSpace as_;
   std::unique_ptr<TieringPolicy> policy_;
   std::vector<WorkloadActor*> workloads_;
+  std::unique_ptr<TimelineSampler> timeline_;
+  std::unique_ptr<TimelineActor> timeline_actor_;
 };
 
 // ---------- placement helpers ----------
@@ -150,6 +169,10 @@ bool WriteTraceFile(Sim& sim, const std::string& path);
 // Writes the run's cycle-attribution profile as collapsed-stack text
 // ("root;child cycles" per line), the input format of flamegraph tools.
 bool WriteProfileFile(Sim& sim, const std::string& path);
+
+// Writes the run's telemetry timeline as CSV (tools/timeline_report input).
+// Returns false when the timeline is off or the file cannot be opened.
+bool WriteTimelineFile(Sim& sim, const std::string& path);
 
 }  // namespace nomad
 

@@ -248,6 +248,18 @@ ShardedRunResult RunShardedMicro(const ShardedRunConfig& cfg, MetricsCollector* 
     if (cfg.fault_factory) {
       sh.sim->ms().set_fault_injector(cfg.fault_factory(s));
     }
+    if (cfg.enable_spans) {
+      sh.sim->ms().set_span_tracing(true);
+    }
+    if (cfg.timeline_interval > 0) {
+      // Round the requested cadence up to whole epochs: the sample times
+      // are then epoch multiples, identical for every exec_threads value.
+      Timeline::Config tcfg;
+      tcfg.interval = ((cfg.timeline_interval + cfg.epoch_cycles - 1) / cfg.epoch_cycles) *
+                      cfg.epoch_cycles;
+      tcfg.capacity = cfg.timeline_capacity;
+      sh.sim->EnableTimeline(tcfg, /*engine_driven=*/false);
+    }
 
     MicroLayout layout;
     layout.rss_pages = scale.Pages(sh.cfg.rss_gb);
@@ -273,16 +285,30 @@ ShardedRunResult RunShardedMicro(const ShardedRunConfig& cfg, MetricsCollector* 
     sims.push_back(sh.sim.get());
   }
 
+  // Timeline cadence in epochs (the interval was rounded up to whole
+  // epochs at EnableTimeline time).
+  const uint64_t sample_epochs =
+      cfg.timeline_interval > 0
+          ? (cfg.timeline_interval + cfg.epoch_cycles - 1) / cfg.epoch_cycles
+          : 0;
+
   ShardRouter router(S);
   const Control ctrl = RunLockstep(
       sims, cfg.exec_threads, cfg.epoch_cycles, cfg.max_epochs, router,
-      [&](uint32_t s, uint64_t /*epoch*/) {
+      [&](uint32_t s, uint64_t epoch) {
         MicroShardState& sh = shards[s];
         if (!sh.half_snapped && OpsDone(*sh.sim) * 2 >= sh.cfg.total_ops) {
           // Phase snapshot at epoch granularity: deterministic because the
           // epoch schedule is fixed.
           sh.first_half = sh.sim->ms().counters();
           sh.half_snapped = true;
+        }
+        if (sample_epochs > 0 && (epoch + 1) % sample_epochs == 0) {
+          // The owning worker samples its own shard right after the shard's
+          // engine reached the epoch boundary: shard-confined state only,
+          // at a virtual time fixed by the epoch schedule — byte-identical
+          // for any exec_threads value.
+          sh.sim->SampleTimeline(OpsDone(*sh.sim), epoch + 1);
         }
       },
       cfg.watchdog_stall_epochs);
@@ -376,6 +402,16 @@ ShardedAppResult RunShardedYcsb(const ShardedYcsbConfig& cfg, MetricsCollector* 
     const Vpn end = sh.store->Layout(0);
 
     sh.sim = std::make_unique<Sim>(platform, sh.cfg.policy, end + 16);
+    if (cfg.enable_spans) {
+      sh.sim->ms().set_span_tracing(true);
+    }
+    if (cfg.timeline_interval > 0) {
+      Timeline::Config tcfg;
+      tcfg.interval = ((cfg.timeline_interval + cfg.epoch_cycles - 1) / cfg.epoch_cycles) *
+                      cfg.epoch_cycles;
+      tcfg.capacity = cfg.timeline_capacity;
+      sh.sim->EnableTimeline(tcfg, /*engine_driven=*/false);
+    }
     sh.sim->ms().ReserveFastFrames(scale.Pages(sh.cfg.kernel_gb));
     MapRange(sh.sim->ms(), sh.sim->as(), 0, end, Tier::kFast);
     if (sh.cfg.demote_first) {
@@ -392,9 +428,20 @@ ShardedAppResult RunShardedYcsb(const ShardedYcsbConfig& cfg, MetricsCollector* 
     sims.push_back(sh.sim.get());
   }
 
+  const uint64_t sample_epochs =
+      cfg.timeline_interval > 0
+          ? (cfg.timeline_interval + cfg.epoch_cycles - 1) / cfg.epoch_cycles
+          : 0;
   ShardRouter router(S);
-  const Control ctrl =
-      RunLockstep(sims, cfg.exec_threads, cfg.epoch_cycles, cfg.max_epochs, router, nullptr);
+  const Control ctrl = RunLockstep(
+      sims, cfg.exec_threads, cfg.epoch_cycles, cfg.max_epochs, router,
+      sample_epochs == 0 ? std::function<void(uint32_t, uint64_t)>()
+                         : [&](uint32_t s, uint64_t epoch) {
+                             if ((epoch + 1) % sample_epochs == 0) {
+                               Sim& sim = *shards[s].sim;
+                               sim.SampleTimeline(OpsDone(sim), epoch + 1);
+                             }
+                           });
 
   ShardedAppResult result;
   result.total_ops = ctrl.total_ops;

@@ -45,6 +45,14 @@ struct ShardedRunConfig {
   // only, and the verdict is surfaced by the owning shard as a
   // kWatchdogStall trace event plus the watchdog.stall counter. 0 = off.
   uint64_t watchdog_stall_epochs = 0;
+  // Time-resolved telemetry: when nonzero, every shard gets a Timeline
+  // sampled at lockstep epoch boundaries every ceil(interval/epoch_cycles)
+  // epochs — the sample times are epoch multiples, so timelines are
+  // byte-identical for any exec_threads value. 0 = off.
+  Cycles timeline_interval = 0;
+  size_t timeline_capacity = 4096;
+  // Migration-lifecycle span records (mig_* trace events) per shard.
+  bool enable_spans = false;
 };
 
 struct ShardedRunResult {
@@ -75,6 +83,12 @@ struct ShardedYcsbConfig {
   uint32_t exec_threads = 1;
   Cycles epoch_cycles = 500000;
   uint64_t max_epochs = 1 << 22;
+  // Epoch-boundary telemetry timeline + span records, as in
+  // ShardedRunConfig. base.timeline_interval/enable_spans are ignored in
+  // sharded mode (the epoch loop, not an engine actor, drives sampling).
+  Cycles timeline_interval = 0;
+  size_t timeline_capacity = 4096;
+  bool enable_spans = false;
 };
 
 struct ShardedAppResult {

@@ -117,6 +117,34 @@ class NOMAD_SHARD_CONFINED MemorySystem {
     }
   }
 
+  // Migration-lifecycle span links (the mig_* trace events). Off by
+  // default: span records land in the trace ring and its summary counts,
+  // and the fixed-seed goldens are captured without them. trace_query
+  // --span needs them on (nomadsim/chaos_sim --spans).
+  void set_span_tracing(bool on) { spans_enabled_ = on; }
+  bool span_tracing() const {
+    if constexpr (kTracingEnabled) {
+      return spans_enabled_;
+    } else {
+      return false;
+    }
+  }
+
+  // Emits one migration-lifecycle span record (`value` carries the
+  // migration transaction id). Gated on span_tracing(); compiles away
+  // entirely when tracing is off.
+  void TraceSpan(TraceEvent e, uint64_t arg, uint64_t mig_id) {
+    if constexpr (kTracingEnabled) {
+      if (spans_enabled_) {
+        Trace(e, arg, mig_id);
+      }
+    } else {
+      (void)e;
+      (void)arg;
+      (void)mig_id;
+    }
+  }
+
   // Creates the TLB for a simulated CPU; id is the engine ActorId.
   void RegisterCpu(ActorId id);
   Tlb& tlb(ActorId id) { return *tlbs_[id]; }
@@ -240,6 +268,7 @@ class NOMAD_SHARD_CONFINED MemorySystem {
   HistogramSet hists_;
   ProvenanceLedger prov_;
   std::unique_ptr<FaultInjector> faults_;
+  bool spans_enabled_ = false;
 
   HintFaultHandler hint_fault_;
   WriteFaultHandler write_fault_;

@@ -94,7 +94,7 @@ class KpromoteActor::ProtocolHw : public tpm::Hw {
     old_frame.set_tpm_aborts(0);
     ms.lru(Tier::kFast).AddActive(t_.new_pfn);
     if (retain_shadow) {
-      k_.shadows_->AddShadow(t_.new_pfn, t_.old_pfn);
+      k_.shadows_->AddShadow(t_.new_pfn, t_.old_pfn, t_.id);
     } else {
       // Ablation: exclusive tiering - drop the source copy instead.
       pte_.writable = t_.was_writable;
@@ -114,6 +114,7 @@ class KpromoteActor::ProtocolHw : public tpm::Hw {
     ms.hists().Record(hist::kMigrationLatency, ms.Now() - t_.begin_time);
     ms.hists().Record(hist::kHotToPromoted, ms.Now() - t_.pending_since);
     ms.provenance().OnPromote(t_.vpn, ms.Now());
+    ms.TraceSpan(TraceEvent::kMigOutcome, static_cast<uint64_t>(MigOutcome::kCommit), t_.id);
     k_.txn_.reset();
   }
 
@@ -123,6 +124,8 @@ class KpromoteActor::ProtocolHw : public tpm::Hw {
     // later.
     k_.stats_.aborts++;
     k_.ms_->counters().Add(cnt::kNomadTpmAbort, 1);
+    k_.ms_->TraceSpan(TraceEvent::kMigOutcome, static_cast<uint64_t>(MigOutcome::kAbort),
+                      t_.id);
     k_.ms_->pool().frame(t_.old_pfn).bump_tpm_aborts();
     k_.NoteAbortForStorm();
     k_.AbortCleanup(/*requeue=*/true);
@@ -184,9 +187,12 @@ Cycles KpromoteActor::BeginNext(Engine& engine) {
   PageFrame f = ms_->pool().frame(pfn);
   AddressSpace& as = *f.owner();
   const Vpn vpn = f.vpn();
+  const uint64_t mig_id = queues_->popped_id();
+  ms_->TraceSpan(TraceEvent::kMigDequeue, vpn, mig_id);
   Pte* pte = ms_->PteOf(as, vpn);
   if (pte == nullptr || !pte->present || pte->pfn != pfn) {
     f.set_in_pending(false);
+    ms_->TraceSpan(TraceEvent::kMigOutcome, static_cast<uint64_t>(MigOutcome::kVanish), mig_id);
     return spent + costs.lru_op;
   }
 
@@ -201,9 +207,12 @@ Cycles KpromoteActor::BeginNext(Engine& engine) {
     switch (admission_->AdmitPromotion(pfn, vpn, backlog, &retry_at)) {
       case AdmissionVerdict::kReject:
         f.set_in_pending(false);
+        ms_->TraceSpan(TraceEvent::kMigOutcome, static_cast<uint64_t>(MigOutcome::kReject),
+                       mig_id);
         return spent + costs.lru_op;
       case AdmissionVerdict::kDefer:
-        queues_->DeferPending(pfn, retry_at, queues_->popped_hot_since());
+        queues_->DeferPending(pfn, retry_at, queues_->popped_hot_since(), mig_id);
+        ms_->TraceSpan(TraceEvent::kMigDefer, retry_at, mig_id);
         return spent + costs.lru_op;
       case AdmissionVerdict::kDowngradeSync:
         admission_downgrade = true;
@@ -226,9 +235,13 @@ Cycles KpromoteActor::BeginNext(Engine& engine) {
     if ((storm_degraded || admission_downgrade) && !f.multi_mapped()) {
       stats_.degraded_migrations++;
       ms_->counters().Add(cnt::kNomadDegradedSyncMigration, 1);
+      ms_->TraceSpan(TraceEvent::kMigOutcome,
+                     static_cast<uint64_t>(MigOutcome::kDegradedSync), mig_id);
     } else {
       stats_.sync_fallbacks++;
       ms_->counters().Add(cnt::kNomadSyncFallback, 1);
+      ms_->TraceSpan(TraceEvent::kMigOutcome,
+                     static_cast<uint64_t>(MigOutcome::kSyncFallback), mig_id);
     }
     return spent + r.cycles;
   }
@@ -242,14 +255,14 @@ Cycles KpromoteActor::BeginNext(Engine& engine) {
     if (kswapd_fast_id_ != ~ActorId{0}) {
       engine.Wake(kswapd_fast_id_, engine.now() + costs.daemon_wakeup);
     }
-    queues_->RequeuePending(pfn, queues_->popped_hot_since());
+    queues_->RequeuePending(pfn, queues_->popped_hot_since(), mig_id);
     engine.SleepUntil(engine.now() + std::max<Cycles>(spent, 1) + config_.idle_poll);
     return spent;
   }
   const Pfn new_pfn = pool.AllocOn(Tier::kFast);
   if (new_pfn == kInvalidPfn) {
     stats_.nomem_waits++;
-    queues_->RequeuePending(pfn, queues_->popped_hot_since());
+    queues_->RequeuePending(pfn, queues_->popped_hot_since(), mig_id);
     engine.SleepUntil(engine.now() + std::max<Cycles>(spent, 1) + config_.idle_poll);
     return spent;
   }
@@ -260,7 +273,8 @@ Cycles KpromoteActor::BeginNext(Engine& engine) {
   txn_ = Txn{&as,     vpn,
              pfn,     f.generation(),
              new_pfn, pte->writable || pte->shadow_rw,
-             /*begin_time=*/engine.now(), queues_->popped_hot_since()};
+             /*begin_time=*/engine.now(), queues_->popped_hot_since(), mig_id};
+  ms_->TraceSpan(TraceEvent::kMigAttempt, uint64_t{f.tpm_aborts()} + 1, mig_id);
   machine_.emplace(config_.shadowing);
   ProtocolHw hw(*this, *txn_, *pte);
   {
@@ -284,6 +298,8 @@ void KpromoteActor::AbortCleanup(bool requeue) {
     f.set_migrating(false);
     if (!requeue) {
       f.set_in_pending(false);
+      ms_->TraceSpan(TraceEvent::kMigOutcome, static_cast<uint64_t>(MigOutcome::kVanish),
+                     t.id);
     } else if (f.tpm_aborts() >= config_.max_txn_retries) {
       // Bounded retry: a page that keeps getting written mid-copy is too
       // hot-and-dirty for TPM right now. Drop its candidacy; the PCQ aging
@@ -291,6 +307,8 @@ void KpromoteActor::AbortCleanup(bool requeue) {
       stats_.giveups++;
       ms_->counters().Add(cnt::kNomadTpmGiveup, 1);
       ms_->Trace(TraceEvent::kTpmGiveUp, t.vpn, f.tpm_aborts());
+      ms_->TraceSpan(TraceEvent::kMigOutcome, static_cast<uint64_t>(MigOutcome::kGiveUp),
+                     t.id);
       f.set_tpm_aborts(0);
       f.set_in_pending(false);
     } else {
@@ -301,8 +319,13 @@ void KpromoteActor::AbortCleanup(bool requeue) {
       stats_.backoffs++;
       ms_->counters().Add(cnt::kNomadTpmBackoff, 1);
       ms_->Trace(TraceEvent::kTpmBackoff, t.vpn, delay);
-      queues_->DeferPending(t.old_pfn, ms_->Now() + delay, t.pending_since);
+      queues_->DeferPending(t.old_pfn, ms_->Now() + delay, t.pending_since, t.id);
+      ms_->TraceSpan(TraceEvent::kMigDefer, ms_->Now() + delay, t.id);
     }
+  } else {
+    // The frame was freed and reused mid-flight: the migration's page is
+    // gone, so its span ends here no matter what the caller asked for.
+    ms_->TraceSpan(TraceEvent::kMigOutcome, static_cast<uint64_t>(MigOutcome::kVanish), t.id);
   }
   txn_.reset();
 }

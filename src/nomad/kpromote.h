@@ -107,6 +107,9 @@ class NOMAD_SHARD_CONFINED KpromoteActor : public Actor {
     // first deemed hot. Feed hist::kMigrationLatency / kHotToPromoted.
     Cycles begin_time = 0;
     Cycles pending_since = 0;
+    // Migration transaction id (PromotionQueues::popped_id()); stamps the
+    // mig_* span records so trace_query --span can stitch the lifecycle.
+    uint64_t id = 0;
   };
 
   // Binds tpm::Hw to the simulated MemorySystem: each protocol step

@@ -42,9 +42,11 @@ void PromotionQueues::EnqueueCandidate(Pfn pfn) {
   }
   f.set_in_pcq(true);
   f.set_pcq_primed(false);
-  pcq_.push_back(Entry{pfn, f.generation(), ms_->Now()});
+  const uint64_t mig_id = ++next_mig_id_;
+  pcq_.push_back(Entry{pfn, f.generation(), ms_->Now(), mig_id});
   pcq_hwm_ = std::max(pcq_hwm_, pcq_.size());
   ms_->Trace(TraceEvent::kPcqEnqueue, pfn);
+  ms_->TraceSpan(TraceEvent::kMigNominate, pfn, mig_id);
 }
 
 std::pair<size_t, Cycles> PromotionQueues::ScanPcq(size_t limit) {
@@ -83,14 +85,15 @@ std::pair<size_t, Cycles> PromotionQueues::ScanPcq(size_t limit) {
           throttled_this_pass = true;
           ms_->counters().Add(cnt::kAdmissionPcqThrottle, 1);
         }
-        pcq_.push_back(Entry{pfn, f.generation(), e.since});
+        pcq_.push_back(Entry{pfn, f.generation(), e.since, e.id});
         continue;
       }
       f.set_in_pcq(false);
       f.set_pcq_primed(false);
       f.set_in_pending(true);
       ms_->hists().Record(hist::kPcqResidence, ms_->Now() - e.since);
-      pending_.push_back(Entry{pfn, f.generation(), ms_->Now()});
+      pending_.push_back(Entry{pfn, f.generation(), ms_->Now(), e.id});
+      ms_->TraceSpan(TraceEvent::kMigHot, pfn, e.id);
       pending_hwm_ = std::max(pending_hwm_, pending_.size() + deferred_.size());
       moved++;
       continue;
@@ -105,12 +108,12 @@ std::pair<size_t, Cycles> PromotionQueues::ScanPcq(size_t limit) {
       // floods the pending queue with pages that are not actually hot.
       f.set_pcq_primed(false);
       ms_->counters().Add(cnt::kNomadPcqDecay, 1);
-      pcq_.push_back(Entry{pfn, f.generation(), e.since});
+      pcq_.push_back(Entry{pfn, f.generation(), e.since, e.id});
       continue;
     }
     if (!pte->accessed) {
       // Untouched and unprimed: just keep cycling. No PTE work needed.
-      pcq_.push_back(Entry{pfn, f.generation(), e.since});
+      pcq_.push_back(Entry{pfn, f.generation(), e.since, e.id});
       continue;
     }
     // Touched since the last exam: clear the A-bit and prime, so the page
@@ -127,7 +130,7 @@ std::pair<size_t, Cycles> PromotionQueues::ScanPcq(size_t limit) {
       cleared_any_abit = true;
     }
     f.set_pcq_primed(true);
-    pcq_.push_back(Entry{pfn, f.generation(), e.since});
+    pcq_.push_back(Entry{pfn, f.generation(), e.since, e.id});
   }
   if (examine > 0) {
     ms_->Trace(TraceEvent::kPcqDrain, examine, moved);
@@ -157,22 +160,25 @@ Pfn PromotionQueues::PopPending() {
       continue;
     }
     popped_hot_since_ = e.since;
+    popped_id_ = e.id;
     return e.pfn;
   }
   return kInvalidPfn;
 }
 
-void PromotionQueues::RequeuePending(Pfn pfn, Cycles hot_since) {
+void PromotionQueues::RequeuePending(Pfn pfn, Cycles hot_since, uint64_t mig_id) {
   PageFrame f = ms_->pool().frame(pfn);
   f.set_in_pending(true);
-  pending_.push_back(Entry{pfn, f.generation(), hot_since == kNever ? ms_->Now() : hot_since});
+  pending_.push_back(
+      Entry{pfn, f.generation(), hot_since == kNever ? ms_->Now() : hot_since, mig_id});
   pending_hwm_ = std::max(pending_hwm_, pending_.size() + deferred_.size());
 }
 
-void PromotionQueues::DeferPending(Pfn pfn, Cycles ready, Cycles hot_since) {
+void PromotionQueues::DeferPending(Pfn pfn, Cycles ready, Cycles hot_since, uint64_t mig_id) {
   PageFrame f = ms_->pool().frame(pfn);
   f.set_in_pending(true);
-  deferred_.emplace(ready, Entry{pfn, f.generation(), hot_since == kNever ? ms_->Now() : hot_since});
+  deferred_.emplace(
+      ready, Entry{pfn, f.generation(), hot_since == kNever ? ms_->Now() : hot_since, mig_id});
   pending_hwm_ = std::max(pending_hwm_, pending_.size() + deferred_.size());
 }
 

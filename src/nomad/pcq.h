@@ -59,15 +59,20 @@ class NOMAD_SHARD_CONFINED PromotionQueues {
   // hot (entered the pending queue). Feeds hist::kHotToPromoted.
   Cycles popped_hot_since() const { return popped_hot_since_; }
 
+  // Migration transaction id of the last successful PopPending(). Assigned
+  // at EnqueueCandidate and carried through every requeue/defer, it links
+  // the mig_* span records of one migration's lifecycle.
+  uint64_t popped_id() const { return popped_id_; }
+
   // Requeues an aborted transaction's page for a later retry. `hot_since`
   // carries the original pending-entry time across the retry (kNever: reuse
-  // the current time).
-  void RequeuePending(Pfn pfn, Cycles hot_since = kNever);
+  // the current time); `mig_id` carries the migration id across it.
+  void RequeuePending(Pfn pfn, Cycles hot_since = kNever, uint64_t mig_id = 0);
 
   // Parks an aborted page until virtual time `ready` (exponential-backoff
   // retries). The page keeps its in_pending flag; PopPending() surfaces it
   // once `ready` passes.
-  void DeferPending(Pfn pfn, Cycles ready, Cycles hot_since = kNever);
+  void DeferPending(Pfn pfn, Cycles ready, Cycles hot_since = kNever, uint64_t mig_id = 0);
 
   // Earliest ready time among deferred pages, or kNever when none: lets
   // kpromote sleep exactly until a retry becomes due.
@@ -93,6 +98,9 @@ class NOMAD_SHARD_CONFINED PromotionQueues {
     Pfn pfn = kInvalidPfn;
     uint32_t gen = 0;
     Cycles since = 0;
+    // Migration transaction id (1-based; 0 = pre-span entry). Survives
+    // requeues and defers so one id spans the page's whole lifecycle.
+    uint64_t id = 0;
   };
 
   bool ValidCandidate(Pfn pfn, uint32_t gen) const;
@@ -106,6 +114,8 @@ class NOMAD_SHARD_CONFINED PromotionQueues {
   // ready time -> entry, drained front-first by PopPending().
   std::multimap<Cycles, Entry> deferred_;
   Cycles popped_hot_since_ = 0;
+  uint64_t popped_id_ = 0;
+  uint64_t next_mig_id_ = 0;
   size_t pcq_hwm_ = 0;
   size_t pending_hwm_ = 0;
   uint64_t overflow_count_ = 0;

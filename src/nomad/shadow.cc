@@ -5,7 +5,7 @@
 
 namespace nomad {
 
-void ShadowManager::AddShadow(Pfn master, Pfn shadow) {
+void ShadowManager::AddShadow(Pfn master, Pfn shadow, uint64_t mig_id) {
   PageFrame m = ms_->pool().frame(master);
   PageFrame s = ms_->pool().frame(shadow);
   NOMAD_CHECK(!m.shadowed(), "master already shadowed, master=", master, " vpn=", m.vpn(),
@@ -14,6 +14,9 @@ void ShadowManager::AddShadow(Pfn master, Pfn shadow) {
   m.set_shadowed(true);
   s.set_is_shadow(true);
   index_.Insert(master, shadow);
+  if (ms_->span_tracing() && mig_id != 0) {
+    mig_ids_.Insert(master, mig_id);
+  }
   reclaim_fifo_.emplace_back(master, m.generation());
 }
 
@@ -29,6 +32,14 @@ Pfn ShadowManager::DetachShadow(Pfn master) {
   }
   const Pfn shadow = *found;
   index_.Erase(master);
+  if (ms_->span_tracing()) {
+    // Close the owning migration's span: its retained copy is gone.
+    const uint64_t* mig_id = mig_ids_.Find(master);
+    if (mig_id != nullptr) {
+      ms_->TraceSpan(TraceEvent::kMigShadowFree, master, *mig_id);
+      mig_ids_.Erase(master);
+    }
+  }
   PageFrame m = ms_->pool().frame(master);
   PageFrame s = ms_->pool().frame(shadow);
   m.set_shadowed(false);

@@ -26,8 +26,10 @@ class NOMAD_SHARD_CONFINED ShadowManager {
   explicit ShadowManager(MemorySystem* ms) : ms_(ms) {}
 
   // Records `shadow` (an unmapped slow-tier frame) as the shadow of
-  // `master` (the mapped fast-tier frame). Called at TPM commit.
-  void AddShadow(Pfn master, Pfn shadow);
+  // `master` (the mapped fast-tier frame). Called at TPM commit. `mig_id`
+  // links the committing migration's span so the eventual shadow free
+  // (discard, reclaim or remap-demotion detach) closes the lifecycle.
+  void AddShadow(Pfn master, Pfn shadow, uint64_t mig_id = 0);
 
   // PFN of master's shadow, or kInvalidPfn.
   Pfn ShadowOf(Pfn master) const;
@@ -56,6 +58,9 @@ class NOMAD_SHARD_CONFINED ShadowManager {
  private:
   MemorySystem* ms_;
   RadixTree<Pfn> index_;
+  // Migration id of the transaction that installed master's shadow; only
+  // populated while span tracing is on (see MemorySystem::span_tracing).
+  RadixTree<uint64_t> mig_ids_;
   // (master pfn, master generation): stale entries are skipped on pop.
   std::deque<std::pair<Pfn, uint32_t>> reclaim_fifo_;
 };

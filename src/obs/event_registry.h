@@ -49,6 +49,20 @@
 //   kInvariantFail   violations found        0
 //   kAdmissionVerdict vpn                    verdict | (source << 8)
 //   kWatchdogStall   lockstep epoch          epochs without progress
+//
+// Migration-lifecycle span links (runtime-gated, see
+// MemorySystem::set_span_tracing). Every mig_* record carries the
+// migration's transaction id in `value`, so tools/trace_query --span can
+// stitch the causal chain nominate -> hot -> dequeue -> attempt(s) ->
+// outcome(s) -> shadow_free without guessing from PFNs:
+//
+//   kMigNominate     pfn entering the PCQ    migration id
+//   kMigHot          pfn found hot           migration id
+//   kMigDequeue      vpn at kpromote         migration id
+//   kMigAttempt      attempt number (1-based) migration id
+//   kMigOutcome      MigOutcome code         migration id
+//   kMigDefer        retry-ready time        migration id
+//   kMigShadowFree   master pfn              migration id
 #ifndef SRC_OBS_EVENT_REGISTRY_H_
 #define SRC_OBS_EVENT_REGISTRY_H_
 
@@ -80,7 +94,14 @@ namespace nomad {
   X(ReclaimEscalate, "reclaim_escalate") \
   X(InvariantFail, "invariant_fail")     \
   X(AdmissionVerdict, "admission_verdict") \
-  X(WatchdogStall, "watchdog_stall")
+  X(WatchdogStall, "watchdog_stall")       \
+  X(MigNominate, "mig_nominate")           \
+  X(MigHot, "mig_hot")                     \
+  X(MigDequeue, "mig_dequeue")             \
+  X(MigAttempt, "mig_attempt")             \
+  X(MigOutcome, "mig_outcome")             \
+  X(MigDefer, "mig_defer")                 \
+  X(MigShadowFree, "mig_shadow_free")
 
 // Every traced kernel mechanism (see the arg/value table above).
 enum class TraceEvent : uint8_t {
@@ -95,6 +116,24 @@ inline constexpr uint8_t kNumTraceEvents = static_cast<uint8_t>(TraceEvent::kNum
 // Stable lower_snake_case name, used by exporters and by baseline files.
 // Defined in trace.cc from the same X-macro list.
 const char* TraceEventName(TraceEvent e);
+
+// The `arg` of a kMigOutcome span record. kAbort is the only non-terminal
+// code (an aborted attempt is followed by kMigDefer + another kMigAttempt,
+// or by a terminal kGiveUp); every other code ends the migration's span.
+enum class MigOutcome : uint8_t {
+  kCommit = 0,        // TPM transaction committed; shadow retained
+  kAbort = 1,         // attempt aborted (page redirtied mid-copy)
+  kGiveUp = 2,        // retry budget exhausted; page stays on slow tier
+  kSyncFallback = 3,  // multi-mapped page took the synchronous path
+  kDegradedSync = 4,  // abort-storm / admission downgrade to sync migration
+  kReject = 5,        // admission controller shed the migration
+  kVanish = 6,        // mapping disappeared mid-transaction
+  kNumOutcomes,
+};
+
+// Stable lower_snake_case name for one MigOutcome code (trace_query and
+// timeline_report print these). Defined in trace.cc.
+const char* MigOutcomeName(MigOutcome o);
 
 // X(enumerator-suffix, exported-name). The static tree of subsystems the
 // span profiler attributes simulated cycles to. Like trace events, order is
@@ -150,6 +189,50 @@ NOMAD_HIST_NAME_LIST(NOMAD_HIST_CONST)
 // True when `name` is one of the NOMAD_HIST_NAME_LIST entries. Defined in
 // hist.cc.
 bool IsRegisteredHistogramName(const char* name);
+
+// X(constant-suffix, exported-name). Gauge channels of the virtual-time
+// telemetry timeline (src/obs/timeline.h). Call sites register these via
+// the tl:: constants below — a literal at a Channel() call site is a lint
+// finding (NL012) — so the set of columns a timeline CSV can carry is
+// closed and typo-proof. Counter-delta and histogram-derived channels are
+// not listed here: they are derived mechanically from the cnt:: / hist::
+// registries with the "cnt." / "hist." prefixes.
+#define NOMAD_TIMELINE_CHANNEL_LIST(X)                \
+  X(FastFree, "tier.fast.free_frames")                \
+  X(FastUsed, "tier.fast.used_frames")                \
+  X(FastLowWatermark, "tier.fast.low_watermark")      \
+  X(FastBelowLowWatermark, "tier.fast.below_low_wm")  \
+  X(SlowFree, "tier.slow.free_frames")                \
+  X(SlowUsed, "tier.slow.used_frames")                \
+  X(PcqDepth, "pcq.depth")                            \
+  X(PendingDepth, "pcq.pending")                      \
+  X(DeferredDepth, "pcq.deferred")                    \
+  X(ShadowPages, "shadow.pages")                      \
+  X(KpromoteDegraded, "kpromote.degraded")            \
+  X(TraceCapacity, "trace.capacity")                  \
+  X(TraceEmittedDelta, "trace.emitted_delta")         \
+  X(TraceDroppedDelta, "trace.dropped_delta")         \
+  X(ShardOpsDone, "shard.ops_done")                   \
+  X(ShardEpoch, "shard.epoch")
+
+// Timeline gauge channel names. Units: frames for the tier.* channels,
+// queue entries for pcq.*, pages for shadow.pages, 0/1 for
+// kpromote.degraded and tier.fast.below_low_wm, trace records for the
+// trace.* channels, workload ops / lockstep epochs for the shard.* pair.
+namespace tl {
+
+#define NOMAD_TL_CONST(name, str) inline constexpr const char k##name[] = str;
+NOMAD_TIMELINE_CHANNEL_LIST(NOMAD_TL_CONST)
+#undef NOMAD_TL_CONST
+
+}  // namespace tl
+
+// True when `name` is a NOMAD_TIMELINE_CHANNEL_LIST entry or carries one
+// of the derived prefixes ("cnt." + registered counter shape, "hist." +
+// registered histogram name + suffix). Defined in timeline.cc; Timeline
+// aborts on unregistered channel names (same closed-set contract as
+// counters and histograms).
+bool IsRegisteredTimelineChannel(const char* name);
 
 // Counter keys, grouped by emitting subsystem. The dotted prefix is the
 // subsystem ("nomad.", "tpp.", ...); the metrics exporter preserves it so

@@ -1,0 +1,169 @@
+#include "src/obs/timeline.h"
+
+#include <cstring>
+
+#include "src/check/check.h"
+#include "src/obs/json.h"
+
+namespace nomad {
+
+namespace {
+
+// Derived histogram channels: "hist.<registered name><suffix>".
+constexpr const char* kHistSuffixes[] = {".count_delta", ".p50", ".p99"};
+
+bool IsDerivedHistChannel(const char* name) {
+  constexpr size_t kPrefixLen = 5;  // "hist."
+  if (std::strncmp(name, "hist.", kPrefixLen) != 0) {
+    return false;
+  }
+  const std::string rest(name + kPrefixLen);
+  for (const char* suffix : kHistSuffixes) {
+    const size_t slen = std::strlen(suffix);
+    if (rest.size() <= slen || rest.compare(rest.size() - slen, slen, suffix) != 0) {
+      continue;
+    }
+    const std::string base = rest.substr(0, rest.size() - slen);
+    if (IsRegisteredHistogramName(base.c_str())) {
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+bool IsRegisteredTimelineChannel(const char* name) {
+  static constexpr const char* kGauges[] = {
+#define NOMAD_TL_NAME(id, str) str,
+      NOMAD_TIMELINE_CHANNEL_LIST(NOMAD_TL_NAME)
+#undef NOMAD_TL_NAME
+  };
+  for (const char* g : kGauges) {
+    if (std::strcmp(g, name) == 0) {
+      return true;
+    }
+  }
+  // Counter-delta channels mirror the CounterSet keyspace, which is open
+  // within cnt:: (heterogeneous lookup, fault-counter slots), so any
+  // non-empty "cnt."-suffixed name is a valid derived channel.
+  if (std::strncmp(name, "cnt.", 4) == 0 && name[4] != '\0') {
+    return true;
+  }
+  return IsDerivedHistChannel(name);
+}
+
+size_t Timeline::Channel(const std::string& name) {
+  NOMAD_CHECK(IsRegisteredTimelineChannel(name.c_str()),
+              "unregistered timeline channel: ", name.c_str());
+  for (size_t i = 0; i < columns_.size(); i++) {
+    if (columns_[i].name == name) {
+      return i;
+    }
+  }
+  if constexpr (!kTracingEnabled) {
+    // Stubbed: validate the name but never grow storage.
+    return 0;
+  }
+  Column col;
+  col.name = name;
+  // Backfill so the new column stays index-aligned with existing samples.
+  col.values.assign(times_.size(), 0);
+  columns_.push_back(std::move(col));
+  return columns_.size() - 1;
+}
+
+void Timeline::BeginSample(Cycles time) {
+  if constexpr (!kTracingEnabled) {
+    (void)time;
+    return;
+  }
+  NOMAD_CHECK(!in_sample_, "BeginSample inside an open sample");
+  in_sample_ = true;
+  if (times_.size() == config_.capacity && config_.capacity > 0) {
+    times_.erase(times_.begin());
+    for (Column& col : columns_) {
+      col.values.erase(col.values.begin());
+    }
+    dropped_++;
+  }
+  times_.push_back(time);
+  for (Column& col : columns_) {
+    col.values.push_back(0);
+    col.set_this_sample = false;
+  }
+}
+
+void Timeline::Set(size_t channel, uint64_t value) {
+  if constexpr (!kTracingEnabled) {
+    (void)channel;
+    (void)value;
+    return;
+  }
+  NOMAD_CHECK(in_sample_, "Set outside BeginSample/EndSample");
+  NOMAD_CHECK(channel < columns_.size(), "bad timeline channel ", channel);
+  columns_[channel].values.back() = value;
+  columns_[channel].set_this_sample = true;
+}
+
+void Timeline::SetDelta(size_t channel, uint64_t absolute) {
+  if constexpr (!kTracingEnabled) {
+    (void)channel;
+    (void)absolute;
+    return;
+  }
+  NOMAD_CHECK(in_sample_, "SetDelta outside BeginSample/EndSample");
+  NOMAD_CHECK(channel < columns_.size(), "bad timeline channel ", channel);
+  Column& col = columns_[channel];
+  col.values.back() = absolute - col.last_abs;
+  col.last_abs = absolute;
+  col.set_this_sample = true;
+}
+
+void Timeline::EndSample() {
+  if constexpr (!kTracingEnabled) {
+    return;
+  }
+  NOMAD_CHECK(in_sample_, "EndSample without BeginSample");
+  in_sample_ = false;
+}
+
+void Timeline::AppendJson(JsonWriter& jw) const {
+  jw.BeginObject();
+  jw.Field("schema", std::string_view("nomad-timeline-v1"));
+  jw.Field("interval", static_cast<uint64_t>(config_.interval));
+  jw.Field("samples", static_cast<uint64_t>(times_.size()));
+  jw.Field("dropped", dropped_);
+  jw.Key("time").BeginArray();
+  for (Cycles t : times_) {
+    jw.Uint(t);
+  }
+  jw.EndArray();
+  jw.Key("channels").BeginObject();
+  for (const Column& col : columns_) {
+    jw.Key(col.name).BeginArray();
+    for (uint64_t v : col.values) {
+      jw.Uint(v);
+    }
+    jw.EndArray();
+  }
+  jw.EndObject();
+  jw.EndObject();
+}
+
+void Timeline::WriteCsv(std::ostream& out) const {
+  out << "time";
+  for (const Column& col : columns_) {
+    out << ',' << col.name;
+  }
+  out << '\n';
+  for (size_t row = 0; row < times_.size(); row++) {
+    out << times_[row];
+    for (const Column& col : columns_) {
+      out << ',' << col.values[row];
+    }
+    out << '\n';
+  }
+}
+
+}  // namespace nomad

@@ -16,6 +16,28 @@ const char* TraceEventName(TraceEvent e) {
   return i < kNumTraceEvents ? kNames[i] : "?";
 }
 
+const char* MigOutcomeName(MigOutcome o) {
+  switch (o) {
+    case MigOutcome::kCommit:
+      return "commit";
+    case MigOutcome::kAbort:
+      return "abort";
+    case MigOutcome::kGiveUp:
+      return "give_up";
+    case MigOutcome::kSyncFallback:
+      return "sync_fallback";
+    case MigOutcome::kDegradedSync:
+      return "degraded_sync";
+    case MigOutcome::kReject:
+      return "reject";
+    case MigOutcome::kVanish:
+      return "vanish";
+    case MigOutcome::kNumOutcomes:
+      break;
+  }
+  return "?";
+}
+
 std::vector<TraceEventRecord> TraceSink::Snapshot() const {
   std::vector<TraceEventRecord> out;
   const size_t n = size();

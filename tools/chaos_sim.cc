@@ -33,6 +33,13 @@
 //   --workloads=a,b    [micro,chase,scan]
 //   --selftest         [off]    corrupt state mid-run; succeed iff caught
 //   --verbose          [off]    per-run summary lines
+//   --timeline_out=path []      telemetry timeline CSV per run (campaign
+//                               runs get .seed<N>.<workload> inserted);
+//                               tools/timeline_report reads these
+//   --timeline_interval=N [50000] timeline sampling cadence (cycles)
+//   --spans            [off]    emit migration-lifecycle span records
+//   --trace_out=path   []       chrome://tracing dump per run (with --spans
+//                               this is trace_query --span input)
 // Soak-mode flags:
 //   --soak             [off]    run the sharded soak campaign
 //   --soak_seeds=N     [32]     seeds soak_seed_start..+N-1 (ignored w/ --seed)
@@ -127,6 +134,25 @@ struct RunResult {
   Cycles end_time = 0;
 };
 
+// Observability outputs for one run (all optional; empty paths = off).
+struct ObsConfig {
+  Cycles timeline_interval = 50000;
+  bool spans = false;
+  std::string timeline_out;
+  std::string trace_out;
+};
+
+// p.csv + "seed7.micro" -> p.seed7.micro.csv (campaign runs must not
+// clobber each other's artifacts).
+std::string PathWithTag(const std::string& path, const std::string& tag) {
+  const size_t slash = path.find_last_of('/');
+  const size_t dot = path.find_last_of('.');
+  if (dot == std::string::npos || (slash != std::string::npos && dot < slash)) {
+    return path + "." + tag;
+  }
+  return path.substr(0, dot) + "." + tag + path.substr(dot);
+}
+
 // Deliberate mid-run corruption for --selftest: frees a mapped frame
 // behind the PTE's back, which a correct checker must flag as
 // pte.frame_identity (at least).
@@ -169,9 +195,16 @@ class CorruptorActor : public Actor {
 };
 
 RunResult RunOne(uint64_t seed, const std::string& workload, uint64_t ops,
-                 bool corrupt) {
+                 bool corrupt, const ObsConfig& obs = ObsConfig{},
+                 const std::string& tag = "") {
   Sim sim(ChaosPlatform(), PolicyKind::kNomad, kAsPages);
   NomadPolicy* nomad = sim.nomad();
+  if (obs.spans) {
+    sim.ms().set_span_tracing(true);
+  }
+  if (!obs.timeline_out.empty()) {
+    sim.EnableTimeline({obs.timeline_interval, /*capacity=*/4096});
+  }
 
   auto fi = std::make_unique<FaultInjector>(seed);
   ArmFaults(fi.get(), seed);
@@ -247,6 +280,20 @@ RunResult RunOne(uint64_t seed, const std::string& workload, uint64_t ops,
   if (corrupt && !corruptor.fired()) {
     std::cerr << "selftest: corruptor never fired (run too short?)\n";
     r.ok = true;  // nothing to detect; caller treats this as failure
+  }
+  if (!obs.timeline_out.empty()) {
+    const std::string path =
+        tag.empty() ? obs.timeline_out : PathWithTag(obs.timeline_out, tag);
+    if (!WriteTimelineFile(sim, path)) {
+      std::cerr << "warning: could not write timeline to " << path << "\n";
+    }
+  }
+  if (!obs.trace_out.empty()) {
+    const std::string path =
+        tag.empty() ? obs.trace_out : PathWithTag(obs.trace_out, tag);
+    if (!WriteTraceFile(sim, path)) {
+      std::cerr << "warning: could not write trace to " << path << "\n";
+    }
   }
   return r;
 }
@@ -411,6 +458,11 @@ int main(int argc, char** argv) {
       SplitList(flags.GetString("workloads", "micro,chase,scan"));
   const bool selftest = flags.GetBool("selftest", false);
   const bool verbose = flags.GetBool("verbose", false);
+  ObsConfig obs;
+  obs.timeline_out = flags.GetString("timeline_out", "");
+  obs.timeline_interval = flags.GetUint("timeline_interval", 50000);
+  obs.spans = flags.GetBool("spans", false);
+  obs.trace_out = flags.GetString("trace_out", "");
 
   if (flags.GetBool("soak", false)) {
     return RunSoak(flags, one_seed, verbose);
@@ -429,7 +481,7 @@ int main(int argc, char** argv) {
   if (selftest) {
     // The campaign is only trustworthy if a real corruption is caught.
     const uint64_t seed = one_seed != 0 ? one_seed : 7;
-    const RunResult r = RunOne(seed, workloads.front(), ops, /*corrupt=*/true);
+    const RunResult r = RunOne(seed, workloads.front(), ops, /*corrupt=*/true, obs);
     if (r.ok) {
       std::cerr << "selftest FAILED: deliberate corruption was not detected\n";
       return 1;
@@ -449,10 +501,13 @@ int main(int argc, char** argv) {
     }
   }
 
+  const bool single_run = seed_list.size() == 1 && workloads.size() == 1;
   uint64_t runs = 0, failures = 0, total_injections = 0, total_audits = 0;
   for (const uint64_t seed : seed_list) {
     for (const std::string& w : workloads) {
-      const RunResult r = RunOne(seed, w, ops, /*corrupt=*/false);
+      const std::string tag =
+          single_run ? "" : "seed" + std::to_string(seed) + "." + w;
+      const RunResult r = RunOne(seed, w, ops, /*corrupt=*/false, obs, tag);
       runs++;
       total_injections += r.injections;
       total_audits += r.audits;

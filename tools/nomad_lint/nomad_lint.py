@@ -55,6 +55,13 @@ Enforced rules (see DESIGN.md "Verification tooling" for the rationale):
                           unannotated concurrency state is invisible to
                           both -Wthread-safety and nomad_analyze.
                           src/base/ itself (the vocabulary) is exempt.
+  NL012 timeline-channel  no complete string literal at Timeline .Channel()
+                          call sites; gauge names come from the tl::
+                          constants (NOMAD_TIMELINE_CHANNEL_LIST), so the
+                          registry check and the sampler can never drift.
+                          Derived channels composed from a "cnt."/"hist."
+                          prefix literal plus a registry name ("cnt." +
+                          name) are the mechanical pattern and stay legal.
 
 Engines. The default engine is a pure-Python lexer (comments and string
 literals stripped, then per-line pattern rules): zero dependencies, runs
@@ -497,6 +504,29 @@ def rule_nl011(f):
             % (name, member.group(1).split("<")[0].strip()))
 
 
+# `t.Channel("pcq.depth")` — a complete literal channel name bypasses the
+# tl:: constants, so a typo aborts at runtime instead of failing to compile.
+# `t.Channel("cnt." + name)` (prefix literal then concatenation) is the
+# mechanical derivation pattern for counter/histogram channels and is legal:
+# the distinguishing token after the closing quote is `+`, not `)`. The
+# stripper blanks a literal to spaces and keeps only its closing quote, so
+# a complete-literal argument reads `(   ")` after stripping.
+CHANNEL_LIT_RE = re.compile(r"\.\s*Channel\s*\(\s*\"\s*\)")
+
+
+def rule_nl012(f):
+    if not in_dirs(f.rel, ("src/", "tools/", "bench/")):
+        return
+    for i, line in enumerate(f.lines, 1):
+        if CHANNEL_LIT_RE.search(line):
+            yield Finding(
+                f.rel, i, "NL012",
+                "timeline channel name as a complete string literal; use the "
+                "tl:: constants from src/obs/event_registry.h (derived "
+                "channels compose a \"cnt.\"/\"hist.\" prefix with a registry "
+                "name)")
+
+
 TOKEN_RULES = [
     ("NL001", "PTE bit mutation outside the mechanism layers", rule_nl001),
     ("NL002", "bare assert() instead of NOMAD_CHECK", rule_nl002),
@@ -510,6 +540,7 @@ TOKEN_RULES = [
     ("NL010", "degrading admission decisions must emit a counter/trace", rule_nl010),
     ("NL011", "concurrency-bearing classes must carry thread-safety annotations",
      rule_nl011),
+    ("NL012", "timeline channel names outside the tl:: registry", rule_nl012),
 ]
 
 
@@ -745,6 +776,18 @@ SELFTEST_CASES = [
      "class Mutex {\n private:\n  std::mutex mu_;\n};", False),
     ("NL011", "src/nomad/ok_plain.h",
      "class Plain {\n private:\n  uint64_t value_ = 0;\n};", False),
+    ("NL012", "src/harness/bad_channel.cc",
+     'void f(Timeline& t) { pcq_ = t.Channel("pcq.depth"); }', True),
+    ("NL012", "src/harness/bad_nested.cc",
+     'void f(Timeline& t) { t.Set(t.Channel("tier.fast.free_frames"), 1); }', True),
+    ("NL012", "src/harness/ok_const.cc",
+     "void f(Timeline& t) { pcq_ = t.Channel(tl::kPcqDepth); }", False),
+    ("NL012", "src/harness/ok_derived.cc",
+     'void f(Timeline& t, const std::string& name) {\n'
+     '  t.SetDelta(t.Channel("cnt." + name), 1);\n'
+     '  t.Set(t.Channel("hist." + name + ".p50"), 2);\n}', False),
+    ("NL012", "tools/ok_variable.cc",
+     "void f(Timeline& t, const std::string& ch) { t.Channel(ch); }", False),
 ]
 
 

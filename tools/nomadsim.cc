@@ -24,6 +24,13 @@
 //   --counters           [off]    dump raw event counters after each run
 //   --metrics_out=PATH   []       write machine-readable metrics.json
 //   --trace_out=PATH     []       write chrome://tracing event timeline(s)
+//   --timeline_out=PATH  []       write the telemetry timeline CSV(s)
+//                                 (tools/timeline_report input); also adds
+//                                 a "timeline" section to metrics.json
+//   --timeline_interval=CYCLES [200000] sampling cadence (sharded mode
+//                                 rounds it up to whole epochs)
+//   --spans              [off]    emit migration-lifecycle span records
+//                                 (trace_query --span input)
 //
 // Sharded parallel mode (see src/harness/sharded_sim.h):
 //   --shards=N           [0]      0 = legacy single-Sim run; N>0 partitions
@@ -88,6 +95,11 @@ int main(int argc, char** argv) {
   const bool dump_counters = flags.GetBool("counters", false);
   const std::string policy_arg = flags.GetString("policy", "");
   MetricsCollector collector = MetricsCollector::FromFlags("nomadsim", flags);
+  // Sampling only runs when an output asked for it: goldens stay identical.
+  const Cycles timeline_interval = flags.GetUint("timeline_interval", 200000);
+  const bool spans = flags.GetBool("spans", false);
+  cfg.timeline_interval = collector.timeline_requested() ? timeline_interval : 0;
+  cfg.enable_spans = spans;
 
   const auto unused = flags.UnusedKeys();
   if (!unused.empty()) {
@@ -137,6 +149,8 @@ int main(int argc, char** argv) {
       scfg.shards = shards;
       scfg.exec_threads = static_cast<uint32_t>(std::max(1, cfg.threads));
       scfg.epoch_cycles = epoch_cycles;
+      scfg.timeline_interval = cfg.timeline_interval;
+      scfg.enable_spans = spans;
       const ShardedRunResult r = RunShardedMicro(scfg, &collector);
       uint64_t promos = 0, demos = 0, aborts = 0;
       for (const MicroRunResult& shard : r.per_shard) {
@@ -185,6 +199,12 @@ int main(int argc, char** argv) {
       pcfg.enable_governor = true;
       Sim sim(platform, std::make_unique<NomadPolicy>(pcfg), kind,
               scale.Pages(cfg.rss_gb) + 16);
+      if (spans) {
+        sim.ms().set_span_tracing(true);
+      }
+      if (cfg.timeline_interval > 0) {
+        sim.EnableTimeline({cfg.timeline_interval, cfg.timeline_capacity});
+      }
       MicroLayout layout;
       layout.rss_pages = scale.Pages(cfg.rss_gb);
       layout.wss_pages = scale.Pages(cfg.wss_gb);
